@@ -1,0 +1,75 @@
+// Extension bench: division-algorithm comparison (Section V-B: the step
+// heuristic is a quality/overhead trade-off; "sophisticated global optimal
+// algorithms" can be integrated).
+//
+//   step            — the paper's tier 1 (5 % steps + oscillation safeguard)
+//   qilin-profiling — Luk et al. [16]: rate-based jump to the time-balance
+//   energy-model    — least-squares energy model, argmin over a fine grid
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+
+namespace {
+
+using namespace gg;
+
+struct Row {
+  greengpu::ExperimentResult result;
+};
+
+greengpu::ExperimentResult oracle(const std::string& workload) {
+  double best = 1e300;
+  greengpu::ExperimentResult best_r{};
+  for (int pct = 0; pct <= 90; pct += 5) {
+    auto r = greengpu::run_experiment(workload, greengpu::Policy::static_division(pct / 100.0),
+                                      bench::default_options());
+    if (r.total_energy().get() < best) {
+      best = r.total_energy().get();
+      best_r = std::move(r);
+    }
+  }
+  return best_r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ablation_divider",
+                "Section V-B extension: division-algorithm comparison");
+
+  std::printf(
+      "\nworkload,divider,final_share_pct,convergence_iteration,exec_time_s,"
+      "total_energy_J,energy_vs_oracle_pct\n");
+
+  for (const std::string workload : {"kmeans", "hotspot"}) {
+    const auto best = oracle(workload);
+    double step_energy = 0.0, qilin_energy = 0.0, model_energy = 0.0;
+    for (auto kind : {greengpu::DividerKind::kStep, greengpu::DividerKind::kProfiling,
+                      greengpu::DividerKind::kEnergyModel}) {
+      const auto r = greengpu::run_experiment(
+          workload, greengpu::Policy::division_with(kind), bench::default_options());
+      const double gap =
+          100.0 * (r.total_energy().get() / best.total_energy().get() - 1.0);
+      if (kind == greengpu::DividerKind::kStep) step_energy = r.total_energy().get();
+      if (kind == greengpu::DividerKind::kProfiling) qilin_energy = r.total_energy().get();
+      if (kind == greengpu::DividerKind::kEnergyModel) model_energy = r.total_energy().get();
+      std::printf("%s,%s,%.1f,%zu,%.1f,%.0f,%+.2f\n", workload.c_str(),
+                  std::string(greengpu::to_string(kind)).c_str(), r.final_ratio * 100.0,
+                  r.convergence_iteration, r.exec_time.get(), r.total_energy().get(), gap);
+    }
+    std::printf("# %s oracle (best static): %.0f J\n", workload.c_str(),
+                best.total_energy().get());
+    if (workload == "kmeans") {
+      std::printf("\n# shape checks (kmeans)\n");
+      bench::check(qilin_energy <= step_energy,
+                   "rate-based profiling matches or beats the step heuristic");
+      bench::check(model_energy <= step_energy * 1.001,
+                   "the energy-model divider is no worse than the step heuristic");
+      bench::check(step_energy <= best.total_energy().get() * 1.10,
+                   "the paper's light-weight heuristic stays within 10% of the oracle");
+    }
+  }
+  return 0;
+}

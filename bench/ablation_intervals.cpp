@@ -1,0 +1,78 @@
+// Ablation A4: the two-tier decoupling rule of Section IV — the division
+// interval (one iteration) should be much longer than the frequency-scaling
+// interval ("no less than 40x") so the WMA loop settles within one division
+// epoch.  Sweeping the scaling interval against a fixed iteration length
+// shows the interference when the rule is violated.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+#include "src/workloads/kmeans.h"
+
+namespace {
+
+using namespace gg;
+
+struct Outcome {
+  double energy;
+  double exec_time;
+  double final_ratio;
+  std::uint64_t gpu_transitions;
+};
+
+Outcome run_with_interval(Seconds scaling_interval) {
+  greengpu::GreenGpuParams params;
+  params.wma.interval = scaling_interval;
+  workloads::Kmeans wl{};  // iteration length ~124 s
+  const auto r = greengpu::run_experiment(wl, greengpu::Policy::green_gpu(params),
+                                          bench::default_options());
+  return Outcome{r.total_energy().get(), r.exec_time.get(), r.final_ratio,
+                 r.gpu_frequency_transitions};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ablation_intervals",
+                "Section IV: division/scaling interval ratio (the >=40x rule)");
+
+  // kmeans iterations last ~124 s at peak; the paper's scaling interval of
+  // 3 s gives a ratio of ~41x.
+  std::printf("\nscaling_interval_s,approx_ratio,total_energy_J,exec_time_s,final_share_pct,gpu_freq_transitions\n");
+  double energy_at_rule = 0.0, energy_violated = 0.0;
+  std::uint64_t transitions_at_rule = 0, transitions_violated = 0;
+  double ratio_at_rule = 0.0, ratio_violated = 0.0;
+  for (double interval : {1.0, 3.0, 12.0, 40.0, 124.0}) {
+    const Outcome o = run_with_interval(Seconds{interval});
+    const double ratio = 124.0 / interval;
+    if (interval == 3.0) {
+      energy_at_rule = o.energy;
+      transitions_at_rule = o.gpu_transitions;
+      ratio_at_rule = o.final_ratio;
+    }
+    if (interval == 124.0) {
+      energy_violated = o.energy;
+      transitions_violated = o.gpu_transitions;
+      ratio_violated = o.final_ratio;
+    }
+    std::printf("%.0f,%.0fx,%.0f,%.1f,%.0f,%llu\n", interval, ratio, o.energy,
+                o.exec_time, o.final_ratio * 100.0,
+                static_cast<unsigned long long>(o.gpu_transitions));
+  }
+
+  std::printf("\n# shape checks\n");
+  // Section IV's rationale: with the rule honoured the WMA loop settles
+  // within one division epoch (few frequency transitions, stable division);
+  // with one scaling step per iteration the scaler keeps adjusting across
+  // epochs.  Reproduction note: in this deterministic testbed the division
+  // tier is robust enough that total energy stays within ~0.5% either way —
+  // the rule buys stability, not extra joules.
+  bench::check(transitions_at_rule < transitions_violated,
+               "honouring the rule lets the scaler settle within one epoch");
+  bench::check(ratio_at_rule == ratio_violated,
+               "the division outcome itself is robust to the interval choice");
+  bench::check(std::abs(energy_at_rule - energy_violated) / energy_at_rule < 0.01,
+               "energy within 1% across interval choices (no destructive interference)");
+  return 0;
+}

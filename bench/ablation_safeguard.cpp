@@ -1,0 +1,56 @@
+// Ablation A3: the oscillation safeguard of Section V-B.  Without it the
+// discrete division grid makes the ratio bounce between two points every
+// iteration; the paper reports the resulting re-division overheads
+// "significantly degrade system performance".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+
+namespace {
+
+using namespace gg;
+
+struct Outcome {
+  int ratio_changes;
+  double exec_time;
+  double energy;
+  double final_ratio;
+};
+
+Outcome run(bool safeguard, const std::string& workload) {
+  greengpu::GreenGpuParams params;
+  params.division.safeguard = safeguard;
+  const auto r = greengpu::run_experiment(workload, greengpu::Policy::division_only(params),
+                                          bench::default_options());
+  int changes = 0;
+  for (std::size_t i = 1; i < r.iterations.size(); ++i) {
+    if (r.iterations[i].cpu_ratio != r.iterations[i - 1].cpu_ratio) ++changes;
+  }
+  return Outcome{changes, r.exec_time.get(), r.total_energy().get(), r.final_ratio};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ablation_safeguard", "Section V-B: oscillation safeguard on/off");
+
+  std::printf("\nworkload,safeguard,ratio_changes,exec_time_s,total_energy_J,final_share_pct\n");
+  for (const std::string workload : {"kmeans", "hotspot"}) {
+    const Outcome on = run(true, workload);
+    const Outcome off = run(false, workload);
+    std::printf("%s,on,%d,%.1f,%.0f,%.0f\n", workload.c_str(), on.ratio_changes,
+                on.exec_time, on.energy, on.final_ratio * 100.0);
+    std::printf("%s,off,%d,%.1f,%.0f,%.0f\n", workload.c_str(), off.ratio_changes,
+                off.exec_time, off.energy, off.final_ratio * 100.0);
+  }
+
+  std::printf("\n# shape checks (kmeans has an off-grid optimum, so it oscillates)\n");
+  const Outcome on = run(true, "kmeans");
+  const Outcome off = run(false, "kmeans");
+  bench::check(off.ratio_changes > 2 * on.ratio_changes,
+               "disabling the safeguard causes persistent re-divisions");
+  bench::check(on.ratio_changes <= 6, "with the safeguard the ratio settles for good");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation A1 (Section V-B design choice): workload-division step size.
+// "The system takes a long time to converge ... if we use a small step.
+//  There will be large oscillation if we use a large step."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+
+int main() {
+  using namespace gg;
+  bench::banner("ablation_step", "Section V-B: division step-size trade-off");
+
+  std::printf("\nstep_pct,convergence_iteration,final_cpu_share_pct,exec_time_s,total_energy_J\n");
+  double conv_small = 0.0, conv_large = 0.0;
+  for (double step : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    greengpu::GreenGpuParams params;
+    params.division.step = step;
+    const auto r = greengpu::run_experiment(
+        "kmeans", greengpu::Policy::division_only(params), bench::default_options());
+    const double conv = r.convergence_iteration == static_cast<std::size_t>(-1)
+                            ? -1.0
+                            : static_cast<double>(r.convergence_iteration);
+    if (step == 0.01) conv_small = conv;
+    if (step == 0.05) conv_large = conv;
+    std::printf("%.0f,%.0f,%.0f,%.1f,%.0f\n", step * 100.0, conv, r.final_ratio * 100.0,
+                r.exec_time.get(), r.total_energy().get());
+  }
+
+  std::printf("\n# shape checks\n");
+  bench::check(conv_small > conv_large,
+               "smaller steps take longer to converge (Section V-B)");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation A2: sensitivity of the WMA scaler to its tuned constants
+// (alpha_c = 0.15, alpha_m = 0.02, phi = 0.3, beta = 0.2 in the paper,
+// derived from manual tuning — Section V-A notes this as future work).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+
+namespace {
+
+using namespace gg;
+
+struct Outcome {
+  double gpu_saving_pct;
+  double slowdown_pct;
+};
+
+Outcome run_with(const greengpu::WmaParams& wma, const std::string& workload) {
+  greengpu::GreenGpuParams params;
+  params.wma = wma;
+  const auto base = greengpu::run_experiment(workload, greengpu::Policy::best_performance(),
+                                             bench::default_options());
+  const auto scaled = greengpu::run_experiment(
+      workload, greengpu::Policy::scaling_only(params), bench::default_options());
+  return Outcome{bench::saving_percent(base.gpu_energy.get(), scaled.gpu_energy.get()),
+                 100.0 * (scaled.exec_time.get() / base.exec_time.get() - 1.0)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ablation_wma_params", "Section V-A: alpha/phi/beta sensitivity");
+  // lud: steady medium-core / low-memory utilization, the regime where the
+  // energy-vs-performance blend actually moves the equilibrium level.
+  const std::string workload = "lud";
+
+  std::printf("\n# alpha_core sweep (paper: 0.15) on %s\n", workload.c_str());
+  std::printf("alpha_core,gpu_saving_pct,slowdown_pct\n");
+  double saving_low_alpha = 0.0, saving_high_alpha = 0.0;
+  for (double a : {0.02, 0.05, 0.15, 0.40, 0.80}) {
+    greengpu::WmaParams wma;
+    wma.alpha_core = a;
+    const Outcome o = run_with(wma, workload);
+    if (a == 0.02) saving_low_alpha = o.gpu_saving_pct;
+    if (a == 0.80) saving_high_alpha = o.gpu_saving_pct;
+    std::printf("%.2f,%.2f,%.2f\n", a, o.gpu_saving_pct, o.slowdown_pct);
+  }
+
+  std::printf("\n# alpha_mem sweep (paper: 0.02)\n");
+  std::printf("alpha_mem,gpu_saving_pct,slowdown_pct\n");
+  for (double a : {0.01, 0.02, 0.10, 0.40}) {
+    greengpu::WmaParams wma;
+    wma.alpha_mem = a;
+    const Outcome o = run_with(wma, workload);
+    std::printf("%.2f,%.2f,%.2f\n", a, o.gpu_saving_pct, o.slowdown_pct);
+  }
+
+  std::printf("\n# phi sweep (paper: 0.3)\n");
+  std::printf("phi,gpu_saving_pct,slowdown_pct\n");
+  for (double phi : {0.1, 0.3, 0.5, 0.9}) {
+    greengpu::WmaParams wma;
+    wma.phi = phi;
+    const Outcome o = run_with(wma, workload);
+    std::printf("%.1f,%.2f,%.2f\n", phi, o.gpu_saving_pct, o.slowdown_pct);
+  }
+
+  std::printf("\n# beta sweep (paper: 0.2)\n");
+  std::printf("beta,gpu_saving_pct,slowdown_pct\n");
+  for (double beta : {0.05, 0.2, 0.5, 0.9}) {
+    greengpu::WmaParams wma;
+    wma.beta = beta;
+    const Outcome o = run_with(wma, workload);
+    std::printf("%.2f,%.2f,%.2f\n", beta, o.gpu_saving_pct, o.slowdown_pct);
+  }
+
+  std::printf("\n# shape checks\n");
+  bench::check(saving_high_alpha >= saving_low_alpha,
+               "larger alpha favours energy saving (Table I semantics)");
+  const Outcome paper = run_with(greengpu::WmaParams{}, workload);
+  bench::check(paper.slowdown_pct < 3.0, "paper constants keep slowdown marginal");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench prints (a) a CSV block that regenerates the paper figure's
+// series and (b) a human-readable summary comparing the measured shape with
+// the numbers the paper reports.  Absolute joules are not expected to match
+// the 2012 testbed; the shapes are (see DESIGN.md section 5).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/greengpu/runner.h"
+
+namespace gg::bench {
+
+inline greengpu::RunOptions default_options() {
+  greengpu::RunOptions o;
+  o.pool_workers = 0;  // use all host cores for the real kernels
+  return o;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline double saving_percent(double baseline, double value) {
+  return 100.0 * (1.0 - value / baseline);
+}
+
+inline void check(bool ok, const char* what) {
+  std::printf("[%s] %s\n", ok ? "OK" : "MISS", what);
+}
+
+}  // namespace gg::bench

@@ -1,0 +1,86 @@
+// Figure 1: normalized execution time and relative energy under static GPU
+// frequency sweeps, for core-bounded nbody and memory-bounded streamcluster.
+//
+//   1a/1b: memory frequency 900 -> 500 MHz, cores at peak.
+//   1c/1d: core frequency 576 -> 300 MHz, memory at peak.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+#include "src/sim/dvfs.h"
+
+namespace {
+
+using namespace gg;
+
+struct SweepPoint {
+  double freq_mhz;
+  double norm_time;
+  double rel_energy;
+};
+
+std::vector<SweepPoint> sweep(const std::string& workload, bool sweep_memory) {
+  const sim::DvfsTable table =
+      sweep_memory ? sim::geforce8800_memory_table() : sim::geforce8800_core_table();
+  std::vector<SweepPoint> points;
+  double base_time = 0.0, base_energy = 0.0;
+  for (std::size_t level = 0; level < table.levels(); ++level) {
+    const auto policy = sweep_memory ? greengpu::Policy::static_pair(0, level)
+                                     : greengpu::Policy::static_pair(level, 0);
+    const auto r = greengpu::run_experiment(workload, policy, bench::default_options());
+    if (level == 0) {
+      base_time = r.exec_time.get();
+      base_energy = r.gpu_energy.get();
+    }
+    points.push_back(SweepPoint{table.frequency(level).get(),
+                                r.exec_time.get() / base_time,
+                                r.gpu_energy.get() / base_energy});
+  }
+  return points;
+}
+
+void print_sweep(const char* fig, const std::string& workload, bool sweep_memory) {
+  std::printf("\n# Fig. %s: %s, %s frequency sweep (%s at peak)\n", fig,
+              workload.c_str(), sweep_memory ? "memory" : "core",
+              sweep_memory ? "cores" : "memory");
+  std::printf("%s_mhz,normalized_time,relative_energy\n",
+              sweep_memory ? "mem" : "core");
+  for (const auto& p : sweep(workload, sweep_memory)) {
+    std::printf("%.0f,%.4f,%.4f\n", p.freq_mhz, p.norm_time, p.rel_energy);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("fig1_freq_sweep", "Fig. 1 (a-d), Section III-A case study");
+
+  print_sweep("1a/1b (nbody)", "nbody", /*sweep_memory=*/true);
+  print_sweep("1a/1b (streamcluster)", "streamcluster", /*sweep_memory=*/true);
+  print_sweep("1c/1d (nbody)", "nbody", /*sweep_memory=*/false);
+  print_sweep("1c/1d (streamcluster)", "streamcluster", /*sweep_memory=*/false);
+
+  // Shape checks against the paper's observations.
+  std::printf("\n# shape checks\n");
+  const auto nbody_mem = sweep("nbody", true);
+  bench::check(nbody_mem.back().norm_time < 1.05,
+               "nbody: memory throttling has negligible time impact (Fig. 1a)");
+  bench::check(nbody_mem.back().rel_energy < 1.0,
+               "nbody: memory throttling saves energy (Fig. 1b)");
+  const auto nbody_core = sweep("nbody", false);
+  bench::check(nbody_core.back().norm_time > 1.3,
+               "nbody: core throttling hurts performance (Fig. 1c)");
+  bench::check(nbody_core.back().rel_energy > 1.0,
+               "nbody: core throttling hurts energy (Fig. 1d)");
+  const auto sc_core = sweep("streamcluster", false);
+  bench::check(sc_core[3].norm_time < 1.05 && sc_core[3].rel_energy < 1.0,
+               "SC: core at 410 MHz saves energy with negligible loss (Sec. III-A)");
+  bench::check(sc_core[5].norm_time > 1.1,
+               "SC: core below the knee hurts performance (Sec. III-A)");
+  const auto sc_mem = sweep("streamcluster", true);
+  bench::check(sc_mem.back().norm_time > 1.1 && sc_mem.back().rel_energy > sc_mem[1].rel_energy,
+               "SC: deep memory throttling impacts time and energy (Fig. 1a/1b)");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 2: total system energy versus static CPU work share for kmeans.
+// The paper varies the CPU share from 0 % to 90 % and finds a U-shaped curve
+// with its minimum at a small non-zero share (10 % on their testbed).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+
+int main() {
+  using namespace gg;
+  bench::banner("fig2_division_sweep", "Fig. 2, Section III-B case study (kmeans)");
+
+  std::printf("\ncpu_share_percent,total_energy_J,exec_time_s,relative_energy\n");
+  double base_energy = 0.0;
+  double best_energy = 1e300;
+  double best_ratio = 0.0;
+  for (int pct = 0; pct <= 90; pct += 5) {
+    const double ratio = pct / 100.0;
+    const auto r = greengpu::run_experiment(
+        "kmeans", greengpu::Policy::static_division(ratio), bench::default_options());
+    const double e = r.total_energy().get();
+    if (pct == 0) base_energy = e;
+    if (e < best_energy) {
+      best_energy = e;
+      best_ratio = ratio;
+    }
+    std::printf("%d,%.0f,%.1f,%.4f\n", pct, e, r.exec_time.get(), e / base_energy);
+  }
+
+  std::printf("\n# energy-minimal static division: %.0f%% CPU (paper: 10%%)\n",
+              best_ratio * 100.0);
+  std::printf("# saving vs all-GPU at the optimum: %.2f%%\n",
+              bench::saving_percent(base_energy, best_energy));
+  bench::check(best_ratio > 0.0 && best_ratio <= 0.25,
+               "minimum at a small non-zero CPU share (Fig. 2)");
+  bench::check(best_energy < base_energy,
+               "CPU+GPU cooperation beats GPU-exclusive execution (Fig. 2)");
+  return 0;
+}

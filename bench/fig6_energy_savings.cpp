@@ -1,0 +1,67 @@
+// Figure 6: energy savings of the frequency-scaling tier versus the
+// best-performance baseline, for every Table II workload.
+//
+//   6a: total GPU energy saving (paper: 5.97 % average, up to 14.53 %).
+//   6b: dynamic GPU energy saving, idle energy subtracted (paper: 29.2 %
+//       average with 2.95 % longer execution time).
+//   6c: emulated CPU+GPU throttling, total energy (paper: 12.48 % average).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/greengpu/policy.h"
+#include "src/workloads/registry.h"
+
+int main() {
+  using namespace gg;
+  bench::banner("fig6_energy_savings",
+                "Fig. 6 (a-c), frequency-scaling savings per workload");
+
+  std::printf(
+      "\nworkload,gpu_saving_pct,dynamic_saving_pct,slowdown_pct,cpu_gpu_saving_pct\n");
+
+  RunningStats gpu_saving, dyn_saving, slowdown, cpu_gpu_saving;
+  for (const auto& name : workloads::all_workload_names()) {
+    const auto base =
+        greengpu::run_experiment(name, greengpu::Policy::best_performance(),
+                                 bench::default_options());
+    const auto scaled = greengpu::run_experiment(name, greengpu::Policy::scaling_only(),
+                                                 bench::default_options());
+
+    const double g = bench::saving_percent(base.gpu_energy.get(), scaled.gpu_energy.get());
+    const double d = bench::saving_percent(base.gpu_dynamic_energy().get(),
+                                           scaled.gpu_dynamic_energy().get());
+    const double s = 100.0 * (scaled.exec_time.get() / base.exec_time.get() - 1.0);
+    // Fig. 6c emulation: spin phases priced at the lowest CPU P-state.
+    const double cg = bench::saving_percent(base.total_energy().get(),
+                                            scaled.emulated_cpu_throttle_energy().get());
+
+    gpu_saving.add(g);
+    dyn_saving.add(d);
+    slowdown.add(s);
+    cpu_gpu_saving.add(cg);
+    std::printf("%s,%.2f,%.2f,%.2f,%.2f\n", name.c_str(), g, d, s, cg);
+  }
+
+  std::printf("\n# averages (paper values in parentheses)\n");
+  std::printf("Fig. 6a GPU energy saving:      avg %.2f%%, max %.2f%%  (paper: 5.97%%, max 14.53%%)\n",
+              gpu_saving.mean(), gpu_saving.max());
+  std::printf("Fig. 6b dynamic energy saving:  avg %.2f%%             (paper: 29.2%%)\n",
+              dyn_saving.mean());
+  std::printf("Fig. 6b execution time increase: avg %.2f%%            (paper: 2.95%%)\n",
+              slowdown.mean());
+  std::printf("Fig. 6c CPU+GPU (emulated):     avg %.2f%%             (paper: 12.48%%)\n",
+              cpu_gpu_saving.mean());
+
+  bench::check(gpu_saving.mean() > 2.0 && gpu_saving.mean() < 15.0,
+               "single-digit average total GPU saving (Fig. 6a)");
+  bench::check(gpu_saving.max() > 8.0, "double-digit saving for the best workload (Fig. 6a)");
+  bench::check(dyn_saving.mean() > 1.5 * gpu_saving.mean(),
+               "dynamic savings several times larger than total (Fig. 6b)");
+  bench::check(slowdown.mean() < 5.0, "marginal average slowdown (Fig. 6b)");
+  bench::check(cpu_gpu_saving.mean() > gpu_saving.mean() * 0.8,
+               "CPU throttling adds substantial savings (Fig. 6c)");
+  return 0;
+}

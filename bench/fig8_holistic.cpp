@@ -1,0 +1,103 @@
+// Figure 8: GreenGPU as a holistic solution — per-iteration energy of
+// GreenGPU vs Division-only vs Frequency-scaling-only for hotspot and
+// kmeans, plus the headline numbers of Section VII-C.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/greengpu/policy.h"
+#include "src/workloads/registry.h"
+
+namespace {
+
+using namespace gg;
+
+struct Runs {
+  greengpu::ExperimentResult base;      // Rodinia default: all-GPU at peak
+  greengpu::ExperimentResult scaling;   // frequency scaling only
+  greengpu::ExperimentResult division;  // division only
+  greengpu::ExperimentResult green;     // holistic
+};
+
+Runs run_all(const std::string& name) {
+  return Runs{
+      greengpu::run_experiment(name, greengpu::Policy::best_performance(),
+                               bench::default_options()),
+      greengpu::run_experiment(name, greengpu::Policy::scaling_only(),
+                               bench::default_options()),
+      greengpu::run_experiment(name, greengpu::Policy::division_only(),
+                               bench::default_options()),
+      greengpu::run_experiment(name, greengpu::Policy::green_gpu(),
+                               bench::default_options()),
+  };
+}
+
+void print_figure(const char* fig, const std::string& name, const Runs& r) {
+  std::printf("\n# Fig. %s: %s per-iteration energy and division share\n", fig,
+              name.c_str());
+  std::printf(
+      "iteration,greengpu_share_pct,greengpu_J,division_J,frequency_scaling_J\n");
+  const std::size_t n = std::min(
+      {r.green.iterations.size(), r.division.iterations.size(), r.scaling.iterations.size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("%zu,%.0f,%.0f,%.0f,%.0f\n", i,
+                r.green.iterations[i].cpu_ratio * 100.0,
+                r.green.iterations[i].total_energy().get(),
+                r.division.iterations[i].total_energy().get(),
+                r.scaling.iterations[i].total_energy().get());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("fig8_holistic", "Fig. 8 (a, b) + Section VII-C headline numbers");
+
+  const Runs hotspot = run_all("hotspot");
+  print_figure("8a", "hotspot", hotspot);
+  const Runs kmeans = run_all("kmeans");
+  print_figure("8b", "kmeans", kmeans);
+
+  auto summarize = [](const char* name, const Runs& r, double paper_vs_div,
+                      double paper_vs_scaling) {
+    const double vs_div = bench::saving_percent(r.division.total_energy().get(),
+                                                r.green.total_energy().get());
+    const double vs_scaling = bench::saving_percent(r.scaling.total_energy().get(),
+                                                    r.green.total_energy().get());
+    std::printf(
+        "%s: GreenGPU saves %.2f%% vs Division (paper: %.2f%%) and %.2f%% vs "
+        "Frequency-scaling (paper: %.2f%%)\n",
+        name, vs_div, paper_vs_div, vs_scaling, paper_vs_scaling);
+    return std::pair{vs_div, vs_scaling};
+  };
+
+  std::printf("\n# Section VII-C summary\n");
+  const auto [h_div, h_scal] = summarize("hotspot", hotspot, 7.88, 28.76);
+  const auto [k_div, k_scal] = summarize("kmeans", kmeans, 1.60, 12.05);
+
+  const double total_default =
+      hotspot.base.total_energy().get() + kmeans.base.total_energy().get();
+  const double total_green =
+      hotspot.green.total_energy().get() + kmeans.green.total_energy().get();
+  const double holistic_saving = bench::saving_percent(total_default, total_green);
+  std::printf(
+      "GreenGPU vs Rodinia default (all-GPU, peak clocks), kmeans+hotspot: %.2f%% "
+      "energy saving (paper: 21.04%%)\n",
+      holistic_saving);
+
+  const double time_delta =
+      100.0 * ((hotspot.green.exec_time.get() + kmeans.green.exec_time.get()) /
+                   (hotspot.division.exec_time.get() + kmeans.division.exec_time.get()) -
+               1.0);
+  std::printf("GreenGPU execution time vs division-only: %+.2f%% (paper: +1.7%%)\n",
+              time_delta);
+
+  std::printf("\n# shape checks\n");
+  bench::check(h_div > 0 && k_div > 0, "GreenGPU beats Division on both workloads");
+  bench::check(h_scal > 0 && k_scal > 0, "GreenGPU beats Frequency-scaling on both");
+  bench::check(h_scal > h_div && k_scal > k_div,
+               "division contributes more than scaling on this testbed (Sec. VII-C)");
+  bench::check(holistic_saving > 10.0, "holistic saving is a double-digit effect");
+  bench::check(time_delta < 5.0, "small execution-time cost vs division-only");
+  return 0;
+}

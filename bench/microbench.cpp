@@ -1,0 +1,164 @@
+// Hot-path microbenchmarks (google-benchmark): controller update costs, the
+// discrete-event core, and the device model — the pieces whose overhead the
+// paper argues is "light-weight" (Sections V and VI).
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/cudalite/thread_pool.h"
+#include "src/greengpu/division.h"
+#include "src/greengpu/loss.h"
+#include "src/greengpu/weight_table.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/gpu_device.h"
+#include "src/workloads/sobol.h"
+
+namespace {
+
+using namespace gg;
+using namespace gg::literals;
+
+std::vector<double> losses(double u, double alpha) {
+  const auto umeans = greengpu::umean_table(sim::geforce8800_core_table());
+  std::vector<double> out(umeans.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = greengpu::component_loss(u, umeans[i], alpha);
+  }
+  return out;
+}
+
+void BM_WmaUpdate(benchmark::State& state) {
+  greengpu::WeightTable table(6, 6);
+  const auto cl = losses(0.63, 0.15);
+  const auto ml = losses(0.41, 0.02);
+  for (auto _ : state) {
+    table.update(cl, ml, 0.3, 0.2, 1e-2);
+    benchmark::DoNotOptimize(table.argmax());
+  }
+}
+BENCHMARK(BM_WmaUpdate);
+
+void BM_FixedWmaUpdate(benchmark::State& state) {
+  greengpu::FixedWeightTable table(6, 6);
+  const auto cl = losses(0.63, 0.15);
+  const auto ml = losses(0.41, 0.02);
+  for (auto _ : state) {
+    table.update(cl, ml, 0.3, 0.2);
+    benchmark::DoNotOptimize(table.argmax());
+  }
+}
+BENCHMARK(BM_FixedWmaUpdate);
+
+void BM_LossComputation(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(losses(rng.uniform(), 0.15));
+  }
+}
+BENCHMARK(BM_LossComputation);
+
+void BM_DivisionStep(benchmark::State& state) {
+  const greengpu::DivisionParams params;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greengpu::division_step(
+        params, 0.30, Seconds{1.0 + rng.uniform()}, Seconds{1.0 + rng.uniform()}));
+  }
+}
+BENCHMARK(BM_DivisionStep);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_in(Seconds{static_cast<double>(i)}, [] {});
+    }
+    q.run_until_empty();
+    benchmark::DoNotOptimize(q.fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_GpuKernelCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::GpuDevice gpu(q, sim::GpuSpec{}, sim::geforce8800_core_table(),
+                       sim::geforce8800_memory_table(), 0, 0);
+    sim::KernelWork w;
+    w.units = 100.0;
+    w.overhead_per_unit = Seconds{1e-3};
+    for (int i = 0; i < 100; ++i) gpu.submit(w, {});
+    q.run_until_empty();
+    benchmark::DoNotOptimize(gpu.kernels_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_GpuKernelCycle);
+
+void BM_GpuMidKernelRetarget(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::GpuDevice gpu(q, sim::GpuSpec{}, sim::geforce8800_core_table(),
+                     sim::geforce8800_memory_table(), 0, 0);
+  sim::KernelWork w;
+  w.units = 1e9;
+  w.core_cycles_per_unit = 1e6;
+  gpu.submit(w, {});
+  std::size_t level = 0;
+  for (auto _ : state) {
+    level = (level + 1) % 6;
+    gpu.set_core_level(level);  // accounts + reschedules completion
+  }
+}
+BENCHMARK(BM_GpuMidKernelRetarget);
+
+void BM_SobolSample(benchmark::State& state) {
+  workloads::Sobol sobol(4);
+  std::uint64_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sobol.sample(i, i & 3));
+    ++i;
+  }
+}
+BENCHMARK(BM_SobolSample);
+
+void BM_JsonWriterReport(benchmark::State& state) {
+  for (auto _ : state) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("runs");
+    w.begin_array();
+    for (int i = 0; i < 36; ++i) {
+      w.begin_object();
+      w.kv("workload", "kmeans");
+      w.kv("energy", 1024815.0 + i);
+      w.kv("verified", true);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    benchmark::DoNotOptimize(os.str());
+  }
+}
+BENCHMARK(BM_JsonWriterReport);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  cudalite::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> xs(1 << 16, 1.0);
+  for (auto _ : state) {
+    pool.parallel_for_chunks(xs.size(), [&xs](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) xs[i] *= 1.0000001;
+    });
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(xs.size()));
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

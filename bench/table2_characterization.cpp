@@ -1,0 +1,82 @@
+// Table II: workload summary — enlargement parameters and the measured GPU
+// core/memory utilization characterization of every workload, collected from
+// a best-performance run on the simulated testbed.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/greengpu/policy.h"
+#include "src/workloads/registry.h"
+
+namespace {
+
+using namespace gg;
+
+const char* classify(double u, double fluct) {
+  if (fluct > 0.15) return "fluctuating";
+  if (u >= 0.75) return "high";
+  if (u >= 0.40) return "medium";
+  return "low";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("table2_characterization", "Table II workload summary");
+
+  std::printf(
+      "\nworkload,iterations,sim_units_per_iter,avg_core_util,avg_mem_util,core_class,"
+      "mem_class,paper_description\n");
+
+  for (const auto& name : workloads::all_workload_names()) {
+    const auto wl = workloads::make_workload(name);
+    const std::size_t iters = wl->iterations();
+    const double units = wl->profile(0).units_per_iteration;
+    const std::string description(wl->description());
+
+    greengpu::RunOptions o = bench::default_options();
+    o.record_trace = true;
+    o.trace_period = Seconds{1.0};
+    const auto r = greengpu::run_experiment(*wl, greengpu::Policy::best_performance(), o);
+
+    RunningStats core, mem;
+    for (const auto& s : r.trace) {
+      core.add(s.gpu_core_util);
+      mem.add(s.gpu_mem_util);
+    }
+    const double core_fluct = core.stddev();
+    const double mem_fluct = mem.stddev();
+    std::printf("%s,%zu,%.0f,%.2f,%.2f,%s,%s,\"%s\"\n", name.c_str(), iters, units,
+                core.mean(), mem.mean(), classify(core.mean(), core_fluct),
+                classify(mem.mean(), mem_fluct), description.c_str());
+  }
+
+  std::printf("\n# checks against Table II utilization classes\n");
+  auto measured = [](const std::string& name) {
+    greengpu::RunOptions o = bench::default_options();
+    o.record_trace = true;
+    o.trace_period = Seconds{1.0};
+    const auto r =
+        greengpu::run_experiment(name, greengpu::Policy::best_performance(), o);
+    RunningStats core, mem;
+    for (const auto& s : r.trace) {
+      core.add(s.gpu_core_util);
+      mem.add(s.gpu_mem_util);
+    }
+    return std::pair{core, mem};
+  };
+  const auto [bfs_c, bfs_m] = measured("bfs");
+  bench::check(bfs_c.mean() > 0.75 && bfs_m.mean() > 0.75,
+               "bfs: high core and memory utilization");
+  const auto [pf_c, pf_m] = measured("pathfinder");
+  bench::check(pf_c.mean() < 0.40 && pf_m.mean() < 0.30,
+               "PF: low core and memory utilization");
+  const auto [qg_c, qg_m] = measured("QG");
+  bench::check(qg_c.stddev() > 0.15, "QG: utilizations highly fluctuate");
+  const auto [sc_c, sc_m] = measured("streamcluster");
+  bench::check(sc_c.stddev() > 0.1 || sc_m.stddev() > 0.1,
+               "streamcluster: utilizations highly fluctuate");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Workload-division demo (tier 1): watch the controller balance kmeans
+// between CPU and GPU, exactly like Fig. 7a.
+//
+//   ./build/examples/kmeans_division [initial_cpu_share_percent]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+#include "src/workloads/kmeans.h"
+
+int main(int argc, char** argv) {
+  using namespace gg;
+  const double initial = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.30;
+  if (initial < 0.0 || initial > 0.95) {
+    std::fprintf(stderr, "initial share must be in [0, 95] percent\n");
+    return 1;
+  }
+
+  std::printf("GreenGPU tier 1 demo: dynamic workload division on kmeans\n");
+  std::printf("initial division: %.0f%% CPU / %.0f%% GPU, step 5%%\n\n",
+              initial * 100.0, (1.0 - initial) * 100.0);
+
+  greengpu::GreenGpuParams params;
+  params.division.initial_ratio = initial;
+  workloads::Kmeans workload{};
+  const auto result = greengpu::run_experiment(
+      workload, greengpu::Policy::division_only(params), {});
+
+  std::printf("iter  cpu%%   tc(s)    tg(s)   decision\n");
+  for (const auto& it : result.iterations) {
+    const char* decision = "";
+    switch (it.division_action) {
+      case greengpu::DivisionAction::kIncreaseCpu: decision = "CPU faster -> +5% CPU"; break;
+      case greengpu::DivisionAction::kDecreaseCpu: decision = "CPU slower -> -5% CPU"; break;
+      case greengpu::DivisionAction::kHold: decision = "balanced -> hold"; break;
+      case greengpu::DivisionAction::kHoldSafeguard: decision = "would oscillate -> hold"; break;
+      case greengpu::DivisionAction::kHoldAtBound: decision = "at bound -> hold"; break;
+    }
+    std::printf("%4zu  %3.0f  %7.1f  %7.1f   %s\n", it.index, it.cpu_ratio * 100.0,
+                it.cpu_time.get(), it.gpu_time.get(), decision);
+    if (it.index >= 14 && result.iterations.size() > 16) {
+      std::printf("  ... (%zu more identical iterations)\n",
+                  result.iterations.size() - it.index - 1);
+      break;
+    }
+  }
+
+  std::printf("\nconverged division: %.0f%% CPU / %.0f%% GPU (after iteration %zu)\n",
+              result.final_ratio * 100.0, (1.0 - result.final_ratio) * 100.0,
+              result.convergence_iteration);
+  std::printf("execution time %.1f s, total energy %.0f J, results %s\n",
+              result.exec_time.get(), result.total_energy().get(),
+              result.verified ? "verified" : "NOT verified");
+  return 0;
+}

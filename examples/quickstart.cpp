@@ -1,0 +1,49 @@
+// Quickstart: run one workload under the GreenGPU holistic policy and under
+// the best-performance baseline, and print the energy comparison.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [workload]
+//
+// The workload argument is any Table II name (default: kmeans).
+
+#include <cstdio>
+#include <string>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+#include "src/workloads/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace gg;
+  const std::string name = argc > 1 ? argv[1] : "kmeans";
+
+  std::printf("GreenGPU quickstart: workload '%s'\n", name.c_str());
+  std::printf("simulated testbed: GeForce 8800 GTX + Phenom II X2 (see DESIGN.md)\n\n");
+
+  greengpu::RunOptions options;
+  const greengpu::ExperimentResult base =
+      greengpu::run_experiment(name, greengpu::Policy::best_performance(), options);
+  const greengpu::ExperimentResult green =
+      greengpu::run_experiment(name, greengpu::Policy::green_gpu(), options);
+
+  auto report = [](const greengpu::ExperimentResult& r) {
+    std::printf("  %-18s exec %8.1f s   GPU %9.0f J   CPU %9.0f J   total %9.0f J   %s\n",
+                r.policy.c_str(), r.exec_time.get(), r.gpu_energy.get(),
+                r.cpu_energy.get(), r.total_energy().get(),
+                r.verified ? "results verified" : "VERIFY FAILED");
+  };
+  report(base);
+  report(green);
+
+  const double saving =
+      100.0 * (1.0 - green.total_energy() / base.total_energy());
+  const double slowdown = 100.0 * (green.exec_time / base.exec_time - 1.0);
+  std::printf("\nGreenGPU vs best-performance: %.2f%% energy saving, %.2f%% time delta\n",
+              saving, slowdown);
+  if (green.final_ratio > 0.0) {
+    std::printf("final workload division: %.0f%% CPU / %.0f%% GPU\n",
+                100.0 * green.final_ratio, 100.0 * (1.0 - green.final_ratio));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Minimal CSV emission used by the benchmark harnesses and trace recorder.
+//
+// Every bench binary prints its figure/table as CSV so results can be diffed
+// and re-plotted; quoting follows RFC 4180 (quote fields containing comma,
+// quote or newline; double embedded quotes).
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gg {
+
+/// Escape a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Format a double compactly (up to 6 significant digits, no trailing zeros).
+[[nodiscard]] std::string csv_number(double v);
+
+/// Streams rows to an std::ostream.  The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  /// Write a header or data row of preformatted string fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: variadic row accepting strings and arithmetic values.
+  template <typename... Ts>
+  void row_values(const Ts&... vals) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(Ts));
+    (fields.push_back(to_field(vals)), ...);
+    row(fields);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string{s}; }
+  static std::string to_field(const char* s) { return std::string{s}; }
+  template <typename T>
+  static std::string to_field(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return csv_number(static_cast<double>(v));
+    } else {
+      std::ostringstream oss;
+      oss << v;
+      return oss.str();
+    }
+  }
+
+  std::ostream* os_;
+  std::size_t rows_{0};
+};
+
+/// Parse one CSV line into fields (used by tests to round-trip traces).
+[[nodiscard]] std::vector<std::string> csv_parse_line(std::string_view line);
+
+}  // namespace gg

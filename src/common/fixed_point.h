@@ -1,0 +1,59 @@
+// Unsigned Q0.8 fixed point in [0, 1].
+//
+// Section VI of the paper sketches an on-chip implementation of the WMA
+// frequency-scaling tier: a 36-byte weight table with 8-bit entries updated by
+// shift-add logic.  This type backs the `FixedWeightTable` used to validate
+// that 8-bit precision is "accurate enough for the purpose of picking up the
+// largest weight".
+#pragma once
+
+#include <cstdint>
+
+namespace gg {
+
+/// Value = raw / 255, so 0x00 -> 0.0 and 0xFF -> 1.0 exactly.
+class UQ08 {
+ public:
+  constexpr UQ08() = default;
+
+  /// Quantize a double in [0, 1]; values outside are saturated.
+  [[nodiscard]] static constexpr UQ08 from_double(double v) {
+    if (v <= 0.0) return UQ08{std::uint8_t{0}};
+    if (v >= 1.0) return UQ08{std::uint8_t{255}};
+    // Round to nearest representable value.
+    return UQ08{static_cast<std::uint8_t>(v * 255.0 + 0.5)};
+  }
+
+  [[nodiscard]] static constexpr UQ08 from_raw(std::uint8_t raw) { return UQ08{raw}; }
+  [[nodiscard]] static constexpr UQ08 one() { return UQ08{std::uint8_t{255}}; }
+  [[nodiscard]] static constexpr UQ08 zero() { return UQ08{std::uint8_t{0}}; }
+
+  [[nodiscard]] constexpr std::uint8_t raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_double() const { return static_cast<double>(raw_) / 255.0; }
+
+  /// Fixed-point multiply with round-to-nearest: (a*b)/255.
+  [[nodiscard]] friend constexpr UQ08 operator*(UQ08 a, UQ08 b) {
+    const std::uint32_t prod = static_cast<std::uint32_t>(a.raw_) * b.raw_;
+    return UQ08{static_cast<std::uint8_t>((prod + 127) / 255)};
+  }
+
+  /// Saturating add (stays in [0, 1]).
+  [[nodiscard]] friend constexpr UQ08 saturating_add(UQ08 a, UQ08 b) {
+    const std::uint32_t s = static_cast<std::uint32_t>(a.raw_) + b.raw_;
+    return UQ08{static_cast<std::uint8_t>(s > 255 ? 255 : s)};
+  }
+
+  /// Complement: 1 - x (exact in this representation).
+  [[nodiscard]] constexpr UQ08 complement() const {
+    return UQ08{static_cast<std::uint8_t>(255 - raw_)};
+  }
+
+  [[nodiscard]] friend constexpr bool operator==(UQ08 a, UQ08 b) = default;
+  [[nodiscard]] friend constexpr auto operator<=>(UQ08 a, UQ08 b) = default;
+
+ private:
+  constexpr explicit UQ08(std::uint8_t raw) : raw_(raw) {}
+  std::uint8_t raw_{0};
+};
+
+}  // namespace gg

@@ -1,0 +1,113 @@
+#include "src/common/flags.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gg {
+
+namespace {
+/// Sentinel stored for bare boolean flags (`--verbose`).
+const std::string kBareFlag = "\x01";
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+Flags::Flags(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void Flags::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(tok);
+      continue;
+    }
+    const std::string body = tok.substr(2);
+    if (body.empty()) throw std::invalid_argument("Flags: bare '--'");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = body.substr(0, eq);
+      if (key.empty()) throw std::invalid_argument("Flags: missing key in " + tok);
+      values_[key] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` if the next token exists and is not itself a flag;
+    // otherwise a bare boolean.
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      values_[body] = tokens[i + 1];
+      ++i;
+    } else {
+      values_[body] = kBareFlag;
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  consumed_.insert(key);
+  return it->second;
+}
+
+bool Flags::has(const std::string& key) const { return raw(key).has_value(); }
+
+std::string Flags::get_string(const std::string& key, const std::string& fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  if (*v == kBareFlag) {
+    throw std::invalid_argument("Flags: --" + key + " requires a value");
+  }
+  return *v;
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return d;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + key + " expects a number, got '" + *v + "'");
+  }
+}
+
+long long Flags::get_int(const std::string& key, long long fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long n = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing characters");
+    return n;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + key + " expects an integer, got '" + *v + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  if (*v == kBareFlag) return true;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  throw std::invalid_argument("Flags: --" + key + " expects a boolean, got '" + *v + "'");
+}
+
+std::vector<std::string> Flags::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.contains(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace gg

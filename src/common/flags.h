@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the CLI tool and examples.
+//
+// Supports `--key=value`, `--key value`, bare boolean `--key`, and
+// positional arguments.  No registration step: callers query typed getters
+// with defaults and can enumerate unknown flags for error reporting.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+class Flags {
+ public:
+  /// Parse argv (argv[0] is skipped).  Throws std::invalid_argument on
+  /// malformed input (e.g. `--key=` with empty key).
+  Flags(int argc, const char* const* argv);
+
+  /// Construct from pre-split tokens (for tests).
+  explicit Flags(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters; return `fallback` when the flag is absent.  Throw
+  /// std::invalid_argument when present but unparsable.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+  /// Bare `--key` or values 1/true/yes/on are true; 0/false/no/off false.
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present on the command line that the caller never queried —
+  /// typically typos; check after all getters ran.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace gg

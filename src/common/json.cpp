@@ -1,0 +1,142 @@
+#include "src/common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gg {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (wrote_root_) throw std::logic_error("JsonWriter: multiple roots");
+    return;
+  }
+  switch (stack_.back()) {
+    case Ctx::kObjectExpectKey:
+      throw std::logic_error("JsonWriter: value where a key is required");
+    case Ctx::kObjectExpectValue:
+      break;  // key already emitted the separator
+    case Ctx::kArray:
+      if (needs_comma_) *os_ << ',';
+      break;
+  }
+}
+
+void JsonWriter::after_value() {
+  if (stack_.empty()) {
+    wrote_root_ = true;
+    return;
+  }
+  if (stack_.back() == Ctx::kObjectExpectValue) {
+    stack_.back() = Ctx::kObjectExpectKey;
+    needs_comma_ = true;
+  } else {
+    needs_comma_ = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back(Ctx::kObjectExpectKey);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Ctx::kObjectExpectKey) {
+    throw std::logic_error("JsonWriter: end_object mismatch");
+  }
+  stack_.pop_back();
+  *os_ << '}';
+  after_value();
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Ctx::kArray) {
+    throw std::logic_error("JsonWriter: end_array mismatch");
+  }
+  stack_.pop_back();
+  *os_ << ']';
+  after_value();
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Ctx::kObjectExpectKey) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (needs_comma_) *os_ << ',';
+  *os_ << '"' << json_escape(k) << "\":";
+  stack_.back() = Ctx::kObjectExpectValue;
+  needs_comma_ = false;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  *os_ << '"' << json_escape(v) << '"';
+  after_value();
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  *os_ << json_number(v);
+  after_value();
+}
+
+void JsonWriter::value(long long v) {
+  before_value();
+  *os_ << v;
+  after_value();
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  *os_ << (v ? "true" : "false");
+  after_value();
+}
+
+void JsonWriter::null() {
+  before_value();
+  *os_ << "null";
+  after_value();
+}
+
+}  // namespace gg

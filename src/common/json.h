@@ -1,0 +1,71 @@
+// Minimal streaming JSON writer for experiment reports.
+//
+// Emits syntactically valid, deterministic JSON with correct string escaping
+// and full-precision numbers.  Writer-only by design: experiment pipelines
+// here produce reports, they don't consume them.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gg {
+
+/// Escape a string per RFC 8259 (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON number (round-trip precision; NaN/inf become
+/// null, which JSON cannot represent).
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming writer with explicit begin/end nesting.  Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("runs");
+///   w.begin_array();
+///   ...
+/// Misuse (e.g. a value where a key is required) throws std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view{v}); }
+  void value(double v);
+  void value(long long v);
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(std::size_t v) { value(static_cast<long long>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// The writer is complete when every container has been closed.
+  [[nodiscard]] bool complete() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Ctx { kObjectExpectKey, kObjectExpectValue, kArray };
+  void before_value();
+  void after_value();
+
+  std::ostream* os_;
+  std::vector<Ctx> stack_;
+  bool needs_comma_{false};
+  bool wrote_root_{false};
+};
+
+}  // namespace gg

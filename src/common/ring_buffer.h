@@ -1,0 +1,56 @@
+// Fixed-capacity circular buffer keeping the most recent N samples.
+//
+// Used by the utilization monitors (nvidia-smi style sampling windows) and the
+// ondemand governor's load history.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace gg {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity must be > 0");
+  }
+
+  void push(const T& value) {
+    buf_[head_] = value;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Element i, where 0 is the oldest retained sample.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer index");
+    const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  [[nodiscard]] const T& newest() const {
+    if (empty()) throw std::out_of_range("RingBuffer empty");
+    return buf_[(head_ + buf_.size() - 1) % buf_.size()];
+  }
+
+  [[nodiscard]] const T& oldest() const { return (*this)[0]; }
+
+  void clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace gg

@@ -1,0 +1,103 @@
+// Strongly typed physical quantities used throughout the simulator.
+//
+// The GreenGPU simulator mixes times, energies, powers and frequencies in
+// nearly every equation; a thin dimensional wrapper catches unit mistakes at
+// compile time with zero runtime cost.  Only the handful of cross-unit
+// operations that are physically meaningful (J = W*s, util = t/t, ...) are
+// defined.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace gg {
+
+/// A double tagged with a dimension.  All arithmetic stays within the
+/// dimension except the explicitly provided cross-unit operators below.
+template <typename Tag>
+struct Quantity {
+  double value{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  [[nodiscard]] constexpr double get() const { return value; }
+
+  constexpr Quantity& operator+=(Quantity rhs) {
+    value += rhs.value;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) {
+    value -= rhs.value;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity{a.value + b.value}; }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity{a.value - b.value}; }
+  friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.value * s}; }
+  friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{a.value * s}; }
+  friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.value / s}; }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.value / b.value; }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value}; }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) { return os << q.value; }
+};
+
+struct SecondsTag {};
+struct JoulesTag {};
+struct WattsTag {};
+struct MegahertzTag {};
+
+/// Simulated wall-clock time in seconds.
+using Seconds = Quantity<SecondsTag>;
+/// Energy in joules.
+using Joules = Quantity<JoulesTag>;
+/// Power in watts.
+using Watts = Quantity<WattsTag>;
+/// Clock frequency in MHz (the unit nvidia-settings reports).
+using Megahertz = Quantity<MegahertzTag>;
+
+// Physically meaningful cross-unit arithmetic.
+[[nodiscard]] constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value * t.value}; }
+[[nodiscard]] constexpr Joules operator*(Seconds t, Watts p) { return Joules{p.value * t.value}; }
+[[nodiscard]] constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value / t.value}; }
+[[nodiscard]] constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.value / p.value}; }
+
+namespace literals {
+constexpr Seconds operator""_s(long double v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(unsigned long long v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_ms(long double v) { return Seconds{static_cast<double>(v) * 1e-3}; }
+constexpr Seconds operator""_ms(unsigned long long v) { return Seconds{static_cast<double>(v) * 1e-3}; }
+constexpr Joules operator""_J(long double v) { return Joules{static_cast<double>(v)}; }
+constexpr Joules operator""_J(unsigned long long v) { return Joules{static_cast<double>(v)}; }
+constexpr Watts operator""_W(long double v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_W(unsigned long long v) { return Watts{static_cast<double>(v)}; }
+constexpr Megahertz operator""_MHz(long double v) { return Megahertz{static_cast<double>(v)}; }
+constexpr Megahertz operator""_MHz(unsigned long long v) { return Megahertz{static_cast<double>(v)}; }
+}  // namespace literals
+
+/// Clamp a dimensionless utilization into [0, 1].
+[[nodiscard]] constexpr double clamp_unit(double u) {
+  if (u < 0.0) return 0.0;
+  if (u > 1.0) return 1.0;
+  return u;
+}
+
+/// Approximate equality for doubles used by tests and convergence checks.
+[[nodiscard]] inline bool approx_equal(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol * (1.0 + std::fmax(std::fabs(a), std::fabs(b)));
+}
+
+}  // namespace gg

@@ -1,0 +1,185 @@
+#include "src/cudalite/api.h"
+
+#include <cstring>
+
+namespace gg::cudalite {
+
+Runtime::Runtime(sim::Platform& platform, std::size_t pool_workers, bool sync_spin)
+    : platform_(&platform),
+      pool_(std::make_unique<ThreadPool>(pool_workers)),
+      sync_spin_(sync_spin) {}
+
+void* Runtime::raw_alloc(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) throw std::invalid_argument("cudalite: zero-byte allocation");
+  Allocation a;
+  a.bytes = bytes;
+  a.storage = std::make_unique<std::byte[]>(bytes + alignment);
+  void* p = a.storage.get();
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t aligned = (addr + alignment - 1) & ~(alignment - 1);
+  a.aligned = reinterpret_cast<void*>(aligned);
+  void* result = a.aligned;
+  allocations_.push_back(std::move(a));
+  stats_.device_bytes_in_use += bytes;
+  stats_.device_bytes_peak = std::max(stats_.device_bytes_peak, stats_.device_bytes_in_use);
+  return result;
+}
+
+void Runtime::raw_free(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  for (auto it = allocations_.begin(); it != allocations_.end(); ++it) {
+    if (it->aligned == p) {
+      stats_.device_bytes_in_use -= it->bytes;
+      allocations_.erase(it);
+      return;
+    }
+  }
+  (void)bytes;
+  throw std::invalid_argument("cudalite: free of unknown device pointer");
+}
+
+void Runtime::charge_transfer(double bytes, bool h2d) {
+  if (h2d) {
+    ++stats_.h2d_copies;
+    stats_.bytes_h2d += bytes;
+  } else {
+    ++stats_.d2h_copies;
+    stats_.bytes_d2h += bytes;
+  }
+  const Seconds t = platform_->bus().transfer_time(bytes);
+  auto& queue = platform_->queue();
+  const Seconds deadline = queue.now() + t;
+  // Blocking copy: host spins for the duration unless the CPU is executing
+  // its own divided chunk (the copy is issued from the GPU-owner pthread).
+  const bool spin = sync_spin_ && !platform_->cpu().busy();
+  if (spin) platform_->cpu().set_spinning(true);
+  queue.run_until(deadline);
+  if (spin) platform_->cpu().set_spinning(false);
+}
+
+void Runtime::set_device(std::size_t index) {
+  if (index >= platform_->gpu_count()) {
+    throw std::out_of_range("cudalite: device index out of range");
+  }
+  current_device_ = index;
+}
+
+Stream Runtime::create_stream() {
+  return Stream{std::make_shared<std::size_t>(0), current_device_};
+}
+
+void Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& estimate,
+                     const std::function<void(const ThreadCtx&)>& fn,
+                     std::function<void()> on_complete) {
+  const std::size_t n_blocks = grid.total();
+  const std::size_t threads_per_block = block.total();
+  if (n_blocks == 0 || threads_per_block == 0) {
+    throw std::invalid_argument("cudalite: empty launch configuration");
+  }
+  // Real execution: one pool task per block; threads within a block run
+  // sequentially (kernels here carry no intra-block synchronization).
+  pool_->parallel_for(n_blocks, [&](std::size_t flat_block) {
+    ThreadCtx ctx;
+    ctx.grid_dim = grid;
+    ctx.block_dim = block;
+    ctx.block_idx.x = static_cast<unsigned>(flat_block % grid.x);
+    ctx.block_idx.y = static_cast<unsigned>((flat_block / grid.x) % grid.y);
+    ctx.block_idx.z = static_cast<unsigned>(flat_block / (static_cast<std::size_t>(grid.x) * grid.y));
+    for (unsigned tz = 0; tz < block.z; ++tz) {
+      for (unsigned ty = 0; ty < block.y; ++ty) {
+        for (unsigned tx = 0; tx < block.x; ++tx) {
+          ctx.thread_idx = Dim3{tx, ty, tz};
+          fn(ctx);
+        }
+      }
+    }
+  });
+  ++stats_.kernels_launched;
+  auto counter = stream.outstanding_;
+  ++*counter;
+  platform_->gpu(stream.device_).submit(estimate.to_kernel_work(),
+                                        [counter, cb = std::move(on_complete)] {
+                                          --*counter;
+                                          if (cb) cb();
+                                        });
+}
+
+void Runtime::launch_range(Stream& stream, std::size_t n, const WorkEstimate& estimate,
+                           const std::function<void(std::size_t, std::size_t)>& fn,
+                           std::function<void()> on_complete) {
+  if (n == 0) throw std::invalid_argument("cudalite: empty launch_range");
+  pool_->parallel_for_chunks(n, fn);
+  ++stats_.kernels_launched;
+  auto counter = stream.outstanding_;
+  ++*counter;
+  platform_->gpu(stream.device_).submit(estimate.to_kernel_work(),
+                                        [counter, cb = std::move(on_complete)] {
+                                          --*counter;
+                                          if (cb) cb();
+                                        });
+}
+
+Event Runtime::record_event(Stream& stream) {
+  Event ev;
+  if (*stream.outstanding_ == 0) {
+    ev.state_->complete = true;
+    ev.state_->when = platform_->now();
+    return ev;
+  }
+  // Piggy-back on the device FIFO: submit a negligible marker kernel that
+  // completes right after the stream's current tail.
+  sim::KernelWork marker;
+  marker.units = 1.0;
+  marker.overhead_per_unit = Seconds{1e-9};
+  auto counter = stream.outstanding_;
+  ++*counter;
+  auto* platform = platform_;
+  platform_->gpu(stream.device_).submit(marker, [counter, state = ev.state_, platform] {
+    --*counter;
+    state->complete = true;
+    state->when = platform->now();
+  });
+  return ev;
+}
+
+void Runtime::host_submit(const sim::CpuWork& work, const std::function<void()>& fn,
+                          std::function<void()> on_complete) {
+  if (fn) fn();
+  ++stats_.host_tasks;
+  platform_->cpu().submit(work, std::move(on_complete));
+}
+
+void Runtime::run_queue_until(const std::function<bool()>& done) {
+  auto& queue = platform_->queue();
+  auto& cpu = platform_->cpu();
+  bool spun = false;
+  while (!done()) {
+    if (sync_spin_ && !cpu.busy() && !cpu.spinning()) {
+      cpu.set_spinning(true);
+      spun = true;
+    }
+    if (!queue.step()) {
+      if (spun) cpu.set_spinning(false);
+      throw std::logic_error("cudalite: waiting but event queue is empty");
+    }
+  }
+  if (spun) cpu.set_spinning(false);
+}
+
+void Runtime::synchronize(Stream& stream) {
+  auto counter = stream.outstanding_;
+  run_queue_until([counter] { return *counter == 0; });
+}
+
+void Runtime::device_synchronize() {
+  auto* platform = platform_;
+  run_queue_until([platform] {
+    if (platform->cpu().busy()) return false;
+    for (std::size_t i = 0; i < platform->gpu_count(); ++i) {
+      if (platform->gpu(i).busy()) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace gg::cudalite

@@ -1,0 +1,271 @@
+// cudalite: a CUDA-3.2-style host runtime bound to the simulated platform.
+//
+// The paper's workload-division tier is plain application code: pthreads that
+// launch CUDA kernels on the GPU and worker kernels on the CPU cores, with the
+// data size of every launch adjustable per iteration.  cudalite reproduces
+// that programming structure offline:
+//
+//  * kernels REALLY execute (on a host thread pool) so results can be
+//    validated, and
+//  * every launch carries a `WorkEstimate` that drives the simulated GPU's
+//    timing/energy model, so controllers observe realistic signals.
+//
+// Synchronous semantics follow CUDA 3.2 on a GeForce 8800: one kernel at a
+// time per device, blocking memcpys, and busy-wait synchronization (the host
+// spins at 100 % CPU while waiting — the behaviour that defeats the ondemand
+// governor in Section VII-A).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cudalite/thread_pool.h"
+#include "src/sim/platform.h"
+
+namespace gg::cudalite {
+
+/// CUDA-style 3D extent.
+struct Dim3 {
+  unsigned x{1};
+  unsigned y{1};
+  unsigned z{1};
+  [[nodiscard]] std::size_t total() const {
+    return static_cast<std::size_t>(x) * y * z;
+  }
+};
+
+/// Per-thread launch context (flattened helpers provided for 1D kernels).
+struct ThreadCtx {
+  Dim3 grid_dim;
+  Dim3 block_dim;
+  Dim3 block_idx;
+  Dim3 thread_idx;
+
+  /// Flat global thread id for 1D launches.
+  [[nodiscard]] std::size_t global_id() const {
+    const std::size_t block = static_cast<std::size_t>(block_idx.z) * grid_dim.y * grid_dim.x +
+                              static_cast<std::size_t>(block_idx.y) * grid_dim.x + block_idx.x;
+    const std::size_t thread =
+        static_cast<std::size_t>(thread_idx.z) * block_dim.y * block_dim.x +
+        static_cast<std::size_t>(thread_idx.y) * block_dim.x + thread_idx.x;
+    return block * block_dim.total() + thread;
+  }
+};
+
+/// Work metrics of one launch, consumed by the GPU timing/energy model.
+/// Profiles in `workloads/` compute these from problem sizes.
+struct WorkEstimate {
+  double units{1.0};
+  double core_cycles_per_unit{0.0};
+  double mem_bytes_per_unit{0.0};
+  double overhead_per_unit_s{0.0};
+
+  [[nodiscard]] sim::KernelWork to_kernel_work() const {
+    return sim::KernelWork{units, core_cycles_per_unit, mem_bytes_per_unit,
+                           Seconds{overhead_per_unit_s}};
+  }
+};
+
+class Runtime;
+
+/// Typed handle to device memory.  Device memory is owned by the Runtime and
+/// freed when the Runtime dies (or via Runtime::free).
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+
+  /// Raw device-side pointer: cudalite kernels may touch device memory
+  /// directly (they run on the host), mirroring `__global__` code
+  /// dereferencing device pointers.
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  friend class Runtime;
+  DeviceBuffer(T* data, std::size_t size) : data_(data), size_(size) {}
+  T* data_{nullptr};
+  std::size_t size_{0};
+};
+
+/// In-order execution stream (the 8800/CUDA 3.2 stack has no concurrent
+/// kernels, so streams serialize on the device FIFO anyway).  A stream is
+/// bound to the device that was current when it was created, CUDA-style.
+class Stream {
+ public:
+  [[nodiscard]] std::size_t outstanding() const { return *outstanding_; }
+  [[nodiscard]] std::size_t device() const { return device_; }
+
+ private:
+  friend class Runtime;
+  Stream(std::shared_ptr<std::size_t> counter, std::size_t device)
+      : outstanding_(std::move(counter)), device_(device) {}
+  std::shared_ptr<std::size_t> outstanding_;
+  std::size_t device_{0};
+};
+
+/// Timestamp marker, CUDA-event style: records simulated completion time.
+class Event {
+ public:
+  [[nodiscard]] bool complete() const { return state_->complete; }
+  /// Simulated time the event fired; throws if not complete.
+  [[nodiscard]] Seconds time() const {
+    if (!state_->complete) throw std::logic_error("Event: not complete");
+    return state_->when;
+  }
+
+ private:
+  friend class Runtime;
+  struct State {
+    bool complete{false};
+    Seconds when{0.0};
+  };
+  Event() : state_(std::make_shared<State>()) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Runtime statistics (for tests and the characterization bench).
+struct RuntimeStats {
+  std::uint64_t kernels_launched{0};
+  std::uint64_t host_tasks{0};
+  std::uint64_t h2d_copies{0};
+  std::uint64_t d2h_copies{0};
+  double bytes_h2d{0.0};
+  double bytes_d2h{0.0};
+  std::size_t device_bytes_in_use{0};
+  std::size_t device_bytes_peak{0};
+};
+
+class Runtime {
+ public:
+  /// Bind to a platform.  `pool_workers` = 0 picks hardware concurrency.
+  /// `sync_spin` models CUDA 3.2 blocking synchronization (host spins at
+  /// 100 % while waiting for the GPU); set false for the hypothetical
+  /// asynchronous stack discussed with Fig. 6c.
+  explicit Runtime(sim::Platform& platform, std::size_t pool_workers = 0,
+                   bool sync_spin = true);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] sim::Platform& platform() { return *platform_; }
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] bool sync_spin() const { return sync_spin_; }
+  void set_sync_spin(bool v) { sync_spin_ = v; }
+
+  // --- Device selection (cudaSetDevice-style) ------------------------------
+  [[nodiscard]] std::size_t device_count() const { return platform_->gpu_count(); }
+  /// Select the device subsequent create_stream calls bind to.
+  void set_device(std::size_t index);
+  [[nodiscard]] std::size_t current_device() const { return current_device_; }
+
+  // --- Device memory ------------------------------------------------------
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t count) {
+    void* p = raw_alloc(count * sizeof(T), alignof(T));
+    return DeviceBuffer<T>{static_cast<T*>(p), count};
+  }
+  template <typename T>
+  void free(DeviceBuffer<T>& buf) {
+    raw_free(buf.data(), buf.size() * sizeof(T));
+    buf = DeviceBuffer<T>{};
+  }
+
+  /// Blocking host-to-device copy: copies bytes and advances simulated time
+  /// by the bus transfer duration (host spins meanwhile, if sync_spin).
+  template <typename T>
+  void memcpy_h2d(DeviceBuffer<T>& dst, const T* src, std::size_t count) {
+    check_range(dst, count, "memcpy_h2d");
+    std::copy(src, src + count, dst.data());
+    charge_transfer(static_cast<double>(count * sizeof(T)), /*h2d=*/true);
+  }
+  template <typename T>
+  void memcpy_h2d(DeviceBuffer<T>& dst, const std::vector<T>& src) {
+    memcpy_h2d(dst, src.data(), src.size());
+  }
+  template <typename T>
+  void memcpy_d2h(T* dst, const DeviceBuffer<T>& src, std::size_t count) {
+    check_range(src, count, "memcpy_d2h");
+    std::copy(src.data(), src.data() + count, dst);
+    charge_transfer(static_cast<double>(count * sizeof(T)), /*h2d=*/false);
+  }
+  template <typename T>
+  void memcpy_d2h(std::vector<T>& dst, const DeviceBuffer<T>& src) {
+    dst.resize(src.size());
+    memcpy_d2h(dst.data(), src, src.size());
+  }
+
+  // --- Kernel launch ------------------------------------------------------
+  [[nodiscard]] Stream create_stream();
+
+  /// Launch a per-thread kernel: `fn(ctx)` for every thread of the grid.
+  /// Computation happens now (host pool); simulated completion is governed by
+  /// `estimate`.  Optional `on_complete` fires at the simulated completion.
+  void launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& estimate,
+              const std::function<void(const ThreadCtx&)>& fn,
+              std::function<void()> on_complete = {});
+
+  /// Fast path for 1D data-parallel kernels: `fn(begin, end)` over disjoint
+  /// index ranges covering [0, n).
+  void launch_range(Stream& stream, std::size_t n, const WorkEstimate& estimate,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::function<void()> on_complete = {});
+
+  /// Record an event that completes when all work submitted to `stream` so
+  /// far has finished (in simulated time).
+  [[nodiscard]] Event record_event(Stream& stream);
+
+  // --- Host-side tasks (the CPU chunk of a divided iteration) -------------
+  /// Execute `fn` now on the pool and submit `work` to the simulated CPU;
+  /// `on_complete` fires at the simulated completion.
+  void host_submit(const sim::CpuWork& work, const std::function<void()>& fn,
+                   std::function<void()> on_complete = {});
+
+  // --- Synchronization ----------------------------------------------------
+  /// Block (in simulated time) until the stream drains.
+  void synchronize(Stream& stream);
+  /// Block until both devices are idle and all submitted work retired.
+  void device_synchronize();
+  /// Block until `done()` becomes true, driving the event queue; the host
+  /// spins (if sync_spin) whenever the CPU is otherwise idle — the join
+  /// barrier of the pthreads structure.
+  void wait_until(const std::function<bool()>& done) { run_queue_until(done); }
+
+ private:
+  void* raw_alloc(std::size_t bytes, std::size_t alignment);
+  void raw_free(void* p, std::size_t bytes);
+  void charge_transfer(double bytes, bool h2d);
+  template <typename T>
+  static void check_range(const DeviceBuffer<T>& buf, std::size_t count, const char* what) {
+    if (!buf.valid() || count > buf.size()) {
+      throw std::out_of_range(std::string(what) + ": range exceeds device buffer");
+    }
+  }
+  /// Drive the event queue until `done()` is true, managing the spin state.
+  void run_queue_until(const std::function<bool()>& done);
+
+  sim::Platform* platform_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool sync_spin_;
+  std::size_t current_device_{0};
+  RuntimeStats stats_;
+
+  struct Allocation {
+    std::unique_ptr<std::byte[]> storage;
+    void* aligned{nullptr};
+    std::size_t bytes{0};
+  };
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace gg::cudalite

@@ -1,0 +1,58 @@
+// NVML / nvidia-smi style monitoring interface.
+//
+// The paper reads GPU core and memory utilizations with `nvidia-smi`
+// (Section VI).  This header reproduces the relevant slice of that interface:
+// utilization rates are integer percentages averaged over the window since
+// the previous query, exactly how the tool reports them.
+#pragma once
+
+#include "src/sim/monitor.h"
+#include "src/sim/platform.h"
+
+namespace gg::cudalite {
+
+/// Mirrors nvmlUtilization_t: integer percentages.
+struct UtilizationRates {
+  unsigned gpu{0};     // core part: "GPU busy cycles / total cycles"
+  unsigned memory{0};  // memory part: "actual bandwidth / rated peak bandwidth"
+};
+
+/// Clock domains exposed by the management interface.
+enum class ClockDomain { kCore, kMemory };
+
+/// Handle to one GPU's management interface.
+class NvmlDevice {
+ public:
+  explicit NvmlDevice(sim::Platform& platform, std::size_t device = 0)
+      : platform_(&platform), device_(device),
+        sampler_(platform.gpu(device), platform.queue()) {}
+
+  /// Utilization averaged since the previous call, as integer percent
+  /// (rounded to nearest, saturated to 100).
+  UtilizationRates utilization_rates() {
+    const sim::GpuUtilization u = sampler_.sample();
+    return UtilizationRates{to_percent(u.core), to_percent(u.memory)};
+  }
+
+  /// Current clock of a domain in MHz.
+  [[nodiscard]] Megahertz clock(ClockDomain domain) const {
+    return domain == ClockDomain::kCore ? platform_->gpu(device_).core_frequency()
+                                        : platform_->gpu(device_).mem_frequency();
+  }
+
+  [[nodiscard]] std::size_t device() const { return device_; }
+
+ private:
+  static unsigned to_percent(double u) {
+    const double p = u * 100.0 + 0.5;
+    if (p <= 0.0) return 0;
+    if (p >= 100.0) return 100;
+    return static_cast<unsigned>(p);
+  }
+
+  sim::Platform* platform_;
+  std::size_t device_{0};
+  sim::GpuUtilSampler sampler_;
+};
+
+}  // namespace gg::cudalite

@@ -1,0 +1,47 @@
+// nvidia-settings style clock control (the Coolbits path of Section VI).
+//
+// On the testbed the frequency-scaling daemon drives GPU clocks through
+// `nvidia-settings`; this wrapper is the equivalent actuator over the
+// simulated device.  Only frequency scaling is available — the GeForce 8800
+// exposes no voltage control, which is why the paper's GPU-side savings are
+// smaller than CPU DVFS could deliver (Section VII-C).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "src/sim/platform.h"
+
+namespace gg::cudalite {
+
+class NvSettings {
+ public:
+  explicit NvSettings(sim::Platform& platform, std::size_t device = 0)
+      : platform_(&platform), device_(device) {}
+
+  /// Enforce a (core level, memory level) pair; levels index the DVFS tables
+  /// with 0 = peak.
+  void set_clock_levels(std::size_t core_level, std::size_t mem_level) {
+    platform_->gpu(device_).set_core_level(core_level);
+    platform_->gpu(device_).set_mem_level(mem_level);
+  }
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> clock_levels() const {
+    return {platform_->gpu(device_).core_level(), platform_->gpu(device_).mem_level()};
+  }
+
+  [[nodiscard]] const sim::DvfsTable& core_table() const {
+    return platform_->gpu(device_).core_table();
+  }
+  [[nodiscard]] const sim::DvfsTable& mem_table() const {
+    return platform_->gpu(device_).mem_table();
+  }
+
+  [[nodiscard]] std::size_t device() const { return device_; }
+
+ private:
+  sim::Platform* platform_;
+  std::size_t device_{0};
+};
+
+}  // namespace gg::cudalite

@@ -1,0 +1,119 @@
+#include "src/cudalite/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace gg::cudalite {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  std::size_t n = workers ? workers : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::chunk_count(std::size_t n) const {
+  if (n == 0) return 0;
+  // 4 chunks per worker bounds tail imbalance without oversubscribing.
+  const std::size_t target = worker_count() * 4;
+  return std::min(n, std::max<std::size_t>(1, target));
+}
+
+void ThreadPool::run_chunks(const std::shared_ptr<Batch>& batch) {
+  // Pull chunks until the batch is exhausted.  Whoever retires the last
+  // chunk clears `current_` and wakes the waiters.
+  for (;;) {
+    const std::size_t chunk = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= batch->chunks) return;
+    try {
+      batch->run_chunk(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch->error_mutex);
+      if (!batch->error) batch->error = std::current_exception();
+    }
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->chunks) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (current_ == batch) current_.reset();
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || current_ != nullptr; });
+      if (shutdown_) return;
+      batch = current_;  // shared ownership keeps the batch alive for us
+    }
+    run_chunks(batch);
+    // Park until this batch stops being current so a fast worker doesn't
+    // spin on an exhausted batch.
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [this, &batch] { return shutdown_ || current_ != batch; });
+      if (shutdown_) return;
+    }
+  }
+}
+
+void ThreadPool::parallel_chunk_indices(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = chunk_count(n);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  auto batch = std::make_shared<Batch>();
+  batch->chunks = chunks;
+  batch->run_chunk = [&fn, base, extra](std::size_t chunk) {
+    // First `extra` chunks get one extra element; offsets are closed-form.
+    const std::size_t begin = chunk * base + std::min(chunk, extra);
+    const std::size_t end = begin + base + (chunk < extra ? 1 : 0);
+    fn(chunk, begin, end);
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = batch;
+  }
+  work_cv_.notify_all();
+
+  // The submitting thread participates too, then waits for stragglers.
+  run_chunks(batch);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&batch] {
+      return batch->done.load(std::memory_order_acquire) == batch->chunks;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_chunk_indices(n, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_chunk_indices(n, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+    fn(begin, end);
+  });
+}
+
+}  // namespace gg::cudalite

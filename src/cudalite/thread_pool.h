@@ -1,0 +1,85 @@
+// Host thread pool backing cudalite kernel execution.
+//
+// Kernels in this reproduction really compute (results are verified against
+// scalar references), so launches need a parallel executor.  The pool provides
+// `parallel_for` with static chunking and an ordered map-reduce so floating
+// point reductions stay bit-deterministic regardless of worker timing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gg::cudalite {
+
+class ThreadPool {
+ public:
+  /// `workers` = 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool; blocks until done.
+  /// Exceptions from fn propagate (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(begin, end) over disjoint chunks covering [0, n); blocks.
+  /// Chunk boundaries are deterministic (independent of scheduling).
+  void parallel_for_chunks(std::size_t n,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Deterministic reduction: map each chunk to a partial with `map(begin,
+  /// end)`, then fold partials in chunk order with `combine`.
+  template <typename T>
+  T map_reduce(std::size_t n, T init,
+               const std::function<T(std::size_t, std::size_t)>& map,
+               const std::function<T(T, T)>& combine) {
+    const std::size_t chunks = chunk_count(n);
+    std::vector<T> partials(chunks, init);
+    parallel_chunk_indices(n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      partials[chunk] = map(begin, end);
+    });
+    T acc = init;
+    for (const T& p : partials) acc = combine(acc, p);
+    return acc;
+  }
+
+  /// Number of chunks `parallel_for_chunks`/`map_reduce` will use for n items.
+  [[nodiscard]] std::size_t chunk_count(std::size_t n) const;
+
+ private:
+  struct Batch {
+    std::size_t chunks{0};
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::function<void(std::size_t)> run_chunk;  // takes chunk index
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  void run_chunks(const std::shared_ptr<Batch>& batch);
+  void parallel_chunk_indices(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Shared ownership: workers hold a reference while executing, so the batch
+  // outlives the submitting call even if a worker wakes late.
+  std::shared_ptr<Batch> current_;
+  bool shutdown_{false};
+};
+
+}  // namespace gg::cudalite

@@ -1,0 +1,162 @@
+#include "src/greengpu/campaign.h"
+
+#include <stdexcept>
+
+#include "src/common/csv.h"
+#include "src/common/json.h"
+#include "src/workloads/registry.h"
+
+namespace gg::greengpu {
+
+const CampaignCell& CampaignResult::cell(std::size_t workload_index,
+                                         std::size_t policy_index) const {
+  if (workload_index >= workloads.size() || policy_index >= policy_names.size()) {
+    throw std::out_of_range("CampaignResult: cell index");
+  }
+  return cells[workload_index * policy_names.size() + policy_index];
+}
+
+double CampaignResult::mean_saving(std::size_t policy_index) const {
+  if (workloads.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    sum += cell(w, policy_index).energy_saving;
+  }
+  return sum / static_cast<double>(workloads.size());
+}
+
+bool CampaignResult::all_verified() const {
+  for (const auto& c : cells) {
+    if (!c.result.verified) return false;
+  }
+  return true;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config, const CampaignProgress& progress) {
+  CampaignResult out;
+  out.workloads =
+      config.workloads.empty() ? workloads::all_workload_names() : config.workloads;
+  std::vector<Policy> policies = config.policies;
+  if (policies.empty()) {
+    policies = {Policy::best_performance(), Policy::scaling_only(),
+                Policy::division_only(), Policy::green_gpu()};
+  }
+  for (const auto& p : policies) out.policy_names.push_back(p.name);
+
+  const std::size_t total = out.workloads.size() * policies.size();
+  std::size_t completed = 0;
+  for (const auto& workload : out.workloads) {
+    double baseline_energy = 0.0;
+    double baseline_time = 0.0;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      CampaignCell cell;
+      cell.result = run_experiment(workload, policies[p], config.options);
+      if (p == 0) {
+        baseline_energy = cell.result.total_energy().get();
+        baseline_time = cell.result.exec_time.get();
+      }
+      cell.energy_saving =
+          baseline_energy > 0.0
+              ? 1.0 - cell.result.total_energy().get() / baseline_energy
+              : 0.0;
+      cell.time_delta =
+          baseline_time > 0.0 ? cell.result.exec_time.get() / baseline_time - 1.0 : 0.0;
+      out.cells.push_back(std::move(cell));
+      ++completed;
+      if (progress) progress(workload, policies[p].name, completed, total);
+    }
+  }
+  return out;
+}
+
+void write_campaign_csv(std::ostream& os, const CampaignResult& result) {
+  CsvWriter w(os);
+  w.row_values("workload", "policy", "exec_time_s", "gpu_energy_J", "cpu_energy_J",
+               "total_energy_J", "energy_saving", "time_delta", "final_cpu_share",
+               "verified");
+  for (std::size_t wl = 0; wl < result.workloads.size(); ++wl) {
+    for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+      const CampaignCell& c = result.cell(wl, p);
+      w.row_values(result.workloads[wl], result.policy_names[p],
+                   c.result.exec_time.get(), c.result.gpu_energy.get(),
+                   c.result.cpu_energy.get(), c.result.total_energy().get(),
+                   c.energy_saving, c.time_delta, c.result.final_ratio,
+                   c.result.verified ? 1 : 0);
+    }
+  }
+}
+
+void write_campaign_json(std::ostream& os, const CampaignResult& result) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("runs");
+  w.begin_array();
+  for (std::size_t wl = 0; wl < result.workloads.size(); ++wl) {
+    for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+      const CampaignCell& c = result.cell(wl, p);
+      w.begin_object();
+      w.kv("workload", result.workloads[wl]);
+      w.kv("policy", result.policy_names[p]);
+      w.kv("exec_time_s", c.result.exec_time.get());
+      w.kv("gpu_energy_J", c.result.gpu_energy.get());
+      w.kv("cpu_energy_J", c.result.cpu_energy.get());
+      w.kv("total_energy_J", c.result.total_energy().get());
+      w.kv("gpu_dynamic_energy_J", c.result.gpu_dynamic_energy().get());
+      w.kv("energy_saving", c.energy_saving);
+      w.kv("time_delta", c.time_delta);
+      w.kv("final_cpu_share", c.result.final_ratio);
+      w.kv("verified", c.result.verified);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("policy_summary");
+  w.begin_array();
+  for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+    w.begin_object();
+    w.kv("policy", result.policy_names[p]);
+    w.kv("mean_energy_saving", result.mean_saving(p));
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("all_verified", result.all_verified());
+  w.end_object();
+  os << '\n';
+}
+
+void write_campaign_markdown(std::ostream& os, const CampaignResult& result) {
+  os << "| workload |";
+  for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+    os << ' ' << result.policy_names[p] << " |";
+  }
+  os << "\n|---|";
+  for (std::size_t p = 0; p < result.policy_names.size(); ++p) os << "---|";
+  os << '\n';
+  char buf[64];
+  for (std::size_t wl = 0; wl < result.workloads.size(); ++wl) {
+    os << "| " << result.workloads[wl] << " |";
+    for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+      const CampaignCell& c = result.cell(wl, p);
+      if (p == 0) {
+        std::snprintf(buf, sizeof buf, " %.0f J |", c.result.total_energy().get());
+      } else {
+        std::snprintf(buf, sizeof buf, " %+.2f%% (t %+.1f%%) |",
+                      100.0 * c.energy_saving, 100.0 * c.time_delta);
+      }
+      os << buf;
+    }
+    os << '\n';
+  }
+  os << "| **mean saving** |";
+  for (std::size_t p = 0; p < result.policy_names.size(); ++p) {
+    if (p == 0) {
+      os << " baseline |";
+    } else {
+      std::snprintf(buf, sizeof buf, " **%+.2f%%** |", 100.0 * result.mean_saving(p));
+      os << buf;
+    }
+  }
+  os << '\n';
+}
+
+}  // namespace gg::greengpu

@@ -1,0 +1,66 @@
+// Batch experiment campaigns: a (workload x policy) matrix of runs with
+// aggregated savings and CSV/JSON reports — the scaffolding behind the
+// paper's evaluation section, packaged for reuse.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+
+namespace gg::greengpu {
+
+struct CampaignConfig {
+  /// Table II names; empty means the full suite.
+  std::vector<std::string> workloads;
+  /// Policies to run each workload under.  The FIRST policy is the baseline
+  /// that savings are computed against.  Empty means the paper's four:
+  /// best-performance, frequency-scaling, division, greengpu.
+  std::vector<Policy> policies;
+  RunOptions options{};
+};
+
+struct CampaignCell {
+  ExperimentResult result;
+  /// Energy saving vs the baseline policy on the same workload (fraction).
+  double energy_saving{0.0};
+  /// Execution-time delta vs the baseline (fraction; positive = slower).
+  double time_delta{0.0};
+};
+
+struct CampaignResult {
+  std::vector<std::string> workloads;
+  std::vector<std::string> policy_names;
+  /// cells[w * policy_count + p].
+  std::vector<CampaignCell> cells;
+
+  [[nodiscard]] const CampaignCell& cell(std::size_t workload_index,
+                                         std::size_t policy_index) const;
+  /// Mean energy saving of a policy across all workloads (fraction).
+  [[nodiscard]] double mean_saving(std::size_t policy_index) const;
+  /// True if every run verified.
+  [[nodiscard]] bool all_verified() const;
+};
+
+/// Progress callback: (workload, policy, completed_runs, total_runs).
+using CampaignProgress =
+    std::function<void(const std::string&, const std::string&, std::size_t, std::size_t)>;
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
+                                          const CampaignProgress& progress = {});
+
+/// One row per run: workload, policy, metrics, savings.
+void write_campaign_csv(std::ostream& os, const CampaignResult& result);
+
+/// Full structured report (per-run metrics + per-policy aggregates).
+void write_campaign_json(std::ostream& os, const CampaignResult& result);
+
+/// Human-readable GitHub-flavoured markdown table: one row per workload,
+/// one column per policy with energy saving and time delta vs the baseline.
+void write_campaign_markdown(std::ostream& os, const CampaignResult& result);
+
+}  // namespace gg::greengpu

@@ -1,0 +1,123 @@
+#include "src/greengpu/cpu_governor.h"
+
+#include <stdexcept>
+
+#include "src/greengpu/loss.h"
+
+namespace gg::greengpu {
+
+CpuGovernor::CpuGovernor(sim::Platform& platform, Seconds interval)
+    : platform_(&platform), interval_(interval),
+      sampler_(platform.cpu(), platform.queue()) {
+  if (interval_ <= Seconds{0.0}) {
+    throw std::invalid_argument("CpuGovernor: interval must be > 0");
+  }
+}
+
+GovernorDecision CpuGovernor::step(Seconds now) {
+  const double u = sampler_.sample();
+  const std::size_t level = decide(u);
+  platform_->cpu().set_level(level);
+  ++steps_;
+  const GovernorDecision d{now, u, level};
+  decisions_.push_back(d);
+  return d;
+}
+
+void CpuGovernor::attach() {
+  detach();
+  arm();
+}
+
+void CpuGovernor::arm() {
+  next_ = platform_->queue().schedule_in(interval_, [this] {
+    step(platform_->queue().now());
+    arm();
+  });
+}
+
+void CpuGovernor::detach() { next_.cancel(); }
+
+std::size_t OndemandGovernor::decide(double util) {
+  std::size_t level = current_level();
+  if (util > params_.up_threshold) {
+    level = 0;  // jump to the highest available frequency
+  } else if (util < params_.down_threshold) {
+    if (level < table().lowest_level()) ++level;  // next lowest frequency
+  }
+  return level;
+}
+
+std::size_t ConservativeGovernor::decide(double util) {
+  std::size_t level = current_level();
+  if (util > params_.up_threshold) {
+    if (level > 0) --level;  // one step up, never a jump
+  } else if (util < params_.down_threshold) {
+    if (level < table().lowest_level()) ++level;
+  }
+  return level;
+}
+
+WmaCpuGovernor::WmaCpuGovernor(sim::Platform& platform, Seconds interval, double alpha,
+                               double beta, double weight_floor)
+    : CpuGovernor(platform, interval),
+      alpha_(alpha),
+      beta_(beta),
+      weight_floor_(weight_floor),
+      umean_(umean_table(platform.cpu().table())),
+      table_(platform.cpu().table().levels(), 1) {}
+
+std::size_t WmaCpuGovernor::decide(double util) {
+  std::vector<double> losses(umean_.size());
+  for (std::size_t i = 0; i < umean_.size(); ++i) {
+    losses[i] = component_loss(util, umean_[i], alpha_);
+  }
+  // Degenerate 1-D case of Eq. 3: the "memory" dimension has a single level
+  // with zero loss, so phi = 1 reduces the total loss to the CPU loss.
+  table_.update(losses, {0.0}, /*phi=*/1.0, beta_, weight_floor_);
+  return table_.argmax().core;
+}
+
+std::string_view to_string(CpuGovernorKind kind) {
+  switch (kind) {
+    case CpuGovernorKind::kNone: return "none";
+    case CpuGovernorKind::kPerformance: return "performance";
+    case CpuGovernorKind::kPowersave: return "powersave";
+    case CpuGovernorKind::kOndemand: return "ondemand";
+    case CpuGovernorKind::kConservative: return "conservative";
+    case CpuGovernorKind::kWma: return "wma";
+  }
+  return "unknown";
+}
+
+CpuGovernorKind cpu_governor_from_string(std::string_view name) {
+  if (name == "none") return CpuGovernorKind::kNone;
+  if (name == "performance") return CpuGovernorKind::kPerformance;
+  if (name == "powersave") return CpuGovernorKind::kPowersave;
+  if (name == "ondemand") return CpuGovernorKind::kOndemand;
+  if (name == "conservative") return CpuGovernorKind::kConservative;
+  if (name == "wma") return CpuGovernorKind::kWma;
+  throw std::invalid_argument("unknown CPU governor: " + std::string(name));
+}
+
+std::unique_ptr<CpuGovernor> make_cpu_governor(CpuGovernorKind kind,
+                                               sim::Platform& platform,
+                                               const OndemandParams& params) {
+  switch (kind) {
+    case CpuGovernorKind::kNone:
+      return nullptr;
+    case CpuGovernorKind::kPerformance:
+      return std::make_unique<PerformanceGovernor>(platform, params.interval);
+    case CpuGovernorKind::kPowersave:
+      return std::make_unique<PowersaveGovernor>(platform, params.interval);
+    case CpuGovernorKind::kOndemand:
+      return std::make_unique<OndemandGovernor>(platform, params);
+    case CpuGovernorKind::kConservative:
+      return std::make_unique<ConservativeGovernor>(platform, params);
+    case CpuGovernorKind::kWma:
+      return std::make_unique<WmaCpuGovernor>(platform, params.interval);
+  }
+  throw std::invalid_argument("unknown CPU governor kind");
+}
+
+}  // namespace gg::greengpu

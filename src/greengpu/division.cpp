@@ -1,0 +1,89 @@
+#include "src/greengpu/division.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gg::greengpu {
+
+namespace {
+/// Relative tolerance under which tc and tg count as "finishing
+/// approximately at the same time".
+constexpr double kTimeTolerance = 1e-3;
+
+bool roughly_equal(Seconds a, Seconds b) {
+  const double hi = std::max(a.get(), b.get());
+  if (hi <= 0.0) return true;
+  return std::fabs(a.get() - b.get()) <= kTimeTolerance * hi;
+}
+}  // namespace
+
+DivisionDecision division_step(const DivisionParams& params, double ratio, Seconds tc,
+                               Seconds tg) {
+  if (tc < Seconds{0.0} || tg < Seconds{0.0}) {
+    throw std::invalid_argument("division_step: negative time");
+  }
+  DivisionDecision d{ratio, DivisionAction::kHold};
+  if (roughly_equal(tc, tg)) return d;
+
+  const bool cpu_faster = tc < tg;
+  const double candidate =
+      cpu_faster ? std::min(ratio + params.step, params.max_ratio)
+                 : std::max(ratio - params.step, params.min_ratio);
+  if (candidate == ratio) {
+    d.action = DivisionAction::kHoldAtBound;
+    return d;
+  }
+
+  // Oscillation safeguard: linearly scale both execution times to the
+  // candidate allocation; if the predicted ordering flips, moving would
+  // bounce between two grid points, so keep the current division.
+  // Prediction is only possible when both sides executed a non-zero share.
+  if (params.safeguard && ratio > 0.0 && ratio < 1.0) {
+    const double tc_pred = tc.get() * (candidate / ratio);
+    const double tg_pred = tg.get() * ((1.0 - candidate) / (1.0 - ratio));
+    const bool cpu_faster_pred = tc_pred < tg_pred;
+    if (cpu_faster_pred != cpu_faster) {
+      d.action = DivisionAction::kHoldSafeguard;
+      return d;
+    }
+  }
+
+  d.ratio = candidate;
+  d.action = cpu_faster ? DivisionAction::kIncreaseCpu : DivisionAction::kDecreaseCpu;
+  return d;
+}
+
+DivisionController::DivisionController(DivisionParams params)
+    : params_(params), ratio_(params.initial_ratio) {
+  if (params_.step <= 0.0 || params_.step >= 1.0) {
+    throw std::invalid_argument("DivisionParams: step must be in (0,1)");
+  }
+  if (params_.min_ratio < 0.0 || params_.max_ratio > 1.0 ||
+      params_.min_ratio >= params_.max_ratio) {
+    throw std::invalid_argument("DivisionParams: bad ratio bounds");
+  }
+  if (params_.initial_ratio < params_.min_ratio || params_.initial_ratio > params_.max_ratio) {
+    throw std::invalid_argument("DivisionParams: initial ratio out of bounds");
+  }
+}
+
+DivisionDecision DivisionController::update(Seconds cpu_time, Seconds gpu_time) {
+  const DivisionDecision d = division_step(params_, ratio_, cpu_time, gpu_time);
+  if (d.ratio == ratio_) {
+    ++hold_streak_;
+  } else {
+    hold_streak_ = 0;
+  }
+  ratio_ = d.ratio;
+  history_.push_back(d);
+  return d;
+}
+
+void DivisionController::reset() {
+  ratio_ = params_.initial_ratio;
+  hold_streak_ = 0;
+  history_.clear();
+}
+
+}  // namespace gg::greengpu

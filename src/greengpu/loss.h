@@ -1,0 +1,44 @@
+// Table I loss functions and the umean utilization mapping (Section V-A).
+//
+// For every available frequency level the algorithm knows the utilization
+// that level is "most suitable" for (`umean`): the peak frequency suits
+// 100 % utilization, the lowest suits 0 %, and intermediate levels are
+// linearly mapped over the frequency range (following Dhiman & Rosing [4]).
+// Comparing the measured utilization `u` against `umean[i]` yields an energy
+// loss (the level is faster than needed) or a performance loss (slower than
+// needed), blended by alpha.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/dvfs.h"
+
+namespace gg::greengpu {
+
+/// Energy/performance loss pair for one level (both in [0, 1]).
+struct LevelLoss {
+  double energy{0.0};       // l_ie: capacity wasted (u below umean)
+  double performance{0.0};  // l_ip: capacity short (u above umean)
+};
+
+/// umean for every level of a DVFS table: peak -> 1.0, floor -> 0.0,
+/// linear in frequency between (Section V-A).
+[[nodiscard]] std::vector<double> umean_table(const sim::DvfsTable& table);
+
+/// Table I: raw energy/performance loss of level `i` for utilization `u`.
+[[nodiscard]] LevelLoss raw_loss(double u, double umean_i);
+
+/// Eq. 1 / Eq. 2: blended per-component loss
+///   l = alpha * l_e + (1 - alpha) * l_p.
+[[nodiscard]] double component_loss(double u, double umean_i, double alpha);
+
+/// Eq. 3: total loss of a (core level, memory level) pair
+///   TotalLoss = phi * l_core + (1 - phi) * l_mem.
+[[nodiscard]] double total_loss(double core_loss, double mem_loss, double phi);
+
+/// Eq. 4: multiplicative weight update
+///   w' = w * (1 - (1 - beta) * TotalLoss).
+[[nodiscard]] double updated_weight(double weight, double loss, double beta);
+
+}  // namespace gg::greengpu

@@ -1,0 +1,220 @@
+#include "src/greengpu/model_dividers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gg::greengpu {
+
+namespace {
+
+double clamp(double v, double lo, double hi) { return std::min(hi, std::max(lo, v)); }
+
+DivisionAction action_for(double old_ratio, double new_ratio, bool settled) {
+  if (settled || new_ratio == old_ratio) return DivisionAction::kHold;
+  return new_ratio > old_ratio ? DivisionAction::kIncreaseCpu
+                               : DivisionAction::kDecreaseCpu;
+}
+
+}  // namespace
+
+ProfilingDivider::ProfilingDivider(ProfilingDividerParams params)
+    : params_(params), ratio_(params.probe_ratio) {
+  if (params_.probe_ratio <= 0.0 || params_.probe_ratio >= 1.0) {
+    throw std::invalid_argument("ProfilingDivider: probe ratio must be in (0,1)");
+  }
+  if (params_.rate_alpha <= 0.0 || params_.rate_alpha > 1.0) {
+    throw std::invalid_argument("ProfilingDivider: rate_alpha must be in (0,1]");
+  }
+}
+
+DivisionDecision ProfilingDivider::update(const IterationFeedback& feedback) {
+  const double r = ratio_;
+  if (r > 0.0 && feedback.cpu_time > Seconds{0.0}) {
+    const double sample = r / feedback.cpu_time.get();
+    if (!cpu_rate_) cpu_rate_.emplace(params_.rate_alpha);
+    cpu_rate_->update(sample);
+  }
+  if (r < 1.0 && feedback.gpu_time > Seconds{0.0}) {
+    const double sample = (1.0 - r) / feedback.gpu_time.get();
+    if (!gpu_rate_) gpu_rate_.emplace(params_.rate_alpha);
+    gpu_rate_->update(sample);
+  }
+
+  DivisionDecision d{ratio_, DivisionAction::kHold};
+  if (!cpu_rate_ || !gpu_rate_) return d;  // keep probing
+
+  // Qilin's balance point: both sides finish together when the shares are
+  // proportional to the processing rates.
+  const double cr = cpu_rate_->value();
+  const double gr = gpu_rate_->value();
+  const double target = clamp(cr / (cr + gr), params_.min_ratio, params_.max_ratio);
+  const bool settled =
+      std::fabs(target - ratio_) <= params_.settle_tolerance * std::max(target, 1e-9);
+  settle_streak_ = settled ? settle_streak_ + 1 : 0;
+  d.action = action_for(ratio_, target, settled);
+  ratio_ = target;
+  d.ratio = target;
+  return d;
+}
+
+void ProfilingDivider::reset() {
+  ratio_ = params_.probe_ratio;
+  cpu_rate_.reset();
+  gpu_rate_.reset();
+  settle_streak_ = 0;
+}
+
+EnergyModelDivider::EnergyModelDivider(EnergyModelDividerParams params)
+    : params_(params), ratio_(params.probe_low) {
+  if (params_.probe_low <= 0.0 || params_.probe_low >= 1.0 || params_.probe_high <= 0.0 ||
+      params_.probe_high >= 1.0 || params_.probe_low == params_.probe_high) {
+    throw std::invalid_argument(
+        "EnergyModelDivider: probes must be distinct interior ratios");
+  }
+  if (params_.search_step <= 0.0 || params_.search_step >= 1.0) {
+    throw std::invalid_argument("EnergyModelDivider: bad search step");
+  }
+}
+
+double EnergyModelDivider::predict_makespan(double r) const {
+  const double cr = cpu_rate_ ? cpu_rate_->value() : 0.0;
+  const double gr = gpu_rate_ ? gpu_rate_->value() : 0.0;
+  double t = 0.0;
+  if (r > 0.0) {
+    if (cr <= 0.0) return 1e300;
+    t = r / cr;
+  }
+  if (r < 1.0) {
+    if (gr <= 0.0) return 1e300;
+    t = std::max(t, (1.0 - r) / gr);
+  }
+  return t;
+}
+
+double EnergyModelDivider::predict_energy(double r) const {
+  return p_sys_ * predict_makespan(r) + c_cpu_ * r;
+}
+
+void EnergyModelDivider::refit() {
+  // Least squares for E ~ p_sys * T + c_cpu * r over the observations.
+  double stt = 0.0, str = 0.0, srr = 0.0, ste = 0.0, sre = 0.0;
+  for (const auto& o : observations_) {
+    stt += o.makespan * o.makespan;
+    str += o.makespan * o.ratio;
+    srr += o.ratio * o.ratio;
+    ste += o.makespan * o.energy;
+    sre += o.ratio * o.energy;
+  }
+  const double det = stt * srr - str * str;
+  if (std::fabs(det) < 1e-12 * stt * std::max(srr, 1e-12)) {
+    // Degenerate (e.g. all observations at one ratio): fall back to a pure
+    // makespan-proportional model.
+    p_sys_ = stt > 0.0 ? ste / stt : 0.0;
+    c_cpu_ = 0.0;
+    return;
+  }
+  p_sys_ = (ste * srr - sre * str) / det;
+  c_cpu_ = (sre * stt - ste * str) / det;
+}
+
+DivisionDecision EnergyModelDivider::update(const IterationFeedback& feedback) {
+  const double r = ratio_;
+  if (r > 0.0 && feedback.cpu_time > Seconds{0.0}) {
+    if (!cpu_rate_) cpu_rate_.emplace(params_.rate_alpha);
+    cpu_rate_->update(r / feedback.cpu_time.get());
+  }
+  if (r < 1.0 && feedback.gpu_time > Seconds{0.0}) {
+    if (!gpu_rate_) gpu_rate_.emplace(params_.rate_alpha);
+    gpu_rate_->update((1.0 - r) / feedback.gpu_time.get());
+  }
+  const double makespan = std::max(feedback.cpu_time.get(), feedback.gpu_time.get());
+  if (makespan > 0.0 && feedback.total_energy > Joules{0.0}) {
+    observations_.push_back(Observation{r, makespan, feedback.total_energy.get()});
+  }
+
+  ++iteration_;
+  DivisionDecision d{ratio_, DivisionAction::kHold};
+  if (iteration_ == 1) {
+    // Second probe to identify both model parameters.
+    ratio_ = params_.probe_high;
+    d.ratio = ratio_;
+    d.action = action_for(r, ratio_, false);
+    return d;
+  }
+  if (!cpu_rate_ || !gpu_rate_ || observations_.size() < 2) return d;
+
+  refit();
+  // Argmin of predicted energy over the share grid.
+  double best_r = params_.min_ratio;
+  double best_e = predict_energy(best_r);
+  for (double cand = params_.min_ratio; cand <= params_.max_ratio + 1e-12;
+       cand += params_.search_step) {
+    const double e = predict_energy(cand);
+    if (e < best_e) {
+      best_e = e;
+      best_r = cand;
+    }
+  }
+  const bool settled =
+      std::fabs(best_r - ratio_) <= params_.settle_tolerance * std::max(best_r, 1e-9);
+  settle_streak_ = settled ? settle_streak_ + 1 : 0;
+  d.action = action_for(ratio_, best_r, settled);
+  ratio_ = best_r;
+  d.ratio = best_r;
+  return d;
+}
+
+void EnergyModelDivider::reset() {
+  ratio_ = params_.probe_low;
+  iteration_ = 0;
+  cpu_rate_.reset();
+  gpu_rate_.reset();
+  observations_.clear();
+  p_sys_ = 0.0;
+  c_cpu_ = 0.0;
+  settle_streak_ = 0;
+}
+
+std::string_view to_string(DividerKind kind) {
+  switch (kind) {
+    case DividerKind::kStep: return "step";
+    case DividerKind::kProfiling: return "qilin-profiling";
+    case DividerKind::kEnergyModel: return "energy-model";
+  }
+  return "unknown";
+}
+
+DividerKind divider_from_string(std::string_view name) {
+  if (name == "step") return DividerKind::kStep;
+  if (name == "qilin-profiling" || name == "qilin" || name == "profiling") {
+    return DividerKind::kProfiling;
+  }
+  if (name == "energy-model" || name == "energy") return DividerKind::kEnergyModel;
+  throw std::invalid_argument("unknown divider: " + std::string(name));
+}
+
+std::unique_ptr<Divider> make_divider(DividerKind kind, const DivisionParams& step_params) {
+  switch (kind) {
+    case DividerKind::kStep:
+      return std::make_unique<DivisionController>(step_params);
+    case DividerKind::kProfiling: {
+      ProfilingDividerParams p;
+      p.probe_ratio = step_params.initial_ratio > 0.0 && step_params.initial_ratio < 1.0
+                          ? step_params.initial_ratio
+                          : 0.30;
+      p.min_ratio = step_params.min_ratio;
+      p.max_ratio = step_params.max_ratio;
+      return std::make_unique<ProfilingDivider>(p);
+    }
+    case DividerKind::kEnergyModel: {
+      EnergyModelDividerParams p;
+      p.min_ratio = step_params.min_ratio;
+      p.max_ratio = step_params.max_ratio;
+      return std::make_unique<EnergyModelDivider>(p);
+    }
+  }
+  throw std::invalid_argument("unknown divider kind");
+}
+
+}  // namespace gg::greengpu

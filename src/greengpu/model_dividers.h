@@ -1,0 +1,138 @@
+// Model-based division algorithms.
+//
+// Section V-B positions the step heuristic as a trade-off between solution
+// quality and runtime overhead, and notes GreenGPU "can be integrated with
+// other sophisticated global optimal algorithms ... at the cost of more
+// complicated implementation and higher runtime overheads".  Two such
+// algorithms:
+//
+//  * `ProfilingDivider` — the Qilin-style adaptive mapping of Luk et al.
+//    [16] (Related Work): estimate per-side processing *rates* from the
+//    measured chunk times, then jump straight to the equal-finish share
+//    r* = Rc / (Rc + Rg).  Minimizes execution time.
+//
+//  * `EnergyModelDivider` — fits a two-parameter energy model
+//    E(r) ~ P_sys * T(r) + c_cpu * r  (makespan cost plus the extra CPU
+//    activity cost of the CPU share) to the observed iterations by least
+//    squares, and picks the share minimizing *predicted energy* on a fine
+//    grid.  Minimizes energy rather than time — the objective GreenGPU
+//    actually cares about.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/common/stats.h"
+#include "src/greengpu/division.h"
+
+namespace gg::greengpu {
+
+struct ProfilingDividerParams {
+  /// Share used for the first (profiling) iteration; must be in (0, 1) so
+  /// both sides produce a rate sample.
+  double probe_ratio{0.30};
+  double min_ratio{0.0};
+  double max_ratio{0.95};
+  /// EWMA weight for refreshing the rate estimates with new measurements.
+  double rate_alpha{0.5};
+  /// Relative ratio change below which the divider reports convergence.
+  double settle_tolerance{0.02};
+};
+
+class ProfilingDivider final : public Divider {
+ public:
+  explicit ProfilingDivider(ProfilingDividerParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "qilin-profiling"; }
+  [[nodiscard]] double ratio() const override { return ratio_; }
+  DivisionDecision update(const IterationFeedback& feedback) override;
+  [[nodiscard]] bool converged(int streak = 2) const override {
+    return settle_streak_ >= streak;
+  }
+  void reset() override;
+
+  /// Estimated processing rates (share of the iteration per second); zero
+  /// until the corresponding side has been observed.
+  [[nodiscard]] double cpu_rate() const { return cpu_rate_ ? cpu_rate_->value() : 0.0; }
+  [[nodiscard]] double gpu_rate() const { return gpu_rate_ ? gpu_rate_->value() : 0.0; }
+
+ private:
+  ProfilingDividerParams params_;
+  double ratio_;
+  std::optional<Ewma> cpu_rate_;
+  std::optional<Ewma> gpu_rate_;
+  int settle_streak_{0};
+};
+
+struct EnergyModelDividerParams {
+  /// Shares used for the initial probing iterations (need >= 2 distinct
+  /// interior values to identify the two model parameters).
+  double probe_low{0.15};
+  double probe_high{0.45};
+  double min_ratio{0.0};
+  double max_ratio{0.95};
+  /// Grid resolution of the argmin search.
+  double search_step{0.01};
+  /// EWMA weight for the rate estimates.
+  double rate_alpha{0.5};
+  /// Relative ratio change below which the divider reports convergence.
+  double settle_tolerance{0.02};
+};
+
+class EnergyModelDivider final : public Divider {
+ public:
+  explicit EnergyModelDivider(EnergyModelDividerParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "energy-model"; }
+  [[nodiscard]] double ratio() const override { return ratio_; }
+  DivisionDecision update(const IterationFeedback& feedback) override;
+  [[nodiscard]] bool converged(int streak = 2) const override {
+    return settle_streak_ >= streak;
+  }
+  void reset() override;
+
+  /// Fitted model parameters (0 until enough observations).
+  [[nodiscard]] double fitted_system_power() const { return p_sys_; }
+  [[nodiscard]] double fitted_cpu_share_cost() const { return c_cpu_; }
+
+  /// Predicted makespan at share r from the current rate estimates.
+  [[nodiscard]] double predict_makespan(double r) const;
+  /// Predicted iteration energy at share r from the fitted model.
+  [[nodiscard]] double predict_energy(double r) const;
+
+ private:
+  struct Observation {
+    double ratio;
+    double makespan;
+    double energy;
+  };
+
+  void refit();
+
+  EnergyModelDividerParams params_;
+  double ratio_;
+  int iteration_{0};
+  std::optional<Ewma> cpu_rate_;
+  std::optional<Ewma> gpu_rate_;
+  std::vector<Observation> observations_;
+  double p_sys_{0.0};
+  double c_cpu_{0.0};
+  int settle_streak_{0};
+};
+
+/// Divider selector for policies and the CLI.
+enum class DividerKind {
+  kStep,         // the paper's tier 1
+  kProfiling,    // Qilin-style time balancing
+  kEnergyModel,  // least-squares energy argmin
+};
+
+[[nodiscard]] std::string_view to_string(DividerKind kind);
+[[nodiscard]] DividerKind divider_from_string(std::string_view name);
+
+/// Factory; `step_params` configures the kStep divider, the model dividers
+/// use their own defaults.
+[[nodiscard]] std::unique_ptr<Divider> make_divider(DividerKind kind,
+                                                    const DivisionParams& step_params);
+
+}  // namespace gg::greengpu

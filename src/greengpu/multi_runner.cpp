@@ -1,0 +1,134 @@
+#include "src/greengpu/multi_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/cudalite/api.h"
+#include "src/cudalite/nvml.h"
+#include "src/cudalite/nvsettings.h"
+#include "src/greengpu/wma_scaler.h"
+#include "src/sim/platform.h"
+#include "src/workloads/registry.h"
+
+namespace gg::greengpu {
+
+MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
+                                           std::size_t gpu_count, const MultiPolicy& policy,
+                                           const MultiRunOptions& options) {
+  if (gpu_count == 0) throw std::invalid_argument("run_multi_experiment: gpu_count == 0");
+  sim::Platform platform(gpu_count);
+  cudalite::Runtime rt(platform, options.pool_workers, options.sync_spin);
+  const std::size_t slots = gpu_count + 1;
+
+  // Per-card monitoring/actuation + optional scaling daemons.
+  std::vector<std::unique_ptr<cudalite::NvmlDevice>> nvml;
+  std::vector<std::unique_ptr<cudalite::NvSettings>> settings;
+  std::vector<std::unique_ptr<GpuFrequencyScaler>> scalers;
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    nvml.push_back(std::make_unique<cudalite::NvmlDevice>(platform, g));
+    settings.push_back(std::make_unique<cudalite::NvSettings>(platform, g));
+    if (policy.gpu_scaling) {
+      scalers.push_back(std::make_unique<GpuFrequencyScaler>(*nvml.back(),
+                                                             *settings.back(),
+                                                             policy.params.wma));
+      scalers.back()->attach(platform.queue());
+    } else {
+      settings.back()->set_clock_levels(0, 0);  // best-performance clocks
+    }
+  }
+  std::unique_ptr<CpuGovernor> governor =
+      make_cpu_governor(policy.cpu_governor, platform, policy.params.ondemand);
+  if (governor) governor->attach();
+
+  // Division state.
+  std::unique_ptr<MultiDivider> divider;
+  std::vector<double> shares;
+  if (policy.division && workload.divisible()) {
+    divider = make_multi_divider(policy.divider, slots);
+    shares = divider->shares();
+  } else if (!policy.fixed_shares.empty()) {
+    if (policy.fixed_shares.size() != slots) {
+      throw std::invalid_argument("run_multi_experiment: fixed_shares size mismatch");
+    }
+    shares = policy.fixed_shares;
+  } else {
+    shares.assign(slots, 0.0);
+    shares[1] = 1.0;  // all work on GPU 0
+  }
+
+  MultiExperimentResult result;
+  result.workload = std::string(workload.name());
+  result.policy = policy.name;
+  result.gpu_count = gpu_count;
+
+  workload.setup(rt);
+  std::vector<cudalite::Stream> streams;
+  streams.reserve(gpu_count);
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    rt.set_device(g);
+    streams.push_back(rt.create_stream());
+  }
+  rt.set_device(0);
+
+  const sim::EnergySnapshot run_start = platform.snapshot();
+
+  for (std::size_t iter = 0; iter < workload.iterations(); ++iter) {
+    const sim::EnergySnapshot e0 = platform.snapshot();
+    const Seconds t0 = platform.now();
+
+    std::vector<bool> done(slots, false);
+    std::vector<Seconds> done_at(slots, t0);
+    std::size_t remaining = slots;
+    workload.run_iteration_multi(rt, streams, iter, shares, [&](std::size_t slot) {
+      if (!done[slot]) {
+        done[slot] = true;
+        done_at[slot] = platform.now();
+        --remaining;
+      }
+    });
+    rt.wait_until([&] { return remaining == 0; });
+    workload.finish_iteration(rt, iter);
+
+    const sim::EnergySnapshot e1 = platform.snapshot();
+    MultiIterationRecord rec;
+    rec.index = iter;
+    rec.shares = shares;
+    rec.slot_times.resize(slots);
+    for (std::size_t s = 0; s < slots; ++s) rec.slot_times[s] = done_at[s] - t0;
+    rec.duration = e1.time - e0.time;
+    rec.total_energy = sim::Platform::delta(e0, e1).total();
+
+    if (divider) {
+      divider->update(rec.slot_times);
+      shares = divider->shares();
+    }
+    result.iterations.push_back(std::move(rec));
+  }
+
+  workload.teardown(rt);
+
+  const sim::EnergySnapshot run_end = platform.snapshot();
+  const sim::EnergyDelta total = sim::Platform::delta(run_start, run_end);
+  result.exec_time = total.elapsed;
+  result.cpu_energy = total.cpu;
+  result.gpu_energy = total.gpu;
+  result.per_gpu_energy.resize(gpu_count);
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    result.per_gpu_energy[g] = run_end.per_gpu[g] - run_start.per_gpu[g];
+  }
+  result.final_shares = shares;
+
+  for (auto& s : scalers) s->detach();
+  if (governor) governor->detach();
+  result.verified = options.verify ? workload.verify() : true;
+  return result;
+}
+
+MultiExperimentResult run_multi_experiment(const std::string& workload_name,
+                                           std::size_t gpu_count, const MultiPolicy& policy,
+                                           const MultiRunOptions& options) {
+  auto wl = workloads::make_workload(workload_name);
+  return run_multi_experiment(*wl, gpu_count, policy, options);
+}
+
+}  // namespace gg::greengpu

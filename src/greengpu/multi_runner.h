@@ -1,0 +1,98 @@
+// Experiment runner for multi-GPU configurations.
+//
+// Extends the Section VI application structure to N GPUs: one stream per
+// device, a share vector divided across CPU + GPUs by a `MultiDivider`, and
+// (optionally) one WMA frequency-scaling daemon per card plus a CPU
+// governor — GreenGPU scaled out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/greengpu/cpu_governor.h"
+#include "src/greengpu/multi_division.h"
+#include "src/greengpu/params.h"
+#include "src/workloads/workload.h"
+
+namespace gg::greengpu {
+
+struct MultiPolicy {
+  std::string name{"multi-greengpu"};
+  /// Enable dynamic division (else `fixed_shares` is used).
+  bool division{true};
+  MultiDividerKind divider{MultiDividerKind::kStep};
+  /// Per-card WMA frequency scaling.
+  bool gpu_scaling{false};
+  CpuGovernorKind cpu_governor{CpuGovernorKind::kNone};
+  /// Used when `division` is false; empty means "all work on GPU 0".
+  std::vector<double> fixed_shares;
+  GreenGpuParams params{};
+
+  [[nodiscard]] static MultiPolicy baseline() {
+    MultiPolicy p;
+    p.name = "multi-baseline";
+    p.division = false;
+    return p;
+  }
+
+  [[nodiscard]] static MultiPolicy division_only(
+      MultiDividerKind kind = MultiDividerKind::kStep) {
+    MultiPolicy p;
+    p.name = "multi-division";
+    p.division = true;
+    p.divider = kind;
+    return p;
+  }
+
+  [[nodiscard]] static MultiPolicy green_gpu(
+      MultiDividerKind kind = MultiDividerKind::kStep) {
+    MultiPolicy p;
+    p.name = "multi-greengpu";
+    p.division = true;
+    p.divider = kind;
+    p.gpu_scaling = true;
+    p.cpu_governor = CpuGovernorKind::kOndemand;
+    return p;
+  }
+};
+
+struct MultiIterationRecord {
+  std::size_t index{0};
+  std::vector<double> shares;       // per slot (CPU first)
+  std::vector<Seconds> slot_times;  // per slot completion times
+  Seconds duration{0.0};
+  Joules total_energy{0.0};
+};
+
+struct MultiExperimentResult {
+  std::string workload;
+  std::string policy;
+  std::size_t gpu_count{0};
+  Seconds exec_time{0.0};
+  Joules cpu_energy{0.0};
+  Joules gpu_energy{0.0};  // all cards
+  std::vector<Joules> per_gpu_energy;
+  [[nodiscard]] Joules total_energy() const { return cpu_energy + gpu_energy; }
+  std::vector<double> final_shares;
+  bool verified{false};
+  std::vector<MultiIterationRecord> iterations;
+};
+
+struct MultiRunOptions {
+  std::size_t pool_workers{0};
+  bool verify{true};
+  bool sync_spin{true};
+};
+
+/// Run `workload` on a testbed with `gpu_count` identical GPUs.
+[[nodiscard]] MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
+                                                         std::size_t gpu_count,
+                                                         const MultiPolicy& policy,
+                                                         const MultiRunOptions& options = {});
+
+[[nodiscard]] MultiExperimentResult run_multi_experiment(const std::string& workload_name,
+                                                         std::size_t gpu_count,
+                                                         const MultiPolicy& policy,
+                                                         const MultiRunOptions& options = {});
+
+}  // namespace gg::greengpu

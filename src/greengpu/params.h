@@ -1,0 +1,68 @@
+// All GreenGPU tunables with the paper's published defaults.
+#pragma once
+
+#include "src/common/units.h"
+
+namespace gg::greengpu {
+
+/// Parameters of the WMA-based GPU frequency-scaling tier (Section V-A).
+struct WmaParams {
+  /// Energy-vs-performance trade-off for the core loss (Eq. 1); the paper
+  /// derives 0.15 from experiments.
+  double alpha_core{0.15};
+  /// Same for the memory loss (Eq. 2); paper value 0.02.
+  double alpha_mem{0.02};
+  /// Core-vs-memory balance in the total loss (Eq. 3); paper value 0.3.
+  double phi{0.3};
+  /// History-vs-new-loss trade-off in the weight update (Eq. 4); paper
+  /// value 0.2.
+  double beta{0.2};
+  /// Scaling invocation period; the Fig. 5 experiment uses 3 s.
+  Seconds interval{3.0};
+  /// Relative floor applied to weights after renormalization so a pair
+  /// that lost for a long stretch can regain the argmax in bounded time.
+  /// (Implementation detail; the paper does not specify underflow handling.
+  /// 1e-2 keeps the learner responsive to phase changes — a previously
+  /// losing pair can win back the argmax within a few intervals, matching
+  /// the "quick workload change response" the paper tunes beta for.)
+  double weight_floor{1e-2};
+  /// Optional EWMA pre-filter on the measured utilizations (weight of the
+  /// newest sample; 1.0 disables filtering).  The paper folds all noise
+  /// handling into beta; a measurement-side filter is the natural extension
+  /// when nvidia-smi readings are jittery.
+  double util_filter_alpha{1.0};
+};
+
+/// Parameters of the ondemand CPU governor (Section IV; linux-2.6.9 policy).
+struct OndemandParams {
+  /// Above this package utilization the governor jumps to the peak P-state.
+  double up_threshold{0.80};
+  /// Below this utilization it steps one P-state down.
+  double down_threshold{0.30};
+  /// Sampling period.
+  Seconds interval{0.1};
+};
+
+/// Parameters of the workload-division tier (Section V-B).
+struct DivisionParams {
+  /// Division step; the paper uses 5 % as the hardware-dependent step.
+  double step{0.05};
+  /// Initial CPU share; Fig. 7a starts at 30 % (any value converges).
+  double initial_ratio{0.30};
+  /// Bounds on the CPU share.
+  double min_ratio{0.0};
+  double max_ratio{0.95};
+  /// Enable the oscillation-safeguard prediction (Section V-B).
+  bool safeguard{true};
+};
+
+/// Top-level GreenGPU configuration: both tiers plus their decoupling rule
+/// (the division interval must be much longer than the scaling interval;
+/// the paper uses "no less than 40x", Section IV).
+struct GreenGpuParams {
+  WmaParams wma{};
+  OndemandParams ondemand{};
+  DivisionParams division{};
+};
+
+}  // namespace gg::greengpu

@@ -1,0 +1,170 @@
+#include "src/greengpu/runner.h"
+
+#include <algorithm>
+
+#include "src/cudalite/nvml.h"
+#include "src/cudalite/nvsettings.h"
+#include "src/sim/platform.h"
+#include "src/workloads/registry.h"
+
+namespace gg::greengpu {
+
+ExperimentResult run_experiment(workloads::Workload& workload, const Policy& policy,
+                                const RunOptions& options) {
+  sim::Platform platform;  // testbed default: GPU at lowest clocks, CPU at peak
+  cudalite::Runtime rt(platform, options.pool_workers, options.sync_spin);
+
+  // --- Frequency setup / tier 2 controllers --------------------------------
+  cudalite::NvmlDevice nvml(platform);
+  cudalite::NvSettings settings(platform);
+  std::unique_ptr<GpuFrequencyScaler> scaler;
+  std::unique_ptr<CpuGovernor> governor;
+
+  if (policy.gpu_scaling) {
+    // The paper's Fig. 5 runs start from the driver-default lowest clocks;
+    // the platform already starts there.
+    scaler = std::make_unique<GpuFrequencyScaler>(nvml, settings, policy.params.wma);
+    scaler->attach(platform.queue());
+  } else if (policy.fixed_gpu_levels) {
+    settings.set_clock_levels(policy.fixed_gpu_levels->first,
+                              policy.fixed_gpu_levels->second);
+  } else {
+    settings.set_clock_levels(0, 0);  // best-performance: both domains at peak
+  }
+  governor = make_cpu_governor(policy.cpu_governor, platform, policy.params.ondemand);
+  if (governor) governor->attach();
+
+  // --- Tier 1 --------------------------------------------------------------
+  std::unique_ptr<Divider> divider;
+  double ratio = policy.fixed_ratio;
+  if (policy.division && workload.divisible()) {
+    divider = make_divider(policy.divider, policy.params.division);
+    ratio = divider->ratio();
+  }
+  if (!workload.divisible()) ratio = 0.0;
+
+  std::unique_ptr<sim::TraceRecorder> tracer;
+  if (options.record_trace) {
+    tracer = std::make_unique<sim::TraceRecorder>(platform, options.trace_period);
+  }
+
+  ExperimentResult result;
+  result.workload = std::string(workload.name());
+  result.policy = policy.name;
+  result.gpu_idle_power =
+      platform.gpu().idle_power(platform.gpu().core_table().lowest_level(),
+                                platform.gpu().mem_table().lowest_level());
+  // In the emulated scenario the spin loops keep running, but at the lowest
+  // P-state.
+  result.cpu_spin_power_lowest =
+      platform.cpu().power_at(platform.cpu().table().lowest_level(), 1.0);
+
+  workload.setup(rt);
+  cudalite::Stream stream = rt.create_stream();
+
+  const std::size_t n_iters = options.max_iterations
+                                  ? std::min(options.max_iterations, workload.iterations())
+                                  : workload.iterations();
+
+  const sim::EnergySnapshot run_start = platform.snapshot();
+  const double spin_time_start = platform.cpu().counters().spin_integral;
+  const Joules spin_energy_start = platform.cpu().spin_energy();
+
+  for (std::size_t iter = 0; iter < n_iters; ++iter) {
+    const sim::EnergySnapshot e0 = platform.snapshot();
+    const Seconds t0 = platform.now();
+
+    bool gpu_done = false;
+    bool cpu_done = false;
+    Seconds gpu_at = t0;
+    Seconds cpu_at = t0;
+    workload.run_iteration(
+        rt, stream, iter, ratio,
+        [&] {
+          gpu_done = true;
+          gpu_at = platform.now();
+        },
+        [&] {
+          cpu_done = true;
+          cpu_at = platform.now();
+        });
+    rt.wait_until([&] { return gpu_done && cpu_done; });
+    workload.finish_iteration(rt, iter);
+
+    const sim::EnergySnapshot e1 = platform.snapshot();
+    const sim::EnergyDelta d = sim::Platform::delta(e0, e1);
+
+    IterationRecord rec;
+    rec.index = iter;
+    rec.cpu_ratio = ratio;
+    rec.cpu_time = cpu_at - t0;
+    rec.gpu_time = gpu_at - t0;
+    rec.duration = d.elapsed;
+    rec.gpu_energy = d.gpu;
+    rec.cpu_energy = d.cpu;
+
+    if (divider) {
+      const DivisionDecision decision = divider->update(
+          IterationFeedback{rec.cpu_time, rec.gpu_time, rec.total_energy()});
+      rec.division_action = decision.action;
+      ratio = decision.ratio;
+      if (divider->converged() &&
+          result.convergence_iteration == static_cast<std::size_t>(-1)) {
+        result.convergence_iteration = iter;
+      }
+    }
+    result.iterations.push_back(rec);
+  }
+
+  workload.teardown(rt);
+
+  const sim::EnergySnapshot run_end = platform.snapshot();
+  const sim::EnergyDelta total = sim::Platform::delta(run_start, run_end);
+  result.exec_time = total.elapsed;
+  result.gpu_energy = total.gpu;
+  result.cpu_energy = total.cpu;
+  // Spin accounting over the measured window only (setup transfers spin too
+  // but are excluded from exec_time).
+  result.cpu_spin_energy = platform.cpu().spin_energy() - spin_energy_start;
+  result.cpu_spin_time =
+      Seconds{platform.cpu().counters().spin_integral - spin_time_start};
+  // Conservative Fig. 6c accounting: one guard window per kernel launch is
+  // treated as unthrottleable communication time.
+  const Seconds guard = options.emulation_guard_per_launch *
+                        static_cast<double>(platform.gpu().kernels_completed());
+  result.cpu_credited_spin_time =
+      std::max(Seconds{0.0}, result.cpu_spin_time - guard);
+  result.cpu_credited_spin_energy =
+      result.cpu_spin_time > Seconds{0.0}
+          ? result.cpu_spin_energy *
+                (result.cpu_credited_spin_time / result.cpu_spin_time)
+          : Joules{0.0};
+  result.final_ratio = ratio;
+  result.gpu_frequency_transitions = platform.gpu().frequency_transitions();
+
+  if (scaler) {
+    scaler->detach();
+    result.scaler_decisions = scaler->decisions();
+  }
+  if (governor) {
+    governor->detach();
+    result.governor_decisions = governor->decisions();
+  }
+  if (tracer) {
+    tracer->stop();
+    result.trace = tracer->samples();
+  }
+  // A truncated run cannot be checked against the full-length reference.
+  const bool can_verify = options.verify && n_iters == workload.iterations();
+  result.verify_skipped = !can_verify;
+  result.verified = can_verify ? workload.verify() : true;
+  return result;
+}
+
+ExperimentResult run_experiment(const std::string& workload_name, const Policy& policy,
+                                const RunOptions& options) {
+  auto wl = workloads::make_workload(workload_name);
+  return run_experiment(*wl, policy, options);
+}
+
+}  // namespace gg::greengpu

@@ -1,0 +1,113 @@
+// Experiment runner: executes a workload on the simulated testbed under a
+// policy and records everything the paper's figures report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cudalite/api.h"
+#include "src/greengpu/division.h"
+#include "src/greengpu/cpu_governor.h"
+#include "src/greengpu/policy.h"
+#include "src/greengpu/wma_scaler.h"
+#include "src/sim/trace.h"
+#include "src/workloads/workload.h"
+
+namespace gg::greengpu {
+
+/// Per-iteration measurements (the dots of Fig. 7 and Fig. 8).
+struct IterationRecord {
+  std::size_t index{0};
+  /// CPU share this iteration executed with.
+  double cpu_ratio{0.0};
+  /// Per-side chunk completion times, measured from iteration start.
+  Seconds cpu_time{0.0};
+  Seconds gpu_time{0.0};
+  /// Wall time of the whole iteration (including the merge step).
+  Seconds duration{0.0};
+  Joules gpu_energy{0.0};
+  Joules cpu_energy{0.0};
+  [[nodiscard]] Joules total_energy() const { return gpu_energy + cpu_energy; }
+  /// Division decision taken after this iteration (if the tier is on).
+  DivisionAction division_action{DivisionAction::kHold};
+};
+
+struct ExperimentResult {
+  std::string workload;
+  std::string policy;
+  Seconds exec_time{0.0};
+  Joules gpu_energy{0.0};  // meter 2
+  Joules cpu_energy{0.0};  // meter 1
+  [[nodiscard]] Joules total_energy() const { return gpu_energy + cpu_energy; }
+
+  /// GPU card idle power at the driver-default (lowest) clocks; the "idle
+  /// energy" term of the paper's dynamic-energy accounting is
+  /// gpu_idle_power * exec_time.
+  Watts gpu_idle_power{0.0};
+  [[nodiscard]] Joules gpu_dynamic_energy() const {
+    return gpu_energy - gpu_idle_power * exec_time;
+  }
+
+  /// CPU energy burnt busy-waiting on the GPU and the time spent doing so.
+  Joules cpu_spin_energy{0.0};
+  Seconds cpu_spin_time{0.0};
+  /// Spin time creditable to the Fig. 6c emulation: the paper conservatively
+  /// assumes the CPU cannot be throttled around GPU communications (kernel
+  /// launching/ending), so a guard window per launch is excluded.
+  Seconds cpu_credited_spin_time{0.0};
+  Joules cpu_credited_spin_energy{0.0};
+  /// CPU-side power of the spin loop priced at the lowest P-state.
+  Watts cpu_spin_power_lowest{0.0};
+  /// Fig. 6c emulation: total energy if the creditable spin phases had run
+  /// at the lowest CPU frequency (Section VII-A's emulated scenario).
+  [[nodiscard]] Joules emulated_cpu_throttle_energy() const {
+    return total_energy() - cpu_credited_spin_energy +
+           cpu_spin_power_lowest * cpu_credited_spin_time;
+  }
+
+  /// Division ratio after the final iteration.
+  double final_ratio{0.0};
+  /// Iteration index after which the division controller first held its
+  /// ratio twice in a row (size_t(-1) if it never converged).
+  std::size_t convergence_iteration{static_cast<std::size_t>(-1)};
+
+  bool verified{false};
+  /// True when verification was not performed (disabled or truncated run).
+  bool verify_skipped{false};
+  std::vector<IterationRecord> iterations;
+  std::vector<sim::TraceSample> trace;
+  std::vector<ScalerDecision> scaler_decisions;
+  std::vector<GovernorDecision> governor_decisions;
+  std::uint64_t gpu_frequency_transitions{0};
+};
+
+struct RunOptions {
+  /// Record a periodic platform trace (Fig. 5).
+  bool record_trace{false};
+  Seconds trace_period{1.0};
+  /// Check results against the scalar reference after the run.
+  bool verify{true};
+  /// Thread-pool size for real kernel execution (0 = hardware concurrency).
+  std::size_t pool_workers{0};
+  /// Override the workload's iteration count (0 = workload default).
+  std::size_t max_iterations{0};
+  /// Model the synchronous (spinning) CUDA stack; false models the
+  /// asynchronous hypothetical of Section VII-A.
+  bool sync_spin{true};
+  /// Guard window excluded from the Fig. 6c emulation around every kernel
+  /// launch (the paper's "cannot throttle while communicating" assumption).
+  Seconds emulation_guard_per_launch{0.5};
+};
+
+/// Run `workload` under `policy` on a fresh simulated testbed.
+[[nodiscard]] ExperimentResult run_experiment(workloads::Workload& workload,
+                                              const Policy& policy,
+                                              const RunOptions& options = {});
+
+/// Convenience: construct-by-name, run, return.
+[[nodiscard]] ExperimentResult run_experiment(const std::string& workload_name,
+                                              const Policy& policy,
+                                              const RunOptions& options = {});
+
+}  // namespace gg::greengpu

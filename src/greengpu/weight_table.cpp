@@ -1,0 +1,139 @@
+#include "src/greengpu/weight_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/greengpu/loss.h"
+
+namespace gg::greengpu {
+
+namespace {
+void check_dims(std::size_t n, std::size_t m) {
+  if (n == 0 || m == 0) throw std::invalid_argument("WeightTable: zero levels");
+}
+void check_losses(const std::vector<double>& core, const std::vector<double>& mem,
+                  std::size_t n, std::size_t m) {
+  if (core.size() != n || mem.size() != m) {
+    throw std::invalid_argument("WeightTable: loss vector size mismatch");
+  }
+}
+}  // namespace
+
+WeightTable::WeightTable(std::size_t core_levels, std::size_t mem_levels)
+    : n_(core_levels), m_(mem_levels), w_(core_levels * mem_levels, 1.0) {
+  check_dims(n_, m_);
+}
+
+double WeightTable::weight(std::size_t core, std::size_t mem) const {
+  if (core >= n_ || mem >= m_) throw std::out_of_range("WeightTable: index");
+  return w_[idx(core, mem)];
+}
+
+void WeightTable::update(const std::vector<double>& core_losses,
+                         const std::vector<double>& mem_losses, double phi, double beta,
+                         double weight_floor) {
+  check_losses(core_losses, mem_losses, n_, m_);
+  double max_w = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double loss = total_loss(core_losses[i], mem_losses[j], phi);
+      double& w = w_[idx(i, j)];
+      w = updated_weight(w, loss, beta);
+      max_w = std::max(max_w, w);
+    }
+  }
+  // Renormalize so the maximum is 1 (pure rescaling: argmax unaffected) and
+  // floor tiny weights so losers can recover in bounded time.
+  if (max_w > 0.0) {
+    for (double& w : w_) w = std::max(w / max_w, weight_floor);
+  } else {
+    reset();
+  }
+}
+
+PairIndex WeightTable::argmax() const {
+  PairIndex best{0, 0};
+  double best_w = w_[0];
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double w = w_[idx(i, j)];
+      if (w > best_w) {
+        best_w = w;
+        best = PairIndex{i, j};
+      }
+    }
+  }
+  return best;
+}
+
+void WeightTable::reset() { std::fill(w_.begin(), w_.end(), 1.0); }
+
+FixedWeightTable::FixedWeightTable(std::size_t core_levels, std::size_t mem_levels)
+    : n_(core_levels), m_(mem_levels), w_(core_levels * mem_levels, UQ08::one()) {
+  check_dims(n_, m_);
+}
+
+UQ08 FixedWeightTable::weight(std::size_t core, std::size_t mem) const {
+  if (core >= n_ || mem >= m_) throw std::out_of_range("FixedWeightTable: index");
+  return w_[idx(core, mem)];
+}
+
+void FixedWeightTable::update(const std::vector<double>& core_losses,
+                              const std::vector<double>& mem_losses, double phi,
+                              double beta) {
+  check_losses(core_losses, mem_losses, n_, m_);
+  // Section VI datapath: quantize the per-pair loss to Q0.8 and apply the
+  // update subtractively, w' = w - round(w * (1-beta) * loss), which a
+  // shift-add unit computes exactly.  The subtractive form keeps pairs with
+  // small loss differences separated where quantizing the decay *factor*
+  // would collapse them (alpha_m = 0.02 produces sub-LSB factor deltas).
+  const std::uint32_t beta_raw = UQ08::from_double(1.0 - beta).raw();  // (1-beta)
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double loss = total_loss(core_losses[i], mem_losses[j], phi);
+      const std::uint32_t loss_raw = UQ08::from_double(loss).raw();
+      auto& w = w_[idx(i, j)];
+      const std::uint32_t prod = w.raw() * beta_raw * loss_raw;  // <= 2^24
+      constexpr std::uint32_t kDenom = 255u * 255u;
+      // Truncating divide (a shift in the real datapath): floor rounding
+      // keeps pairs with adjacent loss codes separated, where
+      // round-to-nearest would give both the same decrement.
+      const std::uint32_t decrement = prod / kDenom;
+      const std::uint32_t raw = w.raw();
+      w = UQ08::from_raw(static_cast<std::uint8_t>(raw > decrement ? raw - decrement : 0));
+    }
+  }
+  // Hardware renormalization: double every entry (a left shift) while the
+  // maximum is below half scale.  Doubling preserves relative order exactly.
+  for (;;) {
+    std::uint8_t max_raw = 0;
+    for (const auto& w : w_) max_raw = std::max(max_raw, w.raw());
+    if (max_raw == 0) {
+      reset();
+      return;
+    }
+    if (max_raw > 127) return;
+    for (auto& w : w_) {
+      w = UQ08::from_raw(static_cast<std::uint8_t>(w.raw() * 2));
+    }
+  }
+}
+
+PairIndex FixedWeightTable::argmax() const {
+  PairIndex best{0, 0};
+  std::uint8_t best_w = w_[0].raw();
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      const std::uint8_t w = w_[idx(i, j)].raw();
+      if (w > best_w) {
+        best_w = w;
+        best = PairIndex{i, j};
+      }
+    }
+  }
+  return best;
+}
+
+void FixedWeightTable::reset() { std::fill(w_.begin(), w_.end(), UQ08::one()); }
+
+}  // namespace gg::greengpu

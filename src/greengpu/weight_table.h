@@ -1,0 +1,88 @@
+// Core-memory frequency-pair weight tables for the WMA scaler.
+//
+// Two implementations share one concept:
+//  * `WeightTable` — double precision, used by the software daemon;
+//  * `FixedWeightTable` — 8-bit Q0.8 entries, validating the Section VI
+//    claim that a 36-byte table with shift-add update logic is "accurate
+//    enough for the purpose of picking up the largest weight".
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/fixed_point.h"
+#include "src/greengpu/params.h"
+
+namespace gg::greengpu {
+
+/// Index of a (core level, memory level) pair.
+struct PairIndex {
+  std::size_t core{0};
+  std::size_t mem{0};
+  friend bool operator==(const PairIndex&, const PairIndex&) = default;
+};
+
+class WeightTable {
+ public:
+  /// All weights start equal (no preference in the initial state).
+  WeightTable(std::size_t core_levels, std::size_t mem_levels);
+
+  [[nodiscard]] std::size_t core_levels() const { return n_; }
+  [[nodiscard]] std::size_t mem_levels() const { return m_; }
+  [[nodiscard]] double weight(std::size_t core, std::size_t mem) const;
+
+  /// Apply Eq. 4 to every entry given per-level core and memory losses
+  /// (vectors of length core_levels / mem_levels), then renormalize so the
+  /// maximum weight is 1 and apply the relative floor.
+  void update(const std::vector<double>& core_losses,
+              const std::vector<double>& mem_losses, double phi, double beta,
+              double weight_floor);
+
+  /// Pair with the highest weight; ties break toward higher frequencies
+  /// (lower indices), the performance-safe choice.
+  [[nodiscard]] PairIndex argmax() const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t idx(std::size_t core, std::size_t mem) const {
+    return core * m_ + mem;
+  }
+  std::size_t n_;
+  std::size_t m_;
+  std::vector<double> w_;
+};
+
+/// Section VI hardware sketch: N x M bytes of Q0.8 weights.  The update is
+/// expressed with fixed-point multiplies (what the shift-add datapath
+/// computes); renormalization doubles all entries while the maximum is below
+/// half scale, preserving order.
+class FixedWeightTable {
+ public:
+  FixedWeightTable(std::size_t core_levels, std::size_t mem_levels);
+
+  [[nodiscard]] std::size_t core_levels() const { return n_; }
+  [[nodiscard]] std::size_t mem_levels() const { return m_; }
+  [[nodiscard]] UQ08 weight(std::size_t core, std::size_t mem) const;
+  /// Table storage footprint in bytes (6x6 levels -> 36 bytes, as in the
+  /// paper).
+  [[nodiscard]] std::size_t storage_bytes() const { return w_.size(); }
+
+  void update(const std::vector<double>& core_losses,
+              const std::vector<double>& mem_losses, double phi, double beta);
+
+  [[nodiscard]] PairIndex argmax() const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t idx(std::size_t core, std::size_t mem) const {
+    return core * m_ + mem;
+  }
+  std::size_t n_;
+  std::size_t m_;
+  std::vector<UQ08> w_;
+};
+
+}  // namespace gg::greengpu

@@ -1,0 +1,79 @@
+#include "src/greengpu/wma_scaler.h"
+
+#include <stdexcept>
+
+namespace gg::greengpu {
+
+GpuFrequencyScaler::GpuFrequencyScaler(cudalite::NvmlDevice& nvml,
+                                       cudalite::NvSettings& settings, WmaParams params)
+    : nvml_(&nvml),
+      settings_(&settings),
+      params_(params),
+      core_umean_(umean_table(settings.core_table())),
+      mem_umean_(umean_table(settings.mem_table())),
+      core_filter_(params.util_filter_alpha),
+      mem_filter_(params.util_filter_alpha),
+      table_(settings.core_table().levels(), settings.mem_table().levels()) {
+  if (params_.util_filter_alpha <= 0.0 || params_.util_filter_alpha > 1.0) {
+    throw std::invalid_argument("WmaParams: util_filter_alpha must be in (0,1]");
+  }
+}
+
+ScalerDecision GpuFrequencyScaler::step(Seconds now) {
+  // 1. Read GPU core and memory utilizations (integer percent, like the
+  //    nvidia-smi tool the paper polls).
+  const cudalite::UtilizationRates rates = nvml_->utilization_rates();
+  const double uc_raw = static_cast<double>(rates.gpu) / 100.0;
+  const double um_raw = static_cast<double>(rates.memory) / 100.0;
+  // Optional measurement-side noise filter (alpha = 1 passes through).
+  const double uc = core_filter_.update(uc_raw);
+  const double um = mem_filter_.update(um_raw);
+
+  // 2. Per-level core and memory loss factors (Eq. 1 and Eq. 2).
+  std::vector<double> core_losses(core_umean_.size());
+  for (std::size_t i = 0; i < core_umean_.size(); ++i) {
+    core_losses[i] = component_loss(uc, core_umean_[i], params_.alpha_core);
+  }
+  std::vector<double> mem_losses(mem_umean_.size());
+  for (std::size_t j = 0; j < mem_umean_.size(); ++j) {
+    mem_losses[j] = component_loss(um, mem_umean_[j], params_.alpha_mem);
+  }
+
+  // 3. Update weight[N][M] (Eq. 3 + Eq. 4) and enforce the argmax pair.
+  table_.update(core_losses, mem_losses, params_.phi, params_.beta, params_.weight_floor);
+  const PairIndex chosen = table_.argmax();
+  settings_->set_clock_levels(chosen.core, chosen.mem);
+
+  ++steps_;
+  const ScalerDecision d{now, uc_raw, um_raw, uc, um, chosen};
+  decisions_.push_back(d);
+  return d;
+}
+
+void GpuFrequencyScaler::attach(sim::EventQueue& queue) {
+  detach();
+  attached_queue_ = &queue;
+  arm(queue);
+}
+
+void GpuFrequencyScaler::arm(sim::EventQueue& queue) {
+  next_ = queue.schedule_in(params_.interval, [this, &queue] {
+    step(queue.now());
+    arm(queue);
+  });
+}
+
+void GpuFrequencyScaler::detach() {
+  next_.cancel();
+  attached_queue_ = nullptr;
+}
+
+void GpuFrequencyScaler::reset() {
+  table_.reset();
+  core_filter_ = Ewma(params_.util_filter_alpha);
+  mem_filter_ = Ewma(params_.util_filter_alpha);
+  decisions_.clear();
+  steps_ = 0;
+}
+
+}  // namespace gg::greengpu

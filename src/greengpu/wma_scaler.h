@@ -1,0 +1,72 @@
+// Algorithm 1: the online-learning GPU frequency-scaling daemon.
+//
+// Periodically reads GPU core/memory utilizations through the NVML-style
+// interface, updates the core-memory pair weight table (Table I + Eq. 1-4)
+// and enforces the argmax pair through the nvidia-settings-style actuator —
+// exactly the role of the paper's background Python daemon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/cudalite/nvml.h"
+#include "src/cudalite/nvsettings.h"
+#include "src/greengpu/loss.h"
+#include "src/greengpu/params.h"
+#include "src/greengpu/weight_table.h"
+#include "src/sim/event_queue.h"
+
+namespace gg::greengpu {
+
+/// One record of what the scaler saw and decided (for traces and tests).
+struct ScalerDecision {
+  Seconds time{0.0};
+  double core_util{0.0};  // raw measurements, as fractions in [0, 1]
+  double mem_util{0.0};
+  double filtered_core_util{0.0};  // after the optional EWMA pre-filter
+  double filtered_mem_util{0.0};
+  PairIndex chosen{};
+};
+
+class GpuFrequencyScaler {
+ public:
+  /// Binds the controller to the monitoring and actuation interfaces.
+  GpuFrequencyScaler(cudalite::NvmlDevice& nvml, cudalite::NvSettings& settings,
+                     WmaParams params);
+
+  /// One Algorithm 1 step: read utilizations, update weights, enforce argmax.
+  /// Returns the decision taken.
+  ScalerDecision step(Seconds now);
+
+  /// Start periodic invocation on the queue (first step after one interval).
+  void attach(sim::EventQueue& queue);
+  /// Stop periodic invocation.
+  void detach();
+
+  [[nodiscard]] const WeightTable& table() const { return table_; }
+  [[nodiscard]] const WmaParams& params() const { return params_; }
+  [[nodiscard]] const std::vector<ScalerDecision>& decisions() const { return decisions_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+  /// Forget all learned state (weights back to uniform).
+  void reset();
+
+ private:
+  void arm(sim::EventQueue& queue);
+
+  cudalite::NvmlDevice* nvml_;
+  cudalite::NvSettings* settings_;
+  WmaParams params_;
+  std::vector<double> core_umean_;
+  std::vector<double> mem_umean_;
+  Ewma core_filter_;
+  Ewma mem_filter_;
+  WeightTable table_;
+  std::vector<ScalerDecision> decisions_;
+  std::uint64_t steps_{0};
+  sim::EventHandle next_;
+  sim::EventQueue* attached_queue_{nullptr};
+};
+
+}  // namespace gg::greengpu

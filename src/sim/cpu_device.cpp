@@ -1,0 +1,166 @@
+#include "src/sim/cpu_device.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace gg::sim {
+
+namespace {
+constexpr double kUnitEpsilon = 1e-9;
+
+void validate(const CpuWork& w, int cores) {
+  if (!(w.units > 0.0)) throw std::invalid_argument("CpuWork: units must be > 0");
+  if (w.ops_per_unit < 0.0 || w.overhead_per_unit < Seconds{0.0}) {
+    throw std::invalid_argument("CpuWork: negative work component");
+  }
+  if (w.ops_per_unit == 0.0 && w.overhead_per_unit == Seconds{0.0}) {
+    throw std::invalid_argument("CpuWork: task with zero work");
+  }
+  if (w.active_cores < 0 || w.active_cores > cores) {
+    throw std::invalid_argument("CpuWork: active_cores out of range");
+  }
+}
+}  // namespace
+
+CpuDevice::CpuDevice(EventQueue& queue, CpuSpec spec, DvfsTable table,
+                     std::size_t initial_level)
+    : queue_(queue), spec_(spec), domain_("cpu", std::move(table), initial_level),
+      last_account_(queue.now()) {
+  energy_.reset(queue.now());
+}
+
+CpuDevice CpuDevice::testbed_default(EventQueue& queue) {
+  return CpuDevice{queue, CpuSpec{}, phenom2_table(), 0};
+}
+
+int CpuDevice::effective_cores(const CpuWork& w) const {
+  return w.active_cores == 0 ? spec_.cores : w.active_cores;
+}
+
+Seconds CpuDevice::unit_time(const CpuWork& w) const {
+  const double share = static_cast<double>(effective_cores(w)) / spec_.cores;
+  const double rate = spec_.throughput(domain_.frequency()) * share;
+  return w.overhead_per_unit + Seconds{w.ops_per_unit / rate};
+}
+
+Seconds CpuDevice::predict_duration(const CpuWork& work) const {
+  validate(work, spec_.cores);
+  return unit_time(work) * work.units;
+}
+
+double CpuDevice::utilization_now() const {
+  if (active_) {
+    return static_cast<double>(effective_cores(active_->work)) / spec_.cores;
+  }
+  if (spinning_) {
+    // With the synchronous CUDA 3.2 stack the GPU-owner pthread busy-waits
+    // and the idle OpenMP workers sit in active-wait barriers, so every core
+    // reads 100 % — exactly the Section VII-A observation ("the CPU has a
+    // utilization of 100% even when it is idling"), which defeats ondemand.
+    return 1.0;
+  }
+  return 0.0;
+}
+
+Watts CpuDevice::power_now() const {
+  const double f_norm = domain_.frequency() / domain_.table().peak();
+  const double v_norm = domain_.voltage() / domain_.table().voltage(0);
+  const double util_sum = utilization_now() * spec_.cores;
+  return spec_.power(f_norm, v_norm, util_sum);
+}
+
+Watts CpuDevice::idle_power(std::size_t at_level) const {
+  const double f_norm = domain_.table().frequency(at_level) / domain_.table().peak();
+  const double v_norm = domain_.table().voltage(at_level) / domain_.table().voltage(0);
+  return spec_.power(f_norm, v_norm, 0.0);
+}
+
+Watts CpuDevice::power_at(std::size_t at_level, double utilization) const {
+  const double f_norm = domain_.table().frequency(at_level) / domain_.table().peak();
+  const double v_norm = domain_.table().voltage(at_level) / domain_.table().voltage(0);
+  return spec_.power(f_norm, v_norm, clamp_unit(utilization) * spec_.cores);
+}
+
+void CpuDevice::account() {
+  const Seconds now = queue_.now();
+  const Seconds dt = now - last_account_;
+  if (dt <= Seconds{0.0}) {
+    last_account_ = now;
+    return;
+  }
+  const Watts p = power_now();
+  energy_.advance(now, p);
+  const double u = utilization_now();
+  counters_.util_integral += u * dt.get();
+  if (u > 0.0) counters_.busy_integral += dt.get();
+  if (!active_ && spinning_) {
+    counters_.spin_integral += dt.get();
+    spin_energy_ += p * dt;
+  }
+  if (active_) active_->units_done += dt / unit_time(active_->work);
+  last_account_ = now;
+}
+
+CpuActivityCounters CpuDevice::counters() {
+  account();
+  return counters_;
+}
+
+Joules CpuDevice::energy() {
+  account();
+  return energy_.energy();
+}
+
+Joules CpuDevice::spin_energy() {
+  account();
+  return spin_energy_;
+}
+
+void CpuDevice::submit(const CpuWork& work, CompletionCallback on_complete) {
+  validate(work, spec_.cores);
+  account();
+  fifo_.push_back(Active{work, 0.0, std::move(on_complete)});
+  start_next_if_idle();
+}
+
+void CpuDevice::set_spinning(bool spinning) {
+  if (spinning == spinning_) return;
+  account();
+  spinning_ = spinning;
+}
+
+void CpuDevice::start_next_if_idle() {
+  if (active_ || fifo_.empty()) return;
+  account();
+  active_ = std::move(fifo_.front());
+  fifo_.pop_front();
+  schedule_completion();
+}
+
+void CpuDevice::schedule_completion() {
+  completion_.cancel();
+  const double remaining = std::max(0.0, active_->work.units - active_->units_done);
+  const Seconds eta = unit_time(active_->work) * remaining;
+  completion_ = queue_.schedule_in(eta, [this] { on_completion_event(); });
+}
+
+void CpuDevice::on_completion_event() {
+  account();
+  if (active_->units_done < active_->work.units - kUnitEpsilon * active_->work.units) {
+    schedule_completion();
+    return;
+  }
+  CompletionCallback cb = std::move(active_->on_complete);
+  active_.reset();
+  ++tasks_completed_;
+  start_next_if_idle();
+  if (cb) cb();
+}
+
+void CpuDevice::set_level(std::size_t level) {
+  account();
+  if (domain_.set_level(level) && active_) schedule_completion();
+}
+
+}  // namespace gg::sim

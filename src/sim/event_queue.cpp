@@ -1,0 +1,67 @@
+#include "src/sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gg::sim {
+
+EventHandle EventQueue::schedule_at(Seconds when, Action action) {
+  if (when < now_) throw std::invalid_argument("EventQueue: schedule in the past");
+  if (!action) throw std::invalid_argument("EventQueue: empty action");
+  EventHandle handle;
+  handle.state_ = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_seq_++, std::move(action), handle.state_});
+  return handle;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();  // heap_ is mutable: lazy removal of cancelled entries
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::pending_count() const {
+  // heap_ may contain cancelled entries; count live ones.  O(n) but only used
+  // by tests.
+  auto copy = heap_;
+  std::size_t n = 0;
+  while (!copy.empty()) {
+    if (!copy.top().state->cancelled) ++n;
+    copy.pop();
+  }
+  return n;
+}
+
+bool EventQueue::step() {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.when;
+  e.state->fired = true;
+  ++fired_;
+  e.action();
+  return true;
+}
+
+void EventQueue::run_until(Seconds until) {
+  if (until < now_) throw std::invalid_argument("EventQueue: run_until in the past");
+  for (;;) {
+    drop_cancelled();
+    if (heap_.empty() || heap_.top().when > until) break;
+    step();
+  }
+  now_ = until;
+}
+
+void EventQueue::run_until_empty() {
+  while (step()) {
+  }
+}
+
+}  // namespace gg::sim

@@ -1,0 +1,102 @@
+// Discrete-event simulation core.
+//
+// The GreenGPU platform is modelled as a discrete-event system: kernel
+// completions, DVFS controller invocations, power-meter samples and division
+// decisions are all events on a single queue.  The queue provides stable FIFO
+// ordering for events scheduled at the same timestamp and cheap cancellation
+// (needed when a frequency change reschedules an in-flight kernel completion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace gg::sim {
+
+/// Handle to a scheduled event; allows cancellation.  Copies share state.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet.  Safe to call repeatedly and
+  /// on default-constructed handles.
+  void cancel() {
+    if (state_) state_->cancelled = true;
+  }
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool cancelled() const { return state_ && state_->cancelled; }
+  [[nodiscard]] bool fired() const { return state_ && state_->fired; }
+  [[nodiscard]] bool pending() const {
+    return state_ && !state_->fired && !state_->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled{false};
+    bool fired{false};
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Min-heap event queue with deterministic same-time ordering (by insertion
+/// sequence number).
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Seconds when, Action action);
+
+  /// Schedule `action` `delay` from now (delay must be >= 0).
+  EventHandle schedule_in(Seconds delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run events with timestamp <= `until`, then advance the clock to `until`.
+  void run_until(Seconds until);
+
+  /// Run until the queue is empty (cancelled events do not keep it alive).
+  void run_until_empty();
+
+  /// Fire exactly one event if any is pending; returns false if none.
+  bool step();
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending_count() const;
+
+  /// Total events fired (for tests and microbenchmarks).
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop cancelled entries off the top so empty()/peek logic sees live events.
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Seconds now_{0.0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t fired_{0};
+};
+
+}  // namespace gg::sim

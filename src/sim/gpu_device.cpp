@@ -1,0 +1,163 @@
+#include "src/sim/gpu_device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace gg::sim {
+
+namespace {
+constexpr double kUnitEpsilon = 1e-9;
+
+void validate(const KernelWork& w) {
+  if (!(w.units > 0.0)) throw std::invalid_argument("KernelWork: units must be > 0");
+  if (w.core_cycles_per_unit < 0.0 || w.mem_bytes_per_unit < 0.0 ||
+      w.overhead_per_unit < Seconds{0.0}) {
+    throw std::invalid_argument("KernelWork: negative work component");
+  }
+  if (w.core_cycles_per_unit == 0.0 && w.mem_bytes_per_unit == 0.0 &&
+      w.overhead_per_unit == Seconds{0.0}) {
+    throw std::invalid_argument("KernelWork: kernel with zero work");
+  }
+}
+}  // namespace
+
+GpuDevice::GpuDevice(EventQueue& queue, GpuSpec spec, DvfsTable core_table,
+                     DvfsTable mem_table, std::size_t initial_core_level,
+                     std::size_t initial_mem_level)
+    : queue_(queue),
+      spec_(spec),
+      core_("gpu_core", std::move(core_table), initial_core_level),
+      mem_("gpu_mem", std::move(mem_table), initial_mem_level),
+      last_account_(queue.now()) {
+  energy_.reset(queue.now());
+}
+
+GpuDevice GpuDevice::testbed_default(EventQueue& queue) {
+  DvfsTable core = geforce8800_core_table();
+  DvfsTable mem = geforce8800_memory_table();
+  const std::size_t core_low = core.lowest_level();
+  const std::size_t mem_low = mem.lowest_level();
+  return GpuDevice{queue, GpuSpec{}, std::move(core), std::move(mem), core_low, mem_low};
+}
+
+Seconds GpuDevice::unit_time(const KernelWork& w) const {
+  const double t_core = w.core_cycles_per_unit / spec_.core_throughput(core_.frequency());
+  const double t_mem = w.mem_bytes_per_unit / spec_.mem_bandwidth(mem_.frequency());
+  return Seconds{std::max({t_core, t_mem, w.overhead_per_unit.get()})};
+}
+
+double GpuDevice::unit_core_fraction(const KernelWork& w) const {
+  const double t_core = w.core_cycles_per_unit / spec_.core_throughput(core_.frequency());
+  return t_core / unit_time(w).get();
+}
+
+double GpuDevice::unit_mem_fraction(const KernelWork& w) const {
+  const double t_mem = w.mem_bytes_per_unit / spec_.mem_bandwidth(mem_.frequency());
+  return t_mem / unit_time(w).get();
+}
+
+Seconds GpuDevice::predict_duration(const KernelWork& work) const {
+  validate(work);
+  return unit_time(work) * work.units;
+}
+
+double GpuDevice::core_utilization_now() const {
+  if (!active_) return 0.0;
+  return unit_core_fraction(active_->work);
+}
+
+double GpuDevice::mem_utilization_now() const {
+  if (!active_) return 0.0;
+  return unit_mem_fraction(active_->work);
+}
+
+Watts GpuDevice::power_now() const {
+  const double fc = core_.frequency() / core_.table().peak();
+  const double fm = mem_.frequency() / mem_.table().peak();
+  return spec_.power(fc, core_utilization_now(), fm, mem_utilization_now());
+}
+
+Watts GpuDevice::idle_power(std::size_t core_level, std::size_t mem_level) const {
+  const double fc = core_.table().frequency(core_level) / core_.table().peak();
+  const double fm = mem_.table().frequency(mem_level) / mem_.table().peak();
+  return spec_.power(fc, 0.0, fm, 0.0);
+}
+
+void GpuDevice::account() {
+  const Seconds now = queue_.now();
+  const Seconds dt = now - last_account_;
+  if (dt <= Seconds{0.0}) {
+    last_account_ = now;
+    return;
+  }
+  energy_.advance(now, power_now());
+  if (active_) {
+    const double uc = unit_core_fraction(active_->work);
+    const double um = unit_mem_fraction(active_->work);
+    counters_.core_util_integral += uc * dt.get();
+    counters_.mem_util_integral += um * dt.get();
+    counters_.busy_integral += dt.get();
+    active_->units_done += dt / unit_time(active_->work);
+  }
+  last_account_ = now;
+}
+
+GpuActivityCounters GpuDevice::counters() {
+  account();
+  return counters_;
+}
+
+Joules GpuDevice::energy() {
+  account();
+  return energy_.energy();
+}
+
+void GpuDevice::submit(const KernelWork& work, CompletionCallback on_complete) {
+  validate(work);
+  account();
+  fifo_.push_back(Active{work, 0.0, std::move(on_complete)});
+  start_next_if_idle();
+}
+
+void GpuDevice::start_next_if_idle() {
+  if (active_ || fifo_.empty()) return;
+  account();
+  active_ = std::move(fifo_.front());
+  fifo_.pop_front();
+  schedule_completion();
+}
+
+void GpuDevice::schedule_completion() {
+  completion_.cancel();
+  const double remaining = std::max(0.0, active_->work.units - active_->units_done);
+  const Seconds eta = unit_time(active_->work) * remaining;
+  completion_ = queue_.schedule_in(eta, [this] { on_completion_event(); });
+}
+
+void GpuDevice::on_completion_event() {
+  account();
+  // Guard against floating-point drift from mid-kernel rate changes.
+  if (active_->units_done < active_->work.units - kUnitEpsilon * active_->work.units) {
+    schedule_completion();
+    return;
+  }
+  CompletionCallback cb = std::move(active_->on_complete);
+  active_.reset();
+  ++kernels_completed_;
+  start_next_if_idle();
+  if (cb) cb();
+}
+
+void GpuDevice::set_core_level(std::size_t level) {
+  account();
+  if (core_.set_level(level) && active_) schedule_completion();
+}
+
+void GpuDevice::set_mem_level(std::size_t level) {
+  account();
+  if (mem_.set_level(level) && active_) schedule_completion();
+}
+
+}  // namespace gg::sim

@@ -1,0 +1,158 @@
+// Simulated GPU device: SM array + memory controller with independent
+// frequency domains, FIFO kernel execution, exact utilization accounting and
+// power integration.
+//
+// Execution model (three-term roofline): a kernel consists of `units`
+// identical work units; each unit needs `core_cycles_per_unit` aggregate
+// SP-cycles, `mem_bytes_per_unit` DRAM bytes, and a frequency-independent
+// `overhead_per_unit` of pipelined serialization (launch latency, dependency
+// stalls, host round trips).  All three streams overlap:
+//
+//   t_unit = max(core_cycles / core_throughput(f_core),
+//                mem_bytes   / mem_bandwidth(f_mem),
+//                overhead)
+//
+// While a kernel runs, instantaneous utilizations follow Nvidia's
+// definitions (core util = busy cycles / total cycles, memory util = achieved
+// bandwidth / peak bandwidth at the current clock):
+//
+//   u_core = t_core_unit / t_unit,   u_mem = t_mem_unit / t_unit
+//
+// This is the physics behind the paper's observation 1 (Section III-A): a
+// component with utilization u has 1-u of frequency slack, so throttling it
+// until its stream reaches the critical path costs no time while saving
+// clock power.  Throttling past the slack point makes that stream dominant
+// and execution time grows as 1/f — the knees of Fig. 1.
+//
+// Work depletes linearly in time under the current frequencies, so execution
+// under mid-kernel DVFS transitions is exact (piecewise-linear progress).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/sim/dvfs.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/power_meter.h"
+#include "src/sim/specs.h"
+
+namespace gg::sim {
+
+/// Work description for one kernel launch.
+struct KernelWork {
+  /// Number of divisible work units; must be > 0.
+  double units{1.0};
+  /// Aggregate SP-cycles required per unit (across all SPs).
+  double core_cycles_per_unit{0.0};
+  /// DRAM traffic per unit, bytes.
+  double mem_bytes_per_unit{0.0};
+  /// Frequency-independent serialization time per unit.
+  Seconds overhead_per_unit{0.0};
+};
+
+/// Cumulative activity counters, used by the NVML-style sampler to compute
+/// windowed utilizations by differencing.
+struct GpuActivityCounters {
+  /// Integral of instantaneous core utilization over time (seconds).
+  double core_util_integral{0.0};
+  /// Integral of instantaneous memory utilization over time (seconds).
+  double mem_util_integral{0.0};
+  /// Total time the device was executing a kernel (seconds).
+  double busy_integral{0.0};
+};
+
+class GpuDevice {
+ public:
+  using CompletionCallback = std::function<void()>;
+
+  GpuDevice(EventQueue& queue, GpuSpec spec, DvfsTable core_table, DvfsTable mem_table,
+            std::size_t initial_core_level, std::size_t initial_mem_level);
+
+  /// Convenience: the paper's testbed GPU with both domains at the lowest
+  /// levels (the driver default the Fig. 5 experiment starts from).
+  static GpuDevice testbed_default(EventQueue& queue);
+
+  // --- Execution ---------------------------------------------------------
+  /// Enqueue a kernel; runs FIFO (the 8800/CUDA 3.2 stack has no concurrent
+  /// kernels).  `on_complete` fires at the simulated completion instant.
+  void submit(const KernelWork& work, CompletionCallback on_complete);
+
+  [[nodiscard]] bool busy() const { return active_.has_value(); }
+  [[nodiscard]] std::size_t queued() const { return fifo_.size(); }
+
+  /// Predicted duration of `work` if started now at current frequencies and
+  /// run to completion without DVFS transitions.
+  [[nodiscard]] Seconds predict_duration(const KernelWork& work) const;
+
+  // --- Frequency control (nvidia-settings equivalent) --------------------
+  void set_core_level(std::size_t level);
+  void set_mem_level(std::size_t level);
+  [[nodiscard]] std::size_t core_level() const { return core_.level(); }
+  [[nodiscard]] std::size_t mem_level() const { return mem_.level(); }
+  [[nodiscard]] Megahertz core_frequency() const { return core_.frequency(); }
+  [[nodiscard]] Megahertz mem_frequency() const { return mem_.frequency(); }
+  [[nodiscard]] const DvfsTable& core_table() const { return core_.table(); }
+  [[nodiscard]] const DvfsTable& mem_table() const { return mem_.table(); }
+  [[nodiscard]] std::uint64_t frequency_transitions() const {
+    return core_.transitions() + mem_.transitions();
+  }
+
+  // --- Monitoring ---------------------------------------------------------
+  /// Instantaneous utilizations (0 when idle).
+  [[nodiscard]] double core_utilization_now() const;
+  [[nodiscard]] double mem_utilization_now() const;
+
+  /// Counters valid as of queue.now(); advances internal accounting first.
+  [[nodiscard]] GpuActivityCounters counters();
+
+  /// Card energy consumed so far (meter 2 equivalent).
+  [[nodiscard]] Joules energy();
+  /// Instantaneous card power.
+  [[nodiscard]] Watts power_now() const;
+
+  /// Card power if the device were idle at the given levels (used for the
+  /// paper's dynamic-energy accounting).
+  [[nodiscard]] Watts idle_power(std::size_t core_level, std::size_t mem_level) const;
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t kernels_completed() const { return kernels_completed_; }
+
+ private:
+  struct Active {
+    KernelWork work;
+    double units_done{0.0};
+    CompletionCallback on_complete;
+  };
+
+  /// Integrate energy/utilization/progress from the last accounting instant
+  /// to queue.now().  Must be called before any state mutation.
+  void account();
+
+  /// Time one unit of the active kernel takes at current frequencies.
+  [[nodiscard]] Seconds unit_time(const KernelWork& w) const;
+  [[nodiscard]] double unit_core_fraction(const KernelWork& w) const;
+  [[nodiscard]] double unit_mem_fraction(const KernelWork& w) const;
+
+  void start_next_if_idle();
+  void schedule_completion();
+  void on_completion_event();
+
+  EventQueue& queue_;
+  GpuSpec spec_;
+  FreqDomain core_;
+  FreqDomain mem_;
+
+  std::deque<Active> fifo_;
+  std::optional<Active> active_;
+  EventHandle completion_;
+
+  Seconds last_account_{0.0};
+  GpuActivityCounters counters_{};
+  EnergyIntegrator energy_{};
+  std::uint64_t kernels_completed_{0};
+};
+
+}  // namespace gg::sim

@@ -1,0 +1,57 @@
+#include "src/sim/platform.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gg::sim {
+
+Platform::Platform(std::size_t gpu_count) {
+  if (gpu_count == 0) throw std::invalid_argument("Platform: need at least one GPU");
+  for (std::size_t i = 0; i < gpu_count; ++i) {
+    DvfsTable core = geforce8800_core_table();
+    DvfsTable mem = geforce8800_memory_table();
+    const std::size_t core_low = core.lowest_level();
+    const std::size_t mem_low = mem.lowest_level();
+    gpus_.push_back(std::make_unique<GpuDevice>(queue_, GpuSpec{}, std::move(core),
+                                                std::move(mem), core_low, mem_low));
+  }
+  cpu_ = std::make_unique<CpuDevice>(queue_, CpuSpec{}, phenom2_table(), 0);
+}
+
+Platform::Platform(GpuSpec gpu_spec, DvfsTable gpu_core, DvfsTable gpu_mem,
+                   std::size_t gpu_core_level, std::size_t gpu_mem_level, CpuSpec cpu_spec,
+                   DvfsTable cpu_table, std::size_t cpu_level, BusSpec bus,
+                   std::size_t gpu_count)
+    : bus_(bus) {
+  if (gpu_count == 0) throw std::invalid_argument("Platform: need at least one GPU");
+  for (std::size_t i = 0; i < gpu_count; ++i) {
+    gpus_.push_back(std::make_unique<GpuDevice>(queue_, gpu_spec, gpu_core, gpu_mem,
+                                                gpu_core_level, gpu_mem_level));
+  }
+  cpu_ = std::make_unique<CpuDevice>(queue_, cpu_spec, std::move(cpu_table), cpu_level);
+}
+
+EnergySnapshot Platform::snapshot() {
+  EnergySnapshot s;
+  s.time = queue_.now();
+  s.per_gpu.reserve(gpus_.size());
+  for (auto& gpu : gpus_) {
+    const Joules e = gpu->energy();
+    s.per_gpu.push_back(e);
+    s.gpu += e;
+  }
+  s.cpu = cpu_->energy();
+  return s;
+}
+
+EnergyDelta Platform::delta(const EnergySnapshot& a, const EnergySnapshot& b) {
+  return EnergyDelta{b.time - a.time, b.gpu - a.gpu, b.cpu - a.cpu};
+}
+
+Watts Platform::idle_power_at_peak() {
+  Watts p = cpu_->idle_power(0);
+  for (auto& gpu : gpus_) p += gpu->idle_power(0, 0);
+  return p;
+}
+
+}  // namespace gg::sim

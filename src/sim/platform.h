@@ -1,0 +1,73 @@
+// Aggregate GPU-CPU heterogeneous platform (Figure 3's lower half, plus the
+// two Wattsup meters of Figure 4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/cpu_device.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/gpu_device.h"
+#include "src/sim/specs.h"
+
+namespace gg::sim {
+
+/// Energies of both meters at an instant; used to attribute energy to
+/// iterations and experiment phases by differencing.
+struct EnergySnapshot {
+  Seconds time{0.0};
+  Joules gpu{0.0};  // meter 2: all GPU cards via their own ATX supply
+  Joules cpu{0.0};  // meter 1: CPU + motherboard + disk + main memory
+  /// Per-card energies (size = gpu_count; sums to `gpu`).
+  std::vector<Joules> per_gpu;
+  [[nodiscard]] Joules total() const { return gpu + cpu; }
+};
+
+/// Difference of two snapshots.
+struct EnergyDelta {
+  Seconds elapsed{0.0};
+  Joules gpu{0.0};
+  Joules cpu{0.0};
+  [[nodiscard]] Joules total() const { return gpu + cpu; }
+};
+
+class Platform {
+ public:
+  /// Construct the paper's testbed: GeForce 8800 GTX cards (frequencies
+  /// start at the lowest levels — the driver default) + Phenom II X2 at the
+  /// peak P-state.  `gpu_count` > 1 models the multi-GPU configuration the
+  /// paper's application structure anticipates ("one pthread for one GPU").
+  explicit Platform(std::size_t gpu_count = 1);
+
+  Platform(GpuSpec gpu_spec, DvfsTable gpu_core, DvfsTable gpu_mem,
+           std::size_t gpu_core_level, std::size_t gpu_mem_level, CpuSpec cpu_spec,
+           DvfsTable cpu_table, std::size_t cpu_level, BusSpec bus = BusSpec{},
+           std::size_t gpu_count = 1);
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  /// The first (or only) GPU.
+  [[nodiscard]] GpuDevice& gpu() { return *gpus_.front(); }
+  [[nodiscard]] GpuDevice& gpu(std::size_t index) { return *gpus_.at(index); }
+  [[nodiscard]] std::size_t gpu_count() const { return gpus_.size(); }
+  [[nodiscard]] CpuDevice& cpu() { return *cpu_; }
+  [[nodiscard]] const BusSpec& bus() const { return bus_; }
+  [[nodiscard]] Seconds now() const { return queue_.now(); }
+
+  /// Current meter readings (advances internal accounting to now()).
+  [[nodiscard]] EnergySnapshot snapshot();
+  [[nodiscard]] static EnergyDelta delta(const EnergySnapshot& a, const EnergySnapshot& b);
+
+  /// Combined idle power of both meters with every domain at the given
+  /// levels; the paper's "idle energy" baseline for dynamic-energy numbers
+  /// uses the peak levels.
+  [[nodiscard]] Watts idle_power_at_peak();
+
+ private:
+  EventQueue queue_;
+  // unique_ptr: devices hold a reference to queue_ and are not movable.
+  std::vector<std::unique_ptr<GpuDevice>> gpus_;
+  std::unique_ptr<CpuDevice> cpu_;
+  BusSpec bus_;
+};
+
+}  // namespace gg::sim

@@ -1,0 +1,65 @@
+// nbody (CUDA SDK): all-pairs gravitational simulation.
+//
+// One iteration is one timestep: every body accumulates force from all
+// bodies (reading the previous-step positions) and integrates, so a
+// body-range split is race-free under double buffering.
+//
+// Section III-A identifies nbody as core-bounded: arithmetic dominates
+// (N^2 interactions against N loads), so the profile carries high core and
+// moderate memory utilization — throttling memory is nearly free, throttling
+// cores is not (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace gg::workloads {
+
+struct NbodyConfig {
+  std::size_t bodies{1024};
+  std::size_t iterations{50};  // Table II: 50 iterations
+  double dt{1e-3};
+  std::uint64_t seed{31};
+  /// Core-bounded: high core, moderate memory; 131072 sim units/iteration.
+  IntensityProfile profile{0.96, 0.38, 1.5e-5, 131072.0, 14.0, 0.9};
+};
+
+class Nbody final : public ProfiledWorkload {
+ public:
+  explicit Nbody(NbodyConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "nbody"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "High core utilization (core-bounded), moderate memory utilization";
+  }
+  [[nodiscard]] std::size_t iterations() const override { return config_.iterations; }
+  [[nodiscard]] bool divisible() const override { return false; }
+  [[nodiscard]] IntensityProfile profile(std::size_t iter) const override;
+
+  void setup(cudalite::Runtime& rt) override;
+  void finish_iteration(cudalite::Runtime& rt, std::size_t iter) override;
+  void teardown(cudalite::Runtime& rt) override;
+  [[nodiscard]] bool verify() const override;
+
+ protected:
+  [[nodiscard]] std::size_t real_items() const override { return config_.bodies; }
+  void gpu_chunk(std::size_t begin, std::size_t end, std::size_t iter) override;
+  void cpu_chunk(std::size_t begin, std::size_t end, std::size_t iter) override;
+
+ private:
+  void step_range(std::size_t begin, std::size_t end);
+
+  NbodyConfig config_;
+  // Structure-of-arrays, double buffered: x/y/z position + velocity.
+  std::vector<double> pos_in_, pos_out_;  // 3N each
+  std::vector<double> vel_in_, vel_out_;
+  std::vector<double> mass_;
+  std::vector<double> initial_pos_, initial_vel_;
+  std::vector<double> result_pos_;
+  cudalite::DeviceBuffer<double> dev_pos_;
+  bool ran_{false};
+};
+
+}  // namespace gg::workloads

@@ -1,0 +1,43 @@
+#include "src/workloads/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gg::workloads {
+
+cudalite::WorkEstimate make_gpu_estimate(const sim::GpuSpec& gpu, Megahertz core_peak,
+                                         Megahertz mem_peak, const IntensityProfile& p,
+                                         double units) {
+  if (p.core_util < 0.0 || p.core_util > 1.0 || p.mem_util < 0.0 || p.mem_util > 1.0) {
+    throw std::invalid_argument("IntensityProfile: utilization out of [0,1]");
+  }
+  if (p.unit_time_s <= 0.0) throw std::invalid_argument("IntensityProfile: unit_time <= 0");
+  if (units <= 0.0) throw std::invalid_argument("make_gpu_estimate: units <= 0");
+
+  cudalite::WorkEstimate e;
+  e.units = units;
+  e.core_cycles_per_unit = p.core_util * p.unit_time_s * gpu.core_throughput(core_peak);
+  e.mem_bytes_per_unit = p.mem_util * p.unit_time_s * gpu.mem_bandwidth(mem_peak);
+  // The pipelined-serialization floor: at peak clocks the unit takes exactly
+  // unit_time_s and both utilizations equal their targets.
+  e.overhead_per_unit_s = p.unit_time_s;
+  return e;
+}
+
+sim::CpuWork make_cpu_work(const sim::CpuSpec& cpu, Megahertz cpu_peak,
+                           const IntensityProfile& p, double units) {
+  if (units <= 0.0) throw std::invalid_argument("make_cpu_work: units <= 0");
+  if (p.cpu_slowdown <= 0.0) throw std::invalid_argument("IntensityProfile: cpu_slowdown <= 0");
+  if (p.cpu_compute_fraction < 0.0 || p.cpu_compute_fraction > 1.0) {
+    throw std::invalid_argument("IntensityProfile: cpu_compute_fraction out of [0,1]");
+  }
+  const double unit_time_cpu = p.cpu_slowdown * p.unit_time_s;
+  sim::CpuWork w;
+  w.units = units;
+  w.ops_per_unit = p.cpu_compute_fraction * unit_time_cpu * cpu.throughput(cpu_peak);
+  w.overhead_per_unit = Seconds{(1.0 - p.cpu_compute_fraction) * unit_time_cpu};
+  w.active_cores = 0;  // all cores (the OpenMP side of Rodinia)
+  return w;
+}
+
+}  // namespace gg::workloads

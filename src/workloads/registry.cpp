@@ -1,0 +1,37 @@
+#include "src/workloads/registry.h"
+
+#include <stdexcept>
+
+#include "src/workloads/bfs.h"
+#include "src/workloads/hotspot.h"
+#include "src/workloads/kmeans.h"
+#include "src/workloads/lud.h"
+#include "src/workloads/nbody.h"
+#include "src/workloads/pathfinder.h"
+#include "src/workloads/qrng.h"
+#include "src/workloads/srad.h"
+#include "src/workloads/streamcluster.h"
+
+namespace gg::workloads {
+
+std::vector<std::string> all_workload_names() {
+  return {"bfs",     "lud",     "nbody",  "pathfinder", "QG",
+          "srad_v2", "hotspot", "kmeans", "streamcluster"};
+}
+
+std::vector<std::string> divisible_workload_names() { return {"kmeans", "hotspot"}; }
+
+WorkloadPtr make_workload(std::string_view name) {
+  if (name == "bfs") return std::make_unique<Bfs>();
+  if (name == "lud") return std::make_unique<Lud>();
+  if (name == "nbody") return std::make_unique<Nbody>();
+  if (name == "pathfinder" || name == "PF") return std::make_unique<Pathfinder>();
+  if (name == "QG" || name == "qrng") return std::make_unique<Qrng>();
+  if (name == "srad_v2" || name == "srad") return std::make_unique<Srad>();
+  if (name == "hotspot") return std::make_unique<Hotspot>();
+  if (name == "kmeans") return std::make_unique<Kmeans>();
+  if (name == "streamcluster" || name == "SC") return std::make_unique<Streamcluster>();
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+}  // namespace gg::workloads

@@ -1,0 +1,23 @@
+// Name-based workload factory covering the full Table II suite.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace gg::workloads {
+
+/// Names of all Table II workloads, in the paper's order.
+[[nodiscard]] std::vector<std::string> all_workload_names();
+
+/// Construct a workload by its Table II name ("bfs", "lud", "nbody",
+/// "pathfinder" (PF), "QG", "srad_v2", "hotspot", "kmeans",
+/// "streamcluster").  Throws std::invalid_argument for unknown names.
+[[nodiscard]] WorkloadPtr make_workload(std::string_view name);
+
+/// The two divisible workloads the paper's two-tier experiments use.
+[[nodiscard]] std::vector<std::string> divisible_workload_names();
+
+}  // namespace gg::workloads

@@ -1,0 +1,95 @@
+#include "src/workloads/sobol.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gg::workloads {
+
+namespace {
+
+/// Joe-Kuo (new-joe-kuo-6) parameters for dimensions 2..8: primitive
+/// polynomial degree s, encoded polynomial a (coefficients between the
+/// leading and trailing 1), and initial direction numbers m_1..m_s.
+struct SobolParams {
+  int s;
+  std::uint32_t a;
+  std::uint32_t m[8];
+};
+
+constexpr SobolParams kParams[] = {
+    {1, 0, {1}},                      // dim 2
+    {2, 1, {1, 3}},                   // dim 3
+    {3, 1, {1, 3, 1}},                // dim 4
+    {3, 2, {1, 1, 1}},                // dim 5
+    {4, 1, {1, 1, 3, 3}},             // dim 6
+    {4, 4, {1, 3, 5, 13}},            // dim 7
+    {5, 2, {1, 1, 5, 5, 17}},         // dim 8
+};
+
+}  // namespace
+
+Sobol::Sobol(std::size_t dimensions) {
+  if (dimensions == 0 || dimensions > kMaxDimensions) {
+    throw std::invalid_argument("Sobol: dimensions must be in [1, 8]");
+  }
+  v_.resize(dimensions);
+  // Dimension 0: van der Corput — direction numbers are single bits.
+  v_[0].resize(kBits);
+  for (int bit = 0; bit < kBits; ++bit) {
+    v_[0][bit] = 1ULL << (kBits - 1 - bit);
+  }
+  for (std::size_t d = 1; d < dimensions; ++d) {
+    const SobolParams& p = kParams[d - 1];
+    auto& v = v_[d];
+    v.resize(kBits);
+    for (int i = 0; i < p.s && i < kBits; ++i) {
+      v[i] = static_cast<std::uint64_t>(p.m[i]) << (kBits - 1 - i);
+    }
+    for (int i = p.s; i < kBits; ++i) {
+      // Recurrence: v_i = v_{i-s} >> s XOR a-selected earlier terms.
+      std::uint64_t value = v[i - p.s] ^ (v[i - p.s] >> p.s);
+      for (int k = 1; k < p.s; ++k) {
+        if ((p.a >> (p.s - 1 - k)) & 1u) value ^= v[i - k];
+      }
+      v[i] = value;
+    }
+  }
+}
+
+double Sobol::sample(std::uint64_t index, std::size_t dim) const {
+  if (dim >= v_.size()) throw std::out_of_range("Sobol: dimension");
+  // Natural-order construction: XOR the direction number of every set bit
+  // of the index (dimension 0 then equals the van der Corput sequence
+  // exactly; the Gray-code variant would emit the same point set permuted).
+  std::uint64_t bits = index;
+  std::uint64_t x = 0;
+  const auto& v = v_[dim];
+  for (int bit = 0; bits != 0 && bit < kBits; ++bit, bits >>= 1) {
+    if (bits & 1ULL) x ^= v[bit];
+  }
+  return static_cast<double>(x) * std::ldexp(1.0, -kBits);
+}
+
+std::vector<double> Sobol::point(std::uint64_t index) const {
+  std::vector<double> out(v_.size());
+  for (std::size_t d = 0; d < v_.size(); ++d) out[d] = sample(index, d);
+  return out;
+}
+
+double uniformity_deviation(const Sobol& sobol, std::size_t dim, std::uint64_t n) {
+  // One-dimensional Kolmogorov-style deviation on 64 anchors.
+  constexpr int kAnchors = 64;
+  double worst = 0.0;
+  for (int a = 1; a <= kAnchors; ++a) {
+    const double threshold = static_cast<double>(a) / kAnchors;
+    std::uint64_t below = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (sobol.sample(i, dim) < threshold) ++below;
+    }
+    const double empirical = static_cast<double>(below) / static_cast<double>(n);
+    worst = std::max(worst, std::fabs(empirical - threshold));
+  }
+  return worst;
+}
+
+}  // namespace gg::workloads

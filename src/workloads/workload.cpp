@@ -1,0 +1,140 @@
+#include "src/workloads/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gg::workloads {
+
+void ProfiledWorkload::run_iteration(cudalite::Runtime& rt, cudalite::Stream& stream,
+                                     std::size_t iter, double cpu_ratio,
+                                     std::function<void()> on_gpu_done,
+                                     std::function<void()> on_cpu_done) {
+  if (iter >= iterations()) throw std::out_of_range("run_iteration: iteration index");
+  if (cpu_ratio < 0.0 || cpu_ratio > 1.0) {
+    throw std::invalid_argument("run_iteration: cpu_ratio out of [0,1]");
+  }
+  if (!divisible()) cpu_ratio = 0.0;
+
+  const IntensityProfile prof = profile(iter);
+  const double total_units = prof.units_per_iteration;
+  const double cpu_units = cpu_ratio * total_units;
+  const double gpu_units = total_units - cpu_units;
+
+  const std::size_t items = real_items();
+  const auto split = static_cast<std::size_t>(
+      std::llround(cpu_ratio * static_cast<double>(items)));
+
+  auto& platform = rt.platform();
+  const auto& gpu_spec = platform.gpu().spec();
+  const auto& cpu_spec = platform.cpu().spec();
+
+  if (gpu_units > 0.0 && split < items) {
+    const cudalite::WorkEstimate est =
+        make_gpu_estimate(gpu_spec, platform.gpu().core_table().peak(),
+                          platform.gpu().mem_table().peak(), prof, gpu_units);
+    rt.launch_range(
+        stream, items - split,
+        est,
+        [this, split, iter](std::size_t begin, std::size_t end) {
+          gpu_chunk(split + begin, split + end, iter);
+        },
+        std::move(on_gpu_done));
+  } else if (on_gpu_done) {
+    // No GPU share this iteration.
+    on_gpu_done();
+  }
+
+  if (cpu_units > 0.0 && split > 0) {
+    const sim::CpuWork work =
+        make_cpu_work(cpu_spec, platform.cpu().table().peak(), prof, cpu_units);
+    rt.host_submit(
+        work, [this, split, iter] { cpu_chunk(0, split, iter); },
+        std::move(on_cpu_done));
+  } else if (on_cpu_done) {
+    on_cpu_done();
+  }
+}
+
+void ProfiledWorkload::run_iteration_multi(cudalite::Runtime& rt,
+                                           std::vector<cudalite::Stream>& streams,
+                                           std::size_t iter, const ShareVector& shares,
+                                           std::function<void(std::size_t)> on_done) {
+  if (iter >= iterations()) throw std::out_of_range("run_iteration_multi: iteration index");
+  if (streams.empty() || shares.size() != streams.size() + 1) {
+    throw std::invalid_argument(
+        "run_iteration_multi: need shares for the CPU plus one per stream");
+  }
+  double sum = 0.0;
+  for (double s : shares) {
+    if (s < 0.0) throw std::invalid_argument("run_iteration_multi: negative share");
+    sum += s;
+  }
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("run_iteration_multi: shares must sum to 1");
+  }
+
+  ShareVector effective = shares;
+  if (!divisible()) {
+    // Everything on GPU 0 (the single-device default of the paper's
+    // GPU-only experiments).
+    std::fill(effective.begin(), effective.end(), 0.0);
+    effective[1] = 1.0;
+  }
+
+  const IntensityProfile prof = profile(iter);
+  const double total_units = prof.units_per_iteration;
+  const std::size_t items = real_items();
+  auto& platform = rt.platform();
+  const auto& gpu_spec = platform.gpu().spec();
+  const auto& cpu_spec = platform.cpu().spec();
+
+  // Partition the real item range proportionally to the shares; slot k owns
+  // [bounds[k], bounds[k+1]).
+  std::vector<std::size_t> bounds(effective.size() + 1, 0);
+  double acc = 0.0;
+  for (std::size_t slot = 0; slot < effective.size(); ++slot) {
+    acc += effective[slot];
+    bounds[slot + 1] =
+        std::min(items, static_cast<std::size_t>(std::llround(acc * items)));
+  }
+  bounds.back() = items;
+
+  // CPU slot.
+  {
+    const double units = effective[0] * total_units;
+    const std::size_t begin = bounds[0];
+    const std::size_t end = bounds[1];
+    if (units > 0.0 && end > begin) {
+      const sim::CpuWork work =
+          make_cpu_work(cpu_spec, platform.cpu().table().peak(), prof, units);
+      rt.host_submit(
+          work, [this, begin, end, iter] { cpu_chunk(begin, end, iter); },
+          [on_done] { if (on_done) on_done(0); });
+    } else if (on_done) {
+      on_done(0);
+    }
+  }
+
+  // GPU slots.
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    const double units = effective[k + 1] * total_units;
+    const std::size_t begin = bounds[k + 1];
+    const std::size_t end = bounds[k + 2];
+    if (units > 0.0 && end > begin) {
+      const cudalite::WorkEstimate est = make_gpu_estimate(
+          gpu_spec, platform.gpu(streams[k].device()).core_table().peak(),
+          platform.gpu(streams[k].device()).mem_table().peak(), prof, units);
+      rt.launch_range(
+          streams[k], end - begin, est,
+          [this, begin, iter](std::size_t b, std::size_t e) {
+            gpu_chunk(begin + b, begin + e, iter);
+          },
+          [on_done, k] { if (on_done) on_done(k + 1); });
+    } else if (on_done) {
+      on_done(k + 1);
+    }
+  }
+}
+
+}  // namespace gg::workloads

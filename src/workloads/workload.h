@@ -1,0 +1,118 @@
+// Workload interface: the application structure of Section VI.
+//
+// Every workload is a sequence of *iterations* (the paper's division
+// granularity: a reduction point in kmeans, a barrier step in hotspot, a
+// chunk for embarrassingly parallel codes).  Each iteration's work can be
+// split r/(1-r) between CPU and GPU; the CPU and GPU chunks are launched
+// concurrently (the pthreads + CUDA structure of [16], [23]) and the caller
+// measures per-side completion times.
+//
+// Workloads REALLY compute: `setup` builds real inputs, the per-iteration
+// chunk functions run actual kernels on the cudalite pool, and `verify`
+// checks the final output against a scalar reference.  In parallel, each
+// workload carries an `IntensityProfile` per iteration that drives the
+// simulated timing/energy (calibrated to the Table II utilization classes
+// with the paper's enlarged problem sizes).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cudalite/api.h"
+#include "src/workloads/profile.h"
+
+namespace gg::workloads {
+
+/// Work shares for a multi-device iteration: slot 0 is the CPU, slots 1..N
+/// are the GPUs.  Shares are fractions of the iteration's work and must sum
+/// to 1 (within floating-point tolerance).
+using ShareVector = std::vector<double>;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Table II style description of the utilization characteristics.
+  [[nodiscard]] virtual std::string_view description() const = 0;
+  /// Number of iterations in a full run.
+  [[nodiscard]] virtual std::size_t iterations() const = 0;
+  /// Whether the iteration work can be divided between CPU and GPU (the
+  /// paper's two-tier experiments divide kmeans and hotspot).
+  [[nodiscard]] virtual bool divisible() const = 0;
+
+  /// Simulation intensity for iteration `iter` (fluctuating workloads vary
+  /// this with the iteration index).
+  [[nodiscard]] virtual IntensityProfile profile(std::size_t iter) const = 0;
+
+  /// Allocate device buffers and copy inputs (charges simulated H2D time).
+  virtual void setup(cudalite::Runtime& rt) = 0;
+
+  /// Launch iteration `iter` with CPU share `cpu_ratio` (clamped to 0 when
+  /// !divisible()).  Does not synchronize: `on_gpu_done` / `on_cpu_done`
+  /// fire at each side's simulated completion; a side with no work signals
+  /// completion immediately.
+  virtual void run_iteration(cudalite::Runtime& rt, cudalite::Stream& stream,
+                             std::size_t iter, double cpu_ratio,
+                             std::function<void()> on_gpu_done,
+                             std::function<void()> on_cpu_done) = 0;
+
+  /// Multi-device variant ("one pthread for one GPU", Section VI): launch
+  /// iteration `iter` split across the CPU (shares[0]) and one stream per
+  /// GPU (shares[1 + k] on streams[k]).  `on_done(slot)` fires at each
+  /// slot's simulated completion; a slot with no work signals immediately.
+  /// Non-divisible workloads put everything on GPU 0.
+  virtual void run_iteration_multi(cudalite::Runtime& rt,
+                                   std::vector<cudalite::Stream>& streams,
+                                   std::size_t iter, const ShareVector& shares,
+                                   std::function<void(std::size_t)> on_done) = 0;
+
+  /// Called after both sides of iteration `iter` completed: merge step
+  /// (e.g. kmeans centroid update, hotspot buffer swap).
+  virtual void finish_iteration(cudalite::Runtime& rt, std::size_t iter) = 0;
+
+  /// Copy results back (charges simulated D2H time).
+  virtual void teardown(cudalite::Runtime& rt) = 0;
+
+  /// Check final results against the scalar reference; call after a full
+  /// run + teardown.
+  [[nodiscard]] virtual bool verify() const = 0;
+};
+
+/// Base class implementing the generic split-launch plumbing.  Subclasses
+/// provide the real chunk kernels over item ranges plus per-iteration
+/// profiles; the base converts the CPU ratio into simulated work estimates
+/// and real index ranges.
+class ProfiledWorkload : public Workload {
+ public:
+  void run_iteration(cudalite::Runtime& rt, cudalite::Stream& stream, std::size_t iter,
+                     double cpu_ratio, std::function<void()> on_gpu_done,
+                     std::function<void()> on_cpu_done) override;
+
+  void run_iteration_multi(cudalite::Runtime& rt, std::vector<cudalite::Stream>& streams,
+                           std::size_t iter, const ShareVector& shares,
+                           std::function<void(std::size_t)> on_done) override;
+
+  /// Default: nothing to merge.
+  void finish_iteration(cudalite::Runtime& /*rt*/, std::size_t /*iter*/) override {}
+
+ protected:
+  /// Number of real (host-memory) items an iteration processes; chunk
+  /// functions receive ranges over [0, real_items()).
+  [[nodiscard]] virtual std::size_t real_items() const = 0;
+
+  /// Real computation of items [begin, end) on the GPU path.  Runs on the
+  /// cudalite pool; must only write state owned by those items.
+  virtual void gpu_chunk(std::size_t begin, std::size_t end, std::size_t iter) = 0;
+
+  /// Real computation of items [begin, end) on the CPU path.
+  virtual void cpu_chunk(std::size_t begin, std::size_t end, std::size_t iter) = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+}  // namespace gg::workloads

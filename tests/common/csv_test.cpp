@@ -1,0 +1,93 @@
+#include "src/common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace gg {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) { EXPECT_EQ(csv_escape("abc"), "abc"); }
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubledAndQuoted) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(CsvEscape, NewlineQuoted) { EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvNumber, CompactFormatting) {
+  EXPECT_EQ(csv_number(1.0), "1");
+  EXPECT_EQ(csv_number(0.25), "0.25");
+  EXPECT_EQ(csv_number(1e6), "1e+06");
+}
+
+TEST(CsvNumber, SpecialValues) {
+  EXPECT_EQ(csv_number(std::nan("")), "nan");
+  EXPECT_EQ(csv_number(HUGE_VAL), "inf");
+  EXPECT_EQ(csv_number(-HUGE_VAL), "-inf");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.row({"a", "b"});
+  w.row({"1", "2"});
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, RowValuesMixedTypes) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.row_values("name", 42, 2.5);
+  EXPECT_EQ(oss.str(), "name,42,2.5\n");
+}
+
+TEST(CsvWriter, EscapesInRow) {
+  std::ostringstream oss;
+  CsvWriter w(oss);
+  w.row({"a,b", "c"});
+  EXPECT_EQ(oss.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvParse, SimpleLine) {
+  const auto fields = csv_parse_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvParse, QuotedField) {
+  const auto fields = csv_parse_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  const auto fields = csv_parse_line("\"a\"\"b\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "a\"b");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto fields = csv_parse_line("a,,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(CsvParse, IgnoresCarriageReturn) {
+  const auto fields = csv_parse_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvRoundTrip, EscapeThenParse) {
+  const std::string nasty = "He said \"hi\", twice\nor more";
+  const auto fields = csv_parse_line(csv_escape(nasty));
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], nasty);
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,90 @@
+#include "src/common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gg {
+namespace {
+
+TEST(UQ08, EndpointsExact) {
+  EXPECT_DOUBLE_EQ(UQ08::zero().to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(UQ08::one().to_double(), 1.0);
+}
+
+TEST(UQ08, FromDoubleSaturates) {
+  EXPECT_EQ(UQ08::from_double(-0.5), UQ08::zero());
+  EXPECT_EQ(UQ08::from_double(1.5), UQ08::one());
+}
+
+TEST(UQ08, RoundTripErrorBounded) {
+  // Quantization error of Q0.8 must be at most half an LSB (1/510).
+  for (int i = 0; i <= 1000; ++i) {
+    const double v = static_cast<double>(i) / 1000.0;
+    const double back = UQ08::from_double(v).to_double();
+    EXPECT_LE(std::fabs(back - v), 0.5 / 255.0 + 1e-12);
+  }
+}
+
+TEST(UQ08, MultiplyByOneIsIdentity) {
+  for (int raw = 0; raw <= 255; ++raw) {
+    const auto x = UQ08::from_raw(static_cast<std::uint8_t>(raw));
+    EXPECT_EQ((x * UQ08::one()).raw(), x.raw());
+  }
+}
+
+TEST(UQ08, MultiplyByZeroIsZero) {
+  const auto x = UQ08::from_double(0.7);
+  EXPECT_EQ((x * UQ08::zero()).raw(), 0);
+}
+
+TEST(UQ08, MultiplyMatchesRealArithmetic) {
+  // Fixed-point product must round-to-nearest of the real product.
+  for (int a = 0; a <= 255; a += 7) {
+    for (int b = 0; b <= 255; b += 11) {
+      const auto fa = UQ08::from_raw(static_cast<std::uint8_t>(a));
+      const auto fb = UQ08::from_raw(static_cast<std::uint8_t>(b));
+      const double real = fa.to_double() * fb.to_double();
+      EXPECT_LE(std::fabs((fa * fb).to_double() - real), 0.5 / 255.0 + 1e-12);
+    }
+  }
+}
+
+TEST(UQ08, MultiplyIsCommutative) {
+  const auto a = UQ08::from_double(0.3);
+  const auto b = UQ08::from_double(0.8);
+  EXPECT_EQ((a * b).raw(), (b * a).raw());
+}
+
+TEST(UQ08, MultiplyNeverIncreases) {
+  // x * y <= min(x, y) must hold for values in [0, 1].
+  for (int a = 0; a <= 255; a += 5) {
+    for (int b = 0; b <= 255; b += 5) {
+      const auto fa = UQ08::from_raw(static_cast<std::uint8_t>(a));
+      const auto fb = UQ08::from_raw(static_cast<std::uint8_t>(b));
+      EXPECT_LE((fa * fb).raw(), std::min(fa.raw(), fb.raw()));
+    }
+  }
+}
+
+TEST(UQ08, SaturatingAdd) {
+  const auto big = UQ08::from_double(0.9);
+  EXPECT_EQ(saturating_add(big, big), UQ08::one());
+  EXPECT_EQ(saturating_add(UQ08::zero(), big), big);
+}
+
+TEST(UQ08, ComplementIsExact) {
+  for (int raw = 0; raw <= 255; ++raw) {
+    const auto x = UQ08::from_raw(static_cast<std::uint8_t>(raw));
+    EXPECT_EQ(x.complement().raw(), 255 - raw);
+    EXPECT_EQ(x.complement().complement().raw(), raw);
+  }
+}
+
+TEST(UQ08, Ordering) {
+  EXPECT_LT(UQ08::from_double(0.2), UQ08::from_double(0.8));
+  EXPECT_EQ(UQ08::from_double(0.5), UQ08::from_double(0.5));
+}
+
+}  // namespace
+}  // namespace gg

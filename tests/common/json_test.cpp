@@ -1,0 +1,111 @@
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace gg {
+namespace {
+
+TEST(JsonEscape, PlainPassesThrough) { EXPECT_EQ(json_escape("abc 123"), "abc 123"); }
+
+TEST(JsonEscape, SpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonNumber, FiniteRoundTrip) {
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(std::stod(json_number(0.1)), 0.1);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(HUGE_VAL), "null");
+}
+
+TEST(JsonWriter, EmptyObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, ObjectWithScalars) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "kmeans");
+  w.kv("energy", 12.5);
+  w.kv("iters", 40);
+  w.kv("verified", true);
+  w.key("missing");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            R"({"name":"kmeans","energy":12.5,"iters":40,"verified":true,"missing":null})");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("runs");
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object();
+    w.kv("i", i);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"runs":[{"i":0},{"i":1}]})");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(1);
+  w.value("two");
+  w.value(3.5);
+  w.end_array();
+  EXPECT_EQ(os.str(), R"([1,"two",3.5])");
+}
+
+TEST(JsonWriter, KeyEscaped) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("we\"ird", 1);
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"we\"ird":1})");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_THROW(w.key("k"), std::logic_error);  // key outside object
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::logic_error);  // value where key required
+  EXPECT_THROW(w.end_array(), std::logic_error);
+  w.key("k");
+  EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+}
+
+TEST(JsonWriter, SingleRootEnforced) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(1);
+  EXPECT_TRUE(w.complete());
+  EXPECT_THROW(w.value(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,92 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gg {
+namespace {
+
+using namespace gg::literals;
+
+TEST(Units, DefaultConstructedIsZero) {
+  Seconds s;
+  EXPECT_EQ(s.get(), 0.0);
+}
+
+TEST(Units, LiteralsProduceExpectedValues) {
+  EXPECT_DOUBLE_EQ((2.5_s).get(), 2.5);
+  EXPECT_DOUBLE_EQ((250_ms).get(), 0.25);
+  EXPECT_DOUBLE_EQ((3_J).get(), 3.0);
+  EXPECT_DOUBLE_EQ((1.5_W).get(), 1.5);
+  EXPECT_DOUBLE_EQ((900_MHz).get(), 900.0);
+}
+
+TEST(Units, AdditionAndSubtractionStayInDimension) {
+  const Seconds a = 2_s + 3_s;
+  EXPECT_DOUBLE_EQ(a.get(), 5.0);
+  EXPECT_DOUBLE_EQ((a - 1_s).get(), 4.0);
+}
+
+TEST(Units, ScalarMultiplyAndDivide) {
+  EXPECT_DOUBLE_EQ((2_s * 3.0).get(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * 2_s).get(), 6.0);
+  EXPECT_DOUBLE_EQ((6_s / 3.0).get(), 2.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double ratio = 6_s / 3_s;
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, EnergyEqualsPowerTimesTime) {
+  const Joules e = 10_W * 3_s;
+  EXPECT_DOUBLE_EQ(e.get(), 30.0);
+  EXPECT_DOUBLE_EQ((3_s * 10_W).get(), 30.0);
+}
+
+TEST(Units, PowerEqualsEnergyOverTime) {
+  EXPECT_DOUBLE_EQ((30_J / 3_s).get(), 10.0);
+}
+
+TEST(Units, TimeEqualsEnergyOverPower) {
+  EXPECT_DOUBLE_EQ((30_J / 10_W).get(), 3.0);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(1_s, 2_s);
+  EXPECT_GE(2_s, 2_s);
+  EXPECT_EQ(2_s, 2_s);
+  EXPECT_NE(1_s, 2_s);
+}
+
+TEST(Units, CompoundAssignment) {
+  Seconds s{1.0};
+  s += 2_s;
+  EXPECT_DOUBLE_EQ(s.get(), 3.0);
+  s -= 1_s;
+  EXPECT_DOUBLE_EQ(s.get(), 2.0);
+  s *= 4.0;
+  EXPECT_DOUBLE_EQ(s.get(), 8.0);
+  s /= 2.0;
+  EXPECT_DOUBLE_EQ(s.get(), 4.0);
+}
+
+TEST(Units, UnaryNegation) { EXPECT_DOUBLE_EQ((-(2_s)).get(), -2.0); }
+
+TEST(Units, StreamOutput) {
+  std::ostringstream oss;
+  oss << 2.5_W;
+  EXPECT_EQ(oss.str(), "2.5");
+}
+
+TEST(ClampUnit, ClampsBelowZero) { EXPECT_EQ(clamp_unit(-0.5), 0.0); }
+TEST(ClampUnit, ClampsAboveOne) { EXPECT_EQ(clamp_unit(1.5), 1.0); }
+TEST(ClampUnit, PassesThroughInterior) { EXPECT_DOUBLE_EQ(clamp_unit(0.42), 0.42); }
+
+TEST(ApproxEqual, ExactValues) { EXPECT_TRUE(approx_equal(1.0, 1.0)); }
+TEST(ApproxEqual, WithinTolerance) { EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12)); }
+TEST(ApproxEqual, OutsideTolerance) { EXPECT_FALSE(approx_equal(1.0, 1.1)); }
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,89 @@
+// Determinism: results and simulated timing must be bit-identical across
+// thread-pool sizes and repeated runs — the property that makes the
+// reproduction's experiments trustworthy.
+#include <gtest/gtest.h>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+#include "src/workloads/kmeans.h"
+#include "src/workloads/nbody.h"
+#include "src/workloads/srad.h"
+
+namespace gg {
+namespace {
+
+workloads::KmeansConfig tiny_kmeans() {
+  workloads::KmeansConfig cfg;
+  cfg.points = 2048;
+  cfg.dims = 4;
+  cfg.clusters = 6;
+  cfg.iterations = 8;
+  return cfg;
+}
+
+class PoolSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoolSizeTest, KmeansBitIdenticalAcrossPoolSizes) {
+  // Reference: single worker.
+  workloads::Kmeans ref(tiny_kmeans());
+  greengpu::RunOptions ref_opts;
+  ref_opts.pool_workers = 1;
+  const auto ref_result =
+      greengpu::run_experiment(ref, greengpu::Policy::green_gpu(), ref_opts);
+
+  workloads::Kmeans wl(tiny_kmeans());
+  greengpu::RunOptions opts;
+  opts.pool_workers = GetParam();
+  const auto result = greengpu::run_experiment(wl, greengpu::Policy::green_gpu(), opts);
+
+  // Simulated time and energy are independent of host parallelism.
+  EXPECT_EQ(result.exec_time.get(), ref_result.exec_time.get());
+  EXPECT_EQ(result.total_energy().get(), ref_result.total_energy().get());
+  EXPECT_EQ(result.final_ratio, ref_result.final_ratio);
+  // Computed results are bitwise identical.
+  ASSERT_EQ(wl.centroids().size(), ref.centroids().size());
+  for (std::size_t i = 0; i < wl.centroids().size(); ++i) {
+    EXPECT_EQ(wl.centroids()[i], ref.centroids()[i]) << "centroid component " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, PoolSizeTest, ::testing::Values(2, 3, 4, 8));
+
+TEST(Determinism, RepeatedRunsIdentical) {
+  for (int round = 0; round < 3; ++round) {
+    workloads::NbodyConfig cfg;
+    cfg.bodies = 256;
+    cfg.iterations = 6;
+    workloads::Nbody a(cfg);
+    workloads::Nbody b(cfg);
+    const auto ra = greengpu::run_experiment(a, greengpu::Policy::scaling_only(), {});
+    const auto rb = greengpu::run_experiment(b, greengpu::Policy::scaling_only(), {});
+    EXPECT_EQ(ra.exec_time.get(), rb.exec_time.get());
+    EXPECT_EQ(ra.gpu_energy.get(), rb.gpu_energy.get());
+    EXPECT_EQ(ra.cpu_energy.get(), rb.cpu_energy.get());
+    ASSERT_EQ(ra.scaler_decisions.size(), rb.scaler_decisions.size());
+    for (std::size_t i = 0; i < ra.scaler_decisions.size(); ++i) {
+      EXPECT_EQ(ra.scaler_decisions[i].chosen.core, rb.scaler_decisions[i].chosen.core);
+      EXPECT_EQ(ra.scaler_decisions[i].chosen.mem, rb.scaler_decisions[i].chosen.mem);
+    }
+  }
+}
+
+TEST(Determinism, SradIdenticalAcrossPolicies) {
+  // The energy policy must never change numerical results.
+  workloads::SradConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 32;
+  cfg.iterations = 5;
+  workloads::Srad a(cfg);
+  workloads::Srad b(cfg);
+  const auto ra = greengpu::run_experiment(a, greengpu::Policy::best_performance(), {});
+  const auto rb = greengpu::run_experiment(b, greengpu::Policy::static_pair(5, 5), {});
+  EXPECT_TRUE(ra.verified);
+  EXPECT_TRUE(rb.verified);
+  // Throttled clocks stretch simulated time but never change the math.
+  EXPECT_GT(rb.exec_time.get(), ra.exec_time.get());
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,116 @@
+#include "src/cudalite/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gg::cudalite {
+namespace {
+
+TEST(ThreadPool, WorkerCountDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ExplicitWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunksAreDisjointAndCovering) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for_chunks(777, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t expect_begin = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_GT(e, b);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 777u);
+}
+
+TEST(ThreadPool, ChunkCountBoundedByN) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.chunk_count(0), 0u);
+  EXPECT_EQ(pool.chunk_count(3), 3u);
+  EXPECT_LE(pool.chunk_count(1000000), 8u * 4u);
+}
+
+TEST(ThreadPool, MapReduceDeterministicSum) {
+  ThreadPool pool(4);
+  std::vector<double> xs(10000);
+  std::iota(xs.begin(), xs.end(), 1.0);
+  const auto map = [&xs](std::size_t b, std::size_t e) {
+    double s = 0.0;
+    for (std::size_t i = b; i < e; ++i) s += xs[i];
+    return s;
+  };
+  const auto combine = [](double a, double b) { return a + b; };
+  const double s1 = pool.map_reduce<double>(xs.size(), 0.0, map, combine);
+  const double s2 = pool.map_reduce<double>(xs.size(), 0.0, map, combine);
+  EXPECT_EQ(s1, s2);  // bit-identical across runs (ordered combine)
+  EXPECT_DOUBLE_EQ(s1, 10000.0 * 10001.0 / 2.0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool remains usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ManyBackToBackBatches) {
+  // Regression test for the batch-lifetime race: rapid successive batches
+  // must not crash or lose work.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, LargeNSmallPool) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(100000, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99999ull * 100000ull / 2ull);
+}
+
+}  // namespace
+}  // namespace gg::cudalite

@@ -1,0 +1,192 @@
+#include "src/greengpu/division.h"
+
+#include <gtest/gtest.h>
+
+namespace gg::greengpu {
+namespace {
+
+using namespace gg::literals;
+
+DivisionParams default_params() { return DivisionParams{}; }
+
+TEST(DivisionStep, CpuSlowerShedsWork) {
+  const auto d = division_step(default_params(), 0.30, 20_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kDecreaseCpu);
+  EXPECT_NEAR(d.ratio, 0.25, 1e-12);
+}
+
+TEST(DivisionStep, CpuFasterGainsWork) {
+  const auto d = division_step(default_params(), 0.30, 5_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kIncreaseCpu);
+  EXPECT_NEAR(d.ratio, 0.35, 1e-12);
+}
+
+TEST(DivisionStep, EqualTimesHold) {
+  const auto d = division_step(default_params(), 0.30, 10_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kHold);
+  EXPECT_NEAR(d.ratio, 0.30, 1e-12);
+}
+
+TEST(DivisionStep, NearEqualTimesHoldWithinTolerance) {
+  const auto d = division_step(default_params(), 0.30, Seconds{10.0}, Seconds{10.0001});
+  EXPECT_EQ(d.action, DivisionAction::kHold);
+}
+
+TEST(DivisionStep, HoldAtLowerBound) {
+  const auto d = division_step(default_params(), 0.0, 0_s, 10_s);
+  // tc = 0 < tg: wants to increase — allowed.
+  EXPECT_EQ(d.action, DivisionAction::kIncreaseCpu);
+  EXPECT_NEAR(d.ratio, 0.05, 1e-12);
+  // At the bound in the other direction it holds.
+  const auto d2 = division_step(default_params(), 0.0, 10_s, 1_s);
+  EXPECT_EQ(d2.action, DivisionAction::kHoldAtBound);
+}
+
+TEST(DivisionStep, ClampsAtMaxRatio) {
+  DivisionParams p;
+  p.max_ratio = 0.95;
+  const auto d = division_step(p, 0.95, 1_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kHoldAtBound);
+  EXPECT_NEAR(d.ratio, 0.95, 1e-12);
+}
+
+TEST(DivisionStep, PaperSafeguardExample) {
+  // Section V-B worked example: tc < tg at 10/90; moving to 15/85 predicts
+  // tc' = (15/10)tc and tg' = (85/90)tg.  With tc = 9, tg = 10: tc' = 13.5 >
+  // tg' = 9.44 — ordering flips, so the division holds.
+  const auto d = division_step(default_params(), 0.10, 9_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kHoldSafeguard);
+  EXPECT_NEAR(d.ratio, 0.10, 1e-12);
+}
+
+TEST(DivisionStep, SafeguardAllowsNonOscillatingMove) {
+  // tc = 2, tg = 10 at 10/90: moving to 15/85 predicts tc' = 3 < tg' = 9.44;
+  // no flip, so the move proceeds.
+  const auto d = division_step(default_params(), 0.10, 2_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kIncreaseCpu);
+  EXPECT_NEAR(d.ratio, 0.15, 1e-12);
+}
+
+TEST(DivisionStep, SafeguardSymmetricOnDecrease) {
+  // CPU slower at 0.20; stepping to 0.15 would flip the ordering.
+  // tc = 10, tg = 9.4: tc' = 7.5, tg' = 9.99 -> flip -> hold.
+  const auto d = division_step(default_params(), 0.20, 10_s, Seconds{9.4});
+  EXPECT_EQ(d.action, DivisionAction::kHoldSafeguard);
+}
+
+TEST(DivisionStep, SafeguardDisabledMovesAnyway) {
+  DivisionParams p;
+  p.safeguard = false;
+  const auto d = division_step(p, 0.10, 9_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kIncreaseCpu);
+}
+
+TEST(DivisionStep, NegativeTimesThrow) {
+  EXPECT_THROW(division_step(default_params(), 0.3, Seconds{-1.0}, 1_s),
+               std::invalid_argument);
+}
+
+TEST(DivisionController, ValidatesParams) {
+  DivisionParams p;
+  p.step = 0.0;
+  EXPECT_THROW(DivisionController{p}, std::invalid_argument);
+  p = DivisionParams{};
+  p.initial_ratio = 0.99;
+  EXPECT_THROW(DivisionController{p}, std::invalid_argument);
+  p = DivisionParams{};
+  p.min_ratio = 0.5;
+  p.max_ratio = 0.4;
+  EXPECT_THROW(DivisionController{p}, std::invalid_argument);
+}
+
+TEST(DivisionController, StartsAtInitialRatio) {
+  DivisionController c(default_params());
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.30);
+}
+
+/// Simulated proportional system: tc = ratio * cpu_cost, tg = (1-ratio) *
+/// gpu_cost.  The controller must converge near the balance point for any
+/// cost ratio and initial ratio.
+class ConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ConvergenceTest, ConvergesNearBalancePoint) {
+  const double cpu_cost = std::get<0>(GetParam());   // slowdown factor
+  const double initial = std::get<1>(GetParam());
+  DivisionParams p;
+  p.initial_ratio = initial;
+  DivisionController c(p);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double r = c.ratio();
+    c.update(Seconds{r * cpu_cost}, Seconds{(1.0 - r) * 1.0});
+  }
+  EXPECT_TRUE(c.converged());
+  // Balance point r* = 1 / (1 + cpu_cost); the converged ratio must be
+  // within one step of it.
+  const double r_star = 1.0 / (1.0 + cpu_cost);
+  EXPECT_NEAR(c.ratio(), r_star, p.step + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostAndStartSweep, ConvergenceTest,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 6.0, 9.0, 19.0),
+                       ::testing::Values(0.0, 0.05, 0.30, 0.50, 0.80)));
+
+TEST(DivisionController, NoOscillationAfterConvergence) {
+  DivisionController c(default_params());
+  const double cpu_cost = 6.0;
+  std::vector<double> ratios;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double r = c.ratio();
+    ratios.push_back(r);
+    c.update(Seconds{r * cpu_cost}, Seconds{(1.0 - r) * 1.0});
+  }
+  // Once converged, the ratio must never change again (the safeguard's
+  // purpose: no 2-cycle between grid points).
+  const double final_r = ratios.back();
+  bool settled = false;
+  for (double r : ratios) {
+    if (r == final_r) settled = true;
+    if (settled) {
+      EXPECT_DOUBLE_EQ(r, final_r);
+    }
+  }
+}
+
+TEST(DivisionController, WithoutSafeguardOscillates) {
+  DivisionParams p;
+  p.safeguard = false;
+  DivisionController c(p);
+  // Optimum between grid points: cpu_cost = 6 -> r* = 1/7 ~ 0.143.
+  std::vector<double> ratios;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double r = c.ratio();
+    ratios.push_back(r);
+    c.update(Seconds{r * 6.0}, Seconds{(1.0 - r) * 1.0});
+  }
+  // The tail must alternate between 0.10 and 0.15.
+  const std::size_t n = ratios.size();
+  EXPECT_NE(ratios[n - 1], ratios[n - 2]);
+  EXPECT_EQ(ratios[n - 1], ratios[n - 3]);
+}
+
+TEST(DivisionController, HistoryRecordsDecisions) {
+  DivisionController c(default_params());
+  c.update(20_s, 10_s);
+  c.update(1_s, 10_s);
+  ASSERT_EQ(c.history().size(), 2u);
+  EXPECT_EQ(c.history()[0].action, DivisionAction::kDecreaseCpu);
+  EXPECT_EQ(c.history()[1].action, DivisionAction::kIncreaseCpu);
+}
+
+TEST(DivisionController, ResetRestoresInitialState) {
+  DivisionController c(default_params());
+  c.update(20_s, 10_s);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.ratio(), 0.30);
+  EXPECT_TRUE(c.history().empty());
+  EXPECT_FALSE(c.converged());
+}
+
+}  // namespace
+}  // namespace gg::greengpu

@@ -1,0 +1,185 @@
+#include "src/greengpu/model_dividers.h"
+
+#include <gtest/gtest.h>
+
+namespace gg::greengpu {
+namespace {
+
+using namespace gg::literals;
+
+/// Proportional system: tc = r * cpu_cost, tg = (1-r); energy model
+/// E = P * makespan + C * r (what the EnergyModelDivider assumes; the real
+/// simulator produces exactly this family of curves for profiled workloads).
+struct FakeSystem {
+  double cpu_cost{6.0};
+  double p_sys{200.0};
+  double c_cpu{20.0};
+
+  [[nodiscard]] IterationFeedback run(double r) const {
+    const double tc = r * cpu_cost;
+    const double tg = 1.0 - r;
+    const double makespan = std::max(tc, tg);
+    return IterationFeedback{Seconds{tc}, Seconds{tg},
+                             Joules{p_sys * makespan + c_cpu * r}};
+  }
+};
+
+TEST(ProfilingDivider, JumpsToBalancePointAfterOneProbe) {
+  ProfilingDivider d;
+  const FakeSystem sys;
+  d.update(sys.run(d.ratio()));
+  // Balance point for cost 6 is 1/7.
+  EXPECT_NEAR(d.ratio(), 1.0 / 7.0, 1e-9);
+}
+
+TEST(ProfilingDivider, SettlesAndReportsConvergence) {
+  ProfilingDivider d;
+  const FakeSystem sys;
+  for (int i = 0; i < 5; ++i) d.update(sys.run(d.ratio()));
+  EXPECT_TRUE(d.converged());
+  EXPECT_NEAR(d.ratio(), 1.0 / 7.0, 1e-6);
+}
+
+TEST(ProfilingDivider, TracksRateChange) {
+  ProfilingDivider d;
+  FakeSystem sys;
+  for (int i = 0; i < 5; ++i) d.update(sys.run(d.ratio()));
+  // CPU becomes 3x faster mid-run (e.g. another process released the cores).
+  sys.cpu_cost = 2.0;
+  for (int i = 0; i < 12; ++i) d.update(sys.run(d.ratio()));
+  EXPECT_NEAR(d.ratio(), 1.0 / 3.0, 0.01);
+}
+
+TEST(ProfilingDivider, ExposesRateEstimates) {
+  ProfilingDivider d;
+  const FakeSystem sys;
+  d.update(sys.run(d.ratio()));
+  EXPECT_NEAR(d.cpu_rate(), 1.0 / sys.cpu_cost, 1e-9);
+  EXPECT_NEAR(d.gpu_rate(), 1.0, 1e-9);
+}
+
+TEST(ProfilingDivider, RespectsMaxRatio) {
+  ProfilingDividerParams p;
+  p.max_ratio = 0.10;
+  ProfilingDivider d(p);
+  FakeSystem sys;
+  sys.cpu_cost = 0.5;  // CPU twice as fast: unconstrained target is 2/3
+  for (int i = 0; i < 5; ++i) d.update(sys.run(d.ratio()));
+  EXPECT_DOUBLE_EQ(d.ratio(), 0.10);
+}
+
+TEST(ProfilingDivider, ValidatesParams) {
+  ProfilingDividerParams p;
+  p.probe_ratio = 0.0;
+  EXPECT_THROW(ProfilingDivider{p}, std::invalid_argument);
+  p = ProfilingDividerParams{};
+  p.rate_alpha = 0.0;
+  EXPECT_THROW(ProfilingDivider{p}, std::invalid_argument);
+}
+
+TEST(ProfilingDivider, ResetRestoresProbe) {
+  ProfilingDivider d;
+  const FakeSystem sys;
+  d.update(sys.run(d.ratio()));
+  d.reset();
+  EXPECT_DOUBLE_EQ(d.ratio(), 0.30);
+  EXPECT_EQ(d.cpu_rate(), 0.0);
+}
+
+TEST(EnergyModelDivider, RecoversModelParameters) {
+  EnergyModelDivider d;
+  const FakeSystem sys;
+  for (int i = 0; i < 6; ++i) d.update(sys.run(d.ratio()));
+  EXPECT_NEAR(d.fitted_system_power(), sys.p_sys, 0.5);
+  EXPECT_NEAR(d.fitted_cpu_share_cost(), sys.c_cpu, 0.5);
+}
+
+TEST(EnergyModelDivider, FindsEnergyMinimumNotTimeBalance) {
+  // With a large CPU-share cost the energy optimum sits BELOW the
+  // time-balance point — the distinction between Qilin's objective and
+  // GreenGPU's.
+  EnergyModelDivider d;
+  FakeSystem sys;
+  sys.c_cpu = 400.0;  // very expensive CPU participation
+  for (int i = 0; i < 8; ++i) d.update(sys.run(d.ratio()));
+  // Analytic optimum: E(r) = 200*max(6r, 1-r) + 400r.  On [0, 1/7] the
+  // slope is -200 + 400 > 0, so r* = 0.
+  EXPECT_NEAR(d.ratio(), 0.0, 0.011);
+}
+
+TEST(EnergyModelDivider, MatchesBalanceWhenShareCostSmall) {
+  EnergyModelDivider d;
+  const FakeSystem sys;  // modest c_cpu
+  for (int i = 0; i < 8; ++i) d.update(sys.run(d.ratio()));
+  // Optimum just below the balance point 1/7.
+  EXPECT_GT(d.ratio(), 0.08);
+  EXPECT_LE(d.ratio(), 1.0 / 7.0 + 0.011);
+  EXPECT_TRUE(d.converged());
+}
+
+TEST(EnergyModelDivider, SecondIterationProbesHigh) {
+  EnergyModelDivider d;
+  const FakeSystem sys;
+  EXPECT_DOUBLE_EQ(d.ratio(), 0.15);
+  d.update(sys.run(d.ratio()));
+  EXPECT_DOUBLE_EQ(d.ratio(), 0.45);
+}
+
+TEST(EnergyModelDivider, ValidatesParams) {
+  EnergyModelDividerParams p;
+  p.probe_low = p.probe_high;
+  EXPECT_THROW(EnergyModelDivider{p}, std::invalid_argument);
+  p = EnergyModelDividerParams{};
+  p.search_step = 0.0;
+  EXPECT_THROW(EnergyModelDivider{p}, std::invalid_argument);
+}
+
+TEST(EnergyModelDivider, ResetClearsFit) {
+  EnergyModelDivider d;
+  const FakeSystem sys;
+  for (int i = 0; i < 4; ++i) d.update(sys.run(d.ratio()));
+  d.reset();
+  EXPECT_DOUBLE_EQ(d.ratio(), 0.15);
+  EXPECT_EQ(d.fitted_system_power(), 0.0);
+}
+
+TEST(DividerKindStrings, RoundTripAndAliases) {
+  for (auto kind :
+       {DividerKind::kStep, DividerKind::kProfiling, DividerKind::kEnergyModel}) {
+    EXPECT_EQ(divider_from_string(to_string(kind)), kind);
+  }
+  EXPECT_EQ(divider_from_string("qilin"), DividerKind::kProfiling);
+  EXPECT_EQ(divider_from_string("energy"), DividerKind::kEnergyModel);
+  EXPECT_THROW(divider_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(DividerFactory, HonoursStepParams) {
+  DivisionParams p;
+  p.initial_ratio = 0.40;
+  const auto step = make_divider(DividerKind::kStep, p);
+  EXPECT_DOUBLE_EQ(step->ratio(), 0.40);
+  EXPECT_EQ(step->name(), "step");
+  const auto qilin = make_divider(DividerKind::kProfiling, p);
+  EXPECT_DOUBLE_EQ(qilin->ratio(), 0.40);  // probe inherits the initial ratio
+  const auto energy = make_divider(DividerKind::kEnergyModel, p);
+  EXPECT_EQ(energy->name(), "energy-model");
+}
+
+/// All dividers, driven by the same proportional system, must end within a
+/// step of the balance point and report convergence.
+class AnyDividerTest : public ::testing::TestWithParam<DividerKind> {};
+
+TEST_P(AnyDividerTest, ConvergesOnProportionalSystem) {
+  const auto divider = make_divider(GetParam(), DivisionParams{});
+  const FakeSystem sys;
+  for (int i = 0; i < 25; ++i) divider->update(sys.run(divider->ratio()));
+  EXPECT_TRUE(divider->converged());
+  EXPECT_NEAR(divider->ratio(), 1.0 / 7.0, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AnyDividerTest,
+                         ::testing::Values(DividerKind::kStep, DividerKind::kProfiling,
+                                           DividerKind::kEnergyModel));
+
+}  // namespace
+}  // namespace gg::greengpu

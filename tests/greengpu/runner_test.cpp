@@ -1,0 +1,190 @@
+#include "src/greengpu/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/kmeans.h"
+#include "src/workloads/streamcluster.h"
+
+namespace gg::greengpu {
+namespace {
+
+workloads::KmeansConfig small_kmeans() {
+  workloads::KmeansConfig cfg;
+  cfg.points = 512;
+  cfg.dims = 4;
+  cfg.clusters = 4;
+  cfg.iterations = 12;
+  return cfg;
+}
+
+workloads::StreamclusterConfig small_sc() {
+  workloads::StreamclusterConfig cfg;
+  cfg.points = 256;
+  cfg.dims = 8;
+  cfg.iterations = 15;
+  return cfg;
+}
+
+RunOptions fast_options() {
+  RunOptions o;
+  o.pool_workers = 2;
+  return o;
+}
+
+TEST(Runner, BestPerformanceRunsAllOnGpuAtPeak) {
+  workloads::Kmeans wl(small_kmeans());
+  const auto r = run_experiment(wl, Policy::best_performance(), fast_options());
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.policy, "best-performance");
+  EXPECT_EQ(r.final_ratio, 0.0);
+  EXPECT_EQ(r.iterations.size(), 12u);
+  for (const auto& it : r.iterations) {
+    EXPECT_EQ(it.cpu_ratio, 0.0);
+    EXPECT_EQ(it.cpu_time.get(), 0.0);
+    EXPECT_GT(it.gpu_time.get(), 0.0);
+    EXPECT_GT(it.total_energy().get(), 0.0);
+  }
+  EXPECT_EQ(r.gpu_frequency_transitions, 2u);  // lowest -> peak, once each
+}
+
+TEST(Runner, EnergiesAndTimesAreConsistent) {
+  workloads::Kmeans wl(small_kmeans());
+  const auto r = run_experiment(wl, Policy::best_performance(), fast_options());
+  EXPECT_GT(r.exec_time.get(), 0.0);
+  EXPECT_GT(r.gpu_energy.get(), 0.0);
+  EXPECT_GT(r.cpu_energy.get(), 0.0);
+  double iter_total = 0.0;
+  for (const auto& it : r.iterations) iter_total += it.total_energy().get();
+  // Iteration energies + setup/teardown transfers = run total.
+  EXPECT_LE(iter_total, r.total_energy().get() + 1e-6);
+  EXPECT_GT(iter_total, 0.9 * r.total_energy().get());
+}
+
+TEST(Runner, DynamicEnergyIsPositiveAndBelowTotal) {
+  workloads::Kmeans wl(small_kmeans());
+  const auto r = run_experiment(wl, Policy::best_performance(), fast_options());
+  EXPECT_GT(r.gpu_dynamic_energy().get(), 0.0);
+  EXPECT_LT(r.gpu_dynamic_energy().get(), r.gpu_energy.get());
+}
+
+TEST(Runner, StaticDivisionUsesFixedRatio) {
+  workloads::Kmeans wl(small_kmeans());
+  const auto r = run_experiment(wl, Policy::static_division(0.10), fast_options());
+  EXPECT_TRUE(r.verified);
+  for (const auto& it : r.iterations) EXPECT_DOUBLE_EQ(it.cpu_ratio, 0.10);
+  EXPECT_DOUBLE_EQ(r.final_ratio, 0.10);
+}
+
+TEST(Runner, StaticPairHoldsLevels) {
+  workloads::Streamcluster wl(small_sc());
+  const auto r = run_experiment(wl, Policy::static_pair(3, 2), fast_options());
+  EXPECT_TRUE(r.verified);
+  // One transition per domain to reach the pair, none after.
+  EXPECT_EQ(r.gpu_frequency_transitions, 2u);
+}
+
+TEST(Runner, DivisionPolicyConvergesAndRecordsActions) {
+  workloads::Kmeans wl(small_kmeans());
+  const auto r = run_experiment(wl, Policy::division_only(), fast_options());
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.final_ratio, 0.0);
+  EXPECT_NE(r.convergence_iteration, static_cast<std::size_t>(-1));
+  // kmeans profile: cpu_slowdown 6 -> balance near 1/7; converges to 0.15.
+  EXPECT_NEAR(r.final_ratio, 0.15, 0.051);
+}
+
+TEST(Runner, DivisionIgnoredForNonDivisibleWorkload) {
+  workloads::Streamcluster wl(small_sc());
+  const auto r = run_experiment(wl, Policy::division_only(), fast_options());
+  EXPECT_EQ(r.final_ratio, 0.0);
+  for (const auto& it : r.iterations) EXPECT_EQ(it.cpu_ratio, 0.0);
+}
+
+TEST(Runner, ScalingPolicyRecordsDecisions) {
+  workloads::Streamcluster wl(small_sc());
+  const auto r = run_experiment(wl, Policy::scaling_only(), fast_options());
+  EXPECT_TRUE(r.verified);
+  EXPECT_FALSE(r.scaler_decisions.empty());
+  EXPECT_FALSE(r.governor_decisions.empty());
+}
+
+TEST(Runner, ScalingSavesGpuEnergyOnStreamcluster) {
+  workloads::Streamcluster wl_base(small_sc());
+  const auto base = run_experiment(wl_base, Policy::best_performance(), fast_options());
+  workloads::Streamcluster wl_scaled(small_sc());
+  const auto scaled = run_experiment(wl_scaled, Policy::scaling_only(), fast_options());
+  EXPECT_LT(scaled.gpu_energy.get(), base.gpu_energy.get());
+  // With only marginal performance degradation (< 5 %).
+  EXPECT_LT(scaled.exec_time.get(), base.exec_time.get() * 1.05);
+}
+
+TEST(Runner, TraceRecordedWhenRequested) {
+  workloads::Streamcluster wl(small_sc());
+  RunOptions o = fast_options();
+  o.record_trace = true;
+  o.trace_period = Seconds{1.0};
+  const auto r = run_experiment(wl, Policy::scaling_only(), o);
+  EXPECT_FALSE(r.trace.empty());
+  // Roughly one sample per simulated second.
+  EXPECT_NEAR(static_cast<double>(r.trace.size()), r.exec_time.get(), 3.0);
+}
+
+TEST(Runner, SpinAccountingPresentUnderSyncStack) {
+  workloads::Streamcluster wl(small_sc());
+  const auto r = run_experiment(wl, Policy::best_performance(), fast_options());
+  // GPU-only run: the CPU spends essentially the whole run spinning.
+  EXPECT_GT(r.cpu_spin_time.get(), 0.9 * r.exec_time.get());
+  EXPECT_GT(r.cpu_spin_energy.get(), 0.0);
+  // The Fig. 6c emulation must price spin at the lowest P-state, reducing
+  // total energy.
+  EXPECT_LT(r.emulated_cpu_throttle_energy().get(), r.total_energy().get());
+}
+
+TEST(Runner, AsyncStackRemovesSpin) {
+  workloads::Streamcluster wl(small_sc());
+  RunOptions o = fast_options();
+  o.sync_spin = false;
+  const auto r = run_experiment(wl, Policy::best_performance(), o);
+  EXPECT_EQ(r.cpu_spin_time.get(), 0.0);
+  EXPECT_EQ(r.cpu_spin_energy.get(), 0.0);
+}
+
+TEST(Runner, MaxIterationsTruncatesAndSkipsVerify) {
+  workloads::Kmeans wl(small_kmeans());
+  RunOptions o = fast_options();
+  o.max_iterations = 3;
+  const auto r = run_experiment(wl, Policy::best_performance(), o);
+  EXPECT_EQ(r.iterations.size(), 3u);
+  EXPECT_TRUE(r.verify_skipped);
+}
+
+TEST(Runner, RunByNameWorks) {
+  RunOptions o = fast_options();
+  o.max_iterations = 2;
+  o.verify = false;
+  const auto r = run_experiment("pathfinder", Policy::best_performance(), o);
+  EXPECT_EQ(r.workload, "pathfinder");
+  EXPECT_EQ(r.iterations.size(), 2u);
+}
+
+TEST(Runner, GreenGpuBeatsBaselineOnDivisibleWorkload) {
+  workloads::Kmeans wl_base(small_kmeans());
+  const auto base = run_experiment(wl_base, Policy::best_performance(), fast_options());
+  workloads::Kmeans wl_green(small_kmeans());
+  const auto green = run_experiment(wl_green, Policy::green_gpu(), fast_options());
+  EXPECT_TRUE(green.verified);
+  EXPECT_LT(green.total_energy().get(), base.total_energy().get());
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  workloads::Kmeans a(small_kmeans());
+  workloads::Kmeans b(small_kmeans());
+  const auto r1 = run_experiment(a, Policy::green_gpu(), fast_options());
+  const auto r2 = run_experiment(b, Policy::green_gpu(), fast_options());
+  EXPECT_EQ(r1.exec_time.get(), r2.exec_time.get());
+  EXPECT_EQ(r1.total_energy().get(), r2.total_energy().get());
+  EXPECT_EQ(r1.final_ratio, r2.final_ratio);
+}
+
+}  // namespace
+}  // namespace gg::greengpu

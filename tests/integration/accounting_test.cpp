@@ -1,0 +1,96 @@
+// Cross-cutting accounting invariants: energy conservation between the
+// per-iteration records, the meters, and the trace, for every policy kind.
+#include <gtest/gtest.h>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+#include "src/workloads/registry.h"
+
+namespace gg {
+namespace {
+
+std::vector<greengpu::Policy> all_policies() {
+  return {greengpu::Policy::best_performance(),
+          greengpu::Policy::static_pair(2, 3),
+          greengpu::Policy::static_division(0.25),
+          greengpu::Policy::scaling_only(),
+          greengpu::Policy::division_only(),
+          greengpu::Policy::division_with(greengpu::DividerKind::kProfiling),
+          greengpu::Policy::division_with(greengpu::DividerKind::kEnergyModel),
+          greengpu::Policy::green_gpu()};
+}
+
+class AccountingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AccountingTest, EnergyAndTimeConserved) {
+  const greengpu::Policy policy = all_policies()[GetParam()];
+  greengpu::RunOptions o;
+  o.pool_workers = 2;
+  o.record_trace = true;
+  o.trace_period = Seconds{1.0};
+  const auto r = greengpu::run_experiment("kmeans", policy, o);
+
+  EXPECT_TRUE(r.verified) << policy.name;
+  EXPECT_GT(r.exec_time.get(), 0.0);
+  EXPECT_GT(r.gpu_energy.get(), 0.0);
+  EXPECT_GT(r.cpu_energy.get(), 0.0);
+
+  // Iteration-level records sum to (almost) the run totals; the difference
+  // is setup/teardown transfer time.
+  double iter_energy = 0.0;
+  double iter_time = 0.0;
+  for (const auto& it : r.iterations) {
+    EXPECT_GE(it.duration.get(), 0.0);
+    EXPECT_GE(std::max(it.cpu_time.get(), it.gpu_time.get()), 0.0);
+    EXPECT_LE(std::max(it.cpu_time.get(), it.gpu_time.get()),
+              it.duration.get() + 1e-9);
+    iter_energy += it.total_energy().get();
+    iter_time += it.duration.get();
+  }
+  EXPECT_LE(iter_energy, r.total_energy().get() + 1e-6);
+  EXPECT_GE(iter_energy, 0.98 * r.total_energy().get());
+  EXPECT_LE(iter_time, r.exec_time.get() + 1e-9);
+  EXPECT_GE(iter_time, 0.98 * r.exec_time.get());
+
+  // The trace's average powers integrate back to (almost) the meter totals.
+  double trace_energy = 0.0;
+  for (const auto& s : r.trace) {
+    EXPECT_GE(s.gpu_power.get(), 0.0);
+    EXPECT_GE(s.cpu_power.get(), 0.0);
+    EXPECT_GE(s.gpu_core_util, -1e-12);
+    EXPECT_LE(s.gpu_core_util, 1.0 + 1e-12);
+    trace_energy += (s.gpu_power.get() + s.cpu_power.get()) * 1.0;
+  }
+  // Trace covers whole seconds; the tail fraction is uncovered.
+  EXPECT_LE(trace_energy, r.total_energy().get() + 1e-6);
+  EXPECT_GE(trace_energy, 0.97 * r.total_energy().get());
+
+  // Dynamic energy and emulation identities.
+  EXPECT_GE(r.gpu_dynamic_energy().get(), 0.0);
+  EXPECT_LE(r.gpu_dynamic_energy().get(), r.gpu_energy.get());
+  EXPECT_LE(r.emulated_cpu_throttle_energy().get(), r.total_energy().get() + 1e-6);
+  EXPECT_LE(r.cpu_credited_spin_time.get(), r.cpu_spin_time.get() + 1e-12);
+  EXPECT_LE(r.cpu_spin_time.get(), r.exec_time.get() * (1.0 + 1e-9) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AccountingTest, ::testing::Range<std::size_t>(0, 8),
+                         [](const auto& param_info) {
+                           std::string n = all_policies()[param_info.param].name;
+                           for (char& c : n) {
+                             if (c == '-' || c == ' ') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Accounting, GpuOnlyWorkloadAcrossPolicies) {
+  for (const auto& policy : all_policies()) {
+    greengpu::RunOptions o;
+    o.pool_workers = 2;
+    const auto r = greengpu::run_experiment("pathfinder", policy, o);
+    EXPECT_TRUE(r.verified) << policy.name;
+    EXPECT_EQ(r.final_ratio, 0.0) << policy.name;  // not divisible
+  }
+}
+
+}  // namespace
+}  // namespace gg

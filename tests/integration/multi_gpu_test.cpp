@@ -1,0 +1,121 @@
+// End-to-end multi-GPU experiments: correctness of the divided computation
+// and the expected scaling behaviour.
+#include <gtest/gtest.h>
+
+#include "src/greengpu/multi_runner.h"
+#include "src/workloads/hotspot.h"
+#include "src/workloads/kmeans.h"
+
+namespace gg {
+namespace {
+
+greengpu::MultiRunOptions fast() {
+  greengpu::MultiRunOptions o;
+  o.pool_workers = 2;
+  return o;
+}
+
+workloads::KmeansConfig small_kmeans() {
+  workloads::KmeansConfig cfg;
+  cfg.points = 2048;
+  cfg.dims = 4;
+  cfg.clusters = 5;
+  cfg.iterations = 10;
+  return cfg;
+}
+
+TEST(MultiGpu, SingleGpuMatchesAnalyticBalance) {
+  workloads::Kmeans wl{};
+  const auto r = greengpu::run_multi_experiment(
+      wl, 1, greengpu::MultiPolicy::division_only(greengpu::MultiDividerKind::kProfiling),
+      fast());
+  EXPECT_TRUE(r.verified);
+  ASSERT_EQ(r.final_shares.size(), 2u);
+  EXPECT_NEAR(r.final_shares[0], 1.0 / 7.0, 0.01);  // cpu_slowdown 6
+}
+
+TEST(MultiGpu, TwoGpusConvergeToWaterfillShares) {
+  workloads::Kmeans wl{};
+  const auto r = greengpu::run_multi_experiment(
+      wl, 2, greengpu::MultiPolicy::division_only(greengpu::MultiDividerKind::kProfiling),
+      fast());
+  EXPECT_TRUE(r.verified);
+  ASSERT_EQ(r.final_shares.size(), 3u);
+  EXPECT_NEAR(r.final_shares[0], 1.0 / 13.0, 0.01);
+  EXPECT_NEAR(r.final_shares[1], 6.0 / 13.0, 0.01);
+  EXPECT_NEAR(r.final_shares[2], 6.0 / 13.0, 0.01);
+}
+
+TEST(MultiGpu, MoreGpusShortenExecution) {
+  workloads::Kmeans one(small_kmeans());
+  workloads::Kmeans two(small_kmeans());
+  const auto policy =
+      greengpu::MultiPolicy::division_only(greengpu::MultiDividerKind::kProfiling);
+  const auto r1 = greengpu::run_multi_experiment(one, 1, policy, fast());
+  const auto r2 = greengpu::run_multi_experiment(two, 2, policy, fast());
+  EXPECT_TRUE(r1.verified);
+  EXPECT_TRUE(r2.verified);
+  EXPECT_LT(r2.exec_time.get(), r1.exec_time.get() * 0.65);
+}
+
+TEST(MultiGpu, BaselinePutsEverythingOnGpuZero) {
+  workloads::Kmeans wl(small_kmeans());
+  const auto r =
+      greengpu::run_multi_experiment(wl, 2, greengpu::MultiPolicy::baseline(), fast());
+  EXPECT_TRUE(r.verified);
+  ASSERT_EQ(r.per_gpu_energy.size(), 2u);
+  // Card 1 idles: its energy is its idle power times the run, strictly less
+  // than the busy card's.
+  EXPECT_LT(r.per_gpu_energy[1].get(), r.per_gpu_energy[0].get());
+}
+
+TEST(MultiGpu, FixedSharesHonoured) {
+  workloads::Kmeans wl(small_kmeans());
+  greengpu::MultiPolicy policy = greengpu::MultiPolicy::baseline();
+  policy.fixed_shares = {0.2, 0.4, 0.4};
+  const auto r = greengpu::run_multi_experiment(wl, 2, policy, fast());
+  EXPECT_TRUE(r.verified);
+  for (const auto& it : r.iterations) {
+    EXPECT_DOUBLE_EQ(it.shares[0], 0.2);
+    EXPECT_DOUBLE_EQ(it.shares[1], 0.4);
+  }
+}
+
+TEST(MultiGpu, BadFixedSharesThrow) {
+  workloads::Kmeans wl(small_kmeans());
+  greengpu::MultiPolicy policy = greengpu::MultiPolicy::baseline();
+  policy.fixed_shares = {0.5, 0.5};  // wrong size for 2 GPUs
+  EXPECT_THROW(greengpu::run_multi_experiment(wl, 2, policy, fast()),
+               std::invalid_argument);
+}
+
+TEST(MultiGpu, GreenGpuScalesEachCard) {
+  workloads::Hotspot wl{};
+  const auto green = greengpu::run_multi_experiment(
+      wl, 2, greengpu::MultiPolicy::green_gpu(greengpu::MultiDividerKind::kProfiling),
+      fast());
+  EXPECT_TRUE(green.verified);
+  workloads::Hotspot base_wl{};
+  greengpu::MultiPolicy base_policy = greengpu::MultiPolicy::baseline();
+  const auto base = greengpu::run_multi_experiment(base_wl, 2, base_policy, fast());
+  // Holistic multi-GPU beats the all-on-one-GPU default.
+  EXPECT_LT(green.total_energy().get(), base.total_energy().get());
+  EXPECT_LT(green.exec_time.get(), base.exec_time.get());
+}
+
+TEST(MultiGpu, NonDivisibleWorkloadRunsOnGpuZero) {
+  const auto r = greengpu::run_multi_experiment(
+      "pathfinder", 2, greengpu::MultiPolicy::green_gpu(), fast());
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.per_gpu_energy[0].get(), r.per_gpu_energy[1].get());
+}
+
+TEST(MultiGpu, ZeroGpusRejected) {
+  workloads::Kmeans wl(small_kmeans());
+  EXPECT_THROW(
+      greengpu::run_multi_experiment(wl, 0, greengpu::MultiPolicy::baseline(), fast()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,207 @@
+// End-to-end reproduction properties: the qualitative shapes of the paper's
+// figures must hold on the simulated testbed (see DESIGN.md section 5).
+#include <gtest/gtest.h>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+#include "src/workloads/registry.h"
+
+namespace gg {
+namespace {
+
+greengpu::RunOptions fast() {
+  greengpu::RunOptions o;
+  o.pool_workers = 2;
+  return o;
+}
+
+// --- Fig. 1: frequency sweeps ----------------------------------------------
+
+TEST(Fig1Shapes, MemoryThrottlingNearlyFreeForCoreBoundedNbody) {
+  const auto base =
+      greengpu::run_experiment("nbody", greengpu::Policy::static_pair(0, 0), fast());
+  const auto throttled =
+      greengpu::run_experiment("nbody", greengpu::Policy::static_pair(0, 5), fast());
+  // Fig. 1a: negligible time impact, real energy saving.
+  EXPECT_LT(throttled.exec_time.get(), base.exec_time.get() * 1.02);
+  EXPECT_LT(throttled.gpu_energy.get(), base.gpu_energy.get());
+}
+
+TEST(Fig1Shapes, CoreThrottlingHurtsCoreBoundedNbody) {
+  const auto base =
+      greengpu::run_experiment("nbody", greengpu::Policy::static_pair(0, 0), fast());
+  const auto throttled =
+      greengpu::run_experiment("nbody", greengpu::Policy::static_pair(5, 0), fast());
+  // Fig. 1c/1d: both time and energy get worse.
+  EXPECT_GT(throttled.exec_time.get(), base.exec_time.get() * 1.3);
+  EXPECT_GT(throttled.gpu_energy.get(), base.gpu_energy.get());
+}
+
+TEST(Fig1Shapes, StreamclusterCoreKneeAt410MHz) {
+  // Section III-A: reducing SC's core clock to ~410 MHz is nearly free;
+  // going further hurts.
+  const auto base = greengpu::run_experiment("streamcluster",
+                                             greengpu::Policy::static_pair(0, 0), fast());
+  const auto at_knee = greengpu::run_experiment(
+      "streamcluster", greengpu::Policy::static_pair(3, 0), fast());
+  const auto below_knee = greengpu::run_experiment(
+      "streamcluster", greengpu::Policy::static_pair(5, 0), fast());
+  EXPECT_LT(at_knee.exec_time.get(), base.exec_time.get() * 1.03);
+  EXPECT_LT(at_knee.gpu_energy.get(), base.gpu_energy.get());
+  EXPECT_GT(below_knee.exec_time.get(), base.exec_time.get() * 1.15);
+}
+
+TEST(Fig1Shapes, MemoryThrottlingHurtsStreamclusterEventually) {
+  const auto base = greengpu::run_experiment("streamcluster",
+                                             greengpu::Policy::static_pair(0, 0), fast());
+  const auto low_mem = greengpu::run_experiment(
+      "streamcluster", greengpu::Policy::static_pair(0, 5), fast());
+  EXPECT_GT(low_mem.exec_time.get(), base.exec_time.get() * 1.1);
+}
+
+// --- Fig. 2: energy vs division ratio is U-shaped ---------------------------
+
+TEST(Fig2Shape, KmeansEnergyCurveHasInteriorMinimum) {
+  double energy_at[4];
+  const double ratios[4] = {0.0, 0.10, 0.15, 0.60};
+  for (int i = 0; i < 4; ++i) {
+    const auto r = greengpu::run_experiment(
+        "kmeans", greengpu::Policy::static_division(ratios[i]), fast());
+    energy_at[i] = r.total_energy().get();
+  }
+  // Small CPU shares beat all-GPU; large CPU shares are far worse.
+  EXPECT_LT(energy_at[1], energy_at[0]);
+  EXPECT_LT(energy_at[2], energy_at[0]);
+  EXPECT_GT(energy_at[3], energy_at[0]);
+}
+
+// --- Fig. 5/6: frequency scaling -------------------------------------------
+
+TEST(Fig6Shapes, ScalingSavesGpuEnergyOnEveryWorkload) {
+  for (const auto& name : workloads::all_workload_names()) {
+    const auto base =
+        greengpu::run_experiment(name, greengpu::Policy::best_performance(), fast());
+    const auto scaled =
+        greengpu::run_experiment(name, greengpu::Policy::scaling_only(), fast());
+    EXPECT_LE(scaled.gpu_energy.get(), base.gpu_energy.get() * 1.005) << name;
+    // "only marginal performance degradation"
+    EXPECT_LE(scaled.exec_time.get(), base.exec_time.get() * 1.08) << name;
+  }
+}
+
+TEST(Fig6Shapes, LowUtilizationWorkloadsSaveMoreThanHighUtilization) {
+  // Section VII-A: PF/lud-class workloads save more than bfs-class.
+  auto gpu_saving = [&](const std::string& name) {
+    const auto base =
+        greengpu::run_experiment(name, greengpu::Policy::best_performance(), fast());
+    const auto scaled =
+        greengpu::run_experiment(name, greengpu::Policy::scaling_only(), fast());
+    return 1.0 - scaled.gpu_energy.get() / base.gpu_energy.get();
+  };
+  const double pf = gpu_saving("pathfinder");
+  const double bfs = gpu_saving("bfs");
+  EXPECT_GT(pf, bfs);
+  EXPECT_LT(bfs, 0.05);  // high-utilization workloads save little
+  EXPECT_GT(pf, 0.08);   // low-utilization workloads save a lot
+}
+
+TEST(Fig6Shapes, DynamicEnergySavingExceedsTotalSaving) {
+  // Fig. 6b: expressed in dynamic (idle-subtracted) terms the savings are
+  // several times larger.
+  const auto base =
+      greengpu::run_experiment("pathfinder", greengpu::Policy::best_performance(), fast());
+  const auto scaled =
+      greengpu::run_experiment("pathfinder", greengpu::Policy::scaling_only(), fast());
+  const double total_saving = 1.0 - scaled.gpu_energy.get() / base.gpu_energy.get();
+  const double dyn_saving =
+      1.0 - scaled.gpu_dynamic_energy().get() / base.gpu_dynamic_energy().get();
+  EXPECT_GT(dyn_saving, total_saving);
+}
+
+TEST(Fig6cShape, CpuThrottleEmulationAddsSavings) {
+  // CPU/GPU scaling (emulated) must save more than GPU scaling alone.
+  const auto base =
+      greengpu::run_experiment("lud", greengpu::Policy::best_performance(), fast());
+  const auto scaled =
+      greengpu::run_experiment("lud", greengpu::Policy::scaling_only(), fast());
+  const double gpu_only = 1.0 - scaled.total_energy().get() / base.total_energy().get();
+  const double with_cpu =
+      1.0 - scaled.emulated_cpu_throttle_energy().get() / base.total_energy().get();
+  EXPECT_GT(with_cpu, gpu_only);
+}
+
+TEST(Fig5Shape, ScalerTraceTracksUtilizationRamp) {
+  greengpu::RunOptions o = fast();
+  o.record_trace = true;
+  o.trace_period = Seconds{3.0};
+  const auto r =
+      greengpu::run_experiment("streamcluster", greengpu::Policy::scaling_only(), o);
+  ASSERT_GE(r.trace.size(), 5u);
+  // Starts at the lowest clocks (driver default)...
+  EXPECT_LE(r.trace.front().gpu_core_freq.get(), 410.0);
+  // ...and ramps up within a few intervals of the utilization rise.
+  double max_core = 0.0, max_mem = 0.0;
+  for (const auto& s : r.trace) {
+    max_core = std::max(max_core, s.gpu_core_freq.get());
+    max_mem = std::max(max_mem, s.gpu_mem_freq.get());
+  }
+  EXPECT_GE(max_core, 466.0);
+  // Fig. 5b: memory settles below peak (at 820 MHz).
+  EXPECT_GE(max_mem, 820.0);
+  EXPECT_LT(max_mem, 900.0);
+}
+
+// --- Fig. 7/8: the two-tier orderings ---------------------------------------
+
+TEST(Fig8Shapes, PolicyOrderingHoldsForBothDivisibleWorkloads) {
+  for (const auto& name : workloads::divisible_workload_names()) {
+    const auto base =
+        greengpu::run_experiment(name, greengpu::Policy::best_performance(), fast());
+    const auto scaling =
+        greengpu::run_experiment(name, greengpu::Policy::scaling_only(), fast());
+    const auto division =
+        greengpu::run_experiment(name, greengpu::Policy::division_only(), fast());
+    const auto green =
+        greengpu::run_experiment(name, greengpu::Policy::green_gpu(), fast());
+    // GreenGPU <= Division <= best-performance, and GreenGPU <= Scaling.
+    EXPECT_LT(green.total_energy().get(), division.total_energy().get()) << name;
+    EXPECT_LT(division.total_energy().get(), base.total_energy().get()) << name;
+    EXPECT_LT(green.total_energy().get(), scaling.total_energy().get()) << name;
+    // Division contributes more than scaling in this testbed (Section VII-C).
+    EXPECT_LT(division.total_energy().get(), scaling.total_energy().get()) << name;
+  }
+}
+
+TEST(Fig8Shapes, HolisticSavingIsSubstantial) {
+  // Paper: 21.04 % average saving vs the Rodinia default for kmeans+hotspot.
+  double total_base = 0.0, total_green = 0.0;
+  for (const auto& name : workloads::divisible_workload_names()) {
+    total_base += greengpu::run_experiment(name, greengpu::Policy::best_performance(),
+                                           fast())
+                      .total_energy()
+                      .get();
+    total_green +=
+        greengpu::run_experiment(name, greengpu::Policy::green_gpu(), fast())
+            .total_energy()
+            .get();
+  }
+  const double saving = 1.0 - total_green / total_base;
+  EXPECT_GT(saving, 0.10);  // must be a double-digit effect
+}
+
+TEST(Fig7Shapes, DivisionOnlyCloseToStaticOptimum) {
+  // Section VII-B: the dynamic division's execution time is within ~6 % of
+  // the best static division.
+  double best_static = 1e300;
+  for (double r = 0.0; r <= 0.90001; r += 0.05) {
+    const auto res =
+        greengpu::run_experiment("kmeans", greengpu::Policy::static_division(r), fast());
+    best_static = std::min(best_static, res.exec_time.get());
+  }
+  const auto dynamic =
+      greengpu::run_experiment("kmeans", greengpu::Policy::division_only(), fast());
+  EXPECT_LT(dynamic.exec_time.get(), best_static * 1.10);
+}
+
+}  // namespace
+}  // namespace gg

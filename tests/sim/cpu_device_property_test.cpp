@@ -1,0 +1,112 @@
+// Property tests for the CPU device's piecewise execution under randomized
+// work and DVFS schedules, against an independent analytic oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/sim/cpu_device.h"
+
+namespace gg::sim {
+namespace {
+
+struct LevelChange {
+  double time;
+  std::size_t level;
+};
+
+struct Oracle {
+  CpuSpec spec;
+  DvfsTable table = phenom2_table();
+
+  [[nodiscard]] double unit_time(const CpuWork& w, std::size_t level) const {
+    const double share = (w.active_cores == 0 ? spec.cores : w.active_cores) /
+                         static_cast<double>(spec.cores);
+    return w.overhead_per_unit.get() +
+           w.ops_per_unit / (spec.throughput(table.frequency(level)) * share);
+  }
+
+  [[nodiscard]] double completion_time(const CpuWork& w,
+                                       const std::vector<LevelChange>& changes) const {
+    double done = 0.0;
+    double t = 0.0;
+    for (std::size_t i = 0; i < changes.size(); ++i) {
+      const double ut = unit_time(w, changes[i].level);
+      const double segment_end = i + 1 < changes.size() ? changes[i + 1].time : 1e300;
+      const double finish = t + (w.units - done) * ut;
+      if (finish <= segment_end + 1e-15) return finish;
+      done += (segment_end - t) / ut;
+      t = segment_end;
+    }
+    return t;
+  }
+};
+
+class CpuPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuPropertyTest, CompletionMatchesOracleUnderRandomDvfs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+  const Oracle oracle;
+
+  EventQueue queue;
+  CpuDevice cpu(queue, CpuSpec{}, phenom2_table(), 0);
+
+  CpuWork w;
+  w.units = 10.0 + rng.uniform() * 200.0;
+  w.ops_per_unit = rng.uniform(0.0, 1.0) * 1e7;
+  w.overhead_per_unit = Seconds{rng.uniform(0.0, 1.0) * 2e-3};
+  if (w.ops_per_unit == 0.0 && w.overhead_per_unit == Seconds{0.0}) {
+    w.overhead_per_unit = Seconds{1e-3};
+  }
+  w.active_cores = static_cast<int>(rng.uniform_int(3));  // 0 (=all), 1 or 2
+
+  std::vector<LevelChange> changes{{0.0, 0}};
+  const double horizon = oracle.completion_time(w, changes) * 3.0;
+  const int n_changes = static_cast<int>(rng.uniform_int(6));
+  double t = 0.0;
+  for (int i = 0; i < n_changes; ++i) {
+    t += rng.uniform() * horizon / 5.0;
+    changes.push_back(LevelChange{t, rng.uniform_int(4)});
+  }
+
+  double done_at = -1.0;
+  cpu.submit(w, [&] { done_at = queue.now().get(); });
+  for (std::size_t i = 1; i < changes.size(); ++i) {
+    queue.run_until(Seconds{changes[i].time});
+    cpu.set_level(changes[i].level);
+  }
+  queue.run_until_empty();
+
+  const double expected = oracle.completion_time(w, changes);
+  EXPECT_NEAR(done_at, expected, 1e-9 * (1.0 + expected));
+  EXPECT_EQ(cpu.tasks_completed(), 1u);
+
+  // Utilization integral equals busy time times the core share.
+  const double share = (w.active_cores == 0 ? 2 : w.active_cores) / 2.0;
+  const CpuActivityCounters c = cpu.counters();
+  EXPECT_NEAR(c.util_integral, done_at * share, 1e-9 * (1.0 + done_at));
+  EXPECT_NEAR(c.busy_integral, done_at, 1e-9 * (1.0 + done_at));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, CpuPropertyTest, ::testing::Range(0, 20));
+
+TEST(CpuPropertyExtra, EnergyDecomposesIntoIdlePlusDynamic) {
+  // For any P-state: E(busy T at level L) = idle_power(L)*T + dyn(L)*T.
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    EventQueue queue;
+    const std::size_t level = rng.uniform_int(4);
+    CpuDevice cpu(queue, CpuSpec{}, phenom2_table(), level);
+    CpuWork w;
+    w.units = 1.0;
+    w.overhead_per_unit = Seconds{1.0 + rng.uniform() * 4.0};
+    cpu.submit(w, {});
+    queue.run_until_empty();
+    const double t = queue.now().get();
+    const double expected = cpu.power_at(level, 1.0).get() * t;
+    EXPECT_NEAR(cpu.energy().get(), expected, 1e-6 * expected);
+  }
+}
+
+}  // namespace
+}  // namespace gg::sim

@@ -1,0 +1,165 @@
+#include "src/sim/cpu_device.h"
+
+#include <gtest/gtest.h>
+
+namespace gg::sim {
+namespace {
+
+using namespace gg::literals;
+
+class CpuDeviceTest : public ::testing::Test {
+ protected:
+  CpuDeviceTest() : cpu_(queue_, CpuSpec{}, phenom2_table(), 0) {}
+
+  /// Pure-compute work lasting `seconds` at the peak P-state on all cores.
+  [[nodiscard]] CpuWork compute_for(double seconds, double units = 1.0) const {
+    CpuWork w;
+    w.units = units;
+    w.ops_per_unit = cpu_.spec().throughput(2800_MHz) * seconds / units;
+    return w;
+  }
+
+  EventQueue queue_;
+  CpuDevice cpu_;
+};
+
+TEST_F(CpuDeviceTest, RejectsInvalidWork) {
+  CpuWork w;
+  EXPECT_THROW(cpu_.submit(w, {}), std::invalid_argument);  // zero work
+  w.ops_per_unit = 1.0;
+  w.active_cores = 3;  // > 2 cores
+  EXPECT_THROW(cpu_.submit(w, {}), std::invalid_argument);
+  w.active_cores = 0;
+  w.units = 0.0;
+  EXPECT_THROW(cpu_.submit(w, {}), std::invalid_argument);
+}
+
+TEST_F(CpuDeviceTest, PredictDurationAtPeak) {
+  EXPECT_NEAR(cpu_.predict_duration(compute_for(2.0)).get(), 2.0, 1e-12);
+}
+
+TEST_F(CpuDeviceTest, DurationScalesInverselyWithFrequency) {
+  const CpuWork w = compute_for(1.0);
+  cpu_.set_level(3);  // 800 MHz
+  EXPECT_NEAR(cpu_.predict_duration(w).get(), 2800.0 / 800.0, 1e-9);
+}
+
+TEST_F(CpuDeviceTest, OverheadComponentDoesNotScaleWithFrequency) {
+  CpuWork w;
+  w.units = 10.0;
+  w.overhead_per_unit = 0.1_s;
+  const double at_peak = cpu_.predict_duration(w).get();
+  cpu_.set_level(3);
+  EXPECT_NEAR(cpu_.predict_duration(w).get(), at_peak, 1e-12);
+}
+
+TEST_F(CpuDeviceTest, HalfCoresHalvesThroughput) {
+  CpuWork w = compute_for(1.0);
+  w.active_cores = 1;
+  EXPECT_NEAR(cpu_.predict_duration(w).get(), 2.0, 1e-9);
+}
+
+TEST_F(CpuDeviceTest, CompletionAtExactTime) {
+  double done_at = -1.0;
+  cpu_.submit(compute_for(1.5), [&] { done_at = queue_.now().get(); });
+  EXPECT_TRUE(cpu_.busy());
+  queue_.run_until_empty();
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+  EXPECT_EQ(cpu_.tasks_completed(), 1u);
+}
+
+TEST_F(CpuDeviceTest, MidTaskFrequencyChangeIsPiecewiseExact) {
+  double done_at = -1.0;
+  cpu_.submit(compute_for(1.0), [&] { done_at = queue_.now().get(); });
+  queue_.run_until(0.5_s);
+  cpu_.set_level(1);  // 2100 MHz
+  queue_.run_until_empty();
+  EXPECT_NEAR(done_at, 0.5 + 0.5 * 2800.0 / 2100.0, 1e-9);
+}
+
+TEST_F(CpuDeviceTest, UtilizationFullWhileWorking) {
+  cpu_.submit(compute_for(1.0), {});
+  EXPECT_DOUBLE_EQ(cpu_.utilization_now(), 1.0);
+  queue_.run_until_empty();
+  EXPECT_DOUBLE_EQ(cpu_.utilization_now(), 0.0);
+}
+
+TEST_F(CpuDeviceTest, SingleCoreTaskIsHalfUtilization) {
+  CpuWork w = compute_for(1.0);
+  w.active_cores = 1;
+  cpu_.submit(w, {});
+  EXPECT_DOUBLE_EQ(cpu_.utilization_now(), 0.5);
+  queue_.run_until_empty();
+}
+
+TEST_F(CpuDeviceTest, SpinningReadsFullUtilization) {
+  // The synchronous-stack behaviour of Section VII-A: the GPU-owner pthread
+  // and the active-wait OpenMP barriers keep every core at 100 %.
+  cpu_.set_spinning(true);
+  EXPECT_DOUBLE_EQ(cpu_.utilization_now(), 1.0);
+  queue_.run_until(2_s);
+  const CpuActivityCounters c = cpu_.counters();
+  EXPECT_NEAR(c.util_integral, 2.0, 1e-9);
+  EXPECT_NEAR(c.spin_integral, 2.0, 1e-9);
+  cpu_.set_spinning(false);
+  EXPECT_DOUBLE_EQ(cpu_.utilization_now(), 0.0);
+}
+
+TEST_F(CpuDeviceTest, ActiveWorkOverridesSpinFlag) {
+  cpu_.set_spinning(true);
+  cpu_.submit(compute_for(1.0), {});
+  queue_.run_until_empty();
+  const CpuActivityCounters c = cpu_.counters();
+  // Spin time only accrues while no work is active.
+  EXPECT_NEAR(c.spin_integral, 0.0, 1e-9);
+  EXPECT_NEAR(c.busy_integral, 1.0, 1e-9);
+}
+
+TEST_F(CpuDeviceTest, SpinEnergyAccrues) {
+  cpu_.set_spinning(true);
+  queue_.run_until(3_s);
+  const double spin_e = cpu_.spin_energy().get();
+  const double spin_power = cpu_.power_at(0, 1.0).get();  // all cores pegged
+  EXPECT_NEAR(spin_e, spin_power * 3.0, 1e-6);
+  EXPECT_NEAR(cpu_.energy().get(), spin_e, 1e-6);
+}
+
+TEST_F(CpuDeviceTest, IdleEnergyMatchesIdlePower) {
+  queue_.run_until(5_s);
+  EXPECT_NEAR(cpu_.energy().get(), cpu_.idle_power(0).get() * 5.0, 1e-9);
+}
+
+TEST_F(CpuDeviceTest, VoltageScalingReducesPowerSuperlinearly) {
+  // Dynamic power at the lowest P-state must drop faster than frequency
+  // alone (V^2 scaling).
+  const double p_peak = cpu_.power_at(0, 1.0).get() - cpu_.idle_power(0).get();
+  const double p_low = cpu_.power_at(3, 1.0).get() - cpu_.idle_power(3).get();
+  const double f_ratio = 800.0 / 2800.0;
+  EXPECT_LT(p_low / p_peak, f_ratio);
+}
+
+TEST_F(CpuDeviceTest, IdlePowerIncludesBoard) {
+  EXPECT_GE(cpu_.idle_power(3).get(), cpu_.spec().p_board.get());
+}
+
+TEST_F(CpuDeviceTest, FifoTasks) {
+  std::vector<int> order;
+  cpu_.submit(compute_for(1.0), [&] { order.push_back(1); });
+  cpu_.submit(compute_for(1.0), [&] { order.push_back(2); });
+  EXPECT_EQ(cpu_.queued(), 1u);
+  queue_.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(CpuDeviceTest, EnergyOfKnownRunMatchesHandComputation) {
+  // 1 s fully busy at peak, then 1 s idle.
+  cpu_.submit(compute_for(1.0), {});
+  queue_.run_until(2_s);
+  const CpuSpec& s = cpu_.spec();
+  const double busy_p = s.p_board.get() + s.p_static.get() + 2.0 * s.p_dyn_per_core.get();
+  const double idle_p = cpu_.idle_power(0).get();
+  EXPECT_NEAR(cpu_.energy().get(), busy_p * 1.0 + idle_p * 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gg::sim

@@ -1,0 +1,172 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gg::sim {
+namespace {
+
+using namespace gg::literals;
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0_s);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3_s, [&] { order.push_back(3); });
+  q.schedule_at(1_s, [&] { order.push_back(1); });
+  q.schedule_at(2_s, [&] { order.push_back(2); });
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3_s);
+}
+
+TEST(EventQueue, SameTimeFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1_s, [&order, i] { order.push_back(i); });
+  }
+  q.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  q.schedule_at(2_s, [] {});
+  q.run_until(2_s);
+  bool fired = false;
+  q.schedule_in(3_s, [&] { fired = true; });
+  q.run_until(5_s);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now(), 5_s);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.run_until(10_s);
+  EXPECT_EQ(q.now(), 10_s);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5_s, [&] { ++fired; });
+  q.schedule_at(5.0001_s, [&] { ++fired; });
+  q.run_until(5_s);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 5_s);
+}
+
+TEST(EventQueue, PastScheduleThrows) {
+  EventQueue q;
+  q.run_until(5_s);
+  EXPECT_THROW(q.schedule_at(4_s, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, PastRunUntilThrows) {
+  EventQueue q;
+  q.run_until(5_s);
+  EXPECT_THROW(q.run_until(4_s), std::invalid_argument);
+}
+
+TEST(EventQueue, EmptyActionThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1_s, EventQueue::Action{}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule_at(1_s, [&] { fired = true; });
+  h.cancel();
+  q.run_until_empty();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(h.cancelled());
+  EXPECT_FALSE(h.fired());
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  EventHandle h = q.schedule_at(1_s, [] {});
+  q.run_until_empty();
+  EXPECT_TRUE(h.fired());
+  h.cancel();  // no-op after firing
+  EXPECT_TRUE(h.fired());
+}
+
+TEST(EventQueue, DefaultHandleIsInvalid) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueue, PendingCountExcludesCancelled) {
+  EventQueue q;
+  q.schedule_at(1_s, [] {});
+  EventHandle h = q.schedule_at(2_s, [] {});
+  EXPECT_EQ(q.pending_count(), 2u);
+  h.cancel();
+  EXPECT_EQ(q.pending_count(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(q.now().get());
+    if (times.size() < 3) q.schedule_in(1_s, chain);
+  };
+  q.schedule_at(1_s, chain);
+  q.run_until_empty();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(EventQueue, EventCanCancelLaterEvent) {
+  EventQueue q;
+  bool second = false;
+  EventHandle h = q.schedule_at(2_s, [&] { second = true; });
+  q.schedule_at(1_s, [&] { h.cancel(); });
+  q.run_until_empty();
+  EXPECT_FALSE(second);
+}
+
+TEST(EventQueue, FiredCountCountsOnlyFired) {
+  EventQueue q;
+  q.schedule_at(1_s, [] {});
+  EventHandle h = q.schedule_at(2_s, [] {});
+  h.cancel();
+  q.run_until_empty();
+  EXPECT_EQ(q.fired_count(), 1u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenOnlyCancelled) {
+  EventQueue q;
+  EventHandle h = q.schedule_at(1_s, [] {});
+  h.cancel();
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<double> times;
+  for (int i = 1000; i >= 1; --i) {
+    q.schedule_at(Seconds{static_cast<double>(i)}, [&times, &q] {
+      times.push_back(q.now().get());
+    });
+  }
+  q.run_until_empty();
+  ASSERT_EQ(times.size(), 1000u);
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_LT(times[i - 1], times[i]);
+}
+
+}  // namespace
+}  // namespace gg::sim

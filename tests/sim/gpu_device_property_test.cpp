@@ -1,0 +1,169 @@
+// Property tests: the GPU device's piecewise execution and energy accounting
+// against an independent analytic oracle, under randomized kernels and
+// randomized mid-flight DVFS schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/sim/gpu_device.h"
+
+namespace gg::sim {
+namespace {
+
+using namespace gg::literals;
+
+struct LevelChange {
+  double time;
+  std::size_t core_level;
+  std::size_t mem_level;
+};
+
+/// Independent oracle: integrate work depletion and power over the piecewise
+/// constant frequency schedule.
+struct Oracle {
+  GpuSpec spec;
+  DvfsTable core = geforce8800_core_table();
+  DvfsTable mem = geforce8800_memory_table();
+
+  [[nodiscard]] double unit_time(const KernelWork& w, std::size_t cl, std::size_t ml) const {
+    const double t_core = w.core_cycles_per_unit / spec.core_throughput(core.frequency(cl));
+    const double t_mem = w.mem_bytes_per_unit / spec.mem_bandwidth(mem.frequency(ml));
+    return std::max({t_core, t_mem, w.overhead_per_unit.get()});
+  }
+
+  /// Completion time of a kernel started at t=0 under the change schedule
+  /// (changes sorted by time; initial levels are changes[0] at time 0).
+  [[nodiscard]] double completion_time(const KernelWork& w,
+                                       const std::vector<LevelChange>& changes) const {
+    double done = 0.0;
+    double t = 0.0;
+    for (std::size_t i = 0; i < changes.size(); ++i) {
+      const double ut = unit_time(w, changes[i].core_level, changes[i].mem_level);
+      const double segment_end =
+          i + 1 < changes.size() ? changes[i + 1].time : 1e300;
+      const double remaining_units = w.units - done;
+      const double finish = t + remaining_units * ut;
+      if (finish <= segment_end + 1e-15) return finish;
+      done += (segment_end - t) / ut;
+      t = segment_end;
+    }
+    return t;  // unreachable for well-formed schedules
+  }
+
+  /// Energy from t=0 to `until` with the kernel busy [0, completion) and the
+  /// device idle afterwards.
+  [[nodiscard]] double energy(const KernelWork& w, const std::vector<LevelChange>& changes,
+                              double completion, double until) const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < changes.size(); ++i) {
+      const double seg_start = changes[i].time;
+      const double seg_end = i + 1 < changes.size() ? changes[i + 1].time : until;
+      if (seg_start >= until) break;
+      const double end = std::min(seg_end, until);
+      const double fc = core.frequency(changes[i].core_level) / core.peak();
+      const double fm = mem.frequency(changes[i].mem_level) / mem.peak();
+      // Busy portion of this segment.
+      const double busy_end = std::min(end, completion);
+      if (busy_end > seg_start) {
+        const double ut = unit_time(w, changes[i].core_level, changes[i].mem_level);
+        const double uc = (w.core_cycles_per_unit /
+                           spec.core_throughput(core.frequency(changes[i].core_level))) /
+                          ut;
+        const double um = (w.mem_bytes_per_unit /
+                           spec.mem_bandwidth(mem.frequency(changes[i].mem_level))) /
+                          ut;
+        e += spec.power(fc, uc, fm, um).get() * (busy_end - seg_start);
+      }
+      // Idle portion.
+      if (end > std::max(seg_start, completion)) {
+        e += spec.power(fc, 0.0, fm, 0.0).get() * (end - std::max(seg_start, completion));
+      }
+    }
+    return e;
+  }
+};
+
+class GpuPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuPropertyTest, CompletionAndEnergyMatchOracleUnderRandomDvfs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const Oracle oracle;
+
+  EventQueue queue;
+  GpuDevice gpu(queue, GpuSpec{}, geforce8800_core_table(), geforce8800_memory_table(),
+                0, 0);
+
+  // Random kernel: utils in [0.05, 1.0], unit time ~1 ms, 100-2000 units.
+  KernelWork w;
+  w.units = 100.0 + rng.uniform() * 1900.0;
+  const double uc = 0.05 + 0.95 * rng.uniform();
+  const double um = 0.05 + 0.95 * rng.uniform();
+  const double unit_s = 5e-4 + 1.5e-3 * rng.uniform();
+  w.core_cycles_per_unit = uc * unit_s * gpu.spec().core_throughput(576_MHz);
+  w.mem_bytes_per_unit = um * unit_s * gpu.spec().mem_bandwidth(900_MHz);
+  w.overhead_per_unit = Seconds{unit_s};
+
+  // Random DVFS schedule: 0-8 changes within the plausible runtime.
+  std::vector<LevelChange> changes{{0.0, 0, 0}};
+  const double horizon = w.units * unit_s * 2.0;
+  const int n_changes = static_cast<int>(rng.uniform_int(9));
+  double t = 0.0;
+  for (int i = 0; i < n_changes; ++i) {
+    t += rng.uniform() * horizon / 8.0;
+    changes.push_back(LevelChange{t, rng.uniform_int(6), rng.uniform_int(6)});
+  }
+
+  double done_at = -1.0;
+  gpu.submit(w, [&] { done_at = queue.now().get(); });
+  for (std::size_t i = 1; i < changes.size(); ++i) {
+    queue.run_until(Seconds{changes[i].time});
+    gpu.set_core_level(changes[i].core_level);
+    gpu.set_mem_level(changes[i].mem_level);
+  }
+  queue.run_until_empty();
+
+  const double expected_completion = oracle.completion_time(w, changes);
+  ASSERT_GT(done_at, 0.0);
+  EXPECT_NEAR(done_at, expected_completion, 1e-9 * (1.0 + expected_completion));
+
+  // Advance past completion and compare total energy.
+  const double until = std::max(done_at, changes.back().time) + 1.0;
+  queue.run_until(Seconds{until});
+  const double expected_energy = oracle.energy(w, changes, done_at, until);
+  EXPECT_NEAR(gpu.energy().get(), expected_energy, 1e-6 * (1.0 + expected_energy));
+
+  // Counter invariants.
+  const GpuActivityCounters c = gpu.counters();
+  EXPECT_NEAR(c.busy_integral, done_at, 1e-9 * (1.0 + done_at));
+  EXPECT_LE(c.core_util_integral, c.busy_integral + 1e-9);
+  EXPECT_LE(c.mem_util_integral, c.busy_integral + 1e-9);
+  EXPECT_GE(c.core_util_integral, 0.0);
+  EXPECT_EQ(gpu.kernels_completed(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, GpuPropertyTest, ::testing::Range(0, 25));
+
+TEST(GpuPropertyExtra, BackToBackKernelsConserveWork) {
+  // N kernels of equal work at fixed clocks must finish in exactly N times
+  // the single-kernel duration, regardless of submission pattern.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    EventQueue queue;
+    GpuDevice gpu(queue, GpuSpec{}, geforce8800_core_table(), geforce8800_memory_table(),
+                  rng.uniform_int(6), rng.uniform_int(6));
+    KernelWork w;
+    w.units = 10.0;
+    w.overhead_per_unit = Seconds{1e-3 + 1e-3 * rng.uniform()};
+    const double single = gpu.predict_duration(w).get();
+    const int n = 1 + static_cast<int>(rng.uniform_int(6));
+    int completed = 0;
+    for (int i = 0; i < n; ++i) gpu.submit(w, [&] { ++completed; });
+    queue.run_until_empty();
+    EXPECT_EQ(completed, n);
+    EXPECT_NEAR(queue.now().get(), single * n, 1e-9 * n);
+  }
+}
+
+}  // namespace
+}  // namespace gg::sim

@@ -1,0 +1,212 @@
+#include "src/sim/gpu_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gg::sim {
+namespace {
+
+using namespace gg::literals;
+
+class GpuDeviceTest : public ::testing::Test {
+ protected:
+  GpuDeviceTest()
+      : gpu_(queue_, GpuSpec{}, geforce8800_core_table(), geforce8800_memory_table(),
+             /*core=*/0, /*mem=*/0) {}
+
+  /// Work with the given peak-clock utilization targets and unit time.
+  [[nodiscard]] KernelWork work_for(double uc, double um, double unit_s,
+                                    double units) const {
+    const GpuSpec& s = gpu_.spec();
+    KernelWork w;
+    w.units = units;
+    w.core_cycles_per_unit = uc * unit_s * s.core_throughput(576_MHz);
+    w.mem_bytes_per_unit = um * unit_s * s.mem_bandwidth(900_MHz);
+    w.overhead_per_unit = Seconds{unit_s};
+    return w;
+  }
+
+  EventQueue queue_;
+  GpuDevice gpu_;
+};
+
+TEST_F(GpuDeviceTest, RejectsInvalidWork) {
+  KernelWork w;  // zero everything
+  EXPECT_THROW(gpu_.submit(w, {}), std::invalid_argument);
+  w.units = 0.0;
+  w.overhead_per_unit = 1_ms;
+  EXPECT_THROW(gpu_.submit(w, {}), std::invalid_argument);
+  w.units = 1.0;
+  w.core_cycles_per_unit = -1.0;
+  EXPECT_THROW(gpu_.submit(w, {}), std::invalid_argument);
+}
+
+TEST_F(GpuDeviceTest, PredictDurationAtPeakEqualsUnitTimeTimesUnits) {
+  const KernelWork w = work_for(0.5, 0.3, 1e-3, 100.0);
+  EXPECT_NEAR(gpu_.predict_duration(w).get(), 0.1, 1e-12);
+}
+
+TEST_F(GpuDeviceTest, PureCoreWorkDurationScalesWithCoreFrequency) {
+  KernelWork w;
+  w.units = 10.0;
+  w.core_cycles_per_unit = gpu_.spec().core_throughput(576_MHz) * 0.01;  // 10ms/unit
+  const double at_peak = gpu_.predict_duration(w).get();
+  EXPECT_NEAR(at_peak, 0.1, 1e-12);
+  gpu_.set_core_level(5);  // 300 MHz
+  EXPECT_NEAR(gpu_.predict_duration(w).get(), at_peak * 576.0 / 300.0, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, CompletionCallbackFiresAtExactTime) {
+  const KernelWork w = work_for(0.6, 0.2, 1e-3, 50.0);
+  double done_at = -1.0;
+  gpu_.submit(w, [&] { done_at = queue_.now().get(); });
+  EXPECT_TRUE(gpu_.busy());
+  queue_.run_until_empty();
+  EXPECT_NEAR(done_at, 0.05, 1e-9);
+  EXPECT_FALSE(gpu_.busy());
+  EXPECT_EQ(gpu_.kernels_completed(), 1u);
+}
+
+TEST_F(GpuDeviceTest, UtilizationsMatchTargetsAtPeak) {
+  const KernelWork w = work_for(0.6, 0.2, 1e-3, 1000.0);
+  gpu_.submit(w, {});
+  EXPECT_NEAR(gpu_.core_utilization_now(), 0.6, 1e-12);
+  EXPECT_NEAR(gpu_.mem_utilization_now(), 0.2, 1e-12);
+  queue_.run_until_empty();
+  EXPECT_EQ(gpu_.core_utilization_now(), 0.0);
+  EXPECT_EQ(gpu_.mem_utilization_now(), 0.0);
+}
+
+TEST_F(GpuDeviceTest, ThrottlingWithinSlackIsFree) {
+  // 50 % core utilization: dropping core clock to 66 % of peak must not
+  // extend execution (the paper's observation 1).
+  const KernelWork w = work_for(0.5, 0.2, 1e-3, 100.0);
+  const double at_peak = gpu_.predict_duration(w).get();
+  gpu_.set_core_level(2);  // 466 MHz ~ 0.81 of peak; slack bound is 0.5
+  EXPECT_NEAR(gpu_.predict_duration(w).get(), at_peak, 1e-12);
+  // Utilization rises to compensate.
+  gpu_.submit(w, {});
+  EXPECT_NEAR(gpu_.core_utilization_now(), 0.5 * 576.0 / 466.0, 1e-9);
+  queue_.run_until_empty();
+}
+
+TEST_F(GpuDeviceTest, ThrottlingPastSlackStretchesExecution) {
+  const KernelWork w = work_for(0.8, 0.2, 1e-3, 100.0);
+  const double at_peak = gpu_.predict_duration(w).get();
+  gpu_.set_core_level(5);  // 300 MHz: core stream needs 0.8*576/300 = 1.536x
+  EXPECT_NEAR(gpu_.predict_duration(w).get(), at_peak * 0.8 * 576.0 / 300.0, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, MemoryThrottleKneeMatchesUtilization) {
+  // u_mem = 0.7 at 900 MHz: free down to 0.7*900 = 630 MHz, so 660 is free
+  // and 580 is not — the Fig. 1 knee structure.
+  const KernelWork w = work_for(0.3, 0.7, 1e-3, 10.0);
+  const double at_peak = gpu_.predict_duration(w).get();
+  gpu_.set_mem_level(3);  // 660 MHz
+  EXPECT_NEAR(gpu_.predict_duration(w).get(), at_peak, 1e-12);
+  gpu_.set_mem_level(4);  // 580 MHz < 630: now memory-bound
+  EXPECT_NEAR(gpu_.predict_duration(w).get(), at_peak * 0.7 * 900.0 / 580.0, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, MidKernelFrequencyChangeIsPiecewiseExact) {
+  // Pure core kernel, 1 s at peak.  Run half at peak, then halve throughput:
+  // completion must land at 0.5 + 0.5 * (576/300) s... computed piecewise.
+  KernelWork w;
+  w.units = 1.0;
+  w.core_cycles_per_unit = gpu_.spec().core_throughput(576_MHz) * 1.0;
+  double done_at = -1.0;
+  gpu_.submit(w, [&] { done_at = queue_.now().get(); });
+  queue_.run_until(0.5_s);
+  gpu_.set_core_level(5);  // 300 MHz
+  queue_.run_until_empty();
+  EXPECT_NEAR(done_at, 0.5 + 0.5 * 576.0 / 300.0, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, FifoOrderingOfKernels) {
+  std::vector<int> order;
+  const KernelWork w = work_for(0.5, 0.5, 1e-3, 10.0);
+  gpu_.submit(w, [&] { order.push_back(1); });
+  gpu_.submit(w, [&] { order.push_back(2); });
+  EXPECT_EQ(gpu_.queued(), 1u);
+  queue_.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(gpu_.kernels_completed(), 2u);
+}
+
+TEST_F(GpuDeviceTest, CallbackCanSubmitNextKernel) {
+  const KernelWork w = work_for(0.5, 0.5, 1e-3, 10.0);
+  int completions = 0;
+  gpu_.submit(w, [&] {
+    ++completions;
+    gpu_.submit(w, [&] { ++completions; });
+  });
+  queue_.run_until_empty();
+  EXPECT_EQ(completions, 2);
+}
+
+TEST_F(GpuDeviceTest, CountersIntegrateUtilization) {
+  const KernelWork w = work_for(0.6, 0.2, 1e-3, 100.0);  // 0.1 s busy
+  gpu_.submit(w, {});
+  queue_.run_until_empty();
+  queue_.run_until(1_s);  // idle afterwards
+  const GpuActivityCounters c = gpu_.counters();
+  EXPECT_NEAR(c.busy_integral, 0.1, 1e-9);
+  EXPECT_NEAR(c.core_util_integral, 0.06, 1e-9);
+  EXPECT_NEAR(c.mem_util_integral, 0.02, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, IdleEnergyMatchesIdlePowerFormula) {
+  queue_.run_until(10_s);
+  const Watts idle = gpu_.idle_power(0, 0);
+  EXPECT_NEAR(gpu_.energy().get(), idle.get() * 10.0, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, IdlePowerLowerAtLowerClocks) {
+  const Watts peak_idle = gpu_.idle_power(0, 0);
+  const Watts low_idle = gpu_.idle_power(5, 5);
+  EXPECT_LT(low_idle, peak_idle);
+  // Explicit formula: base + core_clock*f' + mem_clock*f'.
+  const GpuSpec& s = gpu_.spec();
+  EXPECT_NEAR(peak_idle.get(), s.p_base.get() + s.p_core_clock.get() + s.p_mem_clock.get(),
+              1e-12);
+}
+
+TEST_F(GpuDeviceTest, BusyPowerAddsActivityTerms) {
+  const KernelWork w = work_for(1.0, 1.0, 1e-3, 1000.0);
+  gpu_.submit(w, {});
+  const GpuSpec& s = gpu_.spec();
+  const double expected = s.p_base.get() + s.p_core_clock.get() + s.p_core_active.get() +
+                          s.p_mem_clock.get() + s.p_mem_active.get();
+  EXPECT_NEAR(gpu_.power_now().get(), expected, 1e-9);
+}
+
+TEST_F(GpuDeviceTest, EnergyOfKnownRunMatchesHandComputation) {
+  // 0.1 s busy at full utilization and peak clocks, then 0.9 s idle.
+  const KernelWork w = work_for(1.0, 1.0, 1e-3, 100.0);
+  gpu_.submit(w, {});
+  queue_.run_until(1_s);
+  const GpuSpec& s = gpu_.spec();
+  const double busy_p = s.p_base.get() + s.p_core_clock.get() + s.p_core_active.get() +
+                        s.p_mem_clock.get() + s.p_mem_active.get();
+  const double idle_p = gpu_.idle_power(0, 0).get();
+  EXPECT_NEAR(gpu_.energy().get(), busy_p * 0.1 + idle_p * 0.9, 1e-6);
+}
+
+TEST_F(GpuDeviceTest, TestbedDefaultStartsAtLowestClocks) {
+  EventQueue q;
+  GpuDevice gpu = GpuDevice::testbed_default(q);
+  EXPECT_EQ(gpu.core_level(), gpu.core_table().lowest_level());
+  EXPECT_EQ(gpu.mem_level(), gpu.mem_table().lowest_level());
+}
+
+TEST_F(GpuDeviceTest, FrequencyTransitionCount) {
+  EXPECT_EQ(gpu_.frequency_transitions(), 0u);
+  gpu_.set_core_level(1);
+  gpu_.set_core_level(1);  // no change
+  gpu_.set_mem_level(2);
+  EXPECT_EQ(gpu_.frequency_transitions(), 2u);
+}
+
+}  // namespace
+}  // namespace gg::sim

@@ -1,0 +1,75 @@
+#include "src/sim/specs.h"
+
+#include <gtest/gtest.h>
+
+namespace gg::sim {
+namespace {
+
+using namespace gg::literals;
+
+TEST(GpuSpec, ThroughputFormulas) {
+  GpuSpec s;
+  // 128 SPs at 576 MHz.
+  EXPECT_DOUBLE_EQ(s.core_throughput(576_MHz), 128.0 * 576e6);
+  // 96 bytes/clock at 900 MHz = 86.4 GB/s, the 8800 GTX datasheet number.
+  EXPECT_DOUBLE_EQ(s.mem_bandwidth(900_MHz), 86.4e9);
+}
+
+TEST(GpuSpec, PowerAtFullLoadIsComponentSum) {
+  GpuSpec s;
+  const double expected = s.p_base.get() + s.p_core_clock.get() + s.p_core_active.get() +
+                          s.p_mem_clock.get() + s.p_mem_active.get();
+  EXPECT_NEAR(s.power(1.0, 1.0, 1.0, 1.0).get(), expected, 1e-12);
+}
+
+TEST(GpuSpec, PowerMonotoneInEveryArgument) {
+  GpuSpec s;
+  const double base = s.power(0.8, 0.5, 0.8, 0.5).get();
+  EXPECT_GT(s.power(0.9, 0.5, 0.8, 0.5).get(), base);
+  EXPECT_GT(s.power(0.8, 0.6, 0.8, 0.5).get(), base);
+  EXPECT_GT(s.power(0.8, 0.5, 0.9, 0.5).get(), base);
+  EXPECT_GT(s.power(0.8, 0.5, 0.8, 0.6).get(), base);
+}
+
+TEST(GpuSpec, FullLoadMatchesCardClassTdp) {
+  // The modelled card draws ~145 W flat out — 8800 GTX territory.
+  GpuSpec s;
+  const double full = s.power(1.0, 1.0, 1.0, 1.0).get();
+  EXPECT_GT(full, 120.0);
+  EXPECT_LT(full, 180.0);
+}
+
+TEST(CpuSpec, ThroughputScalesWithCoresAndFrequency) {
+  CpuSpec s;
+  EXPECT_DOUBLE_EQ(s.throughput(2800_MHz), 2.0 * 3.0 * 2800e6);
+  EXPECT_DOUBLE_EQ(s.throughput(1400_MHz), s.throughput(2800_MHz) / 2.0);
+}
+
+TEST(CpuSpec, PowerQuadraticInVoltage) {
+  CpuSpec s;
+  const double hi = s.power(1.0, 1.0, 2.0).get() - s.p_board.get();
+  const double half_v = s.power(1.0, 0.5, 2.0).get() - s.p_board.get();
+  // static*v^2 + dyn*f*v^2*u: halving V quarters both non-board terms.
+  EXPECT_NEAR(half_v, hi / 4.0, 1e-9);
+}
+
+TEST(CpuSpec, PowerLinearInUtilization) {
+  CpuSpec s;
+  const double idle = s.power(1.0, 1.0, 0.0).get();
+  const double one = s.power(1.0, 1.0, 1.0).get();
+  const double two = s.power(1.0, 1.0, 2.0).get();
+  EXPECT_NEAR(two - one, one - idle, 1e-12);
+}
+
+TEST(BusSpec, TransferTimeIsLatencyPlusBandwidth) {
+  BusSpec bus;
+  EXPECT_NEAR(bus.transfer_time(0.0).get(), 15e-6, 1e-15);
+  EXPECT_NEAR(bus.transfer_time(3.0e9).get(), 1.0 + 15e-6, 1e-12);
+  // Time is additive in bytes beyond the fixed latency.
+  const double a = bus.transfer_time(1e6).get();
+  const double b = bus.transfer_time(2e6).get();
+  EXPECT_NEAR(b - a, 1e6 / bus.bandwidth_bytes_per_s, 1e-15);
+}
+
+}  // namespace
+}  // namespace gg::sim

@@ -1,0 +1,126 @@
+// Division-specific behaviour of the two divisible workloads (kmeans and
+// hotspot): correctness under arbitrary splits and the paper's convergence
+// anchors.
+#include <gtest/gtest.h>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+#include "src/workloads/hotspot.h"
+#include "src/workloads/kmeans.h"
+
+namespace gg::workloads {
+namespace {
+
+greengpu::RunOptions fast() {
+  greengpu::RunOptions o;
+  o.pool_workers = 2;
+  return o;
+}
+
+KmeansConfig small_kmeans() {
+  KmeansConfig cfg;
+  cfg.points = 1024;
+  cfg.dims = 4;
+  cfg.clusters = 5;
+  cfg.iterations = 10;
+  return cfg;
+}
+
+HotspotConfig small_hotspot() {
+  HotspotConfig cfg;
+  cfg.rows = 48;
+  cfg.cols = 48;
+  cfg.iterations = 10;
+  return cfg;
+}
+
+class SplitRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitRatioTest, KmeansCorrectUnderAnyStaticSplit) {
+  Kmeans wl(small_kmeans());
+  const auto r =
+      greengpu::run_experiment(wl, greengpu::Policy::static_division(GetParam()), fast());
+  EXPECT_TRUE(r.verified) << "ratio " << GetParam();
+}
+
+TEST_P(SplitRatioTest, HotspotCorrectUnderAnyStaticSplit) {
+  Hotspot wl(small_hotspot());
+  const auto r =
+      greengpu::run_experiment(wl, greengpu::Policy::static_division(GetParam()), fast());
+  EXPECT_TRUE(r.verified) << "ratio " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RatioSweep, SplitRatioTest,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90));
+
+TEST(KmeansDivision, ConvergesNearPaperRatio) {
+  // Paper Section VII-B: the static optimum is 15/85 and the dynamic
+  // algorithm lands on 15-20 % CPU.
+  Kmeans wl{};  // default (paper-calibrated) profile
+  const auto r = greengpu::run_experiment(wl, greengpu::Policy::division_only(), fast());
+  EXPECT_GE(r.final_ratio, 0.10);
+  EXPECT_LE(r.final_ratio, 0.20);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(HotspotDivision, ConvergesToFiftyFifty) {
+  // Paper Section VII-B: hotspot's optimum is 50/50 and the algorithm
+  // converges exactly there.
+  Hotspot wl{};
+  const auto r = greengpu::run_experiment(wl, greengpu::Policy::division_only(), fast());
+  EXPECT_NEAR(r.final_ratio, 0.50, 1e-9);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(KmeansDivision, InitialRatioDoesNotChangeConvergence) {
+  // Section VII-B: "our algorithm converges to the balanced workload
+  // division regardless of this initial division ratio."
+  double converged[3];
+  int idx = 0;
+  for (double init : {0.05, 0.30, 0.80}) {
+    greengpu::GreenGpuParams params;
+    params.division.initial_ratio = init;
+    Kmeans wl{};
+    const auto r =
+        greengpu::run_experiment(wl, greengpu::Policy::division_only(params), fast());
+    converged[idx++] = r.final_ratio;
+  }
+  EXPECT_NEAR(converged[0], converged[1], 0.051);
+  EXPECT_NEAR(converged[1], converged[2], 0.051);
+}
+
+TEST(KmeansDivision, ExecutionTimesBalanceAfterConvergence) {
+  Kmeans wl{};
+  const auto r = greengpu::run_experiment(wl, greengpu::Policy::division_only(), fast());
+  ASSERT_FALSE(r.iterations.empty());
+  const auto& last = r.iterations.back();
+  // Both sides finish within 10 % of each other at the converged division.
+  EXPECT_GT(last.cpu_time.get(), 0.0);
+  EXPECT_NEAR(last.cpu_time.get() / last.gpu_time.get(), 1.0, 0.10);
+}
+
+TEST(HotspotDivision, DivisionShortensIterations) {
+  Hotspot base_wl{};
+  const auto base =
+      greengpu::run_experiment(base_wl, greengpu::Policy::best_performance(), fast());
+  Hotspot div_wl{};
+  const auto divided =
+      greengpu::run_experiment(div_wl, greengpu::Policy::division_only(), fast());
+  EXPECT_LT(divided.exec_time.get(), base.exec_time.get());
+  EXPECT_LT(divided.total_energy().get(), base.total_energy().get());
+}
+
+TEST(KmeansDivision, ResultsIdenticalAcrossPolicies) {
+  // The clustering output must not depend on the energy policy.
+  Kmeans a(small_kmeans());
+  Kmeans b(small_kmeans());
+  (void)greengpu::run_experiment(a, greengpu::Policy::best_performance(), fast());
+  (void)greengpu::run_experiment(b, greengpu::Policy::green_gpu(), fast());
+  ASSERT_EQ(a.centroids().size(), b.centroids().size());
+  for (std::size_t i = 0; i < a.centroids().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.centroids()[i], b.centroids()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gg::workloads

@@ -1,0 +1,85 @@
+#include "src/workloads/trace_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+
+namespace gg::workloads {
+namespace {
+
+TEST(TraceWorkload, ValidatesPhases) {
+  EXPECT_THROW(TraceWorkload({}), std::invalid_argument);
+  EXPECT_THROW(TraceWorkload({{1.5, 0.5, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(TraceWorkload({{0.5, 0.5, 0.0}}), std::invalid_argument);
+}
+
+TEST(TraceWorkload, PhasesDriveProfiles) {
+  TraceWorkload wl({{0.9, 0.3, 2.0}, {0.2, 0.1, 4.0}});
+  EXPECT_EQ(wl.iterations(), 2u);
+  EXPECT_DOUBLE_EQ(wl.profile(0).core_util, 0.9);
+  EXPECT_DOUBLE_EQ(wl.profile(1).core_util, 0.2);
+  // Phase duration = units * unit_time.
+  EXPECT_NEAR(wl.profile(0).units_per_iteration * wl.profile(0).unit_time_s, 2.0, 1e-12);
+  EXPECT_NEAR(wl.trace_duration().get(), 6.0, 1e-12);
+}
+
+TEST(TraceWorkload, CsvParsingMergesEqualSamples) {
+  std::istringstream csv(
+      "time_s,core_util,mem_util\n"
+      "0,50,20\n"
+      "1,50,20\n"
+      "2,90,70\n"
+      "3,90,70\n"
+      "4,10,5\n");
+  const TraceWorkload wl = TraceWorkload::from_csv(csv);
+  ASSERT_EQ(wl.phases().size(), 3u);
+  EXPECT_DOUBLE_EQ(wl.phases()[0].core_util, 0.50);
+  EXPECT_DOUBLE_EQ(wl.phases()[0].duration_s, 2.0);  // two 1 s samples
+  EXPECT_DOUBLE_EQ(wl.phases()[1].core_util, 0.90);
+  EXPECT_DOUBLE_EQ(wl.phases()[1].mem_util, 0.70);
+  EXPECT_DOUBLE_EQ(wl.phases()[2].core_util, 0.10);
+}
+
+TEST(TraceWorkload, CsvAcceptsFractions) {
+  std::istringstream csv("0,0.5,0.2\n1,0.5,0.2\n");
+  const TraceWorkload wl = TraceWorkload::from_csv(csv);
+  EXPECT_DOUBLE_EQ(wl.phases()[0].core_util, 0.5);
+}
+
+TEST(TraceWorkload, CsvRejectsGarbage) {
+  std::istringstream bad("0,0.5\n");
+  EXPECT_THROW(TraceWorkload::from_csv(bad), std::invalid_argument);
+  std::istringstream backwards("1,0.5,0.5\n0,0.5,0.5\n");
+  EXPECT_THROW(TraceWorkload::from_csv(backwards), std::invalid_argument);
+}
+
+TEST(TraceWorkload, RunsAndVerifiesUnderScaling) {
+  TraceWorkload wl({{0.9, 0.4, 10.0}, {0.2, 0.1, 10.0}, {0.9, 0.4, 10.0}});
+  greengpu::RunOptions o;
+  o.pool_workers = 2;
+  const auto r = greengpu::run_experiment(wl, greengpu::Policy::scaling_only(), o);
+  EXPECT_TRUE(r.verified);
+  // Replay at peak clocks takes the trace duration (plus the clock ramp).
+  EXPECT_GE(r.exec_time.get(), 30.0 - 1e-6);
+  EXPECT_LT(r.exec_time.get(), 33.0);
+}
+
+TEST(TraceWorkload, ScalingSavesEnergyOnIdleHeavyTrace) {
+  TraceWorkload base_wl({{0.3, 0.15, 30.0}});
+  TraceWorkload scaled_wl({{0.3, 0.15, 30.0}});
+  greengpu::RunOptions o;
+  o.pool_workers = 2;
+  const auto base =
+      greengpu::run_experiment(base_wl, greengpu::Policy::best_performance(), o);
+  const auto scaled =
+      greengpu::run_experiment(scaled_wl, greengpu::Policy::scaling_only(), o);
+  EXPECT_TRUE(base.verified);
+  EXPECT_TRUE(scaled.verified);
+  EXPECT_LT(scaled.gpu_energy.get(), base.gpu_energy.get());
+}
+
+}  // namespace
+}  // namespace gg::workloads

@@ -1,0 +1,286 @@
+// greengpu_cli — run any workload under any policy from the command line.
+//
+//   greengpu_cli --workload kmeans --policy greengpu
+//   greengpu_cli --workload streamcluster --policy scaling --trace trace.csv
+//   greengpu_cli --workload kmeans --policy static-division --ratio 0.10
+//   greengpu_cli --workload hotspot --policy division --divider qilin
+//   greengpu_cli --workload all --policy greengpu --csv
+//   greengpu_cli --list
+//
+// Flags (all optional unless noted):
+//   --workload NAME|all         Table II name (required unless --list)
+//   --policy P                  best-performance | scaling | division |
+//                               greengpu | static-division | static-pair
+//   --ratio R                   CPU share for static-division (default 0.1)
+//   --core-level N --mem-level N   levels for static-pair (default 0 0)
+//   --divider D                 step | qilin | energy (division policies)
+//   --governor G                none|performance|powersave|ondemand|
+//                               conservative|wma (scaling policies)
+//   --step S --init-ratio R0 --safeguard 0|1     division tier parameters
+//   --alpha-c A --alpha-m A --phi P --beta B --interval S    WMA parameters
+//   --iterations N              truncate the run (skips verification)
+//   --sync 0|1                  synchronous (spinning) stack, default 1
+//   --trace FILE.csv            write a 1 Hz platform trace
+//   --csv                       machine-readable one-line-per-run output
+//   --no-verify                 skip result verification
+//   --gpus N                    run on N simulated cards (multi-GPU runner)
+//   --replay FILE.csv           replay a utilization trace (time,core,mem)
+//                               as the workload instead of a Table II name
+//   --campaign                  run the full (workload x policy) matrix;
+//                               with --json FILE, write a structured report
+//
+// Campaign example:
+//   greengpu_cli --campaign --json report.json
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.h"
+#include "src/common/flags.h"
+#include "src/greengpu/campaign.h"
+#include "src/greengpu/multi_runner.h"
+#include "src/greengpu/policy.h"
+#include "src/greengpu/runner.h"
+#include "src/workloads/registry.h"
+#include "src/workloads/trace_workload.h"
+
+namespace {
+
+using namespace gg;
+
+greengpu::Policy policy_from_flags(const Flags& flags) {
+  greengpu::GreenGpuParams params;
+  params.division.step = flags.get_double("step", params.division.step);
+  params.division.initial_ratio =
+      flags.get_double("init-ratio", params.division.initial_ratio);
+  params.division.safeguard = flags.get_bool("safeguard", params.division.safeguard);
+  params.wma.alpha_core = flags.get_double("alpha-c", params.wma.alpha_core);
+  params.wma.alpha_mem = flags.get_double("alpha-m", params.wma.alpha_mem);
+  params.wma.phi = flags.get_double("phi", params.wma.phi);
+  params.wma.beta = flags.get_double("beta", params.wma.beta);
+  params.wma.interval = Seconds{flags.get_double("interval", params.wma.interval.get())};
+
+  const std::string name = flags.get_string("policy", "greengpu");
+  greengpu::Policy policy;
+  if (name == "best-performance" || name == "baseline") {
+    policy = greengpu::Policy::best_performance();
+  } else if (name == "scaling" || name == "frequency-scaling") {
+    policy = greengpu::Policy::scaling_only(params);
+  } else if (name == "division") {
+    policy = greengpu::Policy::division_with(
+        greengpu::divider_from_string(flags.get_string("divider", "step")), params);
+  } else if (name == "greengpu") {
+    policy = greengpu::Policy::green_gpu(params);
+    policy.divider = greengpu::divider_from_string(flags.get_string("divider", "step"));
+  } else if (name == "static-division") {
+    policy = greengpu::Policy::static_division(flags.get_double("ratio", 0.10));
+  } else if (name == "static-pair") {
+    policy = greengpu::Policy::static_pair(
+        static_cast<std::size_t>(flags.get_int("core-level", 0)),
+        static_cast<std::size_t>(flags.get_int("mem-level", 0)));
+  } else {
+    throw std::invalid_argument("unknown policy: " + name);
+  }
+  if (flags.has("governor")) {
+    policy.cpu_governor =
+        greengpu::cpu_governor_from_string(flags.get_string("governor", "ondemand"));
+  }
+  return policy;
+}
+
+void print_human(const greengpu::ExperimentResult& r) {
+  std::printf("%-14s %-22s exec %9.1f s   GPU %9.0f J   CPU %9.0f J   total %9.0f J",
+              r.workload.c_str(), r.policy.c_str(), r.exec_time.get(),
+              r.gpu_energy.get(), r.cpu_energy.get(), r.total_energy().get());
+  if (r.final_ratio > 0.0) std::printf("   split %2.0f/%2.0f", r.final_ratio * 100.0,
+                                       (1.0 - r.final_ratio) * 100.0);
+  std::printf("   %s\n", r.verify_skipped ? "(unverified)"
+                                          : (r.verified ? "verified" : "VERIFY FAILED"));
+}
+
+void print_csv_row(CsvWriter& w, const greengpu::ExperimentResult& r) {
+  w.row_values(r.workload, r.policy, r.exec_time.get(), r.gpu_energy.get(),
+               r.cpu_energy.get(), r.total_energy().get(), r.final_ratio,
+               r.gpu_dynamic_energy().get(), r.emulated_cpu_throttle_energy().get(),
+               r.verified ? 1 : 0);
+}
+
+int run(const Flags& flags) {
+  if (flags.get_bool("list", false)) {
+    std::printf("workloads:");
+    for (const auto& n : workloads::all_workload_names()) std::printf(" %s", n.c_str());
+    std::printf("\npolicies: best-performance scaling division greengpu "
+                "static-division static-pair\n");
+    std::printf("dividers: step qilin energy\n");
+    std::printf("governors: none performance powersave ondemand conservative wma\n");
+    return 0;
+  }
+
+  if (flags.get_bool("campaign", false)) {
+    greengpu::CampaignConfig cfg;
+    const std::string wl = flags.get_string("workload", "");
+    if (!wl.empty() && wl != "all") cfg.workloads = {wl};
+    const std::string json_file = flags.get_string("json", "");
+    const bool markdown = flags.get_bool("markdown", false);
+    const auto unknown_flags = flags.unconsumed();
+    if (!unknown_flags.empty()) {
+      for (const auto& key : unknown_flags) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      }
+      return 2;
+    }
+    const greengpu::CampaignResult result = greengpu::run_campaign(
+        cfg, [](const std::string& w, const std::string& p, std::size_t done,
+                std::size_t total) {
+          std::fprintf(stderr, "[%zu/%zu] %s / %s\n", done, total, w.c_str(), p.c_str());
+        });
+    if (markdown) {
+      greengpu::write_campaign_markdown(std::cout, result);
+    } else {
+      greengpu::write_campaign_csv(std::cout, result);
+    }
+    if (!json_file.empty()) {
+      std::ofstream out(json_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", json_file.c_str());
+        return 2;
+      }
+      greengpu::write_campaign_json(out, result);
+    }
+    return result.all_verified() ? 0 : 1;
+  }
+
+  // Trace replay mode: the workload is built from a utilization trace file.
+  const std::string replay_file = flags.get_string("replay", "");
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", replay_file.c_str());
+      return 2;
+    }
+    workloads::TraceWorkload wl = workloads::TraceWorkload::from_csv(in);
+    const greengpu::Policy policy = policy_from_flags(flags);
+    greengpu::RunOptions options;
+    options.sync_spin = flags.get_bool("sync", true);
+    options.verify = !flags.get_bool("no-verify", false);
+    const auto unknown_flags = flags.unconsumed();
+    if (!unknown_flags.empty()) {
+      for (const auto& key : unknown_flags) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      }
+      return 2;
+    }
+    std::printf("replaying %zu trace phases (%.1f s at peak clocks)\n",
+                wl.phases().size(), wl.trace_duration().get());
+    const auto result = greengpu::run_experiment(wl, policy, options);
+    print_human(result);
+    return result.verified ? 0 : 1;
+  }
+
+  const std::string workload = flags.get_string("workload", "");
+  if (workload.empty()) {
+    std::fprintf(stderr, "missing --workload (or --list / --campaign / --replay); see "
+                         "the header of tools/greengpu_cli.cpp for usage\n");
+    return 2;
+  }
+  const std::size_t gpus = static_cast<std::size_t>(flags.get_int("gpus", 1));
+  if (gpus > 1) {
+    // Multi-GPU path uses the MultiPolicy mapping of the requested policy.
+    const std::string pol = flags.get_string("policy", "greengpu");
+    greengpu::MultiPolicy mpolicy;
+    if (pol == "best-performance" || pol == "baseline") {
+      mpolicy = greengpu::MultiPolicy::baseline();
+    } else if (pol == "division") {
+      mpolicy = greengpu::MultiPolicy::division_only(greengpu::MultiDividerKind::kProfiling);
+    } else if (pol == "greengpu") {
+      mpolicy = greengpu::MultiPolicy::green_gpu(greengpu::MultiDividerKind::kProfiling);
+    } else {
+      std::fprintf(stderr, "policy '%s' is not available with --gpus > 1\n", pol.c_str());
+      return 2;
+    }
+    const auto unknown_flags = flags.unconsumed();
+    if (!unknown_flags.empty()) {
+      for (const auto& key : unknown_flags) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      }
+      return 2;
+    }
+    const auto r = greengpu::run_multi_experiment(workload, gpus, mpolicy);
+    std::printf("%-14s %-20s gpus=%zu exec %9.1f s  total %9.0f J  shares",
+                r.workload.c_str(), r.policy.c_str(), gpus, r.exec_time.get(),
+                r.total_energy().get());
+    for (double s : r.final_shares) std::printf(" %.3f", s);
+    std::printf("  %s\n", r.verified ? "verified" : "VERIFY FAILED");
+    return r.verified ? 0 : 1;
+  }
+  const greengpu::Policy policy = policy_from_flags(flags);
+
+  greengpu::RunOptions options;
+  options.max_iterations = static_cast<std::size_t>(flags.get_int("iterations", 0));
+  options.sync_spin = flags.get_bool("sync", true);
+  options.verify = !flags.get_bool("no-verify", false);
+  const std::string trace_file = flags.get_string("trace", "");
+  options.record_trace = !trace_file.empty();
+  const bool csv = flags.get_bool("csv", false);
+
+  const auto unknown = flags.unconsumed();
+  if (!unknown.empty()) {
+    for (const auto& key : unknown) std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> names;
+  if (workload == "all") {
+    names = workloads::all_workload_names();
+  } else {
+    names.push_back(workload);
+  }
+
+  CsvWriter csv_writer(std::cout);
+  if (csv) {
+    csv_writer.row_values("workload", "policy", "exec_time_s", "gpu_energy_J",
+                          "cpu_energy_J", "total_energy_J", "final_cpu_share",
+                          "gpu_dynamic_energy_J", "emulated_cpu_throttle_J", "verified");
+  }
+
+  int failures = 0;
+  for (const auto& name : names) {
+    const auto result = greengpu::run_experiment(name, policy, options);
+    if (csv) {
+      print_csv_row(csv_writer, result);
+    } else {
+      print_human(result);
+    }
+    if (!result.verified) ++failures;
+    if (!trace_file.empty()) {
+      std::ofstream out(trace_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", trace_file.c_str());
+        return 2;
+      }
+      CsvWriter tw(out);
+      tw.row_values("time_s", "gpu_core_mhz", "gpu_mem_mhz", "cpu_mhz", "gpu_core_util",
+                    "gpu_mem_util", "cpu_util", "gpu_power_w", "cpu_power_w");
+      for (const auto& s : result.trace) {
+        tw.row_values(s.time.get(), s.gpu_core_freq.get(), s.gpu_mem_freq.get(),
+                      s.cpu_freq.get(), s.gpu_core_util, s.gpu_mem_util, s.cpu_util,
+                      s.gpu_power.get(), s.cpu_power.get());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Flags(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
