@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_governor.dir/ablation_cpu_governor.cpp.o"
+  "CMakeFiles/ablation_cpu_governor.dir/ablation_cpu_governor.cpp.o.d"
+  "ablation_cpu_governor"
+  "ablation_cpu_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

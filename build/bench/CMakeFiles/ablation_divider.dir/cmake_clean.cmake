@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_divider.dir/ablation_divider.cpp.o"
+  "CMakeFiles/ablation_divider.dir/ablation_divider.cpp.o.d"
+  "ablation_divider"
+  "ablation_divider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_divider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_init_ratio.dir/ablation_init_ratio.cpp.o"
+  "CMakeFiles/ablation_init_ratio.dir/ablation_init_ratio.cpp.o.d"
+  "ablation_init_ratio"
+  "ablation_init_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_init_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_intervals.dir/ablation_intervals.cpp.o"
+  "CMakeFiles/ablation_intervals.dir/ablation_intervals.cpp.o.d"
+  "ablation_intervals"
+  "ablation_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

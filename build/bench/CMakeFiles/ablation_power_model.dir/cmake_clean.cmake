@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_model.dir/ablation_power_model.cpp.o"
+  "CMakeFiles/ablation_power_model.dir/ablation_power_model.cpp.o.d"
+  "ablation_power_model"
+  "ablation_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

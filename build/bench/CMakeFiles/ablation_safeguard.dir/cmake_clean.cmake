@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_safeguard.dir/ablation_safeguard.cpp.o"
+  "CMakeFiles/ablation_safeguard.dir/ablation_safeguard.cpp.o.d"
+  "ablation_safeguard"
+  "ablation_safeguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_safeguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_step.dir/ablation_step.cpp.o"
+  "CMakeFiles/ablation_step.dir/ablation_step.cpp.o.d"
+  "ablation_step"
+  "ablation_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wma_params.dir/ablation_wma_params.cpp.o"
+  "CMakeFiles/ablation_wma_params.dir/ablation_wma_params.cpp.o.d"
+  "ablation_wma_params"
+  "ablation_wma_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wma_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multi_gpu.dir/extension_multi_gpu.cpp.o"
+  "CMakeFiles/extension_multi_gpu.dir/extension_multi_gpu.cpp.o.d"
+  "extension_multi_gpu"
+  "extension_multi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

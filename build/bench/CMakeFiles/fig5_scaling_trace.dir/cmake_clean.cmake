@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scaling_trace.dir/fig5_scaling_trace.cpp.o"
+  "CMakeFiles/fig5_scaling_trace.dir/fig5_scaling_trace.cpp.o.d"
+  "fig5_scaling_trace"
+  "fig5_scaling_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaling_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy_savings.dir/fig6_energy_savings.cpp.o"
+  "CMakeFiles/fig6_energy_savings.dir/fig6_energy_savings.cpp.o.d"
+  "fig6_energy_savings"
+  "fig6_energy_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_holistic.dir/fig8_holistic.cpp.o"
+  "CMakeFiles/fig8_holistic.dir/fig8_holistic.cpp.o.d"
+  "fig8_holistic"
+  "fig8_holistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_holistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

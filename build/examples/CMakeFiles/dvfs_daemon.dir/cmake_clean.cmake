@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_daemon.dir/dvfs_daemon.cpp.o"
+  "CMakeFiles/dvfs_daemon.dir/dvfs_daemon.cpp.o.d"
+  "dvfs_daemon"
+  "dvfs_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

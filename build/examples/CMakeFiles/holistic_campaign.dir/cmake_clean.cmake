@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holistic_campaign.dir/holistic_campaign.cpp.o"
+  "CMakeFiles/holistic_campaign.dir/holistic_campaign.cpp.o.d"
+  "holistic_campaign"
+  "holistic_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holistic_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_division.dir/kmeans_division.cpp.o"
+  "CMakeFiles/kmeans_division.dir/kmeans_division.cpp.o.d"
+  "kmeans_division"
+  "kmeans_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multi_gpu.cpp" "examples/CMakeFiles/multi_gpu.dir/multi_gpu.cpp.o" "gcc" "examples/CMakeFiles/multi_gpu.dir/multi_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/greengpu/CMakeFiles/gg_greengpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudalite/CMakeFiles/gg_cudalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_common.dir/csv.cpp.o"
+  "CMakeFiles/gg_common.dir/csv.cpp.o.d"
+  "CMakeFiles/gg_common.dir/flags.cpp.o"
+  "CMakeFiles/gg_common.dir/flags.cpp.o.d"
+  "CMakeFiles/gg_common.dir/json.cpp.o"
+  "CMakeFiles/gg_common.dir/json.cpp.o.d"
+  "CMakeFiles/gg_common.dir/stats.cpp.o"
+  "CMakeFiles/gg_common.dir/stats.cpp.o.d"
+  "libgg_common.a"
+  "libgg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

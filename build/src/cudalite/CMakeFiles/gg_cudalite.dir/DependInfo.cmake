@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudalite/api.cpp" "src/cudalite/CMakeFiles/gg_cudalite.dir/api.cpp.o" "gcc" "src/cudalite/CMakeFiles/gg_cudalite.dir/api.cpp.o.d"
+  "/root/repo/src/cudalite/thread_pool.cpp" "src/cudalite/CMakeFiles/gg_cudalite.dir/thread_pool.cpp.o" "gcc" "src/cudalite/CMakeFiles/gg_cudalite.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

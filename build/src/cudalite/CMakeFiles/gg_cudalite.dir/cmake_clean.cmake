@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_cudalite.dir/api.cpp.o"
+  "CMakeFiles/gg_cudalite.dir/api.cpp.o.d"
+  "CMakeFiles/gg_cudalite.dir/thread_pool.cpp.o"
+  "CMakeFiles/gg_cudalite.dir/thread_pool.cpp.o.d"
+  "libgg_cudalite.a"
+  "libgg_cudalite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_cudalite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/greengpu/campaign.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/campaign.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/campaign.cpp.o.d"
+  "/root/repo/src/greengpu/cpu_governor.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/cpu_governor.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/cpu_governor.cpp.o.d"
+  "/root/repo/src/greengpu/division.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/division.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/division.cpp.o.d"
+  "/root/repo/src/greengpu/loss.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/loss.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/loss.cpp.o.d"
+  "/root/repo/src/greengpu/model_dividers.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/model_dividers.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/model_dividers.cpp.o.d"
+  "/root/repo/src/greengpu/multi_division.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/multi_division.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/multi_division.cpp.o.d"
+  "/root/repo/src/greengpu/multi_runner.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/multi_runner.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/multi_runner.cpp.o.d"
+  "/root/repo/src/greengpu/runner.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/runner.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/runner.cpp.o.d"
+  "/root/repo/src/greengpu/weight_table.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/weight_table.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/weight_table.cpp.o.d"
+  "/root/repo/src/greengpu/wma_scaler.cpp" "src/greengpu/CMakeFiles/gg_greengpu.dir/wma_scaler.cpp.o" "gcc" "src/greengpu/CMakeFiles/gg_greengpu.dir/wma_scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudalite/CMakeFiles/gg_cudalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

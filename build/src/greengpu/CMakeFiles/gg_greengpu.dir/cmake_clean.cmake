@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_greengpu.dir/campaign.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/campaign.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/cpu_governor.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/cpu_governor.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/division.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/division.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/loss.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/loss.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/model_dividers.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/model_dividers.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/multi_division.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/multi_division.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/multi_runner.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/multi_runner.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/runner.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/runner.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/weight_table.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/weight_table.cpp.o.d"
+  "CMakeFiles/gg_greengpu.dir/wma_scaler.cpp.o"
+  "CMakeFiles/gg_greengpu.dir/wma_scaler.cpp.o.d"
+  "libgg_greengpu.a"
+  "libgg_greengpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_greengpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

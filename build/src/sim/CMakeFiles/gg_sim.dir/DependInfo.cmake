@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu_device.cpp" "src/sim/CMakeFiles/gg_sim.dir/cpu_device.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/cpu_device.cpp.o.d"
+  "/root/repo/src/sim/dvfs.cpp" "src/sim/CMakeFiles/gg_sim.dir/dvfs.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/gg_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/gpu_device.cpp" "src/sim/CMakeFiles/gg_sim.dir/gpu_device.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/gpu_device.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/gg_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/power_meter.cpp" "src/sim/CMakeFiles/gg_sim.dir/power_meter.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/power_meter.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/gg_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_sim.dir/cpu_device.cpp.o"
+  "CMakeFiles/gg_sim.dir/cpu_device.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/dvfs.cpp.o"
+  "CMakeFiles/gg_sim.dir/dvfs.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/gg_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/gpu_device.cpp.o"
+  "CMakeFiles/gg_sim.dir/gpu_device.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/platform.cpp.o"
+  "CMakeFiles/gg_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/power_meter.cpp.o"
+  "CMakeFiles/gg_sim.dir/power_meter.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/trace.cpp.o"
+  "CMakeFiles/gg_sim.dir/trace.cpp.o.d"
+  "libgg_sim.a"
+  "libgg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/lud.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/lud.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/lud.cpp.o.d"
+  "/root/repo/src/workloads/nbody.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/nbody.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/nbody.cpp.o.d"
+  "/root/repo/src/workloads/pathfinder.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/pathfinder.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/pathfinder.cpp.o.d"
+  "/root/repo/src/workloads/profile.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/profile.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/profile.cpp.o.d"
+  "/root/repo/src/workloads/qrng.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/qrng.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/qrng.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/sobol.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/sobol.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/sobol.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/srad.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/srad.cpp.o.d"
+  "/root/repo/src/workloads/streamcluster.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/streamcluster.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/streamcluster.cpp.o.d"
+  "/root/repo/src/workloads/trace_workload.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/trace_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/trace_workload.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/gg_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/gg_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudalite/CMakeFiles/gg_cudalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

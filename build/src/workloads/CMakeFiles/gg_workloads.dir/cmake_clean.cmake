@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/gg_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/gg_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/kmeans.cpp.o"
+  "CMakeFiles/gg_workloads.dir/kmeans.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/lud.cpp.o"
+  "CMakeFiles/gg_workloads.dir/lud.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/nbody.cpp.o"
+  "CMakeFiles/gg_workloads.dir/nbody.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/pathfinder.cpp.o"
+  "CMakeFiles/gg_workloads.dir/pathfinder.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/profile.cpp.o"
+  "CMakeFiles/gg_workloads.dir/profile.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/qrng.cpp.o"
+  "CMakeFiles/gg_workloads.dir/qrng.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/registry.cpp.o"
+  "CMakeFiles/gg_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/sobol.cpp.o"
+  "CMakeFiles/gg_workloads.dir/sobol.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/srad.cpp.o"
+  "CMakeFiles/gg_workloads.dir/srad.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/streamcluster.cpp.o"
+  "CMakeFiles/gg_workloads.dir/streamcluster.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/trace_workload.cpp.o"
+  "CMakeFiles/gg_workloads.dir/trace_workload.cpp.o.d"
+  "CMakeFiles/gg_workloads.dir/workload.cpp.o"
+  "CMakeFiles/gg_workloads.dir/workload.cpp.o.d"
+  "libgg_workloads.a"
+  "libgg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

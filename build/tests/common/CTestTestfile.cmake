@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common/units_test[1]_include.cmake")
+include("/root/repo/build/tests/common/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/common/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/common/fixed_point_test[1]_include.cmake")
+include("/root/repo/build/tests/common/ring_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/common/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/common/json_test[1]_include.cmake")

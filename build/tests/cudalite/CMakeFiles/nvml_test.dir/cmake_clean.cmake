@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvml_test.dir/nvml_test.cpp.o"
+  "CMakeFiles/nvml_test.dir/nvml_test.cpp.o.d"
+  "nvml_test"
+  "nvml_test.pdb"
+  "nvml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

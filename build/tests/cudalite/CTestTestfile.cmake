@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cudalite
+# Build directory: /root/repo/build/tests/cudalite
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cudalite/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/cudalite/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/cudalite/nvml_test[1]_include.cmake")
+include("/root/repo/build/tests/cudalite/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/cudalite/failure_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_governor_test.dir/cpu_governor_test.cpp.o"
+  "CMakeFiles/cpu_governor_test.dir/cpu_governor_test.cpp.o.d"
+  "cpu_governor_test"
+  "cpu_governor_test.pdb"
+  "cpu_governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_dividers_test.dir/model_dividers_test.cpp.o"
+  "CMakeFiles/model_dividers_test.dir/model_dividers_test.cpp.o.d"
+  "model_dividers_test"
+  "model_dividers_test.pdb"
+  "model_dividers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_dividers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

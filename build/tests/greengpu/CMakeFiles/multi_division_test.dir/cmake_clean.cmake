@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_division_test.dir/multi_division_test.cpp.o"
+  "CMakeFiles/multi_division_test.dir/multi_division_test.cpp.o.d"
+  "multi_division_test"
+  "multi_division_test.pdb"
+  "multi_division_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_division_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

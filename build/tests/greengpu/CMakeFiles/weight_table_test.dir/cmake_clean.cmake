@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_table_test.dir/weight_table_test.cpp.o"
+  "CMakeFiles/weight_table_test.dir/weight_table_test.cpp.o.d"
+  "weight_table_test"
+  "weight_table_test.pdb"
+  "weight_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

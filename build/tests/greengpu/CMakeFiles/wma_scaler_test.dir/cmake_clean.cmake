@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wma_scaler_test.dir/wma_scaler_test.cpp.o"
+  "CMakeFiles/wma_scaler_test.dir/wma_scaler_test.cpp.o.d"
+  "wma_scaler_test"
+  "wma_scaler_test.pdb"
+  "wma_scaler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wma_scaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

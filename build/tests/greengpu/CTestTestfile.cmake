@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/greengpu
+# Build directory: /root/repo/build/tests/greengpu
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/greengpu/loss_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/weight_table_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/division_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/ondemand_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/wma_scaler_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/cpu_governor_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/model_dividers_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/multi_division_test[1]_include.cmake")
+include("/root/repo/build/tests/greengpu/campaign_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_device_test.dir/cpu_device_test.cpp.o"
+  "CMakeFiles/cpu_device_test.dir/cpu_device_test.cpp.o.d"
+  "cpu_device_test"
+  "cpu_device_test.pdb"
+  "cpu_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/dvfs_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/power_meter_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/gpu_device_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cpu_device_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/gpu_device_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cpu_device_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/specs_test[1]_include.cmake")

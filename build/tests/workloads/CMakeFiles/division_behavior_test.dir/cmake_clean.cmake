@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/division_behavior_test.dir/division_behavior_test.cpp.o"
+  "CMakeFiles/division_behavior_test.dir/division_behavior_test.cpp.o.d"
+  "division_behavior_test"
+  "division_behavior_test.pdb"
+  "division_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/division_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

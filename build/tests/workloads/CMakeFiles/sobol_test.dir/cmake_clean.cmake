@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sobol_test.dir/sobol_test.cpp.o"
+  "CMakeFiles/sobol_test.dir/sobol_test.cpp.o.d"
+  "sobol_test"
+  "sobol_test.pdb"
+  "sobol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sobol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workloads
+# Build directory: /root/repo/build/tests/workloads
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workloads/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/division_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/trace_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/sobol_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/kernels_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greengpu_cli.dir/greengpu_cli.cpp.o"
+  "CMakeFiles/greengpu_cli.dir/greengpu_cli.cpp.o.d"
+  "greengpu_cli"
+  "greengpu_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greengpu_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
