@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
       case greengpu::DivisionAction::kHold: decision = "balanced -> hold"; break;
       case greengpu::DivisionAction::kHoldSafeguard: decision = "would oscillate -> hold"; break;
       case greengpu::DivisionAction::kHoldAtBound: decision = "at bound -> hold"; break;
+      case greengpu::DivisionAction::kHoldDegraded: decision = "faulted -> hold"; break;
     }
     std::printf("%4zu  %3.0f  %7.1f  %7.1f   %s\n", it.index, it.cpu_ratio * 100.0,
                 it.cpu_time.get(), it.gpu_time.get(), decision);

@@ -68,7 +68,53 @@ Stream Runtime::create_stream() {
   return Stream{std::make_shared<std::size_t>(0), current_device_};
 }
 
-void Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& estimate,
+bool Runtime::admit_launch(std::size_t device) {
+  sim::FaultInjector* faults = platform_->faults();
+  if (faults == nullptr) return true;
+  for (int attempt = 0;; ++attempt) {
+    if (!faults->draw_launch_fail(device)) {
+      if (attempt > 0) {
+        faults->note(sim::FaultChannel::kLaunch, sim::FaultOutcome::kRetrySucceeded,
+                     device);
+      }
+      return true;
+    }
+    faults->note(sim::FaultChannel::kLaunch, sim::FaultOutcome::kLaunchFailed, device);
+    if (attempt >= tolerance_.max_launch_retries) {
+      if (tolerance_.max_launch_retries > 0) {
+        faults->note(sim::FaultChannel::kLaunch, sim::FaultOutcome::kRetriesExhausted,
+                     device);
+      }
+      ++stats_.launches_rejected;
+      return false;
+    }
+    ++stats_.launch_retries;
+  }
+}
+
+bool Runtime::admit_host_task() {
+  sim::FaultInjector* faults = platform_->faults();
+  if (faults == nullptr) return true;
+  for (int attempt = 0;; ++attempt) {
+    if (!faults->draw_host_fail()) {
+      if (attempt > 0) {
+        faults->note(sim::FaultChannel::kHostTask, sim::FaultOutcome::kRetrySucceeded);
+      }
+      return true;
+    }
+    faults->note(sim::FaultChannel::kHostTask, sim::FaultOutcome::kHostTaskFailed);
+    if (attempt >= tolerance_.max_launch_retries) {
+      if (tolerance_.max_launch_retries > 0) {
+        faults->note(sim::FaultChannel::kHostTask, sim::FaultOutcome::kRetriesExhausted);
+      }
+      ++stats_.host_tasks_rejected;
+      return false;
+    }
+    ++stats_.launch_retries;
+  }
+}
+
+bool Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& estimate,
                      const std::function<void(const ThreadCtx&)>& fn,
                      std::function<void()> on_complete) {
   const std::size_t n_blocks = grid.total();
@@ -76,6 +122,7 @@ void Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& 
   if (n_blocks == 0 || threads_per_block == 0) {
     throw std::invalid_argument("cudalite: empty launch configuration");
   }
+  if (!admit_launch(stream.device_)) return false;
   // Real execution: one pool task per block; threads within a block run
   // sequentially (kernels here carry no intra-block synchronization).
   pool_->parallel_for(n_blocks, [&](std::size_t flat_block) {
@@ -102,12 +149,14 @@ void Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& 
                                           --*counter;
                                           if (cb) cb();
                                         });
+  return true;
 }
 
-void Runtime::launch_range(Stream& stream, std::size_t n, const WorkEstimate& estimate,
+bool Runtime::launch_range(Stream& stream, std::size_t n, const WorkEstimate& estimate,
                            const std::function<void(std::size_t, std::size_t)>& fn,
                            std::function<void()> on_complete) {
   if (n == 0) throw std::invalid_argument("cudalite: empty launch_range");
+  if (!admit_launch(stream.device_)) return false;
   pool_->parallel_for_chunks(n, fn);
   ++stats_.kernels_launched;
   auto counter = stream.outstanding_;
@@ -117,6 +166,7 @@ void Runtime::launch_range(Stream& stream, std::size_t n, const WorkEstimate& es
                                           --*counter;
                                           if (cb) cb();
                                         });
+  return true;
 }
 
 Event Runtime::record_event(Stream& stream) {
@@ -142,11 +192,13 @@ Event Runtime::record_event(Stream& stream) {
   return ev;
 }
 
-void Runtime::host_submit(const sim::CpuWork& work, const std::function<void()>& fn,
+bool Runtime::host_submit(const sim::CpuWork& work, const std::function<void()>& fn,
                           std::function<void()> on_complete) {
+  if (!admit_host_task()) return false;
   if (fn) fn();
   ++stats_.host_tasks;
   platform_->cpu().submit(work, std::move(on_complete));
+  return true;
 }
 
 void Runtime::run_queue_until(const std::function<bool()>& done) {

@@ -143,6 +143,23 @@ struct RuntimeStats {
   double bytes_d2h{0.0};
   std::size_t device_bytes_in_use{0};
   std::size_t device_bytes_peak{0};
+  /// Fault-layer accounting: transient failures re-drawn within a launch
+  /// call, and launches/host submissions that failed for good.
+  std::uint64_t launch_retries{0};
+  std::uint64_t launches_rejected{0};
+  std::uint64_t host_tasks_rejected{0};
+};
+
+/// Tolerance the launch paths apply when the platform injects faults
+/// (see sim/fault.h).  Default zero: a transient fault surfaces to the
+/// caller immediately — the perfect-platform behaviour when no injector is
+/// installed, and the un-hardened behaviour when one is.
+struct FaultTolerance {
+  /// Immediate re-tries of a transiently rejected launch / host submission.
+  int max_launch_retries{0};
+  /// Allow `ProfiledWorkload` to route a failed side's item range to the
+  /// surviving side for the iteration.
+  bool reroute_failed_side{false};
 };
 
 class Runtime {
@@ -162,6 +179,8 @@ class Runtime {
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   [[nodiscard]] bool sync_spin() const { return sync_spin_; }
   void set_sync_spin(bool v) { sync_spin_ = v; }
+  [[nodiscard]] const FaultTolerance& fault_tolerance() const { return tolerance_; }
+  void set_fault_tolerance(const FaultTolerance& t) { tolerance_ = t; }
 
   // --- Device selection (cudaSetDevice-style) ------------------------------
   [[nodiscard]] std::size_t device_count() const { return platform_->gpu_count(); }
@@ -211,13 +230,16 @@ class Runtime {
   /// Launch a per-thread kernel: `fn(ctx)` for every thread of the grid.
   /// Computation happens now (host pool); simulated completion is governed by
   /// `estimate`.  Optional `on_complete` fires at the simulated completion.
-  void launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& estimate,
+  /// Returns false when the platform's fault injector rejected the launch
+  /// (after `fault_tolerance().max_launch_retries` re-tries): nothing was
+  /// executed or submitted, and `on_complete` will never fire.
+  bool launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& estimate,
               const std::function<void(const ThreadCtx&)>& fn,
               std::function<void()> on_complete = {});
 
   /// Fast path for 1D data-parallel kernels: `fn(begin, end)` over disjoint
-  /// index ranges covering [0, n).
-  void launch_range(Stream& stream, std::size_t n, const WorkEstimate& estimate,
+  /// index ranges covering [0, n).  Same failure contract as `launch`.
+  bool launch_range(Stream& stream, std::size_t n, const WorkEstimate& estimate,
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::function<void()> on_complete = {});
 
@@ -227,8 +249,10 @@ class Runtime {
 
   // --- Host-side tasks (the CPU chunk of a divided iteration) -------------
   /// Execute `fn` now on the pool and submit `work` to the simulated CPU;
-  /// `on_complete` fires at the simulated completion.
-  void host_submit(const sim::CpuWork& work, const std::function<void()>& fn,
+  /// `on_complete` fires at the simulated completion.  Returns false when
+  /// the fault injector rejected the chunk (nothing ran; same contract as
+  /// `launch`).
+  bool host_submit(const sim::CpuWork& work, const std::function<void()>& fn,
                    std::function<void()> on_complete = {});
 
   // --- Synchronization ----------------------------------------------------
@@ -253,12 +277,16 @@ class Runtime {
   }
   /// Drive the event queue until `done()` is true, managing the spin state.
   void run_queue_until(const std::function<bool()>& done);
+  /// Draw the launch-fault channel (with bounded re-tries); true = admit.
+  bool admit_launch(std::size_t device);
+  bool admit_host_task();
 
   sim::Platform* platform_;
   std::unique_ptr<ThreadPool> pool_;
   bool sync_spin_;
   std::size_t current_device_{0};
   RuntimeStats stats_;
+  FaultTolerance tolerance_;
 
   struct Allocation {
     std::unique_ptr<std::byte[]> storage;

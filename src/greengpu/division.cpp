@@ -80,6 +80,12 @@ DivisionDecision DivisionController::update(Seconds cpu_time, Seconds gpu_time) 
   return d;
 }
 
+DivisionDecision DivisionController::hold_degraded() {
+  const DivisionDecision d{ratio_, DivisionAction::kHoldDegraded};
+  history_.push_back(d);
+  return d;
+}
+
 void DivisionController::reset() {
   ratio_ = params_.initial_ratio;
   hold_streak_ = 0;

@@ -24,6 +24,8 @@ enum class DivisionAction {
   kHold,            // times equal (within measurement) — keep the division
   kHoldSafeguard,   // a move was indicated but predicted to oscillate
   kHoldAtBound,     // a move was indicated but the ratio is at its bound
+  kHoldDegraded,    // the iteration was degraded by faults — times are
+                    // non-informative, keep the division unchanged
 };
 
 struct DivisionDecision {
@@ -38,6 +40,11 @@ struct IterationFeedback {
   /// Total system energy of the iteration (model-based dividers use it;
   /// the paper's step heuristic does not).
   Joules total_energy{0.0};
+  /// The iteration's times were distorted by injected faults (reroute,
+  /// retry storm, thermal throttle): treat them as non-informative.  Only
+  /// set by a hardened runner — the un-hardened baseline happily learns
+  /// from the noise.
+  bool degraded{false};
 };
 
 /// Division-algorithm interface.  The paper's tier 1 is `DivisionController`;
@@ -68,6 +75,7 @@ class DivisionController final : public Divider {
   [[nodiscard]] double ratio() const override { return ratio_; }
 
   DivisionDecision update(const IterationFeedback& feedback) override {
+    if (feedback.degraded) return hold_degraded();
     return update(feedback.cpu_time, feedback.gpu_time);
   }
 
@@ -88,6 +96,9 @@ class DivisionController final : public Divider {
 
  private:
   DivisionDecision decide(Seconds tc, Seconds tg) const;
+  /// Record a kHoldDegraded decision at the current ratio; the hold streak
+  /// is left untouched (a degraded iteration is no evidence either way).
+  DivisionDecision hold_degraded();
 
   DivisionParams params_;
   double ratio_;

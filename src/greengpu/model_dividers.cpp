@@ -29,6 +29,10 @@ ProfilingDivider::ProfilingDivider(ProfilingDividerParams params)
 }
 
 DivisionDecision ProfilingDivider::update(const IterationFeedback& feedback) {
+  if (feedback.degraded) {
+    // Faulted iteration: rate samples would be distorted — keep everything.
+    return DivisionDecision{ratio_, DivisionAction::kHoldDegraded};
+  }
   const double r = ratio_;
   if (r > 0.0 && feedback.cpu_time > Seconds{0.0}) {
     const double sample = r / feedback.cpu_time.get();
@@ -119,6 +123,11 @@ void EnergyModelDivider::refit() {
 }
 
 DivisionDecision EnergyModelDivider::update(const IterationFeedback& feedback) {
+  if (feedback.degraded) {
+    // Faulted iteration: neither the rates nor the energy sample are
+    // trustworthy, so skip the observation entirely.
+    return DivisionDecision{ratio_, DivisionAction::kHoldDegraded};
+  }
   const double r = ratio_;
   if (r > 0.0 && feedback.cpu_time > Seconds{0.0}) {
     if (!cpu_rate_) cpu_rate_.emplace(params_.rate_alpha);

@@ -6,6 +6,7 @@
 #include "src/cudalite/api.h"
 #include "src/cudalite/nvml.h"
 #include "src/cudalite/nvsettings.h"
+#include "src/greengpu/runner.h"
 #include "src/greengpu/wma_scaler.h"
 #include "src/sim/platform.h"
 #include "src/workloads/registry.h"
@@ -20,6 +21,19 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
   cudalite::Runtime rt(platform, options.pool_workers, options.sync_spin);
   const std::size_t slots = gpu_count + 1;
 
+  // Fault layer (strict no-op when every rate is zero).
+  sim::FaultInjector* injector = nullptr;
+  if (options.faults.any_faults()) {
+    injector = &platform.install_faults(options.faults);
+  }
+  const HardeningParams& hard = policy.params.hardening;
+  if (hard.enabled) {
+    rt.set_fault_tolerance(
+        cudalite::FaultTolerance{hard.max_launch_retries, hard.reroute_failed_side});
+  }
+  WmaParams wma = policy.params.wma;
+  if (hard.enabled) wma.harden = true;
+
   // Per-card monitoring/actuation + optional scaling daemons.
   std::vector<std::unique_ptr<cudalite::NvmlDevice>> nvml;
   std::vector<std::unique_ptr<cudalite::NvSettings>> settings;
@@ -29,8 +43,7 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
     settings.push_back(std::make_unique<cudalite::NvSettings>(platform, g));
     if (policy.gpu_scaling) {
       scalers.push_back(std::make_unique<GpuFrequencyScaler>(*nvml.back(),
-                                                             *settings.back(),
-                                                             policy.params.wma));
+                                                             *settings.back(), wma));
       scalers.back()->attach(platform.queue());
     } else {
       settings.back()->set_clock_levels(0, 0);  // best-performance clocks
@@ -72,9 +85,18 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
 
   const sim::EnergySnapshot run_start = platform.snapshot();
 
+  int watchdog_trips_left = hard.max_watchdog_trips;
+
   for (std::size_t iter = 0; iter < workload.iterations(); ++iter) {
     const sim::EnergySnapshot e0 = platform.snapshot();
     const Seconds t0 = platform.now();
+    const std::size_t ev0 = injector ? injector->events().size() : 0;
+    bool throttled_at_start = false;
+    if (injector != nullptr) {
+      for (std::size_t g = 0; g < gpu_count; ++g) {
+        throttled_at_start = throttled_at_start || injector->throttled(g);
+      }
+    }
 
     std::vector<bool> done(slots, false);
     std::vector<Seconds> done_at(slots, t0);
@@ -86,7 +108,24 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
         --remaining;
       }
     });
-    rt.wait_until([&] { return remaining == 0; });
+    if (injector != nullptr && hard.watchdog_timeout > Seconds{0.0}) {
+      while (remaining != 0) {
+        bool fired = false;
+        sim::EventHandle wd =
+            platform.queue().schedule_in(hard.watchdog_timeout, [&] { fired = true; });
+        rt.wait_until([&] { return remaining == 0 || fired; });
+        wd.cancel();
+        if (remaining == 0) break;
+        injector->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kWatchdogTrip);
+        ++result.watchdog_trips;
+        if (!hard.enabled || --watchdog_trips_left < 0) {
+          throw ExperimentAborted("run_multi_experiment: iteration " +
+                                  std::to_string(iter) + " stuck — watchdog abort");
+        }
+      }
+    } else {
+      rt.wait_until([&] { return remaining == 0; });
+    }
     workload.finish_iteration(rt, iter);
 
     const sim::EnergySnapshot e1 = platform.snapshot();
@@ -98,9 +137,33 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
     rec.duration = e1.time - e0.time;
     rec.total_energy = sim::Platform::delta(e0, e1).total();
 
+    if (injector != nullptr) {
+      const auto& events = injector->events();
+      rec.fault_events = events.size() - ev0;
+      rec.degraded = throttled_at_start;
+      for (std::size_t i = ev0; i < events.size(); ++i) {
+        switch (events[i].outcome) {
+          case sim::FaultOutcome::kRerouted:
+          case sim::FaultOutcome::kForcedCompletion:
+          case sim::FaultOutcome::kRetriesExhausted:
+          case sim::FaultOutcome::kWatchdogTrip:
+          case sim::FaultOutcome::kThrottleStart:
+            rec.degraded = true;
+            break;
+          default:
+            break;
+        }
+      }
+      if (rec.degraded) ++result.degraded_iterations;
+    }
+
     if (divider) {
-      divider->update(rec.slot_times);
-      shares = divider->shares();
+      // A hardened policy skips the update on a degraded iteration — the
+      // slot times are non-informative; the baseline learns from the noise.
+      if (!(hard.enabled && rec.degraded)) {
+        divider->update(rec.slot_times);
+        shares = divider->shares();
+      }
     }
     result.iterations.push_back(std::move(rec));
   }
@@ -120,6 +183,7 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
 
   for (auto& s : scalers) s->detach();
   if (governor) governor->detach();
+  if (injector != nullptr) result.fault_events = injector->events();
   result.verified = options.verify ? workload.verify() : true;
   return result;
 }

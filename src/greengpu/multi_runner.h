@@ -6,12 +6,14 @@
 // governor — GreenGPU scaled out.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/greengpu/cpu_governor.h"
 #include "src/greengpu/multi_division.h"
 #include "src/greengpu/params.h"
+#include "src/sim/fault.h"
 #include "src/workloads/workload.h"
 
 namespace gg::greengpu {
@@ -62,6 +64,10 @@ struct MultiIterationRecord {
   std::vector<Seconds> slot_times;  // per slot completion times
   Seconds duration{0.0};
   Joules total_energy{0.0};
+  /// Fault-layer events logged during this iteration (0 without injector).
+  std::size_t fault_events{0};
+  /// The iteration's slot times were distorted by faults.
+  bool degraded{false};
 };
 
 struct MultiExperimentResult {
@@ -76,12 +82,18 @@ struct MultiExperimentResult {
   std::vector<double> final_shares;
   bool verified{false};
   std::vector<MultiIterationRecord> iterations;
+  /// Full fault-event log (empty without an injector).
+  std::vector<sim::FaultEvent> fault_events;
+  std::size_t degraded_iterations{0};
+  std::uint64_t watchdog_trips{0};
 };
 
 struct MultiRunOptions {
   std::size_t pool_workers{0};
   bool verify{true};
   bool sync_spin{true};
+  /// Fault-injection configuration; see RunOptions::faults.
+  sim::FaultConfig faults{};
 };
 
 /// Run `workload` on a testbed with `gpu_count` identical GPUs.

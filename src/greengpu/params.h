@@ -31,6 +31,19 @@ struct WmaParams {
   /// handling into beta; a measurement-side filter is the natural extension
   /// when nvidia-smi readings are jittery.
   double util_filter_alpha{1.0};
+  /// Harden the scaler against a flaky platform (sim/fault.h): hold
+  /// weights on failed/stale samples, retry rejected clock writes with
+  /// bounded backoff, fall back to the last applied pair.  Off by default
+  /// so the perfect-platform behaviour is bit-identical.
+  bool harden{false};
+  /// A sample whose averaging window is shorter than this fraction of the
+  /// scaling interval is treated as stale (non-informative) when hardened.
+  double min_window_frac{0.5};
+  /// Immediate re-tries of a rejected/clamped clock write per step.
+  int actuation_retries{2};
+  /// Base delay of the asynchronous retry after immediate retries failed
+  /// (doubles per attempt, capped at the scaling interval).
+  Seconds actuation_backoff{0.25};
 };
 
 /// Parameters of the ondemand CPU governor (Section IV; linux-2.6.9 policy).
@@ -56,6 +69,26 @@ struct DivisionParams {
   bool safeguard{true};
 };
 
+/// Fault-tolerance behaviour of the experiment harness (runner + launch
+/// paths) when a `sim::FaultInjector` is active.  Disabled by default: the
+/// un-hardened stack surfaces every injected fault, which is the baseline
+/// the fault-rate ablation compares against.
+struct HardeningParams {
+  /// Master switch; also propagates `WmaParams::harden` semantics to the
+  /// runner (degraded-iteration bookkeeping, division hold).
+  bool enabled{false};
+  /// Bounded immediate re-tries of failed kernel launches / host chunks
+  /// (cudalite::FaultTolerance::max_launch_retries).
+  int max_launch_retries{3};
+  /// Route a permanently failed side's item range to the surviving side.
+  bool reroute_failed_side{true};
+  /// Simulated-time budget for one iteration; 0 disables the watchdog.
+  /// Only armed while a fault injector is installed.
+  Seconds watchdog_timeout{300.0};
+  /// Give up (throw) after this many watchdog trips in one experiment.
+  int max_watchdog_trips{8};
+};
+
 /// Top-level GreenGPU configuration: both tiers plus their decoupling rule
 /// (the division interval must be much longer than the scaling interval;
 /// the paper uses "no less than 40x", Section IV).
@@ -63,6 +96,7 @@ struct GreenGpuParams {
   WmaParams wma{};
   OndemandParams ondemand{};
   DivisionParams division{};
+  HardeningParams hardening{};
 };
 
 }  // namespace gg::greengpu

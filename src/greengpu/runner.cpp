@@ -14,6 +14,19 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
   sim::Platform platform;  // testbed default: GPU at lowest clocks, CPU at peak
   cudalite::Runtime rt(platform, options.pool_workers, options.sync_spin);
 
+  // --- Fault layer ---------------------------------------------------------
+  // Installed only when at least one channel is active, so the default run
+  // is bit-identical to the fault-free build.
+  sim::FaultInjector* injector = nullptr;
+  if (options.faults.any_faults()) {
+    injector = &platform.install_faults(options.faults);
+  }
+  const HardeningParams& hard = policy.params.hardening;
+  if (hard.enabled) {
+    rt.set_fault_tolerance(
+        cudalite::FaultTolerance{hard.max_launch_retries, hard.reroute_failed_side});
+  }
+
   // --- Frequency setup / tier 2 controllers --------------------------------
   cudalite::NvmlDevice nvml(platform);
   cudalite::NvSettings settings(platform);
@@ -23,7 +36,9 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
   if (policy.gpu_scaling) {
     // The paper's Fig. 5 runs start from the driver-default lowest clocks;
     // the platform already starts there.
-    scaler = std::make_unique<GpuFrequencyScaler>(nvml, settings, policy.params.wma);
+    WmaParams wma = policy.params.wma;
+    if (hard.enabled) wma.harden = true;
+    scaler = std::make_unique<GpuFrequencyScaler>(nvml, settings, wma);
     scaler->attach(platform.queue());
   } else if (policy.fixed_gpu_levels) {
     settings.set_clock_levels(policy.fixed_gpu_levels->first,
@@ -70,9 +85,13 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
   const double spin_time_start = platform.cpu().counters().spin_integral;
   const Joules spin_energy_start = platform.cpu().spin_energy();
 
+  int watchdog_trips_left = hard.max_watchdog_trips;
+
   for (std::size_t iter = 0; iter < n_iters; ++iter) {
     const sim::EnergySnapshot e0 = platform.snapshot();
     const Seconds t0 = platform.now();
+    const std::size_t ev0 = injector ? injector->events().size() : 0;
+    const bool throttled_at_start = injector != nullptr && injector->throttled(0);
 
     bool gpu_done = false;
     bool cpu_done = false;
@@ -88,7 +107,29 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
           cpu_done = true;
           cpu_at = platform.now();
         });
-    rt.wait_until([&] { return gpu_done && cpu_done; });
+    if (injector != nullptr && hard.watchdog_timeout > Seconds{0.0}) {
+      // Watchdog: bound the simulated time spent waiting on the join.  A
+      // rejected un-rerouted side never signals, and with a scaler attached
+      // the queue never drains, so an un-watched wait would spin forever.
+      while (!(gpu_done && cpu_done)) {
+        bool fired = false;
+        sim::EventHandle wd =
+            platform.queue().schedule_in(hard.watchdog_timeout, [&] { fired = true; });
+        rt.wait_until([&] { return (gpu_done && cpu_done) || fired; });
+        wd.cancel();
+        if (gpu_done && cpu_done) break;
+        injector->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kWatchdogTrip);
+        ++result.watchdog_trips;
+        if (!hard.enabled || --watchdog_trips_left < 0) {
+          throw ExperimentAborted("run_experiment: iteration " + std::to_string(iter) +
+                                  " stuck for " +
+                                  std::to_string(hard.watchdog_timeout.get()) +
+                                  " s (simulated) — watchdog abort");
+        }
+      }
+    } else {
+      rt.wait_until([&] { return gpu_done && cpu_done; });
+    }
     workload.finish_iteration(rt, iter);
 
     const sim::EnergySnapshot e1 = platform.snapshot();
@@ -103,9 +144,32 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
     rec.gpu_energy = d.gpu;
     rec.cpu_energy = d.cpu;
 
+    if (injector != nullptr) {
+      const auto& events = injector->events();
+      rec.fault_events = events.size() - ev0;
+      rec.degraded = throttled_at_start;
+      for (std::size_t i = ev0; i < events.size(); ++i) {
+        switch (events[i].outcome) {
+          case sim::FaultOutcome::kRerouted:
+          case sim::FaultOutcome::kForcedCompletion:
+          case sim::FaultOutcome::kRetriesExhausted:
+          case sim::FaultOutcome::kWatchdogTrip:
+          case sim::FaultOutcome::kThrottleStart:
+            rec.degraded = true;
+            break;
+          default:
+            break;
+        }
+      }
+      if (rec.degraded) ++result.degraded_iterations;
+    }
+
     if (divider) {
-      const DivisionDecision decision = divider->update(
-          IterationFeedback{rec.cpu_time, rec.gpu_time, rec.total_energy()});
+      IterationFeedback feedback{rec.cpu_time, rec.gpu_time, rec.total_energy()};
+      // Only a hardened policy knows to distrust a faulted iteration; the
+      // un-hardened baseline learns from the distorted times on purpose.
+      feedback.degraded = hard.enabled && rec.degraded;
+      const DivisionDecision decision = divider->update(feedback);
       rec.division_action = decision.action;
       ratio = decision.ratio;
       if (divider->converged() &&
@@ -154,6 +218,7 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
     tracer->stop();
     result.trace = tracer->samples();
   }
+  if (injector != nullptr) result.fault_events = injector->events();
   // A truncated run cannot be checked against the full-length reference.
   const bool can_verify = options.verify && n_iters == workload.iterations();
   result.verify_skipped = !can_verify;

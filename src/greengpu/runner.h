@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "src/greengpu/cpu_governor.h"
 #include "src/greengpu/policy.h"
 #include "src/greengpu/wma_scaler.h"
+#include "src/sim/fault.h"
 #include "src/sim/trace.h"
 #include "src/workloads/workload.h"
 
@@ -31,6 +33,11 @@ struct IterationRecord {
   [[nodiscard]] Joules total_energy() const { return gpu_energy + cpu_energy; }
   /// Division decision taken after this iteration (if the tier is on).
   DivisionAction division_action{DivisionAction::kHold};
+  /// Fault-layer events logged during this iteration (0 without injector).
+  std::size_t fault_events{0};
+  /// The iteration was affected by a reroute, exhausted retries, a watchdog
+  /// trip, or a thermal-throttle episode — its times are non-informative.
+  bool degraded{false};
 };
 
 struct ExperimentResult {
@@ -80,6 +87,13 @@ struct ExperimentResult {
   std::vector<ScalerDecision> scaler_decisions;
   std::vector<GovernorDecision> governor_decisions;
   std::uint64_t gpu_frequency_transitions{0};
+  /// Full fault-event log (empty without an injector).
+  std::vector<sim::FaultEvent> fault_events;
+  /// Iterations whose measurements were distorted by faults.
+  std::size_t degraded_iterations{0};
+  /// Times the per-iteration watchdog fired (hardened runs keep waiting up
+  /// to `HardeningParams::max_watchdog_trips`; un-hardened runs throw).
+  std::uint64_t watchdog_trips{0};
 };
 
 struct RunOptions {
@@ -98,6 +112,18 @@ struct RunOptions {
   /// Guard window excluded from the Fig. 6c emulation around every kernel
   /// launch (the paper's "cannot throttle while communicating" assumption).
   Seconds emulation_guard_per_launch{0.5};
+  /// Fault-injection configuration.  The injector is installed only when at
+  /// least one rate/mtbf is non-zero, so the default is a strict no-op:
+  /// joules and traces stay bit-identical to the fault-free build.
+  sim::FaultConfig faults{};
+};
+
+/// Throwing failure mode of a run on a faulty platform: an un-hardened
+/// policy whose iteration never completes (the DNF outcome the ablation
+/// reports).
+class ExperimentAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Run `workload` under `policy` on a fresh simulated testbed.

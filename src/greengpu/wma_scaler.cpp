@@ -1,5 +1,6 @@
 #include "src/greengpu/wma_scaler.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gg::greengpu {
@@ -17,14 +18,39 @@ GpuFrequencyScaler::GpuFrequencyScaler(cudalite::NvmlDevice& nvml,
   if (params_.util_filter_alpha <= 0.0 || params_.util_filter_alpha > 1.0) {
     throw std::invalid_argument("WmaParams: util_filter_alpha must be in (0,1]");
   }
+  if (params_.min_window_frac < 0.0 || params_.min_window_frac > 1.0) {
+    throw std::invalid_argument("WmaParams: min_window_frac must be in [0,1]");
+  }
+  if (params_.actuation_retries < 0) {
+    throw std::invalid_argument("WmaParams: actuation_retries must be >= 0");
+  }
 }
 
 ScalerDecision GpuFrequencyScaler::step(Seconds now) {
+  // A fresh step supersedes any asynchronous actuation retry in flight.
+  retry_.cancel();
+
   // 1. Read GPU core and memory utilizations (integer percent, like the
   //    nvidia-smi tool the paper polls).
-  const cudalite::UtilizationRates rates = nvml_->utilization_rates();
-  const double uc_raw = static_cast<double>(rates.gpu) / 100.0;
-  const double um_raw = static_cast<double>(rates.memory) / 100.0;
+  const cudalite::UtilizationSample sample = nvml_->try_utilization_rates();
+  const double uc_raw = static_cast<double>(sample.rates.gpu) / 100.0;
+  const double um_raw = static_cast<double>(sample.rates.memory) / 100.0;
+
+  // Hardened stale-sample detection: a failed read or a window much shorter
+  // than the scaling interval carries no new information — hold the weights
+  // and keep the current pair instead of learning from noise.
+  const bool stale =
+      !sample.ok() || sample.window.get() < params_.interval.get() * params_.min_window_frac;
+  if (params_.harden && stale) {
+    ++steps_;
+    ++held_steps_;
+    ScalerDecision d{now, uc_raw, um_raw, core_filter_.value(), mem_filter_.value(),
+                     table_.argmax()};
+    d.sample_ok = false;
+    decisions_.push_back(d);
+    return d;
+  }
+
   // Optional measurement-side noise filter (alpha = 1 passes through).
   const double uc = core_filter_.update(uc_raw);
   const double um = mem_filter_.update(um_raw);
@@ -42,12 +68,62 @@ ScalerDecision GpuFrequencyScaler::step(Seconds now) {
   // 3. Update weight[N][M] (Eq. 3 + Eq. 4) and enforce the argmax pair.
   table_.update(core_losses, mem_losses, params_.phi, params_.beta, params_.weight_floor);
   const PairIndex chosen = table_.argmax();
-  settings_->set_clock_levels(chosen.core, chosen.mem);
+  bool applied = true;
+  if (params_.harden) {
+    applied = actuate(chosen);
+    if (!applied) ++actuation_failures_;
+  } else {
+    settings_->set_clock_levels(chosen.core, chosen.mem);
+  }
 
   ++steps_;
-  const ScalerDecision d{now, uc_raw, um_raw, uc, um, chosen};
+  ScalerDecision d{now, uc_raw, um_raw, uc, um, chosen};
+  d.actuation_ok = applied;
   decisions_.push_back(d);
   return d;
+}
+
+bool GpuFrequencyScaler::actuate(PairIndex pair) {
+  for (int attempt = 0; attempt <= params_.actuation_retries; ++attempt) {
+    const cudalite::ClockWriteResult r =
+        settings_->set_clock_levels_checked(pair.core, pair.mem);
+    switch (r.status) {
+      case cudalite::ClockWriteStatus::kApplied:
+        return true;
+      case cudalite::ClockWriteStatus::kDelayed:
+        // In flight: the driver will land it; nothing more to do.
+        return true;
+      case cudalite::ClockWriteStatus::kThrottled:
+        // Don't fight a thermal episode — the injector restores the latest
+        // requested pair when the episode ends.
+        return false;
+      case cudalite::ClockWriteStatus::kClamped:
+      case cudalite::ClockWriteStatus::kRejected:
+        // Each clamp moves one level toward the target; a reject leaves the
+        // clocks unchanged.  Either way, re-issue immediately (bounded).
+        break;
+    }
+  }
+  // Immediate retries exhausted: fall back to asynchronous backoff so the
+  // pair still lands before the next interval if the driver recovers.
+  schedule_retry(pair, 0);
+  return false;
+}
+
+void GpuFrequencyScaler::schedule_retry(PairIndex pair, int attempt) {
+  if (attached_queue_ == nullptr) return;
+  double delay = params_.actuation_backoff.get();
+  for (int i = 0; i < attempt; ++i) delay *= 2.0;
+  delay = std::min(delay, params_.interval.get());
+  retry_.cancel();
+  retry_ = attached_queue_->schedule_in(Seconds{delay}, [this, pair, attempt] {
+    const cudalite::ClockWriteResult r =
+        settings_->set_clock_levels_checked(pair.core, pair.mem);
+    if (r.status == cudalite::ClockWriteStatus::kRejected ||
+        r.status == cudalite::ClockWriteStatus::kClamped) {
+      schedule_retry(pair, attempt + 1);
+    }
+  });
 }
 
 void GpuFrequencyScaler::attach(sim::EventQueue& queue) {
@@ -65,6 +141,7 @@ void GpuFrequencyScaler::arm(sim::EventQueue& queue) {
 
 void GpuFrequencyScaler::detach() {
   next_.cancel();
+  retry_.cancel();
   attached_queue_ = nullptr;
 }
 
@@ -74,6 +151,9 @@ void GpuFrequencyScaler::reset() {
   mem_filter_ = Ewma(params_.util_filter_alpha);
   decisions_.clear();
   steps_ = 0;
+  held_steps_ = 0;
+  actuation_failures_ = 0;
+  retry_.cancel();
 }
 
 }  // namespace gg::greengpu

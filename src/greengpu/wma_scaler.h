@@ -27,6 +27,12 @@ struct ScalerDecision {
   double filtered_core_util{0.0};  // after the optional EWMA pre-filter
   double filtered_mem_util{0.0};
   PairIndex chosen{};
+  /// False when a hardened step held the weights because the sample was
+  /// missing or stale (fault layer active).
+  bool sample_ok{true};
+  /// False when the chosen pair could not be applied this step (write
+  /// rejected/clamped/throttled); an asynchronous retry may still land it.
+  bool actuation_ok{true};
 };
 
 class GpuFrequencyScaler {
@@ -48,12 +54,20 @@ class GpuFrequencyScaler {
   [[nodiscard]] const WmaParams& params() const { return params_; }
   [[nodiscard]] const std::vector<ScalerDecision>& decisions() const { return decisions_; }
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  /// Hardened-path counters (for tests and the ablation).
+  [[nodiscard]] std::uint64_t held_steps() const { return held_steps_; }
+  [[nodiscard]] std::uint64_t actuation_failures() const { return actuation_failures_; }
 
   /// Forget all learned state (weights back to uniform).
   void reset();
 
  private:
   void arm(sim::EventQueue& queue);
+  /// Enforce `pair` through the actuator, with bounded immediate re-tries
+  /// and (when attached + hardened) asynchronous backoff re-tries.  Returns
+  /// true when the pair is applied or in flight (delayed write).
+  bool actuate(PairIndex pair);
+  void schedule_retry(PairIndex pair, int attempt);
 
   cudalite::NvmlDevice* nvml_;
   cudalite::NvSettings* settings_;
@@ -65,7 +79,10 @@ class GpuFrequencyScaler {
   WeightTable table_;
   std::vector<ScalerDecision> decisions_;
   std::uint64_t steps_{0};
+  std::uint64_t held_steps_{0};
+  std::uint64_t actuation_failures_{0};
   sim::EventHandle next_;
+  sim::EventHandle retry_;
   sim::EventQueue* attached_queue_{nullptr};
 };
 

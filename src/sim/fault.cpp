@@ -1,0 +1,230 @@
+#include "src/sim/fault.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/sim/gpu_device.h"
+
+namespace gg::sim {
+
+namespace {
+
+void check_rate(double rate, const char* field) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + field +
+                                " must be in [0, 1], got " + std::to_string(rate));
+  }
+}
+
+}  // namespace
+
+bool FaultConfig::any_faults() const {
+  return util_drop_rate > 0.0 || util_stale_rate > 0.0 || util_corrupt_rate > 0.0 ||
+         clock_reject_rate > 0.0 || clock_delay_rate > 0.0 || clock_clamp_rate > 0.0 ||
+         launch_fail_rate > 0.0 || host_fail_rate > 0.0 || throttle_mtbf > Seconds{0.0};
+}
+
+void FaultConfig::validate() const {
+  check_rate(util_drop_rate, "util_drop_rate");
+  check_rate(util_stale_rate, "util_stale_rate");
+  check_rate(util_corrupt_rate, "util_corrupt_rate");
+  check_rate(clock_reject_rate, "clock_reject_rate");
+  check_rate(clock_delay_rate, "clock_delay_rate");
+  check_rate(clock_clamp_rate, "clock_clamp_rate");
+  check_rate(launch_fail_rate, "launch_fail_rate");
+  check_rate(host_fail_rate, "host_fail_rate");
+  if (util_drop_rate + util_stale_rate + util_corrupt_rate > 1.0) {
+    throw std::invalid_argument(
+        "FaultConfig: util drop+stale+corrupt rates must sum to at most 1");
+  }
+  if (clock_reject_rate + clock_delay_rate + clock_clamp_rate > 1.0) {
+    throw std::invalid_argument(
+        "FaultConfig: clock reject+delay+clamp rates must sum to at most 1");
+  }
+  if (clock_delay_rate > 0.0 && clock_delay <= Seconds{0.0}) {
+    throw std::invalid_argument(
+        "FaultConfig: clock_delay must be > 0 when clock_delay_rate > 0");
+  }
+  if (throttle_mtbf < Seconds{0.0}) {
+    throw std::invalid_argument("FaultConfig: throttle_mtbf must be >= 0");
+  }
+  if (throttle_mtbf > Seconds{0.0} && throttle_duration <= Seconds{0.0}) {
+    throw std::invalid_argument(
+        "FaultConfig: throttle_duration must be > 0 when throttling is enabled");
+  }
+}
+
+FaultConfig FaultConfig::uniform(double rate, std::uint64_t seed) {
+  check_rate(rate, "uniform rate");
+  FaultConfig c;
+  c.seed = seed;
+  // Partitioned channels share one draw, so give each an equal slice.
+  c.util_drop_rate = rate / 3.0;
+  c.util_stale_rate = rate / 3.0;
+  c.util_corrupt_rate = rate / 3.0;
+  c.clock_reject_rate = rate / 3.0;
+  c.clock_delay_rate = rate / 3.0;
+  c.clock_clamp_rate = rate / 3.0;
+  c.launch_fail_rate = rate;
+  c.host_fail_rate = rate;
+  return c;
+}
+
+std::string to_string(FaultChannel channel) {
+  switch (channel) {
+    case FaultChannel::kUtilRead: return "util-read";
+    case FaultChannel::kClockWrite: return "clock-write";
+    case FaultChannel::kLaunch: return "launch";
+    case FaultChannel::kHostTask: return "host-task";
+    case FaultChannel::kThermal: return "thermal";
+    case FaultChannel::kHarness: return "harness";
+  }
+  return "unknown";
+}
+
+std::string to_string(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kUtilDropped: return "util-dropped";
+    case FaultOutcome::kUtilStale: return "util-stale";
+    case FaultOutcome::kUtilCorrupted: return "util-corrupted";
+    case FaultOutcome::kClockRejected: return "clock-rejected";
+    case FaultOutcome::kClockDelayed: return "clock-delayed";
+    case FaultOutcome::kClockClamped: return "clock-clamped";
+    case FaultOutcome::kClockThrottled: return "clock-throttled";
+    case FaultOutcome::kLaunchFailed: return "launch-failed";
+    case FaultOutcome::kHostTaskFailed: return "host-task-failed";
+    case FaultOutcome::kThrottleStart: return "throttle-start";
+    case FaultOutcome::kThrottleEnd: return "throttle-end";
+    case FaultOutcome::kRetrySucceeded: return "retry-succeeded";
+    case FaultOutcome::kRetriesExhausted: return "retries-exhausted";
+    case FaultOutcome::kRerouted: return "rerouted";
+    case FaultOutcome::kForcedCompletion: return "forced-completion";
+    case FaultOutcome::kWatchdogTrip: return "watchdog-trip";
+    case FaultOutcome::kActuationFallback: return "actuation-fallback";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(EventQueue& queue, FaultConfig config)
+    : queue_(&queue), config_(config), master_(config.seed), host_rng_(master_.fork()) {
+  config_.validate();
+}
+
+FaultInjector::~FaultInjector() { stop(); }
+
+void FaultInjector::add_gpu(GpuDevice& gpu, std::size_t index) {
+  if (started_) throw std::logic_error("FaultInjector: add_gpu after start");
+  if (index != gpus_.size()) {
+    throw std::invalid_argument("FaultInjector: GPUs must be added in index order");
+  }
+  GpuSlot slot;
+  slot.gpu = &gpu;
+  slot.util_rng = master_.fork();
+  slot.clock_rng = master_.fork();
+  slot.launch_rng = master_.fork();
+  slot.throttle_rng = master_.fork();
+  slot.requested_core = gpu.core_level();
+  slot.requested_mem = gpu.mem_level();
+  gpus_.push_back(std::move(slot));
+}
+
+void FaultInjector::start() {
+  if (started_) return;
+  started_ = true;
+  if (config_.throttle_mtbf <= Seconds{0.0}) return;
+  for (std::size_t d = 0; d < gpus_.size(); ++d) schedule_next_episode(d);
+}
+
+void FaultInjector::stop() {
+  for (std::size_t d = 0; d < gpus_.size(); ++d) {
+    gpus_[d].episode.cancel();
+    if (gpus_[d].throttled) end_episode(d);
+  }
+  started_ = false;
+}
+
+void FaultInjector::schedule_next_episode(std::size_t device) {
+  GpuSlot& slot = gpus_[device];
+  // Exponentially distributed gap with mean mtbf (memoryless arrivals, the
+  // standard thermal-event model); u < 1 so the log is finite.
+  const double u = slot.throttle_rng.uniform();
+  const Seconds gap{-config_.throttle_mtbf.get() * std::log1p(-u)};
+  slot.episode = queue_->schedule_in(gap, [this, device] { begin_episode(device); });
+}
+
+void FaultInjector::begin_episode(std::size_t device) {
+  GpuSlot& slot = gpus_[device];
+  slot.throttled = true;
+  note(FaultChannel::kThermal, FaultOutcome::kThrottleStart, device);
+  slot.gpu->set_core_level(slot.gpu->core_table().lowest_level());
+  slot.gpu->set_mem_level(slot.gpu->mem_table().lowest_level());
+  slot.episode = queue_->schedule_in(config_.throttle_duration, [this, device] {
+    end_episode(device);
+    schedule_next_episode(device);
+  });
+}
+
+void FaultInjector::end_episode(std::size_t device) {
+  GpuSlot& slot = gpus_[device];
+  slot.throttled = false;
+  // The driver restores the most recently requested clocks, not the
+  // pre-episode ones: a write that arrived mid-episode wins.
+  slot.gpu->set_core_level(slot.requested_core);
+  slot.gpu->set_mem_level(slot.requested_mem);
+  note(FaultChannel::kThermal, FaultOutcome::kThrottleEnd, device);
+}
+
+UtilFault FaultInjector::draw_util_fault(std::size_t device) {
+  GpuSlot& slot = gpus_.at(device);
+  const double r = slot.util_rng.uniform();
+  if (r < config_.util_drop_rate) return UtilFault::kDrop;
+  if (r < config_.util_drop_rate + config_.util_stale_rate) return UtilFault::kStale;
+  if (r < config_.util_drop_rate + config_.util_stale_rate + config_.util_corrupt_rate) {
+    return UtilFault::kCorrupt;
+  }
+  return UtilFault::kNone;
+}
+
+std::pair<unsigned, unsigned> FaultInjector::corrupt_utilization(std::size_t device) {
+  GpuSlot& slot = gpus_.at(device);
+  return {static_cast<unsigned>(slot.util_rng.uniform_int(101)),
+          static_cast<unsigned>(slot.util_rng.uniform_int(101))};
+}
+
+ClockFault FaultInjector::draw_clock_fault(std::size_t device) {
+  GpuSlot& slot = gpus_.at(device);
+  const double r = slot.clock_rng.uniform();
+  if (r < config_.clock_reject_rate) return ClockFault::kReject;
+  if (r < config_.clock_reject_rate + config_.clock_delay_rate) return ClockFault::kDelay;
+  if (r < config_.clock_reject_rate + config_.clock_delay_rate + config_.clock_clamp_rate) {
+    return ClockFault::kClamp;
+  }
+  return ClockFault::kNone;
+}
+
+bool FaultInjector::draw_launch_fail(std::size_t device) {
+  if (config_.launch_fail_rate <= 0.0) return false;
+  return gpus_.at(device).launch_rng.uniform() < config_.launch_fail_rate;
+}
+
+bool FaultInjector::draw_host_fail() {
+  if (config_.host_fail_rate <= 0.0) return false;
+  return host_rng_.uniform() < config_.host_fail_rate;
+}
+
+bool FaultInjector::throttled(std::size_t device) const {
+  return device < gpus_.size() && gpus_[device].throttled;
+}
+
+void FaultInjector::note_requested_levels(std::size_t device, std::size_t core,
+                                          std::size_t mem) {
+  GpuSlot& slot = gpus_.at(device);
+  slot.requested_core = core;
+  slot.requested_mem = mem;
+}
+
+void FaultInjector::note(FaultChannel channel, FaultOutcome outcome, std::size_t device) {
+  events_.push_back(FaultEvent{queue_->now(), channel, outcome, device});
+}
+
+}  // namespace gg::sim

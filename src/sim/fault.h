@@ -1,0 +1,201 @@
+// Deterministic fault injection for the simulated platform.
+//
+// Real testbeds are not the perfect platform the rest of `sim` models:
+// `nvidia-smi` polls intermittently fail or return a stale window,
+// `nvidia-settings` clock writes get rejected or silently clamped by the
+// driver, kernel launches fail transiently under load, and thermal limits
+// force the card to its lowest clock pair for seconds at a time.  The
+// `FaultInjector` reproduces those failure modes as *seeded, deterministic*
+// perturbations scheduled on the existing `EventQueue`, so the controllers
+// above can be exercised — and hardened — against a flaky platform while
+// every run stays bit-reproducible.
+//
+// The injector is consulted by the cudalite facades (`NvmlDevice`,
+// `NvSettings`, the launch path); it never mutates controller state itself.
+// The only state it drives directly is the thermal-throttle episode, which
+// pins a GPU's clock domains to their lowest levels for a window and then
+// restores the most recently *requested* levels — exactly how a driver
+// recovers clocks after a thermal event.
+//
+// With every rate at zero (the default) the injector draws nothing and is a
+// strict no-op; experiments that do not install one are untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sim/event_queue.h"
+
+namespace gg::sim {
+
+class GpuDevice;
+
+/// Per-channel fault probabilities and episode parameters.  All rates are
+/// per-operation probabilities in [0, 1]; durations are simulated seconds.
+struct FaultConfig {
+  std::uint64_t seed{0x5EEDFA517ULL};
+
+  // NVML-style utilization reads.
+  double util_drop_rate{0.0};     ///< Read returns a driver error.
+  double util_stale_rate{0.0};    ///< Read repeats the previous window (zero-length window).
+  double util_corrupt_rate{0.0};  ///< Read returns garbage percentages.
+
+  // nvidia-settings-style clock writes.
+  double clock_reject_rate{0.0};  ///< Write fails outright, clocks unchanged.
+  double clock_delay_rate{0.0};   ///< Write lands only after `clock_delay`.
+  Seconds clock_delay{0.5};
+  double clock_clamp_rate{0.0};   ///< Write moves each domain one level toward the target only.
+
+  // Kernel launches and host-side chunks.
+  double launch_fail_rate{0.0};  ///< cudalite launch transiently rejected.
+  double host_fail_rate{0.0};    ///< host chunk submission transiently rejected.
+
+  // Thermal-throttle episodes: the card is pinned to its lowest clock pair
+  // for `throttle_duration`, with exponentially distributed gaps of mean
+  // `throttle_mtbf` between episode starts.  0 mtbf disables the channel.
+  Seconds throttle_mtbf{0.0};
+  Seconds throttle_duration{5.0};
+
+  /// True when any channel can ever fire.
+  [[nodiscard]] bool any_faults() const;
+
+  /// Throws std::invalid_argument naming the offending field when a rate is
+  /// outside [0, 1] or a duration is not positive where required.
+  void validate() const;
+
+  /// Convenience: set every probability channel to `rate` (throttle
+  /// unchanged).
+  [[nodiscard]] static FaultConfig uniform(double rate, std::uint64_t seed = 0x5EEDFA517ULL);
+};
+
+/// Which platform surface a fault event belongs to.
+enum class FaultChannel : std::uint8_t {
+  kUtilRead,
+  kClockWrite,
+  kLaunch,
+  kHostTask,
+  kThermal,
+  kHarness,  ///< retry / reroute / watchdog bookkeeping by hardened layers
+};
+
+/// What actually happened.
+enum class FaultOutcome : std::uint8_t {
+  // Injected faults.
+  kUtilDropped,
+  kUtilStale,
+  kUtilCorrupted,
+  kClockRejected,
+  kClockDelayed,
+  kClockClamped,
+  kClockThrottled,
+  kLaunchFailed,
+  kHostTaskFailed,
+  kThrottleStart,
+  kThrottleEnd,
+  // Reactions of the hardened layers (logged through note()).
+  kRetrySucceeded,
+  kRetriesExhausted,
+  kRerouted,
+  kForcedCompletion,
+  kWatchdogTrip,
+  kActuationFallback,
+};
+
+[[nodiscard]] std::string to_string(FaultChannel channel);
+[[nodiscard]] std::string to_string(FaultOutcome outcome);
+
+/// One entry of the injector's event log (for traces, records and tests).
+struct FaultEvent {
+  Seconds time{0.0};
+  FaultChannel channel{FaultChannel::kUtilRead};
+  FaultOutcome outcome{FaultOutcome::kUtilDropped};
+  std::size_t device{0};
+};
+
+/// Fault drawn for one utilization read.
+enum class UtilFault : std::uint8_t { kNone, kDrop, kStale, kCorrupt };
+
+/// Fault drawn for one clock write.
+enum class ClockFault : std::uint8_t { kNone, kReject, kDelay, kClamp };
+
+/// Seeded fault source bound to the platform's event queue.  All draws
+/// happen on the (single-threaded) simulation loop in a deterministic
+/// order, so identical configurations yield identical fault schedules
+/// regardless of host thread-pool size.
+class FaultInjector {
+ public:
+  FaultInjector(EventQueue& queue, FaultConfig config);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Register a GPU for per-device channels and thermal episodes.  Devices
+  /// must be added in index order before `start()`.
+  void add_gpu(GpuDevice& gpu, std::size_t index);
+
+  /// Begin scheduling thermal-throttle episodes (no-op when mtbf is 0).
+  void start();
+  /// Cancel pending episodes and restore throttled devices.
+  void stop();
+
+  // --- Channel draws (called by the cudalite facades) ----------------------
+  [[nodiscard]] UtilFault draw_util_fault(std::size_t device);
+  /// Garbage integer percentages for a corrupted read.
+  [[nodiscard]] std::pair<unsigned, unsigned> corrupt_utilization(std::size_t device);
+  [[nodiscard]] ClockFault draw_clock_fault(std::size_t device);
+  [[nodiscard]] bool draw_launch_fail(std::size_t device);
+  [[nodiscard]] bool draw_host_fail();
+
+  // --- Thermal state --------------------------------------------------------
+  /// True while `device` is inside a throttle episode (clock writes are
+  /// pinned to the lowest pair for its duration).
+  [[nodiscard]] bool throttled(std::size_t device) const;
+  /// Record the levels a client *asked for* so an episode end restores the
+  /// latest target rather than the pre-episode clocks.
+  void note_requested_levels(std::size_t device, std::size_t core, std::size_t mem);
+
+  /// Schedule `action` on the queue after `delay` (used for delayed clock
+  /// writes so the facade does not need queue access of its own).
+  EventHandle schedule_in(Seconds delay, EventQueue::Action action) {
+    return queue_->schedule_in(delay, std::move(action));
+  }
+
+  // --- Event log ------------------------------------------------------------
+  void note(FaultChannel channel, FaultOutcome outcome, std::size_t device = 0);
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  struct GpuSlot {
+    GpuDevice* gpu{nullptr};
+    Rng util_rng;
+    Rng clock_rng;
+    Rng launch_rng;
+    Rng throttle_rng;
+    bool throttled{false};
+    std::size_t requested_core{0};
+    std::size_t requested_mem{0};
+    EventHandle episode;
+  };
+
+  void schedule_next_episode(std::size_t device);
+  void begin_episode(std::size_t device);
+  void end_episode(std::size_t device);
+
+  EventQueue* queue_;
+  FaultConfig config_;
+  Rng master_;
+  Rng host_rng_;
+  std::vector<GpuSlot> gpus_;
+  std::vector<FaultEvent> events_;
+  bool started_{false};
+};
+
+}  // namespace gg::sim

@@ -54,4 +54,11 @@ Watts Platform::idle_power_at_peak() {
   return p;
 }
 
+FaultInjector& Platform::install_faults(const FaultConfig& config) {
+  faults_ = std::make_unique<FaultInjector>(queue_, config);
+  for (std::size_t i = 0; i < gpus_.size(); ++i) faults_->add_gpu(*gpus_[i], i);
+  faults_->start();
+  return *faults_;
+}
+
 }  // namespace gg::sim

@@ -7,6 +7,7 @@
 
 #include "src/sim/cpu_device.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault.h"
 #include "src/sim/gpu_device.h"
 #include "src/sim/specs.h"
 
@@ -62,12 +63,21 @@ class Platform {
   /// uses the peak levels.
   [[nodiscard]] Watts idle_power_at_peak();
 
+  /// Install a seeded fault injector over this platform's devices (replacing
+  /// any previous one) and start its episode scheduling.  The cudalite
+  /// facades consult `faults()` on every monitoring read, clock write and
+  /// launch; with no injector installed they behave perfectly.
+  FaultInjector& install_faults(const FaultConfig& config);
+  [[nodiscard]] FaultInjector* faults() { return faults_.get(); }
+  [[nodiscard]] const FaultInjector* faults() const { return faults_.get(); }
+
  private:
   EventQueue queue_;
   // unique_ptr: devices hold a reference to queue_ and are not movable.
   std::vector<std::unique_ptr<GpuDevice>> gpus_;
   std::unique_ptr<CpuDevice> cpu_;
   BusSpec bus_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace gg::sim

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/sim/fault.h"
+
 namespace gg::workloads {
 
 void ProfiledWorkload::run_iteration(cudalite::Runtime& rt, cudalite::Stream& stream,
@@ -29,17 +31,46 @@ void ProfiledWorkload::run_iteration(cudalite::Runtime& rt, cudalite::Stream& st
   const auto& gpu_spec = platform.gpu().spec();
   const auto& cpu_spec = platform.cpu().spec();
 
+  sim::FaultInjector* faults = platform.faults();
+
   if (gpu_units > 0.0 && split < items) {
     const cudalite::WorkEstimate est =
         make_gpu_estimate(gpu_spec, platform.gpu().core_table().peak(),
                           platform.gpu().mem_table().peak(), prof, gpu_units);
-    rt.launch_range(
+    const bool accepted = rt.launch_range(
         stream, items - split,
         est,
         [this, split, iter](std::size_t begin, std::size_t end) {
           gpu_chunk(split + begin, split + end, iter);
         },
-        std::move(on_gpu_done));
+        on_gpu_done);
+    if (!accepted && rt.fault_tolerance().reroute_failed_side) {
+      // Route the GPU share to the CPU for this iteration: the surviving
+      // side does the work (slower, recorded as degradation), results stay
+      // correct.
+      if (faults != nullptr) {
+        faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kRerouted,
+                     stream.device());
+      }
+      const sim::CpuWork work =
+          make_cpu_work(cpu_spec, platform.cpu().table().peak(), prof, gpu_units);
+      const bool routed = rt.host_submit(
+          work, [this, split, items, iter] { cpu_chunk(split, items, iter); },
+          on_gpu_done);
+      if (!routed) {
+        // Last resort: compute inline (zero simulated cost) so verify()
+        // still holds; the harness owns the correctness of the output.
+        if (faults != nullptr) {
+          faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kForcedCompletion,
+                       stream.device());
+        }
+        cpu_chunk(split, items, iter);
+        if (on_gpu_done) on_gpu_done();
+      }
+    }
+    // Without rerouting, a rejected side never signals completion — the
+    // un-hardened pthread blocking on a CUDA error; the runner's watchdog
+    // decides what happens next.
   } else if (on_gpu_done) {
     // No GPU share this iteration.
     on_gpu_done();
@@ -48,9 +79,31 @@ void ProfiledWorkload::run_iteration(cudalite::Runtime& rt, cudalite::Stream& st
   if (cpu_units > 0.0 && split > 0) {
     const sim::CpuWork work =
         make_cpu_work(cpu_spec, platform.cpu().table().peak(), prof, cpu_units);
-    rt.host_submit(
-        work, [this, split, iter] { cpu_chunk(0, split, iter); },
-        std::move(on_cpu_done));
+    const bool accepted = rt.host_submit(
+        work, [this, split, iter] { cpu_chunk(0, split, iter); }, on_cpu_done);
+    if (!accepted && rt.fault_tolerance().reroute_failed_side) {
+      if (faults != nullptr) {
+        faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kRerouted,
+                     stream.device());
+      }
+      const cudalite::WorkEstimate est =
+          make_gpu_estimate(gpu_spec, platform.gpu().core_table().peak(),
+                            platform.gpu().mem_table().peak(), prof, cpu_units);
+      const bool routed = rt.launch_range(
+          stream, split, est,
+          [this, iter](std::size_t begin, std::size_t end) {
+            gpu_chunk(begin, end, iter);
+          },
+          on_cpu_done);
+      if (!routed) {
+        if (faults != nullptr) {
+          faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kForcedCompletion,
+                       stream.device());
+        }
+        cpu_chunk(0, split, iter);
+        if (on_cpu_done) on_cpu_done();
+      }
+    }
   } else if (on_cpu_done) {
     on_cpu_done();
   }
@@ -100,6 +153,8 @@ void ProfiledWorkload::run_iteration_multi(cudalite::Runtime& rt,
   }
   bounds.back() = items;
 
+  sim::FaultInjector* faults = platform.faults();
+
   // CPU slot.
   {
     const double units = effective[0] * total_units;
@@ -108,9 +163,33 @@ void ProfiledWorkload::run_iteration_multi(cudalite::Runtime& rt,
     if (units > 0.0 && end > begin) {
       const sim::CpuWork work =
           make_cpu_work(cpu_spec, platform.cpu().table().peak(), prof, units);
-      rt.host_submit(
-          work, [this, begin, end, iter] { cpu_chunk(begin, end, iter); },
-          [on_done] { if (on_done) on_done(0); });
+      auto signal = [on_done] { if (on_done) on_done(0); };
+      const bool accepted = rt.host_submit(
+          work, [this, begin, end, iter] { cpu_chunk(begin, end, iter); }, signal);
+      if (!accepted && rt.fault_tolerance().reroute_failed_side) {
+        // Route the CPU slot's range to GPU 0.
+        if (faults != nullptr) {
+          faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kRerouted,
+                       streams[0].device());
+        }
+        const cudalite::WorkEstimate est = make_gpu_estimate(
+            gpu_spec, platform.gpu(streams[0].device()).core_table().peak(),
+            platform.gpu(streams[0].device()).mem_table().peak(), prof, units);
+        const bool routed = rt.launch_range(
+            streams[0], end - begin, est,
+            [this, begin, iter](std::size_t b, std::size_t e) {
+              gpu_chunk(begin + b, begin + e, iter);
+            },
+            signal);
+        if (!routed) {
+          if (faults != nullptr) {
+            faults->note(sim::FaultChannel::kHarness,
+                         sim::FaultOutcome::kForcedCompletion, streams[0].device());
+          }
+          cpu_chunk(begin, end, iter);
+          signal();
+        }
+      }
     } else if (on_done) {
       on_done(0);
     }
@@ -125,12 +204,32 @@ void ProfiledWorkload::run_iteration_multi(cudalite::Runtime& rt,
       const cudalite::WorkEstimate est = make_gpu_estimate(
           gpu_spec, platform.gpu(streams[k].device()).core_table().peak(),
           platform.gpu(streams[k].device()).mem_table().peak(), prof, units);
-      rt.launch_range(
+      auto signal = [on_done, k] { if (on_done) on_done(k + 1); };
+      const bool accepted = rt.launch_range(
           streams[k], end - begin, est,
           [this, begin, iter](std::size_t b, std::size_t e) {
             gpu_chunk(begin + b, begin + e, iter);
           },
-          [on_done, k] { if (on_done) on_done(k + 1); });
+          signal);
+      if (!accepted && rt.fault_tolerance().reroute_failed_side) {
+        // Route the failed GPU slot's range to the CPU.
+        if (faults != nullptr) {
+          faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kRerouted,
+                       streams[k].device());
+        }
+        const sim::CpuWork work =
+            make_cpu_work(cpu_spec, platform.cpu().table().peak(), prof, units);
+        const bool routed = rt.host_submit(
+            work, [this, begin, end, iter] { cpu_chunk(begin, end, iter); }, signal);
+        if (!routed) {
+          if (faults != nullptr) {
+            faults->note(sim::FaultChannel::kHarness,
+                         sim::FaultOutcome::kForcedCompletion, streams[k].device());
+          }
+          cpu_chunk(begin, end, iter);
+          signal();
+        }
+      }
     } else if (on_done) {
       on_done(k + 1);
     }

@@ -82,8 +82,41 @@ TEST(DivisionStep, SafeguardDisabledMovesAnyway) {
 }
 
 TEST(DivisionStep, NegativeTimesThrow) {
-  EXPECT_THROW(division_step(default_params(), 0.3, Seconds{-1.0}, 1_s),
+  EXPECT_THROW((void)division_step(default_params(), 0.3, Seconds{-1.0}, 1_s),
                std::invalid_argument);
+}
+
+TEST(DivisionStep, ZeroCpuTimeGainsWork) {
+  // A zero-time side is an extreme imbalance, not a division-by-zero trap.
+  const auto d = division_step(default_params(), 0.30, 0_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kIncreaseCpu);
+  EXPECT_NEAR(d.ratio, 0.35, 1e-12);
+}
+
+TEST(DivisionStep, ZeroGpuTimeShedsWork) {
+  const auto d = division_step(default_params(), 0.30, 10_s, 0_s);
+  EXPECT_EQ(d.action, DivisionAction::kDecreaseCpu);
+  EXPECT_NEAR(d.ratio, 0.25, 1e-12);
+}
+
+TEST(DivisionStep, BothTimesZeroHold) {
+  const auto d = division_step(default_params(), 0.30, 0_s, 0_s);
+  EXPECT_EQ(d.action, DivisionAction::kHold);
+  EXPECT_NEAR(d.ratio, 0.30, 1e-12);
+}
+
+TEST(DivisionStep, PinnedAtFullCpuHoldsAtBound) {
+  DivisionParams p;
+  p.max_ratio = 1.0;
+  const auto d = division_step(p, 1.0, 1_s, 10_s);
+  EXPECT_EQ(d.action, DivisionAction::kHoldAtBound);
+  EXPECT_NEAR(d.ratio, 1.0, 1e-12);
+}
+
+TEST(DivisionStep, PinnedAtZeroCpuHoldsAtBound) {
+  const auto d = division_step(default_params(), 0.0, 10_s, 0_s);
+  EXPECT_EQ(d.action, DivisionAction::kHoldAtBound);
+  EXPECT_NEAR(d.ratio, 0.0, 1e-12);
 }
 
 TEST(DivisionController, ValidatesParams) {
@@ -177,6 +210,36 @@ TEST(DivisionController, HistoryRecordsDecisions) {
   ASSERT_EQ(c.history().size(), 2u);
   EXPECT_EQ(c.history()[0].action, DivisionAction::kDecreaseCpu);
   EXPECT_EQ(c.history()[1].action, DivisionAction::kIncreaseCpu);
+}
+
+TEST(DivisionController, DegradedFeedbackHoldsWithoutLearning) {
+  DivisionController c(default_params());
+  const double r0 = c.ratio();
+  IterationFeedback fb;
+  fb.cpu_time = 20_s;  // would normally shed CPU work...
+  fb.gpu_time = 1_s;
+  fb.degraded = true;  // ...but the times are fault noise
+  const auto d = c.update(fb);
+  EXPECT_EQ(d.action, DivisionAction::kHoldDegraded);
+  EXPECT_DOUBLE_EQ(d.ratio, r0);
+  EXPECT_DOUBLE_EQ(c.ratio(), r0);
+  EXPECT_FALSE(c.converged(1));  // no evidence either way
+  ASSERT_EQ(c.history().size(), 1u);
+  EXPECT_EQ(c.history()[0].action, DivisionAction::kHoldDegraded);
+  // The next informative iteration still moves.
+  const auto d2 = c.update(IterationFeedback{20_s, 1_s});
+  EXPECT_EQ(d2.action, DivisionAction::kDecreaseCpu);
+}
+
+TEST(DivisionController, DegradedFeedbackPreservesConvergenceStreak) {
+  DivisionController c(default_params());
+  c.update(10_s, 10_s);
+  c.update(10_s, 10_s);
+  ASSERT_TRUE(c.converged(2));
+  IterationFeedback fb;
+  fb.degraded = true;
+  c.update(fb);
+  EXPECT_TRUE(c.converged(2));  // a faulted iteration does not reset it
 }
 
 TEST(DivisionController, ResetRestoresInitialState) {

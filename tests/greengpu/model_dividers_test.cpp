@@ -150,7 +150,7 @@ TEST(DividerKindStrings, RoundTripAndAliases) {
   }
   EXPECT_EQ(divider_from_string("qilin"), DividerKind::kProfiling);
   EXPECT_EQ(divider_from_string("energy"), DividerKind::kEnergyModel);
-  EXPECT_THROW(divider_from_string("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)divider_from_string("bogus"), std::invalid_argument);
 }
 
 TEST(DividerFactory, HonoursStepParams) {
@@ -180,6 +180,19 @@ TEST_P(AnyDividerTest, ConvergesOnProportionalSystem) {
 INSTANTIATE_TEST_SUITE_P(AllKinds, AnyDividerTest,
                          ::testing::Values(DividerKind::kStep, DividerKind::kProfiling,
                                            DividerKind::kEnergyModel));
+
+TEST_P(AnyDividerTest, DegradedFeedbackHoldsTheRatio) {
+  const auto divider = make_divider(GetParam(), DivisionParams{});
+  const FakeSystem sys;
+  for (int i = 0; i < 5; ++i) divider->update(sys.run(divider->ratio()));
+  const double r = divider->ratio();
+  IterationFeedback fb = sys.run(r);
+  fb.cpu_time = fb.cpu_time + Seconds{100.0};  // wild fault-noise outlier
+  fb.degraded = true;
+  const auto d = divider->update(fb);
+  EXPECT_EQ(d.action, DivisionAction::kHoldDegraded);
+  EXPECT_DOUBLE_EQ(divider->ratio(), r);
+}
 
 }  // namespace
 }  // namespace gg::greengpu

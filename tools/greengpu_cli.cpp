@@ -29,6 +29,19 @@
 //   --campaign                  run the full (workload x policy) matrix;
 //                               with --json FILE, write a structured report
 //
+// Fault injection (all rates in [0,1]; injector installs only if any is set):
+//   --fault-rate R              uniform preset: every channel at rate R
+//   --fault-seed N              deterministic fault schedule seed
+//   --fault-util-drop R --fault-util-stale R --fault-util-corrupt R
+//   --fault-clock-reject R --fault-clock-delay R --fault-clock-clamp R
+//   --fault-clock-delay-s S     latency of a delayed clock write (default 0.5)
+//   --fault-launch R --fault-host R     kernel-launch / host-chunk failures
+//   --fault-throttle-mtbf S     mean time between thermal-throttle episodes
+//                               (0 disables; exponential gaps)
+//   --fault-throttle-duration S episode length (default 5)
+//   --hardened 0|1              enable the hardened controllers (retries,
+//                               rerouting, stale-sample hold, watchdog)
+//
 // Campaign example:
 //   greengpu_cli --campaign --json report.json
 
@@ -51,6 +64,31 @@ namespace {
 
 using namespace gg;
 
+sim::FaultConfig fault_config_from_flags(const Flags& flags) {
+  sim::FaultConfig cfg;
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed", static_cast<long long>(cfg.seed)));
+  if (flags.has("fault-rate")) {
+    cfg = sim::FaultConfig::uniform(flags.get_double("fault-rate", 0.0), seed);
+  }
+  cfg.seed = seed;
+  cfg.util_drop_rate = flags.get_double("fault-util-drop", cfg.util_drop_rate);
+  cfg.util_stale_rate = flags.get_double("fault-util-stale", cfg.util_stale_rate);
+  cfg.util_corrupt_rate = flags.get_double("fault-util-corrupt", cfg.util_corrupt_rate);
+  cfg.clock_reject_rate = flags.get_double("fault-clock-reject", cfg.clock_reject_rate);
+  cfg.clock_delay_rate = flags.get_double("fault-clock-delay", cfg.clock_delay_rate);
+  cfg.clock_delay = Seconds{flags.get_double("fault-clock-delay-s", cfg.clock_delay.get())};
+  cfg.clock_clamp_rate = flags.get_double("fault-clock-clamp", cfg.clock_clamp_rate);
+  cfg.launch_fail_rate = flags.get_double("fault-launch", cfg.launch_fail_rate);
+  cfg.host_fail_rate = flags.get_double("fault-host", cfg.host_fail_rate);
+  cfg.throttle_mtbf = Seconds{flags.get_double("fault-throttle-mtbf", cfg.throttle_mtbf.get())};
+  cfg.throttle_duration =
+      Seconds{flags.get_double("fault-throttle-duration", cfg.throttle_duration.get())};
+  // Throws std::invalid_argument naming the offending field; main() prints it.
+  cfg.validate();
+  return cfg;
+}
+
 greengpu::Policy policy_from_flags(const Flags& flags) {
   greengpu::GreenGpuParams params;
   params.division.step = flags.get_double("step", params.division.step);
@@ -62,6 +100,7 @@ greengpu::Policy policy_from_flags(const Flags& flags) {
   params.wma.phi = flags.get_double("phi", params.wma.phi);
   params.wma.beta = flags.get_double("beta", params.wma.beta);
   params.wma.interval = Seconds{flags.get_double("interval", params.wma.interval.get())};
+  params.hardening.enabled = flags.get_bool("hardened", false);
 
   const std::string name = flags.get_string("policy", "greengpu");
   greengpu::Policy policy;
@@ -97,6 +136,10 @@ void print_human(const greengpu::ExperimentResult& r) {
               r.gpu_energy.get(), r.cpu_energy.get(), r.total_energy().get());
   if (r.final_ratio > 0.0) std::printf("   split %2.0f/%2.0f", r.final_ratio * 100.0,
                                        (1.0 - r.final_ratio) * 100.0);
+  if (!r.fault_events.empty()) {
+    std::printf("   faults %zu (degraded iters %zu)", r.fault_events.size(),
+                r.degraded_iterations);
+  }
   std::printf("   %s\n", r.verify_skipped ? "(unverified)"
                                           : (r.verified ? "verified" : "VERIFY FAILED"));
 }
@@ -166,6 +209,7 @@ int run(const Flags& flags) {
     greengpu::RunOptions options;
     options.sync_spin = flags.get_bool("sync", true);
     options.verify = !flags.get_bool("no-verify", false);
+    options.faults = fault_config_from_flags(flags);
     const auto unknown_flags = flags.unconsumed();
     if (!unknown_flags.empty()) {
       for (const auto& key : unknown_flags) {
@@ -201,6 +245,9 @@ int run(const Flags& flags) {
       std::fprintf(stderr, "policy '%s' is not available with --gpus > 1\n", pol.c_str());
       return 2;
     }
+    mpolicy.params.hardening.enabled = flags.get_bool("hardened", false);
+    greengpu::MultiRunOptions moptions;
+    moptions.faults = fault_config_from_flags(flags);
     const auto unknown_flags = flags.unconsumed();
     if (!unknown_flags.empty()) {
       for (const auto& key : unknown_flags) {
@@ -208,7 +255,7 @@ int run(const Flags& flags) {
       }
       return 2;
     }
-    const auto r = greengpu::run_multi_experiment(workload, gpus, mpolicy);
+    const auto r = greengpu::run_multi_experiment(workload, gpus, mpolicy, moptions);
     std::printf("%-14s %-20s gpus=%zu exec %9.1f s  total %9.0f J  shares",
                 r.workload.c_str(), r.policy.c_str(), gpus, r.exec_time.get(),
                 r.total_energy().get());
@@ -222,6 +269,7 @@ int run(const Flags& flags) {
   options.max_iterations = static_cast<std::size_t>(flags.get_int("iterations", 0));
   options.sync_spin = flags.get_bool("sync", true);
   options.verify = !flags.get_bool("no-verify", false);
+  options.faults = fault_config_from_flags(flags);
   const std::string trace_file = flags.get_string("trace", "");
   options.record_trace = !trace_file.empty();
   const bool csv = flags.get_bool("csv", false);
