@@ -7,33 +7,40 @@
 // a direct measurement of the scenario behind Fig. 6c.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
 #include "src/greengpu/policy.h"
 #include "src/workloads/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gg;
   bench::banner("ablation_async_stack",
                 "Fig. 6c revisited: emulated vs actually-asynchronous stack");
+
+  // Three cells per workload: best-performance baseline, synchronous stack
+  // with scaling (also provides the Fig. 6c emulation), asynchronous stack
+  // with scaling.
+  const std::vector<std::string> names = workloads::all_workload_names();
+  greengpu::RunOptions async_options = bench::default_options();
+  async_options.sync_spin = false;
+  bench::ExperimentBatch batch;
+  for (const auto& name : names) {
+    batch.add(name, greengpu::Policy::best_performance(), bench::default_options());
+    batch.add(name, greengpu::Policy::scaling_only(), bench::default_options());
+    batch.add(name, greengpu::Policy::scaling_only(), async_options);
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
 
   std::printf(
       "\nworkload,sync_saving_pct,emulated_cpu_gpu_saving_pct,async_measured_saving_pct\n");
 
   RunningStats sync_s, emu_s, async_s;
-  for (const auto& name : workloads::all_workload_names()) {
-    // Baseline: synchronous stack, best-performance (the paper's reference).
-    const auto base = greengpu::run_experiment(name, greengpu::Policy::best_performance(),
-                                               bench::default_options());
-    // Synchronous stack + scaling (Fig. 6a) and its Fig. 6c emulation.
-    const auto sync = greengpu::run_experiment(name, greengpu::Policy::scaling_only(),
-                                               bench::default_options());
-    // Asynchronous stack + scaling: ondemand throttles for real.
-    greengpu::RunOptions async_options = bench::default_options();
-    async_options.sync_spin = false;
-    const auto async = greengpu::run_experiment(name, greengpu::Policy::scaling_only(),
-                                                async_options);
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const auto& base = batch[3 * w];
+    const auto& sync = batch[3 * w + 1];
+    const auto& async = batch[3 * w + 2];
 
     const double base_e = base.total_energy().get();
     const double s1 = bench::saving_percent(base_e, sync.total_energy().get());
@@ -42,7 +49,7 @@ int main() {
     sync_s.add(s1);
     emu_s.add(s2);
     async_s.add(s3);
-    std::printf("%s,%.2f,%.2f,%.2f\n", name.c_str(), s1, s2, s3);
+    std::printf("%s,%.2f,%.2f,%.2f\n", names[w].c_str(), s1, s2, s3);
   }
 
   std::printf("\n# averages\n");

@@ -6,7 +6,9 @@
 // the full GreenGPU stack, on a divided workload (kmeans) and a GPU-only
 // spinning workload (streamcluster).
 
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
@@ -15,54 +17,67 @@ namespace {
 
 using namespace gg;
 
-void sweep(const std::string& workload) {
-  std::printf("\n# %s under GreenGPU with each CPU governor\n", workload.c_str());
-  std::printf("governor,total_energy_J,exec_time_s,final_share_pct\n");
-  double perf_energy = 0.0;
-  for (auto kind : {greengpu::CpuGovernorKind::kPerformance,
-                    greengpu::CpuGovernorKind::kOndemand,
-                    greengpu::CpuGovernorKind::kConservative,
-                    greengpu::CpuGovernorKind::kWma,
-                    greengpu::CpuGovernorKind::kPowersave}) {
+constexpr greengpu::CpuGovernorKind kKinds[] = {
+    greengpu::CpuGovernorKind::kPerformance, greengpu::CpuGovernorKind::kOndemand,
+    greengpu::CpuGovernorKind::kConservative, greengpu::CpuGovernorKind::kWma,
+    greengpu::CpuGovernorKind::kPowersave};
+
+std::size_t queue_sweep(bench::ExperimentBatch& batch, const std::string& workload) {
+  std::size_t first = batch.size();
+  for (auto kind : kKinds) {
     greengpu::Policy policy = greengpu::Policy::green_gpu();
     policy.cpu_governor = kind;
     policy.name = std::string("greengpu+") + std::string(greengpu::to_string(kind));
-    const auto r = greengpu::run_experiment(workload, policy, bench::default_options());
-    if (kind == greengpu::CpuGovernorKind::kPerformance) {
-      perf_energy = r.total_energy().get();
-    }
-    std::printf("%s,%.0f,%.1f,%.0f\n", std::string(greengpu::to_string(kind)).c_str(),
+    batch.add(workload, policy, bench::default_options());
+  }
+  return first;
+}
+
+void print_sweep(const bench::ExperimentBatch& batch, std::size_t first,
+                 const std::string& workload) {
+  std::printf("\n# %s under GreenGPU with each CPU governor\n", workload.c_str());
+  std::printf("governor,total_energy_J,exec_time_s,final_share_pct\n");
+  for (std::size_t i = 0; i < std::size(kKinds); ++i) {
+    const auto& r = batch[first + i];
+    std::printf("%s,%.0f,%.1f,%.0f\n",
+                std::string(greengpu::to_string(kKinds[i])).c_str(),
                 r.total_energy().get(), r.exec_time.get(), r.final_ratio * 100.0);
   }
-  (void)perf_energy;
+}
+
+std::size_t kind_index(greengpu::CpuGovernorKind kind) {
+  for (std::size_t i = 0; i < std::size(kKinds); ++i) {
+    if (kKinds[i] == kind) return i;
+  }
+  return 0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_cpu_governor",
                 "Section IV extension: pluggable CPU DVFS strategies");
 
-  sweep("kmeans");
-  sweep("streamcluster");
+  bench::ExperimentBatch batch;
+  const std::size_t km_first = queue_sweep(batch, "kmeans");
+  const std::size_t sc_first = queue_sweep(batch, "streamcluster");
+  batch.run(bench::jobs_from_argv(argc, argv));
+
+  print_sweep(batch, km_first, "kmeans");
+  print_sweep(batch, sc_first, "streamcluster");
 
   std::printf("\n# shape checks\n");
-  auto energy_with = [](const std::string& wl, greengpu::CpuGovernorKind kind) {
-    greengpu::Policy policy = greengpu::Policy::green_gpu();
-    policy.cpu_governor = kind;
-    return greengpu::run_experiment(wl, policy, bench::default_options());
-  };
   // Spin pegs the CPU at 100%, so on a GPU-resident workload ondemand ==
   // performance (the Section VII-A failure the paper reports).
-  const auto sc_perf = energy_with("streamcluster", greengpu::CpuGovernorKind::kPerformance);
-  const auto sc_ondemand = energy_with("streamcluster", greengpu::CpuGovernorKind::kOndemand);
+  const auto& sc_perf = batch[sc_first + kind_index(greengpu::CpuGovernorKind::kPerformance)];
+  const auto& sc_ondemand = batch[sc_first + kind_index(greengpu::CpuGovernorKind::kOndemand)];
   bench::check(std::abs(sc_ondemand.total_energy().get() - sc_perf.total_energy().get()) <
                    0.005 * sc_perf.total_energy().get(),
                "ondemand cannot beat performance under the spinning stack (Sec. VII-A)");
   // On a divided workload the CPU computes at 100% anyway; powersave pays a
   // large time penalty that division only partially absorbs.
-  const auto km_perf = energy_with("kmeans", greengpu::CpuGovernorKind::kPerformance);
-  const auto km_powersave = energy_with("kmeans", greengpu::CpuGovernorKind::kPowersave);
+  const auto& km_perf = batch[km_first + kind_index(greengpu::CpuGovernorKind::kPerformance)];
+  const auto& km_powersave = batch[km_first + kind_index(greengpu::CpuGovernorKind::kPowersave)];
   bench::check(km_powersave.exec_time.get() > km_perf.exec_time.get() * 1.02,
                "powersave slows the divided workload");
   bench::check(km_powersave.final_ratio < km_perf.final_ratio,

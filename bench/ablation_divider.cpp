@@ -7,6 +7,7 @@
 //   energy-model    — least-squares energy model, argmin over a fine grid
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
@@ -15,41 +16,62 @@ namespace {
 
 using namespace gg;
 
-struct Row {
-  greengpu::ExperimentResult result;
+constexpr greengpu::DividerKind kDividers[] = {greengpu::DividerKind::kStep,
+                                               greengpu::DividerKind::kProfiling,
+                                               greengpu::DividerKind::kEnergyModel};
+
+struct WorkloadSlots {
+  std::size_t oracle_first{0};  // 19 static-division cells (0..90% in 5% steps)
+  std::size_t divider_first{0};
 };
 
-greengpu::ExperimentResult oracle(const std::string& workload) {
-  double best = 1e300;
-  greengpu::ExperimentResult best_r{};
+WorkloadSlots queue_workload(bench::ExperimentBatch& batch, const std::string& workload) {
+  WorkloadSlots slots;
+  slots.oracle_first = batch.size();
   for (int pct = 0; pct <= 90; pct += 5) {
-    auto r = greengpu::run_experiment(workload, greengpu::Policy::static_division(pct / 100.0),
-                                      bench::default_options());
-    if (r.total_energy().get() < best) {
-      best = r.total_energy().get();
-      best_r = std::move(r);
-    }
+    batch.add(workload, greengpu::Policy::static_division(pct / 100.0),
+              bench::default_options());
   }
-  return best_r;
+  slots.divider_first = batch.size();
+  for (auto kind : kDividers) {
+    batch.add(workload, greengpu::Policy::division_with(kind), bench::default_options());
+  }
+  return slots;
+}
+
+const greengpu::ExperimentResult& oracle_best(const bench::ExperimentBatch& batch,
+                                              const WorkloadSlots& slots) {
+  const greengpu::ExperimentResult* best = &batch[slots.oracle_first];
+  for (std::size_t i = 1; i < 19; ++i) {
+    const auto& r = batch[slots.oracle_first + i];
+    if (r.total_energy().get() < best->total_energy().get()) best = &r;
+  }
+  return *best;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_divider",
                 "Section V-B extension: division-algorithm comparison");
+
+  const std::vector<std::string> names = {"kmeans", "hotspot"};
+  bench::ExperimentBatch batch;
+  std::vector<WorkloadSlots> slots;
+  for (const auto& workload : names) slots.push_back(queue_workload(batch, workload));
+  batch.run(bench::jobs_from_argv(argc, argv));
 
   std::printf(
       "\nworkload,divider,final_share_pct,convergence_iteration,exec_time_s,"
       "total_energy_J,energy_vs_oracle_pct\n");
 
-  for (const std::string workload : {"kmeans", "hotspot"}) {
-    const auto best = oracle(workload);
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const std::string& workload = names[w];
+    const auto& best = oracle_best(batch, slots[w]);
     double step_energy = 0.0, qilin_energy = 0.0, model_energy = 0.0;
-    for (auto kind : {greengpu::DividerKind::kStep, greengpu::DividerKind::kProfiling,
-                      greengpu::DividerKind::kEnergyModel}) {
-      const auto r = greengpu::run_experiment(
-          workload, greengpu::Policy::division_with(kind), bench::default_options());
+    for (std::size_t k = 0; k < std::size(kDividers); ++k) {
+      const auto kind = kDividers[k];
+      const auto& r = batch[slots[w].divider_first + k];
       const double gap =
           100.0 * (r.total_energy().get() / best.total_energy().get() - 1.0);
       if (kind == greengpu::DividerKind::kStep) step_energy = r.total_energy().get();

@@ -63,7 +63,7 @@ Outcome run(const std::string& workload, double rate, bool hardened,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_fault_rate",
                 "robustness extension: hardened vs un-hardened GreenGPU on a "
                 "flaky platform");
@@ -72,18 +72,25 @@ int main() {
   constexpr std::uint64_t kSeed = 0x5EEDFA517ULL;
   const double rates[] = {0.0, 0.02, 0.05, 0.10, 0.20};
 
+  // Cells catch ExperimentAborted (an expected DNF outcome), so this sweep
+  // fans out over raw cell indices instead of ExperimentBatch.  Slot layout:
+  // 2*rate_index + (0 = hardened, 1 = un-hardened).
+  Outcome hardened_at[5];
+  Outcome unhardened_at[5];
+  bench::parallel_cells(bench::jobs_from_argv(argc, argv), 10, [&](std::size_t i) {
+    const double rate = rates[i / 2];
+    const bool hardened = (i % 2) == 0;
+    (hardened ? hardened_at : unhardened_at)[i / 2] =
+        run(workload, rate, hardened, kSeed);
+  });
+
   std::printf(
       "\nworkload,fault_rate,policy,completed,verified,exec_time_s,total_energy_J,"
       "degraded_iters,fault_events,watchdog_trips\n");
-  Outcome hardened_at[5];
-  Outcome unhardened_at[5];
-  int idx = 0;
-  for (double rate : rates) {
-    const Outcome h = run(workload, rate, /*hardened=*/true, kSeed);
-    const Outcome u = run(workload, rate, /*hardened=*/false, kSeed);
-    hardened_at[idx] = h;
-    unhardened_at[idx] = u;
-    ++idx;
+  for (int idx = 0; idx < 5; ++idx) {
+    const double rate = rates[idx];
+    const Outcome& h = hardened_at[idx];
+    const Outcome& u = unhardened_at[idx];
     std::printf("%s,%.2f,hardened,%d,%d,%.1f,%.0f,%zu,%zu,%llu\n", workload.c_str(),
                 rate, h.completed ? 1 : 0, h.verified ? 1 : 0, h.exec_time, h.energy,
                 h.degraded, h.fault_events,

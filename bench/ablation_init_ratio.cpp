@@ -2,33 +2,41 @@
 // independent of the initial ratio; starting between 30 % and 50 % merely
 // shortens the transient.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gg;
   bench::banner("ablation_init_ratio",
                 "Section VII-B: initial division ratio independence");
 
-  std::printf("\nworkload,initial_share_pct,converged_share_pct,convergence_iteration\n");
-  for (const std::string workload : {"kmeans", "hotspot"}) {
-    double converged[6];
-    int idx = 0;
-    for (double init : {0.0, 0.05, 0.30, 0.50, 0.80, 0.95}) {
+  const std::vector<std::string> names = {"kmeans", "hotspot"};
+  const std::vector<double> inits = {0.0, 0.05, 0.30, 0.50, 0.80, 0.95};
+  bench::ExperimentBatch batch;
+  for (const auto& workload : names) {
+    for (double init : inits) {
       greengpu::GreenGpuParams params;
       params.division.initial_ratio = init;
-      const auto r = greengpu::run_experiment(
-          workload, greengpu::Policy::division_only(params), bench::default_options());
-      converged[idx++] = r.final_ratio;
+      batch.add(workload, greengpu::Policy::division_only(params),
+                bench::default_options());
+    }
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
+
+  std::printf("\nworkload,initial_share_pct,converged_share_pct,convergence_iteration\n");
+  std::size_t slot = 0;
+  for (const auto& workload : names) {
+    double lo = 1.0, hi = 0.0;
+    for (double init : inits) {
+      const auto& r = batch[slot++];
+      lo = std::min(lo, r.final_ratio);
+      hi = std::max(hi, r.final_ratio);
       std::printf("%s,%.0f,%.0f,%zu\n", workload.c_str(), init * 100.0,
                   r.final_ratio * 100.0, r.convergence_iteration);
-    }
-    double lo = converged[0], hi = converged[0];
-    for (double c : converged) {
-      lo = std::min(lo, c);
-      hi = std::max(hi, c);
     }
     const std::string msg = workload + ": converged shares agree within one 5% step";
     bench::check(hi - lo <= 0.051, msg.c_str());

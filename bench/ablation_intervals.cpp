@@ -4,11 +4,12 @@
 // epoch.  Sweeping the scaling interval against a fixed iteration length
 // shows the interference when the rule is violated.
 
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
-#include "src/workloads/kmeans.h"
 
 namespace {
 
@@ -21,30 +22,35 @@ struct Outcome {
   std::uint64_t gpu_transitions;
 };
 
-Outcome run_with_interval(Seconds scaling_interval) {
-  greengpu::GreenGpuParams params;
-  params.wma.interval = scaling_interval;
-  workloads::Kmeans wl{};  // iteration length ~124 s
-  const auto r = greengpu::run_experiment(wl, greengpu::Policy::green_gpu(params),
-                                          bench::default_options());
+Outcome collect(const greengpu::ExperimentResult& r) {
   return Outcome{r.total_energy().get(), r.exec_time.get(), r.final_ratio,
                  r.gpu_frequency_transitions};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_intervals",
                 "Section IV: division/scaling interval ratio (the >=40x rule)");
 
   // kmeans iterations last ~124 s at peak; the paper's scaling interval of
   // 3 s gives a ratio of ~41x.
+  const std::vector<double> intervals = {1.0, 3.0, 12.0, 40.0, 124.0};
+  bench::ExperimentBatch batch;
+  for (double interval : intervals) {
+    greengpu::GreenGpuParams params;
+    params.wma.interval = Seconds{interval};
+    batch.add("kmeans", greengpu::Policy::green_gpu(params), bench::default_options());
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
+
   std::printf("\nscaling_interval_s,approx_ratio,total_energy_J,exec_time_s,final_share_pct,gpu_freq_transitions\n");
   double energy_at_rule = 0.0, energy_violated = 0.0;
   std::uint64_t transitions_at_rule = 0, transitions_violated = 0;
   double ratio_at_rule = 0.0, ratio_violated = 0.0;
-  for (double interval : {1.0, 3.0, 12.0, 40.0, 124.0}) {
-    const Outcome o = run_with_interval(Seconds{interval});
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const double interval = intervals[i];
+    const Outcome o = collect(batch[i]);
     const double ratio = 124.0 / interval;
     if (interval == 3.0) {
       energy_at_rule = o.energy;

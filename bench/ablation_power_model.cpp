@@ -6,6 +6,7 @@
 // 145 W full-load total, showing which conclusions are calibration-robust.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
@@ -71,7 +72,7 @@ double gpu_saving(const std::string& workload_name, const Split& split) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_power_model",
                 "robustness of Fig. 6a to the GPU power-split calibration");
 
@@ -82,12 +83,22 @@ int main() {
       {"static-heavy", 60, 22, 28, 15, 20},
   };
 
+  // Each (split, workload) cell builds its own Platform, so they fan out
+  // directly; savings land in index-determined slots.
+  const auto names = workloads::all_workload_names();
+  std::vector<double> saving(std::size(splits) * names.size());
+  bench::parallel_cells(
+      bench::jobs_from_argv(argc, argv), saving.size(), [&](std::size_t i) {
+        saving[i] = gpu_saving(names[i % names.size()], splits[i / names.size()]);
+      });
+
   std::printf("\nsplit,avg_gpu_saving_pct,max_gpu_saving_pct\n");
   double default_avg = 0.0, activity_avg = 0.0;
-  for (const Split& split : splits) {
+  for (std::size_t s = 0; s < std::size(splits); ++s) {
+    const Split& split = splits[s];
     RunningStats savings;
-    for (const auto& name : workloads::all_workload_names()) {
-      savings.add(gpu_saving(name, split));
+    for (std::size_t w = 0; w < names.size(); ++w) {
+      savings.add(saving[s * names.size() + w]);
     }
     std::printf("\"%s\",%.2f,%.2f\n", split.name, savings.mean(), savings.max());
     if (split.name == splits[0].name) default_avg = savings.mean();

@@ -4,6 +4,7 @@
 // "significantly degrade system performance".
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
@@ -19,11 +20,16 @@ struct Outcome {
   double final_ratio;
 };
 
-Outcome run(bool safeguard, const std::string& workload) {
+std::size_t queue_run(bench::ExperimentBatch& batch, bool safeguard,
+                      const std::string& workload) {
   greengpu::GreenGpuParams params;
   params.division.safeguard = safeguard;
-  const auto r = greengpu::run_experiment(workload, greengpu::Policy::division_only(params),
-                                          bench::default_options());
+  return batch.add(workload, greengpu::Policy::division_only(params),
+                   bench::default_options());
+}
+
+Outcome collect(const bench::ExperimentBatch& batch, std::size_t slot) {
+  const auto& r = batch[slot];
   int changes = 0;
   for (std::size_t i = 1; i < r.iterations.size(); ++i) {
     if (r.iterations[i].cpu_ratio != r.iterations[i - 1].cpu_ratio) ++changes;
@@ -33,22 +39,31 @@ Outcome run(bool safeguard, const std::string& workload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_safeguard", "Section V-B: oscillation safeguard on/off");
 
+  const std::vector<std::string> names = {"kmeans", "hotspot"};
+  bench::ExperimentBatch batch;
+  std::vector<std::pair<std::size_t, std::size_t>> slots;  // (on, off) per workload
+  for (const auto& workload : names) {
+    slots.emplace_back(queue_run(batch, true, workload),
+                       queue_run(batch, false, workload));
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
+
   std::printf("\nworkload,safeguard,ratio_changes,exec_time_s,total_energy_J,final_share_pct\n");
-  for (const std::string workload : {"kmeans", "hotspot"}) {
-    const Outcome on = run(true, workload);
-    const Outcome off = run(false, workload);
-    std::printf("%s,on,%d,%.1f,%.0f,%.0f\n", workload.c_str(), on.ratio_changes,
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const Outcome on = collect(batch, slots[w].first);
+    const Outcome off = collect(batch, slots[w].second);
+    std::printf("%s,on,%d,%.1f,%.0f,%.0f\n", names[w].c_str(), on.ratio_changes,
                 on.exec_time, on.energy, on.final_ratio * 100.0);
-    std::printf("%s,off,%d,%.1f,%.0f,%.0f\n", workload.c_str(), off.ratio_changes,
+    std::printf("%s,off,%d,%.1f,%.0f,%.0f\n", names[w].c_str(), off.ratio_changes,
                 off.exec_time, off.energy, off.final_ratio * 100.0);
   }
 
   std::printf("\n# shape checks (kmeans has an off-grid optimum, so it oscillates)\n");
-  const Outcome on = run(true, "kmeans");
-  const Outcome off = run(false, "kmeans");
+  const Outcome on = collect(batch, slots[0].first);
+  const Outcome off = collect(batch, slots[0].second);
   bench::check(off.ratio_changes > 2 * on.ratio_changes,
                "disabling the safeguard causes persistent re-divisions");
   bench::check(on.ratio_changes <= 6, "with the safeguard the ratio settles for good");

@@ -3,21 +3,30 @@
 //  There will be large oscillation if we use a large step."
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gg;
   bench::banner("ablation_step", "Section V-B: division step-size trade-off");
 
-  std::printf("\nstep_pct,convergence_iteration,final_cpu_share_pct,exec_time_s,total_energy_J\n");
-  double conv_small = 0.0, conv_large = 0.0;
-  for (double step : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+  const std::vector<double> steps = {0.01, 0.02, 0.05, 0.10, 0.20};
+  bench::ExperimentBatch batch;
+  for (double step : steps) {
     greengpu::GreenGpuParams params;
     params.division.step = step;
-    const auto r = greengpu::run_experiment(
-        "kmeans", greengpu::Policy::division_only(params), bench::default_options());
+    batch.add("kmeans", greengpu::Policy::division_only(params),
+              bench::default_options());
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
+
+  std::printf("\nstep_pct,convergence_iteration,final_cpu_share_pct,exec_time_s,total_energy_J\n");
+  double conv_small = 0.0, conv_large = 0.0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const double step = steps[i];
+    const auto& r = batch[i];
     const double conv = r.convergence_iteration == static_cast<std::size_t>(-1)
                             ? -1.0
                             : static_cast<double>(r.convergence_iteration);

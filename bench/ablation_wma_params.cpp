@@ -3,6 +3,7 @@
 // derived from manual tuning — Section V-A notes this as future work).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
@@ -16,32 +17,70 @@ struct Outcome {
   double slowdown_pct;
 };
 
-Outcome run_with(const greengpu::WmaParams& wma, const std::string& workload) {
+std::size_t queue_scaled(bench::ExperimentBatch& batch, const greengpu::WmaParams& wma,
+                         const std::string& workload) {
   greengpu::GreenGpuParams params;
   params.wma = wma;
-  const auto base = greengpu::run_experiment(workload, greengpu::Policy::best_performance(),
-                                             bench::default_options());
-  const auto scaled = greengpu::run_experiment(
-      workload, greengpu::Policy::scaling_only(params), bench::default_options());
+  return batch.add(workload, greengpu::Policy::scaling_only(params),
+                   bench::default_options());
+}
+
+Outcome collect(const bench::ExperimentBatch& batch, std::size_t base_slot,
+                std::size_t scaled_slot) {
+  const auto& base = batch[base_slot];
+  const auto& scaled = batch[scaled_slot];
   return Outcome{bench::saving_percent(base.gpu_energy.get(), scaled.gpu_energy.get()),
                  100.0 * (scaled.exec_time.get() / base.exec_time.get() - 1.0)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("ablation_wma_params", "Section V-A: alpha/phi/beta sensitivity");
   // lud: steady medium-core / low-memory utilization, the regime where the
   // energy-vs-performance blend actually moves the equilibrium level.
   const std::string workload = "lud";
 
+  const std::vector<double> alpha_cores = {0.02, 0.05, 0.15, 0.40, 0.80};
+  const std::vector<double> alpha_mems = {0.01, 0.02, 0.10, 0.40};
+  const std::vector<double> phis = {0.1, 0.3, 0.5, 0.9};
+  const std::vector<double> betas = {0.05, 0.2, 0.5, 0.9};
+
+  // One shared baseline serves every sweep point.
+  bench::ExperimentBatch batch;
+  const std::size_t base_slot = batch.add(
+      workload, greengpu::Policy::best_performance(), bench::default_options());
+  std::vector<std::size_t> alpha_core_slots, alpha_mem_slots, phi_slots, beta_slots;
+  for (double a : alpha_cores) {
+    greengpu::WmaParams wma;
+    wma.alpha_core = a;
+    alpha_core_slots.push_back(queue_scaled(batch, wma, workload));
+  }
+  for (double a : alpha_mems) {
+    greengpu::WmaParams wma;
+    wma.alpha_mem = a;
+    alpha_mem_slots.push_back(queue_scaled(batch, wma, workload));
+  }
+  for (double phi : phis) {
+    greengpu::WmaParams wma;
+    wma.phi = phi;
+    phi_slots.push_back(queue_scaled(batch, wma, workload));
+  }
+  for (double beta : betas) {
+    greengpu::WmaParams wma;
+    wma.beta = beta;
+    beta_slots.push_back(queue_scaled(batch, wma, workload));
+  }
+  const std::size_t paper_slot =
+      queue_scaled(batch, greengpu::WmaParams{}, workload);
+  batch.run(bench::jobs_from_argv(argc, argv));
+
   std::printf("\n# alpha_core sweep (paper: 0.15) on %s\n", workload.c_str());
   std::printf("alpha_core,gpu_saving_pct,slowdown_pct\n");
   double saving_low_alpha = 0.0, saving_high_alpha = 0.0;
-  for (double a : {0.02, 0.05, 0.15, 0.40, 0.80}) {
-    greengpu::WmaParams wma;
-    wma.alpha_core = a;
-    const Outcome o = run_with(wma, workload);
+  for (std::size_t i = 0; i < alpha_cores.size(); ++i) {
+    const double a = alpha_cores[i];
+    const Outcome o = collect(batch, base_slot, alpha_core_slots[i]);
     if (a == 0.02) saving_low_alpha = o.gpu_saving_pct;
     if (a == 0.80) saving_high_alpha = o.gpu_saving_pct;
     std::printf("%.2f,%.2f,%.2f\n", a, o.gpu_saving_pct, o.slowdown_pct);
@@ -49,35 +88,29 @@ int main() {
 
   std::printf("\n# alpha_mem sweep (paper: 0.02)\n");
   std::printf("alpha_mem,gpu_saving_pct,slowdown_pct\n");
-  for (double a : {0.01, 0.02, 0.10, 0.40}) {
-    greengpu::WmaParams wma;
-    wma.alpha_mem = a;
-    const Outcome o = run_with(wma, workload);
-    std::printf("%.2f,%.2f,%.2f\n", a, o.gpu_saving_pct, o.slowdown_pct);
+  for (std::size_t i = 0; i < alpha_mems.size(); ++i) {
+    const Outcome o = collect(batch, base_slot, alpha_mem_slots[i]);
+    std::printf("%.2f,%.2f,%.2f\n", alpha_mems[i], o.gpu_saving_pct, o.slowdown_pct);
   }
 
   std::printf("\n# phi sweep (paper: 0.3)\n");
   std::printf("phi,gpu_saving_pct,slowdown_pct\n");
-  for (double phi : {0.1, 0.3, 0.5, 0.9}) {
-    greengpu::WmaParams wma;
-    wma.phi = phi;
-    const Outcome o = run_with(wma, workload);
-    std::printf("%.1f,%.2f,%.2f\n", phi, o.gpu_saving_pct, o.slowdown_pct);
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    const Outcome o = collect(batch, base_slot, phi_slots[i]);
+    std::printf("%.1f,%.2f,%.2f\n", phis[i], o.gpu_saving_pct, o.slowdown_pct);
   }
 
   std::printf("\n# beta sweep (paper: 0.2)\n");
   std::printf("beta,gpu_saving_pct,slowdown_pct\n");
-  for (double beta : {0.05, 0.2, 0.5, 0.9}) {
-    greengpu::WmaParams wma;
-    wma.beta = beta;
-    const Outcome o = run_with(wma, workload);
-    std::printf("%.2f,%.2f,%.2f\n", beta, o.gpu_saving_pct, o.slowdown_pct);
+  for (std::size_t i = 0; i < betas.size(); ++i) {
+    const Outcome o = collect(batch, base_slot, beta_slots[i]);
+    std::printf("%.2f,%.2f,%.2f\n", betas[i], o.gpu_saving_pct, o.slowdown_pct);
   }
 
   std::printf("\n# shape checks\n");
   bench::check(saving_high_alpha >= saving_low_alpha,
                "larger alpha favours energy saving (Table I semantics)");
-  const Outcome paper = run_with(greengpu::WmaParams{}, workload);
+  const Outcome paper = collect(batch, base_slot, paper_slot);
   bench::check(paper.slowdown_pct < 3.0, "paper constants keep slowdown marginal");
   return 0;
 }

@@ -4,11 +4,21 @@
 // series and (b) a human-readable summary comparing the measured shape with
 // the numbers the paper reports.  Absolute joules are not expected to match
 // the 2012 testbed; the shapes are (see DESIGN.md section 5).
+//
+// Benches accept `--jobs N` (0 = all cores, default 1) and fan their
+// independent experiment cells across a gg::common::JobPool.  Cells write to
+// index-determined slots and all printing happens in a serial post-pass, so
+// the output is byte-identical for every jobs value; only wall-clock changes.
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/flags.h"
+#include "src/common/job_pool.h"
 #include "src/greengpu/runner.h"
 
 namespace gg::bench {
@@ -18,6 +28,56 @@ inline greengpu::RunOptions default_options() {
   o.pool_workers = 0;  // use all host cores for the real kernels
   return o;
 }
+
+/// Parse `--jobs N` (0 = all cores; default 1 = serial).
+inline std::size_t jobs_from_argv(int argc, const char* const* argv) {
+  const Flags flags(argc, argv);
+  const long long jobs = flags.get_int("jobs", 1);
+  return jobs < 0 ? 0 : static_cast<std::size_t>(jobs);
+}
+
+/// Run fn(i) for i in [0, n) across `jobs` workers.  Results must go to
+/// index-determined slots (see JobPool's determinism contract).
+inline void parallel_cells(std::size_t jobs, std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  common::JobPool pool(jobs);
+  pool.run(n, fn);
+}
+
+/// Deferred batch of experiment cells: add() every cell up front, run() them
+/// across the pool, then read results by slot while printing serially.
+class ExperimentBatch {
+ public:
+  /// Queue a cell; returns its result slot.
+  std::size_t add(std::string workload, greengpu::Policy policy,
+                  greengpu::RunOptions options) {
+    cells_.push_back(Cell{std::move(workload), std::move(policy), std::move(options)});
+    return cells_.size() - 1;
+  }
+
+  void run(std::size_t jobs) {
+    results_.resize(cells_.size());
+    parallel_cells(jobs, cells_.size(), [this](std::size_t i) {
+      const Cell& c = cells_[i];
+      results_[i] = greengpu::run_experiment(c.workload, c.policy, c.options);
+    });
+  }
+
+  [[nodiscard]] const greengpu::ExperimentResult& operator[](std::size_t slot) const {
+    return results_.at(slot);
+  }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    std::string workload;
+    greengpu::Policy policy;
+    greengpu::RunOptions options;
+  };
+  std::vector<Cell> cells_;
+  std::vector<greengpu::ExperimentResult> results_;
+};
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");

@@ -21,15 +21,33 @@ struct SweepPoint {
   double rel_energy;
 };
 
-std::vector<SweepPoint> sweep(const std::string& workload, bool sweep_memory) {
+struct Sweep {
+  std::string workload;
+  bool sweep_memory;
+  std::vector<std::size_t> slots;  // one per DVFS level
+};
+
+Sweep queue_sweep(bench::ExperimentBatch& batch, const std::string& workload,
+                  bool sweep_memory) {
   const sim::DvfsTable table =
       sweep_memory ? sim::geforce8800_memory_table() : sim::geforce8800_core_table();
-  std::vector<SweepPoint> points;
-  double base_time = 0.0, base_energy = 0.0;
+  Sweep sweep{workload, sweep_memory, {}};
   for (std::size_t level = 0; level < table.levels(); ++level) {
     const auto policy = sweep_memory ? greengpu::Policy::static_pair(0, level)
                                      : greengpu::Policy::static_pair(level, 0);
-    const auto r = greengpu::run_experiment(workload, policy, bench::default_options());
+    sweep.slots.push_back(batch.add(workload, policy, bench::default_options()));
+  }
+  return sweep;
+}
+
+std::vector<SweepPoint> sweep_points(const bench::ExperimentBatch& batch,
+                                     const Sweep& sweep) {
+  const sim::DvfsTable table = sweep.sweep_memory ? sim::geforce8800_memory_table()
+                                                  : sim::geforce8800_core_table();
+  std::vector<SweepPoint> points;
+  double base_time = 0.0, base_energy = 0.0;
+  for (std::size_t level = 0; level < sweep.slots.size(); ++level) {
+    const auto& r = batch[sweep.slots[level]];
     if (level == 0) {
       base_time = r.exec_time.get();
       base_energy = r.gpu_energy.get();
@@ -41,45 +59,54 @@ std::vector<SweepPoint> sweep(const std::string& workload, bool sweep_memory) {
   return points;
 }
 
-void print_sweep(const char* fig, const std::string& workload, bool sweep_memory) {
+void print_sweep(const char* fig, const Sweep& sweep,
+                 const std::vector<SweepPoint>& points) {
   std::printf("\n# Fig. %s: %s, %s frequency sweep (%s at peak)\n", fig,
-              workload.c_str(), sweep_memory ? "memory" : "core",
-              sweep_memory ? "cores" : "memory");
+              sweep.workload.c_str(), sweep.sweep_memory ? "memory" : "core",
+              sweep.sweep_memory ? "cores" : "memory");
   std::printf("%s_mhz,normalized_time,relative_energy\n",
-              sweep_memory ? "mem" : "core");
-  for (const auto& p : sweep(workload, sweep_memory)) {
+              sweep.sweep_memory ? "mem" : "core");
+  for (const auto& p : points) {
     std::printf("%.0f,%.4f,%.4f\n", p.freq_mhz, p.norm_time, p.rel_energy);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("fig1_freq_sweep", "Fig. 1 (a-d), Section III-A case study");
 
-  print_sweep("1a/1b (nbody)", "nbody", /*sweep_memory=*/true);
-  print_sweep("1a/1b (streamcluster)", "streamcluster", /*sweep_memory=*/true);
-  print_sweep("1c/1d (nbody)", "nbody", /*sweep_memory=*/false);
-  print_sweep("1c/1d (streamcluster)", "streamcluster", /*sweep_memory=*/false);
+  bench::ExperimentBatch batch;
+  const Sweep nbody_mem_sweep = queue_sweep(batch, "nbody", /*sweep_memory=*/true);
+  const Sweep sc_mem_sweep = queue_sweep(batch, "streamcluster", /*sweep_memory=*/true);
+  const Sweep nbody_core_sweep = queue_sweep(batch, "nbody", /*sweep_memory=*/false);
+  const Sweep sc_core_sweep = queue_sweep(batch, "streamcluster", /*sweep_memory=*/false);
+  batch.run(bench::jobs_from_argv(argc, argv));
+
+  const auto nbody_mem = sweep_points(batch, nbody_mem_sweep);
+  const auto sc_mem = sweep_points(batch, sc_mem_sweep);
+  const auto nbody_core = sweep_points(batch, nbody_core_sweep);
+  const auto sc_core = sweep_points(batch, sc_core_sweep);
+
+  print_sweep("1a/1b (nbody)", nbody_mem_sweep, nbody_mem);
+  print_sweep("1a/1b (streamcluster)", sc_mem_sweep, sc_mem);
+  print_sweep("1c/1d (nbody)", nbody_core_sweep, nbody_core);
+  print_sweep("1c/1d (streamcluster)", sc_core_sweep, sc_core);
 
   // Shape checks against the paper's observations.
   std::printf("\n# shape checks\n");
-  const auto nbody_mem = sweep("nbody", true);
   bench::check(nbody_mem.back().norm_time < 1.05,
                "nbody: memory throttling has negligible time impact (Fig. 1a)");
   bench::check(nbody_mem.back().rel_energy < 1.0,
                "nbody: memory throttling saves energy (Fig. 1b)");
-  const auto nbody_core = sweep("nbody", false);
   bench::check(nbody_core.back().norm_time > 1.3,
                "nbody: core throttling hurts performance (Fig. 1c)");
   bench::check(nbody_core.back().rel_energy > 1.0,
                "nbody: core throttling hurts energy (Fig. 1d)");
-  const auto sc_core = sweep("streamcluster", false);
   bench::check(sc_core[3].norm_time < 1.05 && sc_core[3].rel_energy < 1.0,
                "SC: core at 410 MHz saves energy with negligible loss (Sec. III-A)");
   bench::check(sc_core[5].norm_time > 1.1,
                "SC: core below the knee hurts performance (Sec. III-A)");
-  const auto sc_mem = sweep("streamcluster", true);
   bench::check(sc_mem.back().norm_time > 1.1 && sc_mem.back().rel_energy > sc_mem[1].rel_energy,
                "SC: deep memory throttling impacts time and energy (Fig. 1a/1b)");
   return 0;

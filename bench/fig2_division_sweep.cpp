@@ -3,27 +3,36 @@
 // with its minimum at a small non-zero share (10 % on their testbed).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gg;
   bench::banner("fig2_division_sweep", "Fig. 2, Section III-B case study (kmeans)");
+
+  bench::ExperimentBatch batch;
+  std::vector<int> percents;
+  for (int pct = 0; pct <= 90; pct += 5) {
+    percents.push_back(pct);
+    batch.add("kmeans", greengpu::Policy::static_division(pct / 100.0),
+              bench::default_options());
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
 
   std::printf("\ncpu_share_percent,total_energy_J,exec_time_s,relative_energy\n");
   double base_energy = 0.0;
   double best_energy = 1e300;
   double best_ratio = 0.0;
-  for (int pct = 0; pct <= 90; pct += 5) {
-    const double ratio = pct / 100.0;
-    const auto r = greengpu::run_experiment(
-        "kmeans", greengpu::Policy::static_division(ratio), bench::default_options());
+  for (std::size_t i = 0; i < percents.size(); ++i) {
+    const int pct = percents[i];
+    const auto& r = batch[i];
     const double e = r.total_energy().get();
     if (pct == 0) base_energy = e;
     if (e < best_energy) {
       best_energy = e;
-      best_ratio = ratio;
+      best_ratio = pct / 100.0;
     }
     std::printf("%d,%.0f,%.1f,%.4f\n", pct, e, r.exec_time.get(), e / base_energy);
   }

@@ -14,21 +14,27 @@
 #include "src/greengpu/policy.h"
 #include "src/workloads/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gg;
   bench::banner("fig6_energy_savings",
                 "Fig. 6 (a-c), frequency-scaling savings per workload");
+
+  const auto names = workloads::all_workload_names();
+  bench::ExperimentBatch batch;
+  for (const auto& name : names) {
+    batch.add(name, greengpu::Policy::best_performance(), bench::default_options());
+    batch.add(name, greengpu::Policy::scaling_only(), bench::default_options());
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
 
   std::printf(
       "\nworkload,gpu_saving_pct,dynamic_saving_pct,slowdown_pct,cpu_gpu_saving_pct\n");
 
   RunningStats gpu_saving, dyn_saving, slowdown, cpu_gpu_saving;
-  for (const auto& name : workloads::all_workload_names()) {
-    const auto base =
-        greengpu::run_experiment(name, greengpu::Policy::best_performance(),
-                                 bench::default_options());
-    const auto scaled = greengpu::run_experiment(name, greengpu::Policy::scaling_only(),
-                                                 bench::default_options());
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const auto& name = names[w];
+    const auto& base = batch[2 * w];
+    const auto& scaled = batch[2 * w + 1];
 
     const double g = bench::saving_percent(base.gpu_energy.get(), scaled.gpu_energy.get());
     const double d = bench::saving_percent(base.gpu_dynamic_energy().get(),

@@ -19,17 +19,17 @@ struct Runs {
   greengpu::ExperimentResult green;     // holistic
 };
 
-Runs run_all(const std::string& name) {
-  return Runs{
-      greengpu::run_experiment(name, greengpu::Policy::best_performance(),
-                               bench::default_options()),
-      greengpu::run_experiment(name, greengpu::Policy::scaling_only(),
-                               bench::default_options()),
-      greengpu::run_experiment(name, greengpu::Policy::division_only(),
-                               bench::default_options()),
-      greengpu::run_experiment(name, greengpu::Policy::green_gpu(),
-                               bench::default_options()),
-  };
+std::size_t queue_all(bench::ExperimentBatch& batch, const std::string& name) {
+  const std::size_t first =
+      batch.add(name, greengpu::Policy::best_performance(), bench::default_options());
+  batch.add(name, greengpu::Policy::scaling_only(), bench::default_options());
+  batch.add(name, greengpu::Policy::division_only(), bench::default_options());
+  batch.add(name, greengpu::Policy::green_gpu(), bench::default_options());
+  return first;
+}
+
+Runs collect_all(const bench::ExperimentBatch& batch, std::size_t first) {
+  return Runs{batch[first], batch[first + 1], batch[first + 2], batch[first + 3]};
 }
 
 void print_figure(const char* fig, const std::string& name, const Runs& r) {
@@ -50,12 +50,17 @@ void print_figure(const char* fig, const std::string& name, const Runs& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("fig8_holistic", "Fig. 8 (a, b) + Section VII-C headline numbers");
 
-  const Runs hotspot = run_all("hotspot");
+  bench::ExperimentBatch batch;
+  const std::size_t hotspot_first = queue_all(batch, "hotspot");
+  const std::size_t kmeans_first = queue_all(batch, "kmeans");
+  batch.run(bench::jobs_from_argv(argc, argv));
+
+  const Runs hotspot = collect_all(batch, hotspot_first);
   print_figure("8a", "hotspot", hotspot);
-  const Runs kmeans = run_all("kmeans");
+  const Runs kmeans = collect_all(batch, kmeans_first);
   print_figure("8b", "kmeans", kmeans);
 
   auto summarize = [](const char* name, const Runs& r, double paper_vs_div,

@@ -10,6 +10,7 @@
 #include "src/common/rng.h"
 #include "src/cudalite/thread_pool.h"
 #include "src/greengpu/division.h"
+#include "src/greengpu/runner.h"
 #include "src/greengpu/loss.h"
 #include "src/greengpu/weight_table.h"
 #include "src/sim/event_queue.h"
@@ -83,6 +84,52 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
+void BM_EventQueueScheduleCancelFire(benchmark::State& state) {
+  // Half the scheduled events are cancelled before any fire: the lazy-deleted
+  // entries ride through every heap sift until compaction reclaims them.
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(500);
+    for (int i = 0; i < 1000; ++i) {
+      sim::EventHandle h = q.schedule_in(Seconds{static_cast<double>(i)}, [] {});
+      if (i & 1) handles.push_back(h);
+    }
+    for (auto& h : handles) h.cancel();
+    q.run_until_empty();
+    benchmark::DoNotOptimize(q.fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleCancelFire);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // DVFS-style rescheduling: a standing population of in-flight completions is
+  // repeatedly cancelled and replaced, so cancelled entries vastly outnumber
+  // live ones unless the queue compacts.
+  constexpr std::size_t kPending = 512;
+  constexpr int kRounds = 16;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventHandle> handles(kPending);
+    double base = 1.0;
+    for (std::size_t i = 0; i < kPending; ++i) {
+      handles[i] = q.schedule_at(Seconds{base + static_cast<double>(i)}, [] {});
+    }
+    for (int round = 0; round < kRounds; ++round) {
+      base += 1.0;
+      for (std::size_t i = 0; i < kPending; ++i) {
+        handles[i].cancel();
+        handles[i] = q.schedule_at(Seconds{base + static_cast<double>(i)}, [] {});
+      }
+    }
+    q.run_until_empty();
+    benchmark::DoNotOptimize(q.fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kPending * (kRounds + 1));
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
 void BM_GpuKernelCycle(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;
@@ -145,6 +192,20 @@ void BM_JsonWriterReport(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JsonWriterReport);
+
+void BM_CampaignCell(benchmark::State& state) {
+  // End-to-end cost of one campaign cell (the unit the parallel experiment
+  // engine fans out): full lud run under the frequency-scaling policy.
+  greengpu::RunOptions options;
+  options.pool_workers = 1;
+  for (auto _ : state) {
+    const auto r = greengpu::run_experiment(
+        "lud", greengpu::Policy::scaling_only(), options);
+    benchmark::DoNotOptimize(r.total_energy().get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CampaignCell);
 
 void BM_ThreadPoolParallelFor(benchmark::State& state) {
   cudalite::ThreadPool pool(static_cast<std::size_t>(state.range(0)));

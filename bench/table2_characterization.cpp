@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
@@ -21,51 +22,54 @@ const char* classify(double u, double fluct) {
   return "low";
 }
 
+std::pair<RunningStats, RunningStats> utilization(const greengpu::ExperimentResult& r) {
+  RunningStats core, mem;
+  for (const auto& s : r.trace) {
+    core.add(s.gpu_core_util);
+    mem.add(s.gpu_mem_util);
+  }
+  return {core, mem};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("table2_characterization", "Table II workload summary");
+
+  const std::vector<std::string> names = workloads::all_workload_names();
+  greengpu::RunOptions o = bench::default_options();
+  o.record_trace = true;
+  o.trace_period = Seconds{1.0};
+  bench::ExperimentBatch batch;
+  for (const auto& name : names) {
+    batch.add(name, greengpu::Policy::best_performance(), o);
+  }
+  batch.run(bench::jobs_from_argv(argc, argv));
 
   std::printf(
       "\nworkload,iterations,sim_units_per_iter,avg_core_util,avg_mem_util,core_class,"
       "mem_class,paper_description\n");
 
-  for (const auto& name : workloads::all_workload_names()) {
-    const auto wl = workloads::make_workload(name);
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const auto wl = workloads::make_workload(names[w]);
     const std::size_t iters = wl->iterations();
     const double units = wl->profile(0).units_per_iteration;
     const std::string description(wl->description());
 
-    greengpu::RunOptions o = bench::default_options();
-    o.record_trace = true;
-    o.trace_period = Seconds{1.0};
-    const auto r = greengpu::run_experiment(*wl, greengpu::Policy::best_performance(), o);
-
-    RunningStats core, mem;
-    for (const auto& s : r.trace) {
-      core.add(s.gpu_core_util);
-      mem.add(s.gpu_mem_util);
-    }
+    const auto [core, mem] = utilization(batch[w]);
     const double core_fluct = core.stddev();
     const double mem_fluct = mem.stddev();
-    std::printf("%s,%zu,%.0f,%.2f,%.2f,%s,%s,\"%s\"\n", name.c_str(), iters, units,
+    std::printf("%s,%zu,%.0f,%.2f,%.2f,%s,%s,\"%s\"\n", names[w].c_str(), iters, units,
                 core.mean(), mem.mean(), classify(core.mean(), core_fluct),
                 classify(mem.mean(), mem_fluct), description.c_str());
   }
 
   std::printf("\n# checks against Table II utilization classes\n");
-  auto measured = [](const std::string& name) {
-    greengpu::RunOptions o = bench::default_options();
-    o.record_trace = true;
-    o.trace_period = Seconds{1.0};
-    const auto r =
-        greengpu::run_experiment(name, greengpu::Policy::best_performance(), o);
-    RunningStats core, mem;
-    for (const auto& s : r.trace) {
-      core.add(s.gpu_core_util);
-      mem.add(s.gpu_mem_util);
+  auto measured = [&](const std::string& name) {
+    for (std::size_t w = 0; w < names.size(); ++w) {
+      if (names[w] == name) return utilization(batch[w]);
     }
-    return std::pair{core, mem};
+    return std::pair<RunningStats, RunningStats>{};
   };
   const auto [bfs_c, bfs_m] = measured("bfs");
   bench::check(bfs_c.mean() > 0.75 && bfs_m.mean() > 0.75,

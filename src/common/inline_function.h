@@ -1,0 +1,117 @@
+// Small-buffer-optimized move-only callable, the event queue's callback type.
+//
+// std::function allocates once the captures outgrow its ~16-byte SSO and
+// always drags a type-erasure manager through every heap sift.  Simulation
+// events are scheduled and moved millions of times per campaign, so the
+// queue stores callables inline (up to `Capacity` bytes), relocates
+// trivially-copyable captures with a fixed-size memcpy instead of an
+// indirect call, and only falls back to the heap for oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gg {
+
+template <std::size_t Capacity = 40>
+class InlineAction {
+ public:
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor): callable sink
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      // Relocation memcpys the whole buffer, so the tail past sizeof(Fn)
+      // must be initialized once, here (moves stay a plain fixed-size copy).
+      if constexpr (std::is_trivially_copyable_v<Fn>) std::memset(buf_, 0, Capacity);
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      Fn* heap = new Fn(std::forward<F>(f));
+      std::memset(buf_, 0, Capacity);
+      std::memcpy(buf_, &heap, sizeof heap);
+      ops_ = &boxed_ops<Fn>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { steal(other); }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into `dst` from `src`, then destroy `src`.  Null when a
+    /// Capacity-sized memcpy relocates the callable (trivial captures and the
+    /// boxed pointer alike).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      std::is_trivially_copyable_v<Fn>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              Fn* from = static_cast<Fn*>(src);
+              ::new (dst) Fn(std::move(*from));
+              from->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops boxed_ops{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      nullptr,  // relocating the box is a pointer memcpy
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  void steal(InlineAction& other) noexcept {
+    ops_ = other.ops_;
+    other.ops_ = nullptr;
+    if (ops_ == nullptr) return;
+    if (ops_->relocate == nullptr) {
+      std::memcpy(buf_, other.buf_, Capacity);
+    } else {
+      ops_->relocate(buf_, other.buf_);
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(buf_);
+    ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace gg

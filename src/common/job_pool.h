@@ -1,0 +1,73 @@
+// Fixed-size worker pool for batches of independent, index-addressed jobs —
+// the engine behind parallel experiment campaigns and bench sweeps.
+//
+// The pool is deliberately work-stealing-free: a batch is a contiguous index
+// range claimed in order from one shared counter, and every job writes its
+// result to an index-determined slot.  Nothing about the output depends on
+// which worker ran a job or in what order jobs finished, so callers get
+// byte-identical results for any worker count (see map()).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gg::common {
+
+class JobPool {
+ public:
+  /// `workers` = 0 selects hardware_concurrency (at least 1).  A pool with
+  /// one worker runs every batch inline on the submitting thread.
+  explicit JobPool(std::size_t workers = 0);
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return worker_target_; }
+
+  /// Run fn(i) for i in [0, n); blocks until every started job finished.
+  /// After the first exception no further indices are issued; once in-flight
+  /// jobs drain, the recorded exception with the lowest index is rethrown.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Deterministic fan-out: out[i] = fn(i), independent of worker count.
+  template <typename T>
+  std::vector<T> map(std::size_t n, const std::function<T(std::size_t)>& fn) {
+    std::vector<T> out(n);
+    run(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Batch {
+    std::size_t n{0};
+    std::size_t next{0};
+    std::size_t done{0};
+    bool failed{false};
+    const std::function<void(std::size_t)>* fn{nullptr};
+    /// (index, exception) pairs; the lowest index wins deterministically.
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  };
+
+  void worker_loop();
+  /// Claim and run jobs from `batch` until it is exhausted; returns with the
+  /// pool mutex held (callers pass the lock they already own).
+  void drain(std::unique_lock<std::mutex>& lock, const std::shared_ptr<Batch>& batch);
+
+  std::size_t worker_target_{1};
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> current_;
+  bool shutdown_{false};
+};
+
+}  // namespace gg::common

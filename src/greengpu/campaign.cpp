@@ -1,9 +1,12 @@
 #include "src/greengpu/campaign.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "src/common/csv.h"
+#include "src/common/job_pool.h"
 #include "src/common/json.h"
+#include "src/common/rng.h"
 #include "src/workloads/registry.h"
 
 namespace gg::greengpu {
@@ -32,6 +35,12 @@ bool CampaignResult::all_verified() const {
   return true;
 }
 
+std::uint64_t campaign_cell_seed(std::uint64_t base, std::size_t cell_index) {
+  std::uint64_t state =
+      base + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(cell_index) + 1);
+  return splitmix64(state);
+}
+
 CampaignResult run_campaign(const CampaignConfig& config, const CampaignProgress& progress) {
   CampaignResult out;
   out.workloads =
@@ -43,27 +52,45 @@ CampaignResult run_campaign(const CampaignConfig& config, const CampaignProgress
   }
   for (const auto& p : policies) out.policy_names.push_back(p.name);
 
-  const std::size_t total = out.workloads.size() * policies.size();
+  const std::size_t policy_count = policies.size();
+  const std::size_t total = out.workloads.size() * policy_count;
+  out.cells.resize(total);
+
+  // Every cell is an independent simulation on a fresh Platform, so the
+  // matrix fans out across the pool.  Results land in index-determined
+  // slots and savings are computed in a deterministic post-pass, so the
+  // report is byte-identical for any `jobs` value.
+  std::mutex progress_mutex;
   std::size_t completed = 0;
-  for (const auto& workload : out.workloads) {
-    double baseline_energy = 0.0;
-    double baseline_time = 0.0;
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-      CampaignCell cell;
-      cell.result = run_experiment(workload, policies[p], config.options);
-      if (p == 0) {
-        baseline_energy = cell.result.total_energy().get();
-        baseline_time = cell.result.exec_time.get();
-      }
+  common::JobPool pool(config.jobs);
+  pool.run(total, [&](std::size_t i) {
+    const std::size_t w = i / policy_count;
+    const std::size_t p = i % policy_count;
+    RunOptions options = config.options;
+    if (options.faults.any_faults()) {
+      options.faults.seed = campaign_cell_seed(options.faults.seed, i);
+    }
+    out.cells[i].result = run_experiment(out.workloads[w], policies[p], options);
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      ++completed;
+      progress(out.workloads[w], policies[p].name, completed, total);
+    }
+  });
+
+  for (std::size_t w = 0; w < out.workloads.size(); ++w) {
+    const ExperimentResult& baseline = out.cells[w * policy_count].result;
+    const double baseline_energy = baseline.total_energy().get();
+    const double baseline_time = baseline.exec_time.get();
+    for (std::size_t p = 0; p < policy_count; ++p) {
+      CampaignCell& cell = out.cells[w * policy_count + p];
       cell.energy_saving =
           baseline_energy > 0.0
               ? 1.0 - cell.result.total_energy().get() / baseline_energy
               : 0.0;
-      cell.time_delta =
-          baseline_time > 0.0 ? cell.result.exec_time.get() / baseline_time - 1.0 : 0.0;
-      out.cells.push_back(std::move(cell));
-      ++completed;
-      if (progress) progress(workload, policies[p].name, completed, total);
+      cell.time_delta = baseline_time > 0.0
+                            ? cell.result.exec_time.get() / baseline_time - 1.0
+                            : 0.0;
     }
   }
   return out;

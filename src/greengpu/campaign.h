@@ -3,6 +3,7 @@
 // paper's evaluation section, packaged for reuse.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <ostream>
@@ -22,7 +23,18 @@ struct CampaignConfig {
   /// best-performance, frequency-scaling, division, greengpu.
   std::vector<Policy> policies;
   RunOptions options{};
+  /// Concurrent cells (0 = hardware_concurrency).  Cells are independent
+  /// simulations and every result lands in an index-determined slot, so
+  /// reports are byte-identical for every value — including under fault
+  /// injection, because each cell's fault RNG is forked from the configured
+  /// seed by cell index (see campaign_cell_seed).
+  std::size_t jobs{1};
 };
+
+/// Deterministic per-cell fault seed: forks `base` by flat cell index so a
+/// cell's fault schedule depends only on its (workload, policy) position,
+/// never on execution order or the number of jobs.
+[[nodiscard]] std::uint64_t campaign_cell_seed(std::uint64_t base, std::size_t cell_index);
 
 struct CampaignCell {
   ExperimentResult result;

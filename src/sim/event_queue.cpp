@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -8,15 +9,41 @@ namespace gg::sim {
 EventHandle EventQueue::schedule_at(Seconds when, Action action) {
   if (when < now_) throw std::invalid_argument("EventQueue: schedule in the past");
   if (!action) throw std::invalid_argument("EventQueue: empty action");
-  EventHandle handle;
-  handle.state_ = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{when, next_seq_++, std::move(action), handle.state_});
-  return handle;
+  const std::uint32_t slot = slab_->acquire();
+  heap_.push_back(Entry{when, next_seq_++, std::move(action), slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle{slab_, slot};
+}
+
+void EventQueue::retire_entry(const Entry& e) const {
+  auto& s = slab_->slots[e.slot];
+  s.in_heap = false;
+  slab_->release_if_unused(e.slot);
+}
+
+void EventQueue::compact() const {
+  auto dead = [this](const Entry& e) {
+    if (!slab_->slots[e.slot].cancelled) return false;
+    retire_entry(e);
+    return true;
+  };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  slab_->cancelled_in_heap = 0;
+  ++compactions_;
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();  // heap_ is mutable: lazy removal of cancelled entries
+  if (slab_->cancelled_in_heap * 2 > heap_.size() &&
+      heap_.size() >= kCompactionMinSize) {
+    compact();
+    return;
+  }
+  while (!heap_.empty() && slab_->slots[heap_.front().slot].cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    retire_entry(heap_.back());
+    heap_.pop_back();
+    --slab_->cancelled_in_heap;
   }
 }
 
@@ -25,25 +52,16 @@ bool EventQueue::empty() const {
   return heap_.empty();
 }
 
-std::size_t EventQueue::pending_count() const {
-  // heap_ may contain cancelled entries; count live ones.  O(n) but only used
-  // by tests.
-  auto copy = heap_;
-  std::size_t n = 0;
-  while (!copy.empty()) {
-    if (!copy.top().state->cancelled) ++n;
-    copy.pop();
-  }
-  return n;
-}
-
 bool EventQueue::step() {
   drop_cancelled();
   if (heap_.empty()) return false;
-  Entry e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   now_ = e.when;
-  e.state->fired = true;
+  auto& s = slab_->slots[e.slot];
+  s.fired = true;
+  retire_entry(e);
   ++fired_;
   e.action();
   return true;
@@ -53,7 +71,7 @@ void EventQueue::run_until(Seconds until) {
   if (until < now_) throw std::invalid_argument("EventQueue: run_until in the past");
   for (;;) {
     drop_cancelled();
-    if (heap_.empty() || heap_.top().when > until) break;
+    if (heap_.empty() || heap_.front().when > until) break;
     step();
   }
   now_ = until;

@@ -5,50 +5,149 @@
 // decisions are all events on a single queue.  The queue provides stable FIFO
 // ordering for events scheduled at the same timestamp and cheap cancellation
 // (needed when a frequency change reschedules an in-flight kernel completion).
+//
+// This is the simulator's hottest path, so it avoids per-event allocation:
+// callbacks are stored inline (InlineAction) and handle state lives in a
+// pooled slab of recycled slots instead of one shared_ptr per event.
+// Cancellation stays lazy, but when cancelled entries outnumber live ones
+// the heap is compacted in one pass — DVFS-driven rescheduling cancels
+// constantly, and without compaction long runs drag dead entries through
+// every sift.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/units.h"
 
 namespace gg::sim {
+
+namespace detail {
+
+/// Recycled per-event handle state.  A slot stays allocated while the heap
+/// entry exists or any EventHandle still points at it, so outcome flags
+/// survive exactly as long as someone can ask about them.
+struct EventSlab {
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  struct Slot {
+    std::uint32_t handle_refs{0};
+    std::uint32_t next_free{kNone};
+    bool in_heap{false};
+    bool cancelled{false};
+    bool fired{false};
+  };
+
+  std::vector<Slot> slots;
+  std::uint32_t free_head{kNone};
+  /// Cancelled entries still sitting in the heap (drives compaction).
+  std::size_t cancelled_in_heap{0};
+
+  std::uint32_t acquire() {
+    if (free_head == kNone) {
+      slots.push_back(Slot{0, kNone, true, false, false});
+      return static_cast<std::uint32_t>(slots.size() - 1);
+    }
+    const std::uint32_t idx = free_head;
+    Slot& s = slots[idx];
+    free_head = s.next_free;
+    s = Slot{0, kNone, true, false, false};
+    return idx;
+  }
+
+  void release_if_unused(std::uint32_t idx) {
+    Slot& s = slots[idx];
+    if (s.handle_refs == 0 && !s.in_heap) {
+      s.next_free = free_head;
+      free_head = idx;
+    }
+  }
+};
+
+}  // namespace detail
 
 /// Handle to a scheduled event; allows cancellation.  Copies share state.
 class EventHandle {
  public:
   EventHandle() = default;
 
+  EventHandle(const EventHandle& other) : slab_(other.slab_), idx_(other.idx_) {
+    if (slab_) ++slab_->slots[idx_].handle_refs;
+  }
+
+  EventHandle(EventHandle&& other) noexcept
+      : slab_(std::move(other.slab_)), idx_(other.idx_) {
+    other.idx_ = detail::EventSlab::kNone;
+  }
+
+  EventHandle& operator=(const EventHandle& other) {
+    if (this != &other) {
+      EventHandle copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      detach();
+      slab_ = std::move(other.slab_);
+      idx_ = other.idx_;
+      other.idx_ = detail::EventSlab::kNone;
+    }
+    return *this;
+  }
+
+  ~EventHandle() { detach(); }
+
   /// Cancel the event if it has not fired yet.  Safe to call repeatedly and
   /// on default-constructed handles.
   void cancel() {
-    if (state_) state_->cancelled = true;
+    if (!slab_) return;
+    auto& s = slab_->slots[idx_];
+    if (s.fired || s.cancelled) return;
+    s.cancelled = true;
+    if (s.in_heap) ++slab_->cancelled_in_heap;
   }
 
-  [[nodiscard]] bool valid() const { return state_ != nullptr; }
-  [[nodiscard]] bool cancelled() const { return state_ && state_->cancelled; }
-  [[nodiscard]] bool fired() const { return state_ && state_->fired; }
+  [[nodiscard]] bool valid() const { return slab_ != nullptr; }
+  [[nodiscard]] bool cancelled() const {
+    return slab_ && slab_->slots[idx_].cancelled;
+  }
+  [[nodiscard]] bool fired() const { return slab_ && slab_->slots[idx_].fired; }
   [[nodiscard]] bool pending() const {
-    return state_ && !state_->fired && !state_->cancelled;
+    if (!slab_) return false;
+    const auto& s = slab_->slots[idx_];
+    return !s.fired && !s.cancelled;
   }
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled{false};
-    bool fired{false};
-  };
-  std::shared_ptr<State> state_;
+  EventHandle(std::shared_ptr<detail::EventSlab> slab, std::uint32_t idx)
+      : slab_(std::move(slab)), idx_(idx) {
+    ++slab_->slots[idx_].handle_refs;
+  }
+
+  void detach() {
+    if (!slab_) return;
+    auto& s = slab_->slots[idx_];
+    --s.handle_refs;
+    slab_->release_if_unused(idx_);
+    slab_.reset();
+    idx_ = detail::EventSlab::kNone;
+  }
+
+  std::shared_ptr<detail::EventSlab> slab_;
+  std::uint32_t idx_{detail::EventSlab::kNone};
 };
 
 /// Min-heap event queue with deterministic same-time ordering (by insertion
 /// sequence number).
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction<40>;
 
   /// Current simulated time.
   [[nodiscard]] Seconds now() const { return now_; }
@@ -71,17 +170,25 @@ class EventQueue {
   bool step();
 
   [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t pending_count() const;
+  /// Live (un-cancelled, un-fired) events.  O(1).
+  [[nodiscard]] std::size_t pending_count() const {
+    return heap_.size() - slab_->cancelled_in_heap;
+  }
+  /// Heap entries including lazily-deleted cancelled ones (lets tests and
+  /// benchmarks observe compaction).
+  [[nodiscard]] std::size_t queued_count() const { return heap_.size(); }
 
   /// Total events fired (for tests and microbenchmarks).
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
+  /// Times the heap was rebuilt to shed cancelled entries.
+  [[nodiscard]] std::uint64_t compaction_count() const { return compactions_; }
 
  private:
   struct Entry {
     Seconds when;
     std::uint64_t seq;
     Action action;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t slot;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -90,13 +197,22 @@ class EventQueue {
     }
   };
 
-  /// Pop cancelled entries off the top so empty()/peek logic sees live events.
-  void drop_cancelled() const;
+  /// Below this size a full rebuild costs more than it saves.
+  static constexpr std::size_t kCompactionMinSize = 64;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Pop cancelled entries off the top so empty()/peek logic sees live
+  /// events, and rebuild the heap outright once cancelled entries are the
+  /// majority.
+  void drop_cancelled() const;
+  void compact() const;
+  void retire_entry(const Entry& e) const;
+
+  mutable std::vector<Entry> heap_;  // binary heap ordered by Later
+  std::shared_ptr<detail::EventSlab> slab_{std::make_shared<detail::EventSlab>()};
   Seconds now_{0.0};
   std::uint64_t next_seq_{0};
   std::uint64_t fired_{0};
+  mutable std::uint64_t compactions_{0};
 };
 
 }  // namespace gg::sim

@@ -1,0 +1,112 @@
+#include "src/common/job_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gg::common {
+namespace {
+
+TEST(JobPoolTest, WorkerCountDefaultsToAtLeastOne) {
+  JobPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+  JobPool three(3);
+  EXPECT_EQ(three.worker_count(), 3u);
+}
+
+TEST(JobPoolTest, RunVisitsEveryIndexExactlyOnce) {
+  JobPool pool(4);
+  std::vector<std::atomic<int>> visits(100);
+  pool.run(visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(JobPoolTest, ZeroTasksIsANoOp) {
+  JobPool pool(4);
+  bool called = false;
+  pool.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(JobPoolTest, SingleTaskRunsInline) {
+  JobPool pool(8);
+  int value = 0;
+  pool.run(1, [&](std::size_t i) { value = static_cast<int>(i) + 41; });
+  EXPECT_EQ(value, 41);
+}
+
+TEST(JobPoolTest, MapWritesIndexDeterminedSlots) {
+  JobPool pool(4);
+  const std::vector<int> out =
+      pool.map<int>(64, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(JobPoolTest, ResultsIdenticalForAnyWorkerCount) {
+  auto compute = [](std::size_t workers) {
+    JobPool pool(workers);
+    return pool.map<double>(200, [](std::size_t i) {
+      double x = 1.0;
+      for (std::size_t k = 0; k < i % 17; ++k) x = x * 1.25 + static_cast<double>(i);
+      return x;
+    });
+  };
+  const auto serial = compute(1);
+  EXPECT_EQ(serial, compute(2));
+  EXPECT_EQ(serial, compute(8));
+}
+
+TEST(JobPoolTest, LowestIndexExceptionWins) {
+  JobPool pool(4);
+  try {
+    pool.run(32, [](std::size_t i) {
+      if (i == 7 || i == 23) {
+        throw std::runtime_error("job " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 7");
+  }
+}
+
+TEST(JobPoolTest, NoNewIndicesAfterFailure) {
+  JobPool pool(2);
+  std::atomic<std::size_t> started{0};
+  EXPECT_THROW(pool.run(1000,
+                        [&](std::size_t i) {
+                          started.fetch_add(1);
+                          if (i == 0) throw std::logic_error("first job fails");
+                        }),
+               std::logic_error);
+  // In-flight jobs may finish, but the tail of the batch is never issued.
+  EXPECT_LT(started.load(), 1000u);
+}
+
+TEST(JobPoolTest, PoolIsReusableAfterAnException) {
+  JobPool pool(4);
+  EXPECT_THROW(pool.run(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.run(10, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(JobPoolTest, BackToBackBatches) {
+  JobPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> out(round + 1, -1);
+    pool.run(out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+    const int expect = (round * (round + 1)) / 2;
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), expect);
+  }
+}
+
+}  // namespace
+}  // namespace gg::common

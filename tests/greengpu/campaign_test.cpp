@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "src/common/csv.h"
 
@@ -126,6 +127,76 @@ TEST(Campaign, DefaultsCoverFullSuiteAndFourPolicies) {
   ASSERT_EQ(r.policy_names.size(), 4u);
   EXPECT_EQ(r.policy_names[0], "best-performance");
   EXPECT_EQ(r.policy_names[3], "greengpu");
+}
+
+// --- parallel engine determinism -----------------------------------------
+
+/// CSV + JSON reports for the config at a given worker count.
+std::pair<std::string, std::string> reports(CampaignConfig cfg, std::size_t jobs) {
+  cfg.jobs = jobs;
+  const CampaignResult r = run_campaign(cfg);
+  std::ostringstream csv, json;
+  write_campaign_csv(csv, r);
+  write_campaign_json(json, r);
+  return {csv.str(), json.str()};
+}
+
+/// Fault channels that perturb controller inputs without aborting runs.
+CampaignConfig faulty_config() {
+  CampaignConfig cfg = small_config();
+  cfg.options.faults.seed = 1234;
+  cfg.options.faults.util_drop_rate = 0.05;
+  cfg.options.faults.util_stale_rate = 0.05;
+  cfg.options.faults.util_corrupt_rate = 0.02;
+  cfg.options.faults.clock_reject_rate = 0.05;
+  return cfg;
+}
+
+TEST(CampaignParallel, ReportsByteIdenticalAcrossJobs) {
+  const auto serial = reports(small_config(), 1);
+  EXPECT_EQ(serial, reports(small_config(), 2));
+  EXPECT_EQ(serial, reports(small_config(), 8));
+}
+
+TEST(CampaignParallel, ReportsByteIdenticalAcrossJobsUnderFaultInjection) {
+  const auto serial = reports(faulty_config(), 1);
+  EXPECT_EQ(serial, reports(faulty_config(), 2));
+  EXPECT_EQ(serial, reports(faulty_config(), 8));
+}
+
+TEST(CampaignParallel, FaultInjectionActuallyPerturbsCells) {
+  // Guard the test above against vacuity: the fault channels must be live.
+  const CampaignResult r = run_campaign(faulty_config());
+  std::size_t events = 0;
+  for (const auto& cell : r.cells) events += cell.result.fault_events.size();
+  EXPECT_GT(events, 0u);
+}
+
+TEST(CampaignParallel, CellSeedForkDependsOnIndexOnly) {
+  EXPECT_EQ(campaign_cell_seed(42, 3), campaign_cell_seed(42, 3));
+  EXPECT_NE(campaign_cell_seed(42, 0), campaign_cell_seed(42, 1));
+  EXPECT_NE(campaign_cell_seed(42, 0), campaign_cell_seed(43, 0));
+}
+
+TEST(CampaignParallel, ProgressStaysMonotonicWithWorkers) {
+  CampaignConfig cfg = small_config();
+  cfg.jobs = 4;
+  std::size_t calls = 0;
+  std::size_t last_completed = 0;
+  (void)run_campaign(cfg, [&](const std::string&, const std::string&,
+                              std::size_t completed, std::size_t total) {
+    ++calls;
+    EXPECT_EQ(total, 4u);
+    EXPECT_GT(completed, last_completed);
+    last_completed = completed;
+  });
+  EXPECT_EQ(calls, 4u);
+  EXPECT_EQ(last_completed, 4u);
+}
+
+TEST(CampaignParallel, JobsZeroUsesAllCoresAndStaysDeterministic) {
+  const auto serial = reports(small_config(), 1);
+  EXPECT_EQ(serial, reports(small_config(), 0));
 }
 
 }  // namespace

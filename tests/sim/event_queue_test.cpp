@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace gg::sim {
@@ -153,6 +156,152 @@ TEST(EventQueue, StepReturnsFalseWhenOnlyCancelled) {
   h.cancel();
   EXPECT_FALSE(q.step());
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CompactionRebuildsWhenCancelledAreTheMajority) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 128; ++i) {
+    handles.push_back(q.schedule_at(Seconds{1.0 + i}, [] {}));
+  }
+  // Cancel a majority, but keep the earliest event live so the lazy
+  // pop-from-the-top path cannot shed them one by one.
+  for (int i = 1; i <= 70; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(q.queued_count(), 128u);
+  EXPECT_EQ(q.pending_count(), 58u);
+  EXPECT_EQ(q.compaction_count(), 0u);
+
+  EXPECT_FALSE(q.empty());  // majority cancelled -> one-pass rebuild
+  EXPECT_EQ(q.compaction_count(), 1u);
+  EXPECT_EQ(q.queued_count(), 58u);
+  EXPECT_EQ(q.pending_count(), 58u);
+
+  q.run_until_empty();
+  EXPECT_EQ(q.fired_count(), 58u);
+}
+
+TEST(EventQueue, SmallQueuesAreNeverCompacted) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 32; ++i) {
+    handles.push_back(q.schedule_at(Seconds{1.0 + i}, [] {}));
+  }
+  for (int i = 1; i <= 20; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.compaction_count(), 0u);  // below the rebuild threshold
+  EXPECT_EQ(q.queued_count(), 32u);     // lazy deletion still in place
+  q.run_until_empty();
+  EXPECT_EQ(q.fired_count(), 12u);
+  EXPECT_EQ(q.compaction_count(), 0u);
+}
+
+TEST(EventQueue, CompactionPreservesFifoOrderAndOutcomes) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> cancelled;
+  std::vector<EventHandle> live;
+  for (int i = 0; i < 100; ++i) {
+    // Everything at the same timestamp: FIFO order must survive the rebuild.
+    EventHandle h = q.schedule_at(1_s, [&order, i] { order.push_back(i); });
+    if (i % 3 != 0) {
+      cancelled.push_back(std::move(h));
+    } else {
+      live.push_back(std::move(h));
+    }
+  }
+  for (auto& h : cancelled) h.cancel();
+  q.run_until_empty();
+  EXPECT_GE(q.compaction_count(), 1u);
+  ASSERT_EQ(order.size(), 34u);
+  for (std::size_t i = 1; i < order.size(); ++i) EXPECT_LT(order[i - 1], order[i]);
+  for (const auto& h : live) EXPECT_TRUE(h.fired());
+  for (const auto& h : cancelled) {
+    EXPECT_TRUE(h.cancelled());
+    EXPECT_FALSE(h.fired());
+  }
+}
+
+TEST(EventQueue, HandlesOutliveTheQueue) {
+  EventHandle fired, dropped;
+  {
+    EventQueue q;
+    fired = q.schedule_at(1_s, [] {});
+    dropped = q.schedule_at(2_s, [] {});
+    dropped.cancel();
+    q.run_until_empty();
+  }
+  EXPECT_TRUE(fired.fired());
+  EXPECT_FALSE(fired.cancelled());
+  EXPECT_TRUE(dropped.cancelled());
+  EXPECT_FALSE(dropped.fired());
+}
+
+TEST(EventQueue, RetainedHandlesSurviveSlotRecycling) {
+  EventQueue q;
+  std::vector<EventHandle> kept;
+  for (int round = 0; round < 50; ++round) {
+    // Most handles are dropped immediately, so their slots recycle across
+    // rounds; the kept ones must keep reporting their own outcome.
+    for (int i = 0; i < 20; ++i) {
+      EventHandle h = q.schedule_in(Seconds{1.0 + i}, [] {});
+      if (i == 0) kept.push_back(std::move(h));
+    }
+    q.run_until_empty();
+  }
+  ASSERT_EQ(kept.size(), 50u);
+  for (const auto& h : kept) {
+    EXPECT_TRUE(h.fired());
+    EXPECT_FALSE(h.cancelled());
+  }
+}
+
+TEST(EventQueue, CancelChurnTriggersCompaction) {
+  // DVFS-style rescheduling: a standing population is repeatedly cancelled
+  // and replaced, so cancelled entries outgrow live ones between compactions.
+  EventQueue q;
+  constexpr std::size_t kPending = 100;
+  std::vector<EventHandle> handles(kPending);
+  double base = 1.0;
+  for (std::size_t i = 0; i < kPending; ++i) {
+    handles[i] = q.schedule_at(Seconds{base + static_cast<double>(i)}, [] {});
+  }
+  for (int round = 0; round < 8; ++round) {
+    base += 1.0;
+    for (std::size_t i = 0; i < kPending; ++i) {
+      handles[i].cancel();
+      handles[i] = q.schedule_at(Seconds{base + static_cast<double>(i)}, [] {});
+    }
+    EXPECT_EQ(q.pending_count(), kPending);
+  }
+  q.run_until_empty();
+  EXPECT_EQ(q.fired_count(), kPending);
+  EXPECT_GE(q.compaction_count(), 1u);
+  for (const auto& h : handles) EXPECT_TRUE(h.fired());
+}
+
+TEST(EventQueue, MoveOnlyCaptureFires) {
+  // unique_ptr capture: inline storage, relocated via move-construction.
+  EventQueue q;
+  auto value = std::make_unique<int>(42);
+  int seen = 0;
+  q.schedule_at(1_s, [p = std::move(value), &seen] { seen = *p; });
+  q.run_until_empty();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, OversizedCaptureFallsBackToHeapBox) {
+  // A capture larger than the inline buffer must still work (boxed path).
+  EventQueue q;
+  struct Big {
+    double payload[16];
+  };
+  Big big{};
+  big.payload[0] = 1.5;
+  big.payload[15] = 2.5;
+  double sum = 0.0;
+  q.schedule_at(1_s, [big, &sum] { sum = big.payload[0] + big.payload[15]; });
+  q.run_until_empty();
+  EXPECT_EQ(sum, 4.0);
 }
 
 TEST(EventQueue, ManyEventsStressOrder) {

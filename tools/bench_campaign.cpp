@@ -1,0 +1,240 @@
+// bench_campaign — performance record for the parallel experiment engine.
+//
+//   bench_campaign [--jobs N] [--out FILE.json]
+//
+// Runs the default (workload x policy) campaign twice — serially (--jobs 1)
+// and across N workers — and
+//   * asserts the CSV and JSON reports are byte-identical (the determinism
+//     contract), with and without fault injection,
+//   * records wall-clock, runs/sec and the parallel speedup,
+//   * times the sim::EventQueue hot paths (schedule/fire, cancelled-entry
+//     ride-along, DVFS-style cancel churn) in ns per event,
+// then writes the whole record as JSON (default BENCH_campaign.json).
+//
+// Exit code 0 iff every identity check passed.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/json.h"
+#include "src/greengpu/campaign.h"
+#include "src/sim/event_queue.h"
+
+namespace {
+
+using namespace gg;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct CampaignRun {
+  std::string csv;
+  std::string json;
+  double seconds{0.0};
+  std::size_t runs{0};
+};
+
+CampaignRun run_campaign_timed(const greengpu::CampaignConfig& cfg) {
+  const auto start = Clock::now();
+  const greengpu::CampaignResult result = greengpu::run_campaign(cfg);
+  CampaignRun out;
+  out.seconds = seconds_since(start);
+  out.runs = result.cells.size();
+  std::ostringstream csv, json;
+  greengpu::write_campaign_csv(csv, result);
+  greengpu::write_campaign_json(json, result);
+  out.csv = csv.str();
+  out.json = json.str();
+  return out;
+}
+
+/// Fault channels that perturb every cell but never abort an un-hardened
+/// controller (no launch/host failures, no throttle episodes), so the
+/// default four policies all finish and the identity check exercises the
+/// per-cell RNG fork.
+sim::FaultConfig benign_faults() {
+  sim::FaultConfig f;
+  f.seed = 0xB16B00B5u;
+  f.util_drop_rate = 0.05;
+  f.util_stale_rate = 0.05;
+  f.util_corrupt_rate = 0.02;
+  f.clock_reject_rate = 0.05;
+  return f;
+}
+
+struct QueueTimings {
+  double schedule_fire_ns{0.0};
+  double schedule_cancel_fire_ns{0.0};
+  double cancel_churn_ns{0.0};
+  std::uint64_t events_fired{0};  // anti-elision checksum
+  std::uint64_t compactions{0};
+};
+
+QueueTimings time_event_queue() {
+  using namespace gg::literals;
+  QueueTimings t;
+
+  {  // schedule + fire, 1000 events per queue
+    constexpr int kReps = 2000, kEvents = 1000;
+    const auto start = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      sim::EventQueue q;
+      for (int i = 0; i < kEvents; ++i) {
+        q.schedule_in(Seconds{static_cast<double>(i)}, [] {});
+      }
+      q.run_until_empty();
+      t.events_fired += q.fired_count();
+    }
+    t.schedule_fire_ns = seconds_since(start) * 1e9 / (double(kReps) * kEvents);
+  }
+
+  {  // half the events cancelled before any fire
+    constexpr int kReps = 2000, kEvents = 1000;
+    const auto start = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      sim::EventQueue q;
+      std::vector<sim::EventHandle> handles;
+      handles.reserve(kEvents / 2);
+      for (int i = 0; i < kEvents; ++i) {
+        sim::EventHandle h = q.schedule_in(Seconds{static_cast<double>(i)}, [] {});
+        if (i & 1) handles.push_back(h);
+      }
+      for (auto& h : handles) h.cancel();
+      q.run_until_empty();
+      t.events_fired += q.fired_count();
+    }
+    t.schedule_cancel_fire_ns = seconds_since(start) * 1e9 / (double(kReps) * kEvents);
+  }
+
+  {  // DVFS-style churn: standing population repeatedly cancelled + replaced
+    constexpr std::size_t kPending = 512;
+    constexpr int kReps = 200, kRounds = 16;
+    const auto start = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      sim::EventQueue q;
+      std::vector<sim::EventHandle> handles(kPending);
+      double base = 1.0;
+      for (std::size_t i = 0; i < kPending; ++i) {
+        handles[i] = q.schedule_at(Seconds{base + static_cast<double>(i)}, [] {});
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        base += 1.0;
+        for (std::size_t i = 0; i < kPending; ++i) {
+          handles[i].cancel();
+          handles[i] = q.schedule_at(Seconds{base + static_cast<double>(i)}, [] {});
+        }
+      }
+      q.run_until_empty();
+      t.events_fired += q.fired_count();
+      t.compactions += q.compaction_count();
+    }
+    t.cancel_churn_ns =
+        seconds_since(start) * 1e9 / (double(kReps) * kPending * (kRounds + 1));
+  }
+  return t;
+}
+
+bool report_identity(const char* what, const CampaignRun& a, const CampaignRun& b) {
+  const bool csv_ok = a.csv == b.csv;
+  const bool json_ok = a.json == b.json;
+  std::printf("[%s] %s: CSV %s, JSON %s\n", csv_ok && json_ok ? "OK" : "FAIL", what,
+              csv_ok ? "identical" : "DIFFERS", json_ok ? "identical" : "DIFFERS");
+  return csv_ok && json_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const long long jobs_flag = flags.get_int("jobs", 0);
+  const std::string out_file = flags.get_string("out", "BENCH_campaign.json");
+  const auto unknown = flags.unconsumed();
+  if (!unknown.empty()) {
+    for (const auto& key : unknown) std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+    return 2;
+  }
+
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  const std::size_t jobs = jobs_flag <= 0 ? (host_cpus ? host_cpus : 1)
+                                          : static_cast<std::size_t>(jobs_flag);
+
+  std::printf("bench_campaign: host_cpus=%u jobs=%zu\n", host_cpus, jobs);
+
+  greengpu::CampaignConfig serial_cfg;
+  serial_cfg.jobs = 1;
+  greengpu::CampaignConfig parallel_cfg;
+  parallel_cfg.jobs = jobs;
+
+  std::printf("running campaign serially (--jobs 1)...\n");
+  const CampaignRun serial = run_campaign_timed(serial_cfg);
+  std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", serial.runs, serial.seconds,
+              serial.runs / serial.seconds);
+  std::printf("running campaign with %zu workers...\n", jobs);
+  const CampaignRun parallel = run_campaign_timed(parallel_cfg);
+  std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", parallel.runs, parallel.seconds,
+              parallel.runs / parallel.seconds);
+  const double speedup = serial.seconds / parallel.seconds;
+  std::printf("  speedup vs --jobs 1: %.2fx\n", speedup);
+
+  bool ok = report_identity("fault-free", serial, parallel);
+
+  // Same comparison with fault injection: each cell's fault RNG must fork
+  // from the campaign seed by cell index, never by execution order.
+  greengpu::CampaignConfig faulted_serial = serial_cfg;
+  faulted_serial.options.faults = benign_faults();
+  greengpu::CampaignConfig faulted_parallel = parallel_cfg;
+  faulted_parallel.options.faults = benign_faults();
+  std::printf("re-running with fault injection (benign channels)...\n");
+  const CampaignRun f_serial = run_campaign_timed(faulted_serial);
+  const CampaignRun f_parallel = run_campaign_timed(faulted_parallel);
+  ok = report_identity("fault-injected", f_serial, f_parallel) && ok;
+
+  std::printf("timing sim::EventQueue hot paths...\n");
+  const QueueTimings q = time_event_queue();
+  std::printf("  schedule+fire:        %.1f ns/event\n", q.schedule_fire_ns);
+  std::printf("  schedule+cancel+fire: %.1f ns/event\n", q.schedule_cancel_fire_ns);
+  std::printf("  cancel churn:         %.1f ns/op (%llu compactions)\n", q.cancel_churn_ns,
+              static_cast<unsigned long long>(q.compactions));
+
+  std::ofstream out(out_file);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_file.c_str());
+    return 2;
+  }
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("host_cpus", static_cast<double>(host_cpus));
+  w.kv("jobs", static_cast<double>(jobs));
+  w.key("campaign");
+  w.begin_object();
+  w.kv("runs", static_cast<double>(serial.runs));
+  w.kv("serial_seconds", serial.seconds);
+  w.kv("parallel_seconds", parallel.seconds);
+  w.kv("serial_runs_per_sec", serial.runs / serial.seconds);
+  w.kv("parallel_runs_per_sec", parallel.runs / parallel.seconds);
+  w.kv("speedup_vs_jobs1", speedup);
+  w.kv("identical_reports", serial.csv == parallel.csv && serial.json == parallel.json);
+  w.kv("identical_reports_with_faults",
+       f_serial.csv == f_parallel.csv && f_serial.json == f_parallel.json);
+  w.end_object();
+  w.key("event_queue");
+  w.begin_object();
+  w.kv("schedule_fire_ns_per_event", q.schedule_fire_ns);
+  w.kv("schedule_cancel_fire_ns_per_event", q.schedule_cancel_fire_ns);
+  w.kv("cancel_churn_ns_per_op", q.cancel_churn_ns);
+  w.kv("churn_compactions", static_cast<double>(q.compactions));
+  w.kv("events_fired_checksum", static_cast<double>(q.events_fired));
+  w.end_object();
+  w.end_object();
+  out << "\n";
+  std::printf("wrote %s\n", out_file.c_str());
+  return ok ? 0 : 1;
+}

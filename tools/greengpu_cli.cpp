@@ -19,6 +19,9 @@
 //   --step S --init-ratio R0 --safeguard 0|1     division tier parameters
 //   --alpha-c A --alpha-m A --phi P --beta B --interval S    WMA parameters
 //   --iterations N              truncate the run (skips verification)
+//   --jobs N                    fan independent cells across N workers
+//                               (campaign / --workload all; 0 = all cores,
+//                               default 1; output is identical for any N)
 //   --sync 0|1                  synchronous (spinning) stack, default 1
 //   --trace FILE.csv            write a 1 Hz platform trace
 //   --csv                       machine-readable one-line-per-run output
@@ -53,6 +56,7 @@
 
 #include "src/common/csv.h"
 #include "src/common/flags.h"
+#include "src/common/job_pool.h"
 #include "src/greengpu/campaign.h"
 #include "src/greengpu/multi_runner.h"
 #include "src/greengpu/policy.h"
@@ -152,6 +156,11 @@ void print_csv_row(CsvWriter& w, const greengpu::ExperimentResult& r) {
 }
 
 int run(const Flags& flags) {
+  // Worker count for the parallel modes (campaign, --workload all).  Output
+  // is byte-identical for every value; only wall-clock changes.
+  const long long jobs_flag = flags.get_int("jobs", 1);
+  const std::size_t jobs = jobs_flag < 0 ? 0 : static_cast<std::size_t>(jobs_flag);
+
   if (flags.get_bool("list", false)) {
     std::printf("workloads:");
     for (const auto& n : workloads::all_workload_names()) std::printf(" %s", n.c_str());
@@ -164,6 +173,7 @@ int run(const Flags& flags) {
 
   if (flags.get_bool("campaign", false)) {
     greengpu::CampaignConfig cfg;
+    cfg.jobs = jobs;
     const std::string wl = flags.get_string("workload", "");
     if (!wl.empty() && wl != "all") cfg.workloads = {wl};
     const std::string json_file = flags.get_string("json", "");
@@ -294,9 +304,16 @@ int run(const Flags& flags) {
                           "gpu_dynamic_energy_J", "emulated_cpu_throttle_J", "verified");
   }
 
+  // Independent cells fan across the pool; printing stays a serial post-pass
+  // over index-determined slots, so output does not depend on --jobs.
+  std::vector<greengpu::ExperimentResult> results(names.size());
+  common::JobPool pool(jobs);
+  pool.run(names.size(), [&](std::size_t i) {
+    results[i] = greengpu::run_experiment(names[i], policy, options);
+  });
+
   int failures = 0;
-  for (const auto& name : names) {
-    const auto result = greengpu::run_experiment(name, policy, options);
+  for (const auto& result : results) {
     if (csv) {
       print_csv_row(csv_writer, result);
     } else {
