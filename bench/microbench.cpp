@@ -8,13 +8,17 @@
 
 #include "src/common/json.h"
 #include "src/common/rng.h"
+#include "src/cudalite/nvml.h"
+#include "src/cudalite/nvsettings.h"
 #include "src/cudalite/thread_pool.h"
 #include "src/greengpu/division.h"
 #include "src/greengpu/runner.h"
 #include "src/greengpu/loss.h"
 #include "src/greengpu/weight_table.h"
+#include "src/greengpu/wma_scaler.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/gpu_device.h"
+#include "src/sim/platform.h"
 #include "src/workloads/sobol.h"
 
 namespace {
@@ -52,6 +56,59 @@ void BM_FixedWmaUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FixedWmaUpdate);
+
+/// Pre-blended loss rows, as QuantizedLossTable hands them to the fused path.
+std::vector<double> scaled_losses(double u, double alpha, double scale) {
+  auto out = losses(u, alpha);
+  for (double& x : out) x *= scale;
+  return out;
+}
+
+void BM_WmaUpdateFused(benchmark::State& state) {
+  greengpu::WeightTable table(6, 6);
+  const auto cl = scaled_losses(0.63, 0.15, 0.3);
+  const auto ml = scaled_losses(0.41, 0.02, 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.update_fused(cl.data(), ml.data(), 0.8, 1e-2));
+  }
+}
+BENCHMARK(BM_WmaUpdateFused);
+
+void BM_FixedWmaUpdateFused(benchmark::State& state) {
+  greengpu::FixedWeightTable table(6, 6);
+  const auto cl = scaled_losses(0.63, 0.15, 0.3);
+  const auto ml = scaled_losses(0.41, 0.02, 0.7);
+  const std::uint32_t one_minus_beta_raw = UQ08::from_double(0.8).raw();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.update_fused(cl.data(), ml.data(), one_minus_beta_raw));
+  }
+}
+BENCHMARK(BM_FixedWmaUpdateFused);
+
+/// Full Algorithm 1 step (NVML read + loss rows + weight update + argmax +
+/// actuation) through the fused fast path vs the straight-line reference.
+/// Ring retention on both so neither pays unbounded log growth.
+void scaler_step_bench(benchmark::State& state, bool reference) {
+  sim::Platform platform;
+  cudalite::NvmlDevice nvml(platform);
+  cudalite::NvSettings settings(platform);
+  greengpu::WmaParams params;
+  params.reference_impl = reference;
+  greengpu::GpuFrequencyScaler scaler(nvml, settings, params);
+  scaler.set_record(greengpu::RecordOptions{greengpu::RecordMode::kRing, 64});
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scaler.step(Seconds{t}));
+    t += 3.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ScalerStepFast(benchmark::State& state) { scaler_step_bench(state, false); }
+BENCHMARK(BM_ScalerStepFast);
+
+void BM_ScalerStepReference(benchmark::State& state) { scaler_step_bench(state, true); }
+BENCHMARK(BM_ScalerStepReference);
 
 void BM_LossComputation(benchmark::State& state) {
   Rng rng(1);

@@ -15,6 +15,17 @@
 
 namespace gg::greengpu {
 
+/// Campaign default for RunOptions::record: campaigns only consume the
+/// aggregate fields of each ExperimentResult (energies, times, counts), so
+/// per-step logs are dropped and memory stays O(1) per cell regardless of
+/// run length.  Retention is pure telemetry — reports are bit-identical to
+/// full recording.
+[[nodiscard]] inline RunOptions campaign_default_options() {
+  RunOptions options;
+  options.record.mode = RecordMode::kCounters;
+  return options;
+}
+
 struct CampaignConfig {
   /// Table II names; empty means the full suite.
   std::vector<std::string> workloads;
@@ -22,7 +33,7 @@ struct CampaignConfig {
   /// that savings are computed against.  Empty means the paper's four:
   /// best-performance, frequency-scaling, division, greengpu.
   std::vector<Policy> policies;
-  RunOptions options{};
+  RunOptions options{campaign_default_options()};
   /// Concurrent cells (0 = hardware_concurrency).  Cells are independent
   /// simulations and every result lands in an index-determined slot, so
   /// reports are byte-identical for every value — including under fault

@@ -20,7 +20,7 @@ GovernorDecision CpuGovernor::step(Seconds now) {
   platform_->cpu().set_level(level);
   ++steps_;
   const GovernorDecision d{now, u, level};
-  decisions_.push_back(d);
+  decisions_.push(d);
   return d;
 }
 
@@ -62,20 +62,24 @@ WmaCpuGovernor::WmaCpuGovernor(sim::Platform& platform, Seconds interval, double
                                double beta, double weight_floor)
     : CpuGovernor(platform, interval),
       alpha_(alpha),
-      beta_(beta),
+      one_minus_beta_(1.0 - beta),
       weight_floor_(weight_floor),
       umean_(umean_table(platform.cpu().table())),
-      table_(platform.cpu().table().levels(), 1) {}
+      table_(platform.cpu().table().levels(), 1),
+      scratch_losses_(umean_.size(), 0.0) {}
 
 std::size_t WmaCpuGovernor::decide(double util) {
-  std::vector<double> losses(umean_.size());
-  for (std::size_t i = 0; i < umean_.size(); ++i) {
-    losses[i] = component_loss(util, umean_[i], alpha_);
-  }
   // Degenerate 1-D case of Eq. 3: the "memory" dimension has a single level
-  // with zero loss, so phi = 1 reduces the total loss to the CPU loss.
-  table_.update(losses, {0.0}, /*phi=*/1.0, beta_, weight_floor_);
-  return table_.argmax().core;
+  // with zero loss, so phi = 1 reduces the total loss to the CPU loss
+  // (1.0 * loss is the loss bit-exactly, and the single pre-blended memory
+  // entry is 0.0).  Fused update: allocation-free, argmax tracked inline.
+  for (std::size_t i = 0; i < umean_.size(); ++i) {
+    scratch_losses_[i] = component_loss(util, umean_[i], alpha_);
+  }
+  static constexpr double kZeroMemLoss[1] = {0.0};
+  return table_
+      .update_fused(scratch_losses_.data(), kZeroMemLoss, one_minus_beta_, weight_floor_)
+      .core;
 }
 
 std::string_view to_string(CpuGovernorKind kind) {

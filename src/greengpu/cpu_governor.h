@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/greengpu/params.h"
+#include "src/greengpu/telemetry.h"
 #include "src/greengpu/weight_table.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/monitor.h"
@@ -48,7 +49,21 @@ class CpuGovernor {
   void detach();
 
   [[nodiscard]] Seconds interval() const { return interval_; }
-  [[nodiscard]] const std::vector<GovernorDecision>& decisions() const { return decisions_; }
+  /// Retained decision log (everything in kFull record mode — the default;
+  /// empty under kRing/kCounters, see decisions_snapshot()).
+  [[nodiscard]] const std::vector<GovernorDecision>& decisions() const {
+    return decisions_.log();
+  }
+  /// Retained decisions, oldest first, under any record mode.
+  [[nodiscard]] std::vector<GovernorDecision> decisions_snapshot() const {
+    return decisions_.snapshot();
+  }
+  /// Decisions taken over the governor's lifetime, independent of retention.
+  [[nodiscard]] std::uint64_t decision_count() const { return decisions_.total(); }
+  /// Replace the decision-retention policy (clears retained decisions).
+  void set_record(RecordOptions opts) {
+    decisions_ = DecisionRecorder<GovernorDecision>(opts);
+  }
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
 
  protected:
@@ -67,7 +82,7 @@ class CpuGovernor {
   sim::Platform* platform_;
   Seconds interval_;
   sim::CpuUtilSampler sampler_;
-  std::vector<GovernorDecision> decisions_;
+  DecisionRecorder<GovernorDecision> decisions_;
   std::uint64_t steps_{0};
   sim::EventHandle next_;
 };
@@ -143,10 +158,14 @@ class WmaCpuGovernor final : public CpuGovernor {
 
  private:
   double alpha_;
-  double beta_;
+  double one_minus_beta_;
   double weight_floor_;
   std::vector<double> umean_;
   WeightTable table_;  // levels x 1
+  /// Preallocated per-level loss row for the fused allocation-free update
+  /// (the governor runs ~30x more often than the GPU scaler, so per-step
+  /// vector churn mattered even more here).
+  std::vector<double> scratch_losses_;
 };
 
 /// Governor selector for policies and the CLI.

@@ -76,13 +76,13 @@ DivisionDecision DivisionController::update(Seconds cpu_time, Seconds gpu_time) 
     hold_streak_ = 0;
   }
   ratio_ = d.ratio;
-  history_.push_back(d);
+  history_.push(d);
   return d;
 }
 
 DivisionDecision DivisionController::hold_degraded() {
   const DivisionDecision d{ratio_, DivisionAction::kHoldDegraded};
-  history_.push_back(d);
+  history_.push(d);
   return d;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/common/units.h"
 #include "src/greengpu/params.h"
+#include "src/greengpu/telemetry.h"
 
 namespace gg::greengpu {
 
@@ -64,6 +65,10 @@ class Divider {
   /// decisions.
   [[nodiscard]] virtual bool converged(int streak = 2) const = 0;
   virtual void reset() = 0;
+  /// Replace the decision-retention policy of the divider's per-iteration
+  /// log, if it keeps one (clears retained decisions).  Default: no-op for
+  /// dividers without a log.
+  virtual void set_record(RecordOptions /*opts*/) {}
 };
 
 /// The paper's light-weight step heuristic with the oscillation safeguard.
@@ -90,7 +95,21 @@ class DivisionController final : public Divider {
   }
 
   [[nodiscard]] const DivisionParams& params() const { return params_; }
-  [[nodiscard]] const std::vector<DivisionDecision>& history() const { return history_; }
+  /// Retained decision history (everything in kFull record mode — the
+  /// default; empty under kRing/kCounters, see history_snapshot()).
+  [[nodiscard]] const std::vector<DivisionDecision>& history() const {
+    return history_.log();
+  }
+  /// Retained decisions, oldest first, under any record mode.
+  [[nodiscard]] std::vector<DivisionDecision> history_snapshot() const {
+    return history_.snapshot();
+  }
+  /// Decisions taken over the controller's lifetime, independent of
+  /// retention.
+  [[nodiscard]] std::uint64_t decision_count() const { return history_.total(); }
+  void set_record(RecordOptions opts) override {
+    history_ = DecisionRecorder<DivisionDecision>(opts);
+  }
 
   void reset() override;
 
@@ -103,7 +122,7 @@ class DivisionController final : public Divider {
   DivisionParams params_;
   double ratio_;
   int hold_streak_{0};
-  std::vector<DivisionDecision> history_;
+  DecisionRecorder<DivisionDecision> history_;
 };
 
 /// Pure form of one division decision, exposed for property tests:

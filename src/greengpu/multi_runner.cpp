@@ -44,6 +44,7 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
     if (policy.gpu_scaling) {
       scalers.push_back(std::make_unique<GpuFrequencyScaler>(*nvml.back(),
                                                              *settings.back(), wma));
+      scalers.back()->set_record(options.record);
       scalers.back()->attach(platform.queue());
     } else {
       settings.back()->set_clock_levels(0, 0);  // best-performance clocks
@@ -51,7 +52,10 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
   }
   std::unique_ptr<CpuGovernor> governor =
       make_cpu_governor(policy.cpu_governor, platform, policy.params.ondemand);
-  if (governor) governor->attach();
+  if (governor) {
+    governor->set_record(options.record);
+    governor->attach();
+  }
 
   // Division state.
   std::unique_ptr<MultiDivider> divider;
@@ -86,6 +90,8 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
   const sim::EnergySnapshot run_start = platform.snapshot();
 
   int watchdog_trips_left = hard.max_watchdog_trips;
+
+  DecisionRecorder<MultiIterationRecord> iteration_log(options.record);
 
   for (std::size_t iter = 0; iter < workload.iterations(); ++iter) {
     const sim::EnergySnapshot e0 = platform.snapshot();
@@ -165,7 +171,7 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
         shares = divider->shares();
       }
     }
-    result.iterations.push_back(std::move(rec));
+    iteration_log.push(rec);
   }
 
   workload.teardown(rt);
@@ -181,9 +187,28 @@ MultiExperimentResult run_multi_experiment(workloads::Workload& workload,
   }
   result.final_shares = shares;
 
+  result.iteration_count = static_cast<std::size_t>(iteration_log.total());
+  result.iterations = iteration_log.take();
+
   for (auto& s : scalers) s->detach();
   if (governor) governor->detach();
-  if (injector != nullptr) result.fault_events = injector->events();
+  if (injector != nullptr) {
+    const auto& events = injector->events();
+    result.fault_event_count = events.size();
+    switch (options.record.mode) {
+      case RecordMode::kFull:
+        result.fault_events = events;
+        break;
+      case RecordMode::kRing: {
+        const std::size_t keep = std::min(events.size(), options.record.ring_capacity);
+        result.fault_events.assign(events.end() - static_cast<std::ptrdiff_t>(keep),
+                                   events.end());
+        break;
+      }
+      case RecordMode::kCounters:
+        break;
+    }
+  }
   result.verified = options.verify ? workload.verify() : true;
   return result;
 }

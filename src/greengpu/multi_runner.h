@@ -13,6 +13,7 @@
 #include "src/greengpu/cpu_governor.h"
 #include "src/greengpu/multi_division.h"
 #include "src/greengpu/params.h"
+#include "src/greengpu/telemetry.h"
 #include "src/sim/fault.h"
 #include "src/workloads/workload.h"
 
@@ -81,9 +82,12 @@ struct MultiExperimentResult {
   [[nodiscard]] Joules total_energy() const { return cpu_energy + gpu_energy; }
   std::vector<double> final_shares;
   bool verified{false};
+  /// Retained per-record logs (truncated per MultiRunOptions::record; the
+  /// *_count fields are exact regardless of retention).
   std::vector<MultiIterationRecord> iterations;
-  /// Full fault-event log (empty without an injector).
   std::vector<sim::FaultEvent> fault_events;
+  std::size_t iteration_count{0};
+  std::size_t fault_event_count{0};
   std::size_t degraded_iterations{0};
   std::uint64_t watchdog_trips{0};
 };
@@ -94,6 +98,8 @@ struct MultiRunOptions {
   bool sync_spin{true};
   /// Fault-injection configuration; see RunOptions::faults.
   sim::FaultConfig faults{};
+  /// Retention policy for per-record logs; see RunOptions::record.
+  RecordOptions record{};
 };
 
 /// Run `workload` on a testbed with `gpu_count` identical GPUs.

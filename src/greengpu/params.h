@@ -39,6 +39,12 @@ struct WmaParams {
   /// A sample whose averaging window is shorter than this fraction of the
   /// scaling interval is treated as stale (non-informative) when hardened.
   double min_window_frac{0.5};
+  /// Use the straight-line reference implementation of the Algorithm 1 step
+  /// (per-step loss vectors, separate argmax scan) instead of the fused
+  /// allocation-free fast path with quantized loss tables.  The two produce
+  /// bit-identical decision streams (asserted by the equivalence suite);
+  /// the flag exists for that suite and for benchmarking the speedup.
+  bool reference_impl{false};
   /// Immediate re-tries of a rejected/clamped clock write per step.
   int actuation_retries{2};
   /// Base delay of the asynchronous retry after immediate retries failed

@@ -39,6 +39,7 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
     WmaParams wma = policy.params.wma;
     if (hard.enabled) wma.harden = true;
     scaler = std::make_unique<GpuFrequencyScaler>(nvml, settings, wma);
+    scaler->set_record(options.record);
     scaler->attach(platform.queue());
   } else if (policy.fixed_gpu_levels) {
     settings.set_clock_levels(policy.fixed_gpu_levels->first,
@@ -47,13 +48,17 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
     settings.set_clock_levels(0, 0);  // best-performance: both domains at peak
   }
   governor = make_cpu_governor(policy.cpu_governor, platform, policy.params.ondemand);
-  if (governor) governor->attach();
+  if (governor) {
+    governor->set_record(options.record);
+    governor->attach();
+  }
 
   // --- Tier 1 --------------------------------------------------------------
   std::unique_ptr<Divider> divider;
   double ratio = policy.fixed_ratio;
   if (policy.division && workload.divisible()) {
     divider = make_divider(policy.divider, policy.params.division);
+    divider->set_record(options.record);
     ratio = divider->ratio();
   }
   if (!workload.divisible()) ratio = 0.0;
@@ -86,6 +91,8 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
   const Joules spin_energy_start = platform.cpu().spin_energy();
 
   int watchdog_trips_left = hard.max_watchdog_trips;
+
+  DecisionRecorder<IterationRecord> iteration_log(options.record);
 
   for (std::size_t iter = 0; iter < n_iters; ++iter) {
     const sim::EnergySnapshot e0 = platform.snapshot();
@@ -177,7 +184,7 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
         result.convergence_iteration = iter;
       }
     }
-    result.iterations.push_back(rec);
+    iteration_log.push(rec);
   }
 
   workload.teardown(rt);
@@ -206,19 +213,40 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
   result.final_ratio = ratio;
   result.gpu_frequency_transitions = platform.gpu().frequency_transitions();
 
+  result.iteration_count = static_cast<std::size_t>(iteration_log.total());
+  result.iterations = iteration_log.take();
+
   if (scaler) {
     scaler->detach();
-    result.scaler_decisions = scaler->decisions();
+    result.scaler_decision_count = scaler->decision_count();
+    result.scaler_decisions = scaler->decisions_snapshot();
   }
   if (governor) {
     governor->detach();
-    result.governor_decisions = governor->decisions();
+    result.governor_decision_count = governor->decision_count();
+    result.governor_decisions = governor->decisions_snapshot();
   }
   if (tracer) {
     tracer->stop();
     result.trace = tracer->samples();
   }
-  if (injector != nullptr) result.fault_events = injector->events();
+  if (injector != nullptr) {
+    const auto& events = injector->events();
+    result.fault_event_count = events.size();
+    switch (options.record.mode) {
+      case RecordMode::kFull:
+        result.fault_events = events;
+        break;
+      case RecordMode::kRing: {
+        const std::size_t keep = std::min(events.size(), options.record.ring_capacity);
+        result.fault_events.assign(events.end() - static_cast<std::ptrdiff_t>(keep),
+                                   events.end());
+        break;
+      }
+      case RecordMode::kCounters:
+        break;
+    }
+  }
   // A truncated run cannot be checked against the full-length reference.
   const bool can_verify = options.verify && n_iters == workload.iterations();
   result.verify_skipped = !can_verify;

@@ -82,12 +82,21 @@ struct ExperimentResult {
   bool verified{false};
   /// True when verification was not performed (disabled or truncated run).
   bool verify_skipped{false};
+  /// Retained per-record logs.  How much is retained follows
+  /// `RunOptions::record` (full for single runs, counters-only for
+  /// campaigns); the *_count fields below are exact regardless of retention.
   std::vector<IterationRecord> iterations;
   std::vector<sim::TraceSample> trace;
   std::vector<ScalerDecision> scaler_decisions;
   std::vector<GovernorDecision> governor_decisions;
+  /// Exact totals, independent of the retention mode.
+  std::size_t iteration_count{0};
+  std::uint64_t scaler_decision_count{0};
+  std::uint64_t governor_decision_count{0};
+  std::size_t fault_event_count{0};
   std::uint64_t gpu_frequency_transitions{0};
-  /// Full fault-event log (empty without an injector).
+  /// Retained fault-event log (empty without an injector; truncated per
+  /// `RunOptions::record` — fault_event_count holds the exact total).
   std::vector<sim::FaultEvent> fault_events;
   /// Iterations whose measurements were distorted by faults.
   std::size_t degraded_iterations{0};
@@ -116,6 +125,11 @@ struct RunOptions {
   /// least one rate/mtbf is non-zero, so the default is a strict no-op:
   /// joules and traces stay bit-identical to the fault-free build.
   sim::FaultConfig faults{};
+  /// Retention policy for the per-record logs (iterations, scaler/governor
+  /// decisions, divider history, fault events).  Pure telemetry — never
+  /// feeds control, so joules/decisions are bit-identical across modes.
+  /// Campaigns override this to counters-only (see campaign.h).
+  RecordOptions record{};
 };
 
 /// Throwing failure mode of a run on a faulty platform: an un-hardened

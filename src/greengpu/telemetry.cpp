@@ -1,0 +1,28 @@
+#include "src/greengpu/telemetry.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace gg::greengpu {
+
+std::string_view to_string(RecordMode mode) {
+  switch (mode) {
+    case RecordMode::kFull:
+      return "full";
+    case RecordMode::kRing:
+      return "ring";
+    case RecordMode::kCounters:
+      return "counters";
+  }
+  return "?";
+}
+
+RecordMode record_mode_from_string(std::string_view name) {
+  if (name == "full") return RecordMode::kFull;
+  if (name == "ring") return RecordMode::kRing;
+  if (name == "counters") return RecordMode::kCounters;
+  throw std::invalid_argument("unknown record mode: " + std::string(name) +
+                              " (expected full|ring|counters)");
+}
+
+}  // namespace gg::greengpu

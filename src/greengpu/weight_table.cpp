@@ -51,6 +51,49 @@ void WeightTable::update(const std::vector<double>& core_losses,
   }
 }
 
+PairIndex WeightTable::update_fused(const double* scaled_core_losses,
+                                    const double* scaled_mem_losses,
+                                    double one_minus_beta, double weight_floor) {
+  // Pass 1 — decay.  Per cell this is the exact arithmetic of
+  // updated_weight(w, total_loss(lc, lm, phi), beta): the pre-blended rows
+  // supply phi*lc and (1-phi)*lm already rounded the way total_loss rounds
+  // them, so loss is the same add and the decay the same multiply chain.
+  double* w = w_.data();
+  double max_w = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double ci = scaled_core_losses[i];
+    double* row = w + i * m_;
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double loss = ci + scaled_mem_losses[j];
+      const double nw = row[j] * (1.0 - one_minus_beta * loss);
+      row[j] = nw;
+      max_w = std::max(max_w, nw);
+    }
+  }
+  if (max_w <= 0.0) {
+    reset();
+    return PairIndex{0, 0};
+  }
+  // Pass 2 — renormalize + floor (identical expression to update()), with
+  // the argmax tracked over the *post*-renorm values in the same i-major
+  // scan order and with the same strict-> comparison as argmax(), so the
+  // selected pair (ties toward higher frequencies) cannot differ.
+  PairIndex best{0, 0};
+  double best_w = 0.0;
+  const std::size_t total = n_ * m_;
+  for (std::size_t k = 0; k < total; ++k) {
+    const double nw = std::max(w[k] / max_w, weight_floor);
+    w[k] = nw;
+    if (k == 0) {
+      best_w = nw;
+    } else if (nw > best_w) {
+      best_w = nw;
+      best = PairIndex{k / m_, k % m_};
+    }
+  }
+  return best;
+}
+
 PairIndex WeightTable::argmax() const {
   PairIndex best{0, 0};
   double best_w = w_[0];
@@ -117,6 +160,55 @@ void FixedWeightTable::update(const std::vector<double>& core_losses,
       w = UQ08::from_raw(static_cast<std::uint8_t>(w.raw() * 2));
     }
   }
+}
+
+PairIndex FixedWeightTable::update_fused(const double* scaled_core_losses,
+                                         const double* scaled_mem_losses,
+                                         std::uint32_t one_minus_beta_raw) {
+  // Same quantize-subtract datapath as update(), with the pair loss formed
+  // from the pre-blended rows (one add, identical to total_loss) and the
+  // running maximum / argmax tracked inline.
+  std::uint8_t max_raw = 0;
+  PairIndex best{0, 0};
+  std::uint8_t best_raw = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double ci = scaled_core_losses[i];
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double loss = ci + scaled_mem_losses[j];
+      const std::uint32_t loss_raw = UQ08::from_double(loss).raw();
+      auto& w = w_[idx(i, j)];
+      const std::uint32_t prod = w.raw() * one_minus_beta_raw * loss_raw;  // <= 2^24
+      constexpr std::uint32_t kDenom = 255u * 255u;
+      const std::uint32_t decrement = prod / kDenom;
+      const std::uint32_t raw = w.raw();
+      const auto nw = static_cast<std::uint8_t>(raw > decrement ? raw - decrement : 0);
+      w = UQ08::from_raw(nw);
+      max_raw = std::max(max_raw, nw);
+      if (idx(i, j) == 0) {
+        best_raw = nw;
+      } else if (nw > best_raw) {
+        best_raw = nw;
+        best = PairIndex{i, j};
+      }
+    }
+  }
+  if (max_raw == 0) {
+    reset();
+    return PairIndex{0, 0};
+  }
+  // Renormalization: update() doubles every entry while the maximum stays
+  // below half scale, one full pass per doubling.  The shift count only
+  // depends on the maximum, so fold all doublings into a single pass.  A
+  // uniform left shift preserves order and ties exactly (max <= 254 after
+  // it, so nothing saturates), hence the argmax tracked above still holds.
+  unsigned shift = 0;
+  while ((static_cast<std::uint32_t>(max_raw) << shift) <= 127u) ++shift;
+  if (shift > 0) {
+    for (auto& w : w_) {
+      w = UQ08::from_raw(static_cast<std::uint8_t>(w.raw() << shift));
+    }
+  }
+  return best;
 }
 
 PairIndex FixedWeightTable::argmax() const {

@@ -39,6 +39,21 @@ class WeightTable {
               const std::vector<double>& mem_losses, double phi, double beta,
               double weight_floor);
 
+  /// Fused fast path: one decay pass plus one renormalize/floor pass that
+  /// tracks the running argmax in place of update() + a third argmax()
+  /// scan.  Takes *pre-blended* per-level losses — `scaled_core_losses[i]`
+  /// must equal `phi * core_loss_i` and `scaled_mem_losses[j]` must equal
+  /// `(1 - phi) * mem_loss_j` (exactly what QuantizedLossTable rows built
+  /// with those scales hold) — and the precomputed `1 - beta`.  Produces
+  /// bit-identical weights and the identical argmax (same scan order, same
+  /// strict-> tie-break toward higher frequencies) as
+  /// `update(...); argmax();`, with zero allocations and no per-cell
+  /// argument validation.  Pointers must cover core_levels()/mem_levels()
+  /// entries; no bounds are checked.
+  PairIndex update_fused(const double* scaled_core_losses,
+                         const double* scaled_mem_losses, double one_minus_beta,
+                         double weight_floor);
+
   /// Pair with the highest weight; ties break toward higher frequencies
   /// (lower indices), the performance-safe choice.
   [[nodiscard]] PairIndex argmax() const;
@@ -71,6 +86,18 @@ class FixedWeightTable {
 
   void update(const std::vector<double>& core_losses,
               const std::vector<double>& mem_losses, double phi, double beta);
+
+  /// Fused twin of WeightTable::update_fused for the Q0.8 datapath: the
+  /// per-pair loss is the sum of pre-blended rows, the subtractive update
+  /// tracks the running maximum, and the doubling renormalization is folded
+  /// into a single left-shift pass (shift count derived from the maximum —
+  /// doubling preserves order and ties exactly, so the argmax tracked
+  /// before the shift is the argmax after it).  `one_minus_beta_raw` is
+  /// `UQ08::from_double(1 - beta).raw()`.  Bit-identical to
+  /// `update(...); argmax();`.
+  PairIndex update_fused(const double* scaled_core_losses,
+                         const double* scaled_mem_losses,
+                         std::uint32_t one_minus_beta_raw);
 
   [[nodiscard]] PairIndex argmax() const;
 

@@ -14,7 +14,13 @@ GpuFrequencyScaler::GpuFrequencyScaler(cudalite::NvmlDevice& nvml,
       mem_umean_(umean_table(settings.mem_table())),
       core_filter_(params.util_filter_alpha),
       mem_filter_(params.util_filter_alpha),
-      table_(settings.core_table().levels(), settings.mem_table().levels()) {
+      table_(settings.core_table().levels(), settings.mem_table().levels()),
+      core_loss_q_(core_umean_, params.alpha_core, params.phi),
+      mem_loss_q_(mem_umean_, params.alpha_mem, 1.0 - params.phi),
+      one_minus_beta_(1.0 - params.beta),
+      quantized_applies_(params.util_filter_alpha == 1.0),
+      scratch_core_(core_umean_.size(), 0.0),
+      scratch_mem_(mem_umean_.size(), 0.0) {
   if (params_.util_filter_alpha <= 0.0 || params_.util_filter_alpha > 1.0) {
     throw std::invalid_argument("WmaParams: util_filter_alpha must be in (0,1]");
   }
@@ -24,9 +30,97 @@ GpuFrequencyScaler::GpuFrequencyScaler(cudalite::NvmlDevice& nvml,
   if (params_.actuation_retries < 0) {
     throw std::invalid_argument("WmaParams: actuation_retries must be >= 0");
   }
+  // The reference path surfaces these through total_loss/updated_weight on
+  // the first step; the fast path pre-folds both constants, so reject bad
+  // values up front.  (alpha_core/alpha_mem are validated by the
+  // QuantizedLossTable constructors via component_loss.)
+  if (params_.phi < 0.0 || params_.phi > 1.0) {
+    throw std::invalid_argument("WmaParams: phi must be in [0,1]");
+  }
+  if (params_.beta <= 0.0 || params_.beta >= 1.0) {
+    throw std::invalid_argument("WmaParams: beta must be in (0,1)");
+  }
 }
 
 ScalerDecision GpuFrequencyScaler::step(Seconds now) {
+  return params_.reference_impl ? step_reference(now) : step_fast(now);
+}
+
+ScalerDecision GpuFrequencyScaler::step_fast(Seconds now) {
+  // A fresh step supersedes any asynchronous actuation retry in flight.
+  retry_.cancel();
+
+  // 1. Read GPU core and memory utilizations (integer percent, like the
+  //    nvidia-smi tool the paper polls).
+  const cudalite::UtilizationSample sample = nvml_->try_utilization_rates();
+  const double uc_raw = static_cast<double>(sample.rates.gpu) / 100.0;
+  const double um_raw = static_cast<double>(sample.rates.memory) / 100.0;
+
+  const bool stale =
+      !sample.ok() || sample.window.get() < params_.interval.get() * params_.min_window_frac;
+  if (params_.harden && stale) {
+    ++steps_;
+    ++held_steps_;
+    // The table is unchanged since the last update, so the cached argmax is
+    // exactly what the reference path's rescan would return.
+    ScalerDecision d{now, uc_raw, um_raw, core_filter_.value(), mem_filter_.value(),
+                     argmax_};
+    d.sample_ok = false;
+    decisions_.push(d);
+    return d;
+  }
+
+  // Optional measurement-side noise filter (alpha = 1 passes through).
+  const double uc = core_filter_.update(uc_raw);
+  const double um = mem_filter_.update(um_raw);
+
+  // 2.+3. Eq. 1-4 as one fused pass.  With the filter off, the filtered
+  // utilization IS the integer-percent sample (Ewma with alpha = 1 returns
+  // its input bit-exactly), so the pre-blended quantized rows are the exact
+  // per-level losses; with the filter on, fill the preallocated scratch
+  // rows from the continuous utilization instead.  Either way: no
+  // allocations, one decay pass, one renormalize pass that carries the
+  // argmax.
+  const double* core_row;
+  const double* mem_row;
+  if (quantized_applies_) {
+    core_row = core_loss_q_.row(sample.rates.gpu);
+    mem_row = mem_loss_q_.row(sample.rates.memory);
+  } else {
+    for (std::size_t i = 0; i < scratch_core_.size(); ++i) {
+      scratch_core_[i] = params_.phi * component_loss(uc, core_umean_[i], params_.alpha_core);
+    }
+    for (std::size_t j = 0; j < scratch_mem_.size(); ++j) {
+      scratch_mem_[j] =
+          (1.0 - params_.phi) * component_loss(um, mem_umean_[j], params_.alpha_mem);
+    }
+    core_row = scratch_core_.data();
+    mem_row = scratch_mem_.data();
+  }
+  const PairIndex chosen =
+      table_.update_fused(core_row, mem_row, one_minus_beta_, params_.weight_floor);
+  argmax_ = chosen;
+
+  bool applied = true;
+  if (params_.harden) {
+    applied = actuate(chosen);
+    if (!applied) ++actuation_failures_;
+  } else {
+    settings_->set_clock_levels(chosen.core, chosen.mem);
+  }
+
+  ++steps_;
+  ScalerDecision d{now, uc_raw, um_raw, uc, um, chosen};
+  d.actuation_ok = applied;
+  decisions_.push(d);
+  return d;
+}
+
+// The straight-line transcription of Algorithm 1 (the seed implementation):
+// per-step loss vectors, checked per-cell Eq. 3/4 calls, a full argmax
+// rescan.  Kept verbatim as the oracle for the equivalence suite and the
+// baseline for the scaler-step microbenchmarks.
+ScalerDecision GpuFrequencyScaler::step_reference(Seconds now) {
   // A fresh step supersedes any asynchronous actuation retry in flight.
   retry_.cancel();
 
@@ -47,7 +141,7 @@ ScalerDecision GpuFrequencyScaler::step(Seconds now) {
     ScalerDecision d{now, uc_raw, um_raw, core_filter_.value(), mem_filter_.value(),
                      table_.argmax()};
     d.sample_ok = false;
-    decisions_.push_back(d);
+    decisions_.push(d);
     return d;
   }
 
@@ -68,6 +162,7 @@ ScalerDecision GpuFrequencyScaler::step(Seconds now) {
   // 3. Update weight[N][M] (Eq. 3 + Eq. 4) and enforce the argmax pair.
   table_.update(core_losses, mem_losses, params_.phi, params_.beta, params_.weight_floor);
   const PairIndex chosen = table_.argmax();
+  argmax_ = chosen;
   bool applied = true;
   if (params_.harden) {
     applied = actuate(chosen);
@@ -79,7 +174,7 @@ ScalerDecision GpuFrequencyScaler::step(Seconds now) {
   ++steps_;
   ScalerDecision d{now, uc_raw, um_raw, uc, um, chosen};
   d.actuation_ok = applied;
-  decisions_.push_back(d);
+  decisions_.push(d);
   return d;
 }
 
@@ -149,6 +244,7 @@ void GpuFrequencyScaler::reset() {
   table_.reset();
   core_filter_ = Ewma(params_.util_filter_alpha);
   mem_filter_ = Ewma(params_.util_filter_alpha);
+  argmax_ = PairIndex{0, 0};
   decisions_.clear();
   steps_ = 0;
   held_steps_ = 0;

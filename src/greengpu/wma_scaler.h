@@ -4,6 +4,21 @@
 // interface, updates the core-memory pair weight table (Table I + Eq. 1-4)
 // and enforces the argmax pair through the nvidia-settings-style actuator —
 // exactly the role of the paper's background Python daemon.
+//
+// Two step implementations share every observable behaviour:
+//
+//  * the fused fast path (default) — utilization arrives as integer
+//    percent, so the Eq. 1/2 losses per level are 101-row lookups built at
+//    construction (loss.h: QuantizedLossTable, rows pre-blended by the
+//    Eq. 3 weights); the Eq. 4 decay, renormalization and argmax run as one
+//    fused table pass with preallocated scratch and zero heap allocations
+//    per step;
+//  * the reference path (`WmaParams::reference_impl`) — the straight-line
+//    transcription of the equations, kept as the oracle the equivalence
+//    suite and the microbenchmarks compare against.
+//
+// The decision stream is bit-identical between the two, faults included
+// (tests/greengpu/scaler_fastpath_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +29,7 @@
 #include "src/cudalite/nvsettings.h"
 #include "src/greengpu/loss.h"
 #include "src/greengpu/params.h"
+#include "src/greengpu/telemetry.h"
 #include "src/greengpu/weight_table.h"
 #include "src/sim/event_queue.h"
 
@@ -52,7 +68,19 @@ class GpuFrequencyScaler {
 
   [[nodiscard]] const WeightTable& table() const { return table_; }
   [[nodiscard]] const WmaParams& params() const { return params_; }
-  [[nodiscard]] const std::vector<ScalerDecision>& decisions() const { return decisions_; }
+  /// The retained decision log (everything in kFull record mode — the
+  /// default; empty in kRing/kCounters modes, see decisions_snapshot()).
+  [[nodiscard]] const std::vector<ScalerDecision>& decisions() const {
+    return decisions_.log();
+  }
+  /// Retained decisions, oldest first, under any record mode.
+  [[nodiscard]] std::vector<ScalerDecision> decisions_snapshot() const {
+    return decisions_.snapshot();
+  }
+  /// Decisions taken over the scaler's lifetime, independent of retention.
+  [[nodiscard]] std::uint64_t decision_count() const { return decisions_.total(); }
+  /// Replace the decision-retention policy (clears retained decisions).
+  void set_record(RecordOptions opts) { decisions_ = DecisionRecorder<ScalerDecision>(opts); }
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
   /// Hardened-path counters (for tests and the ablation).
   [[nodiscard]] std::uint64_t held_steps() const { return held_steps_; }
@@ -63,6 +91,8 @@ class GpuFrequencyScaler {
 
  private:
   void arm(sim::EventQueue& queue);
+  ScalerDecision step_fast(Seconds now);
+  ScalerDecision step_reference(Seconds now);
   /// Enforce `pair` through the actuator, with bounded immediate re-tries
   /// and (when attached + hardened) asynchronous backoff re-tries.  Returns
   /// true when the pair is applied or in flight (delayed write).
@@ -77,7 +107,23 @@ class GpuFrequencyScaler {
   Ewma core_filter_;
   Ewma mem_filter_;
   WeightTable table_;
-  std::vector<ScalerDecision> decisions_;
+  // --- fast-path state -------------------------------------------------
+  /// Pre-blended 101-row loss tables (phi * core loss, (1-phi) * mem loss).
+  QuantizedLossTable core_loss_q_;
+  QuantizedLossTable mem_loss_q_;
+  /// Precomputed Eq. 4 constant.
+  double one_minus_beta_;
+  /// The quantized rows apply only when the EWMA pre-filter passes samples
+  /// through unchanged (alpha == 1, the default); otherwise the fast path
+  /// fills the preallocated scratch rows instead.
+  bool quantized_applies_;
+  std::vector<double> scratch_core_;
+  std::vector<double> scratch_mem_;
+  /// Running argmax maintained by the fused update (what a hold step
+  /// re-enforces without rescanning the table).
+  PairIndex argmax_{0, 0};
+  // ---------------------------------------------------------------------
+  DecisionRecorder<ScalerDecision> decisions_;
   std::uint64_t steps_{0};
   std::uint64_t held_steps_{0};
   std::uint64_t actuation_failures_{0};

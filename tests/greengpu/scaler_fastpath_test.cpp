@@ -1,0 +1,226 @@
+// Equivalence suite for the scaler fast path: the quantized loss tables,
+// the fused weight updates (both table variants) and the full Algorithm 1
+// step must be *bit-identical* to the straight-line reference — with the
+// fault layer off and on.
+#include "src/greengpu/wma_scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/greengpu/loss.h"
+#include "src/greengpu/runner.h"
+#include "src/greengpu/weight_table.h"
+#include "src/sim/dvfs.h"
+
+namespace gg::greengpu {
+namespace {
+
+// --- quantized loss tables -------------------------------------------------
+
+TEST(QuantizedLossTable, EveryRowMatchesComponentLossBitExactly) {
+  for (const auto& table : {sim::geforce8800_core_table(), sim::geforce8800_memory_table()}) {
+    const auto umean = umean_table(table);
+    const QuantizedLossTable q(umean, 0.15, 0.3);
+    for (unsigned pct = 0; pct <= 100; ++pct) {
+      for (std::size_t i = 0; i < umean.size(); ++i) {
+        const double want =
+            0.3 * component_loss(static_cast<double>(pct) / 100.0, umean[i], 0.15);
+        EXPECT_EQ(q.at(pct, i), want) << "pct=" << pct << " level=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizedLossTable, ZeroPercentRowIsPureEnergyLoss) {
+  const std::vector<double> umean{0.0, 0.25, 0.5, 0.75, 1.0};
+  const double alpha = 0.15;
+  const QuantizedLossTable q(umean, alpha);
+  // u = 0: every level wastes exactly its umean worth of capacity.
+  for (std::size_t i = 0; i < umean.size(); ++i) {
+    EXPECT_EQ(q.at(0, i), alpha * umean[i]);
+  }
+}
+
+TEST(QuantizedLossTable, BoundaryUmeanRowHasZeroLossAtItsLevel) {
+  // When the sampled percent lands exactly on a level's umean, that level's
+  // loss is exactly zero (raw_loss yields 0/0 at u == umean).
+  const std::vector<double> umean{0.0, 0.25, 0.5, 0.75, 1.0};
+  const QuantizedLossTable q(umean, 0.15);
+  EXPECT_EQ(q.at(0, 0), 0.0);
+  EXPECT_EQ(q.at(25, 1), 0.0);
+  EXPECT_EQ(q.at(50, 2), 0.0);
+  EXPECT_EQ(q.at(75, 3), 0.0);
+  EXPECT_EQ(q.at(100, 4), 0.0);
+}
+
+TEST(QuantizedLossTable, HundredPercentRowIsPurePerformanceLoss) {
+  const std::vector<double> umean{0.0, 0.25, 0.5, 0.75, 1.0};
+  const double alpha = 0.15;
+  const QuantizedLossTable q(umean, alpha);
+  for (std::size_t i = 0; i < umean.size(); ++i) {
+    EXPECT_EQ(q.at(100, i), (1.0 - alpha) * (1.0 - umean[i]));
+  }
+}
+
+TEST(QuantizedLossTable, CorruptPercentagesClampToHundredRow) {
+  // Corrupt NVML samples can exceed 100; component_loss clamps u into [0,1],
+  // and the table clamps the row index — same result.
+  const auto umean = umean_table(sim::geforce8800_core_table());
+  const QuantizedLossTable q(umean, 0.15);
+  EXPECT_EQ(q.row(101), q.row(100));
+  EXPECT_EQ(q.row(255), q.row(100));
+  for (std::size_t i = 0; i < umean.size(); ++i) {
+    EXPECT_EQ(q.at(200, i), component_loss(2.0, umean[i], 0.15));
+  }
+}
+
+TEST(EwmaFilter, AlphaOnePassesSamplesThroughBitExactly) {
+  // The fast path uses the quantized rows only when the EWMA pre-filter is
+  // off (alpha == 1); this is the identity that makes that exact.
+  Ewma f(1.0);
+  Rng rng(3);
+  for (int k = 0; k < 200; ++k) {
+    const double x = static_cast<double>(rng.uniform_int(101)) / 100.0;
+    EXPECT_EQ(f.update(x), x);
+  }
+}
+
+// --- fused weight updates --------------------------------------------------
+
+TEST(WeightTableFused, BitIdenticalToUpdateThenArgmaxOverRandomSequences) {
+  Rng rng(7);
+  const double phi = 0.3, beta = 0.2, floor = 1e-2;
+  WeightTable ref(6, 5);
+  WeightTable fast(6, 5);
+  std::vector<double> cl(6), ml(5), scl(6), sml(5);
+  for (int step = 0; step < 500; ++step) {
+    for (auto& x : cl) x = rng.uniform();
+    for (auto& x : ml) x = rng.uniform();
+    for (std::size_t i = 0; i < cl.size(); ++i) scl[i] = phi * cl[i];
+    for (std::size_t j = 0; j < ml.size(); ++j) sml[j] = (1.0 - phi) * ml[j];
+
+    ref.update(cl, ml, phi, beta, floor);
+    const PairIndex want = ref.argmax();
+    const PairIndex got = fast.update_fused(scl.data(), sml.data(), 1.0 - beta, floor);
+
+    ASSERT_EQ(got, want) << "step " << step;
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        ASSERT_EQ(fast.weight(i, j), ref.weight(i, j))
+            << "step " << step << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(WeightTableFused, TieBreaksTowardLowerIndicesLikeArgmax) {
+  // Zero losses leave every weight at the shared maximum; both paths must
+  // pick (0, 0).
+  WeightTable fast(4, 4);
+  const std::vector<double> zeros(4, 0.0);
+  const PairIndex got = fast.update_fused(zeros.data(), zeros.data(), 0.8, 1e-2);
+  EXPECT_EQ(got, (PairIndex{0, 0}));
+}
+
+TEST(FixedWeightTableFused, BitIdenticalToUpdateThenArgmaxOverRandomSequences) {
+  Rng rng(11);
+  const double phi = 0.3, beta = 0.2;
+  const std::uint32_t one_minus_beta_raw = UQ08::from_double(1.0 - beta).raw();
+  FixedWeightTable ref(6, 6);
+  FixedWeightTable fast(6, 6);
+  std::vector<double> cl(6), ml(6), scl(6), sml(6);
+  for (int step = 0; step < 500; ++step) {
+    for (auto& x : cl) x = rng.uniform();
+    for (auto& x : ml) x = rng.uniform();
+    for (std::size_t i = 0; i < cl.size(); ++i) scl[i] = phi * cl[i];
+    for (std::size_t j = 0; j < ml.size(); ++j) sml[j] = (1.0 - phi) * ml[j];
+
+    ref.update(cl, ml, phi, beta);
+    const PairIndex want = ref.argmax();
+    const PairIndex got = fast.update_fused(scl.data(), sml.data(), one_minus_beta_raw);
+
+    ASSERT_EQ(got, want) << "step " << step;
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        ASSERT_EQ(fast.weight(i, j).raw(), ref.weight(i, j).raw())
+            << "step " << step << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// --- full-stack decision-stream equivalence --------------------------------
+
+ExperimentResult run_with(bool reference, bool faults, double filter_alpha,
+                          const std::string& workload) {
+  GreenGpuParams params;
+  params.wma.reference_impl = reference;
+  params.wma.util_filter_alpha = filter_alpha;
+  params.hardening.enabled = faults;  // exercise hold/retry paths under faults
+  RunOptions options;
+  if (faults) {
+    options.faults.seed = 99;
+    options.faults.util_drop_rate = 0.08;
+    options.faults.util_stale_rate = 0.05;
+    options.faults.util_corrupt_rate = 0.05;
+    options.faults.clock_reject_rate = 0.08;
+  }
+  return run_experiment(workload, Policy::scaling_only(params), options);
+}
+
+void expect_identical_streams(const ExperimentResult& fast, const ExperimentResult& ref) {
+  // The decision stream drives the clocks, so stream identity implies the
+  // whole simulation replayed identically — assert both layers bit-exactly.
+  EXPECT_EQ(fast.exec_time.get(), ref.exec_time.get());
+  EXPECT_EQ(fast.gpu_energy.get(), ref.gpu_energy.get());
+  EXPECT_EQ(fast.cpu_energy.get(), ref.cpu_energy.get());
+  ASSERT_EQ(fast.scaler_decisions.size(), ref.scaler_decisions.size());
+  ASSERT_GT(fast.scaler_decisions.size(), 0u);
+  for (std::size_t i = 0; i < fast.scaler_decisions.size(); ++i) {
+    const ScalerDecision& a = fast.scaler_decisions[i];
+    const ScalerDecision& b = ref.scaler_decisions[i];
+    ASSERT_EQ(a.time.get(), b.time.get()) << "decision " << i;
+    ASSERT_EQ(a.core_util, b.core_util) << "decision " << i;
+    ASSERT_EQ(a.mem_util, b.mem_util) << "decision " << i;
+    ASSERT_EQ(a.filtered_core_util, b.filtered_core_util) << "decision " << i;
+    ASSERT_EQ(a.filtered_mem_util, b.filtered_mem_util) << "decision " << i;
+    ASSERT_EQ(a.chosen, b.chosen) << "decision " << i;
+    ASSERT_EQ(a.sample_ok, b.sample_ok) << "decision " << i;
+    ASSERT_EQ(a.actuation_ok, b.actuation_ok) << "decision " << i;
+  }
+}
+
+TEST(ScalerFastPath, DecisionStreamMatchesReferenceFaultFree) {
+  expect_identical_streams(run_with(false, false, 1.0, "pathfinder"),
+                           run_with(true, false, 1.0, "pathfinder"));
+}
+
+TEST(ScalerFastPath, DecisionStreamMatchesReferenceOnSecondWorkload) {
+  expect_identical_streams(run_with(false, false, 1.0, "lud"),
+                           run_with(true, false, 1.0, "lud"));
+}
+
+TEST(ScalerFastPath, DecisionStreamMatchesReferenceUnderFaultInjection) {
+  const ExperimentResult fast = run_with(false, true, 1.0, "pathfinder");
+  const ExperimentResult ref = run_with(true, true, 1.0, "pathfinder");
+  // The fault channels must actually fire for this test to mean anything.
+  EXPECT_GT(fast.fault_event_count, 0u);
+  expect_identical_streams(fast, ref);
+}
+
+TEST(ScalerFastPath, DecisionStreamMatchesReferenceWithUtilFilterOn) {
+  // alpha < 1 disables the quantized rows; the scratch-row path must still
+  // be bit-identical to the reference.
+  expect_identical_streams(run_with(false, false, 0.5, "pathfinder"),
+                           run_with(true, false, 0.5, "pathfinder"));
+}
+
+TEST(ScalerFastPath, FastPathIsTheDefault) {
+  EXPECT_FALSE(WmaParams{}.reference_impl);
+}
+
+}  // namespace
+}  // namespace gg::greengpu

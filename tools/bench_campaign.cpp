@@ -9,6 +9,9 @@
 //   * records wall-clock, runs/sec and the parallel speedup,
 //   * times the sim::EventQueue hot paths (schedule/fire, cancelled-entry
 //     ride-along, DVFS-style cancel churn) in ns per event,
+//   * times one Algorithm 1 scaler step through the fused fast path and the
+//     straight-line reference (ns/op + speedup) and asserts their decision
+//     streams match over the timed runs,
 // then writes the whole record as JSON (default BENCH_campaign.json).
 //
 // Exit code 0 iff every identity check passed.
@@ -23,8 +26,12 @@
 
 #include "src/common/flags.h"
 #include "src/common/json.h"
+#include "src/cudalite/nvml.h"
+#include "src/cudalite/nvsettings.h"
 #include "src/greengpu/campaign.h"
+#include "src/greengpu/wma_scaler.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/platform.h"
 
 namespace {
 
@@ -142,6 +149,49 @@ QueueTimings time_event_queue() {
   return t;
 }
 
+struct ScalerTimings {
+  double fast_ns{0.0};
+  double reference_ns{0.0};
+  double speedup{0.0};
+  bool decisions_match{true};
+  std::uint64_t steps{0};
+};
+
+/// ns per full Algorithm 1 step for one implementation; appends the chosen
+/// pair of every step to `chosen` so the two runs can be compared.
+double time_scaler_steps(bool reference, std::uint64_t steps,
+                         std::vector<greengpu::PairIndex>& chosen) {
+  sim::Platform platform;
+  cudalite::NvmlDevice nvml(platform);
+  cudalite::NvSettings settings(platform);
+  greengpu::WmaParams params;
+  params.reference_impl = reference;
+  greengpu::GpuFrequencyScaler scaler(nvml, settings, params);
+  scaler.set_record(greengpu::RecordOptions{greengpu::RecordMode::kCounters, 0});
+  chosen.reserve(chosen.size() + steps);
+  const auto start = Clock::now();
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    chosen.push_back(scaler.step(Seconds{t}).chosen);
+    t += 3.0;
+  }
+  return seconds_since(start) * 1e9 / static_cast<double>(steps);
+}
+
+ScalerTimings time_scaler_step() {
+  ScalerTimings t;
+  t.steps = 200000;
+  std::vector<greengpu::PairIndex> fast_chosen, ref_chosen;
+  // Warm-up pass each to fault in code and settle the tables.
+  { std::vector<greengpu::PairIndex> tmp; (void)time_scaler_steps(false, 1000, tmp); }
+  { std::vector<greengpu::PairIndex> tmp; (void)time_scaler_steps(true, 1000, tmp); }
+  t.fast_ns = time_scaler_steps(false, t.steps, fast_chosen);
+  t.reference_ns = time_scaler_steps(true, t.steps, ref_chosen);
+  t.speedup = t.fast_ns > 0.0 ? t.reference_ns / t.fast_ns : 0.0;
+  t.decisions_match = fast_chosen == ref_chosen;
+  return t;
+}
+
 bool report_identity(const char* what, const CampaignRun& a, const CampaignRun& b) {
   const bool csv_ok = a.csv == b.csv;
   const bool json_ok = a.json == b.json;
@@ -204,6 +254,15 @@ int main(int argc, char** argv) {
   std::printf("  cancel churn:         %.1f ns/op (%llu compactions)\n", q.cancel_churn_ns,
               static_cast<unsigned long long>(q.compactions));
 
+  std::printf("timing scaler step (fast vs reference)...\n");
+  const ScalerTimings s = time_scaler_step();
+  std::printf("  fast path:  %.1f ns/step\n", s.fast_ns);
+  std::printf("  reference:  %.1f ns/step\n", s.reference_ns);
+  std::printf("[%s] scaler fast-vs-reference: %.2fx speedup, decisions %s\n",
+              s.decisions_match ? "OK" : "FAIL", s.speedup,
+              s.decisions_match ? "identical" : "DIFFER");
+  ok = s.decisions_match && ok;
+
   std::ofstream out(out_file);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_file.c_str());
@@ -232,6 +291,14 @@ int main(int argc, char** argv) {
   w.kv("cancel_churn_ns_per_op", q.cancel_churn_ns);
   w.kv("churn_compactions", static_cast<double>(q.compactions));
   w.kv("events_fired_checksum", static_cast<double>(q.events_fired));
+  w.end_object();
+  w.key("scaler");
+  w.begin_object();
+  w.kv("steps", static_cast<double>(s.steps));
+  w.kv("fast_ns_per_step", s.fast_ns);
+  w.kv("reference_ns_per_step", s.reference_ns);
+  w.kv("speedup_fast_vs_reference", s.speedup);
+  w.kv("decisions_identical", s.decisions_match);
   w.end_object();
   w.end_object();
   out << "\n";

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Perf regression gate for BENCH_campaign.json.
+
+Compares a freshly measured record against the committed one:
+
+  check_perf_regression.py --baseline BENCH_campaign.json \
+                           --current  BENCH_new.json [--tolerance 0.25]
+
+Checks, in order:
+  * hard invariants that must hold on any host: the determinism identity
+    flags and the scaler fast-vs-reference decision identity;
+  * the scaler fast path must actually be faster than the reference
+    (speedup floor, host-independent — both sides ran on the same machine);
+  * ns/op and campaign wall-clock regressions vs the baseline, but only
+    when the baseline was recorded on the same host class (matching
+    host_cpus) — absolute timings are not comparable across machines.
+
+Exit code 0 = pass, 1 = regression/invariant failure, 2 = usage error.
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+# Timed metrics gated when the host class matches ("lower is better").
+TIMED_METRICS = [
+    ("campaign", "serial_seconds"),
+    ("campaign", "parallel_seconds"),
+    ("event_queue", "schedule_fire_ns_per_event"),
+    ("event_queue", "schedule_cancel_fire_ns_per_event"),
+    ("event_queue", "cancel_churn_ns_per_op"),
+    ("scaler", "fast_ns_per_step"),
+]
+
+# Invariants that must be true in the current record, on any host.
+INVARIANT_FLAGS = [
+    ("campaign", "identical_reports"),
+    ("campaign", "identical_reports_with_faults"),
+    ("scaler", "decisions_identical"),
+]
+
+SPEEDUP_FLOOR = 2.0  # scaler fast path vs reference, same host by construction
+
+
+def get(record, section, key):
+    try:
+        return record[section][key]
+    except (KeyError, TypeError):
+        return None
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--baseline", required=True, help="committed BENCH_campaign.json")
+    p.add_argument("--current", required=True, help="freshly measured record")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed fractional slowdown vs baseline (default 0.25)")
+    args = p.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    for section, key in INVARIANT_FLAGS:
+        value = get(current, section, key)
+        if value is None:
+            failures.append(f"{section}.{key}: missing from current record")
+        elif value is not True:
+            failures.append(f"{section}.{key}: expected true, got {value!r}")
+        else:
+            print(f"[OK]   {section}.{key} = true")
+
+    speedup = get(current, "scaler", "speedup_fast_vs_reference")
+    if speedup is None:
+        failures.append("scaler.speedup_fast_vs_reference: missing from current record")
+    elif speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"scaler.speedup_fast_vs_reference: {speedup:.2f}x < {SPEEDUP_FLOOR:.1f}x floor")
+    else:
+        print(f"[OK]   scaler fast path {speedup:.2f}x faster than reference "
+              f"(floor {SPEEDUP_FLOOR:.1f}x)")
+
+    base_cpus = baseline.get("host_cpus")
+    cur_cpus = current.get("host_cpus")
+    if base_cpus != cur_cpus:
+        print(f"[SKIP] timed comparisons: baseline host_cpus={base_cpus} != "
+              f"current host_cpus={cur_cpus} (different host class)")
+    else:
+        for section, key in TIMED_METRICS:
+            base = get(baseline, section, key)
+            cur = get(current, section, key)
+            if base is None:
+                print(f"[SKIP] {section}.{key}: not in baseline (first record)")
+                continue
+            if cur is None:
+                failures.append(f"{section}.{key}: missing from current record")
+                continue
+            if base <= 0:
+                print(f"[SKIP] {section}.{key}: non-positive baseline {base}")
+                continue
+            ratio = cur / base
+            status = "OK" if ratio <= 1.0 + args.tolerance else "FAIL"
+            line = (f"[{status}] {section}.{key}: {cur:.3g} vs baseline {base:.3g} "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%, tolerance "
+                    f"{args.tolerance * 100.0:.0f}%)")
+            print(line)
+            if status == "FAIL":
+                failures.append(line)
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,12 @@
 //   --step S --init-ratio R0 --safeguard 0|1     division tier parameters
 //   --alpha-c A --alpha-m A --phi P --beta B --interval S    WMA parameters
 //   --iterations N              truncate the run (skips verification)
+//   --record MODE               telemetry retention: full | ring | counters
+//                               (default: full for single runs, counters for
+//                               --campaign; pure telemetry — energies and
+//                               decisions are identical across modes)
+//   --record-ring N             retained tail length for --record ring
+//                               (default 256)
 //   --jobs N                    fan independent cells across N workers
 //                               (campaign / --workload all; 0 = all cores,
 //                               default 1; output is identical for any N)
@@ -93,6 +99,17 @@ sim::FaultConfig fault_config_from_flags(const Flags& flags) {
   return cfg;
 }
 
+greengpu::RecordOptions record_options_from_flags(const Flags& flags,
+                                                 greengpu::RecordMode default_mode) {
+  greengpu::RecordOptions rec;
+  rec.mode = greengpu::record_mode_from_string(
+      flags.get_string("record", std::string(greengpu::to_string(default_mode))));
+  const long long ring = flags.get_int("record-ring", 256);
+  if (ring <= 0) throw std::invalid_argument("--record-ring must be > 0");
+  rec.ring_capacity = static_cast<std::size_t>(ring);
+  return rec;
+}
+
 greengpu::Policy policy_from_flags(const Flags& flags) {
   greengpu::GreenGpuParams params;
   params.division.step = flags.get_double("step", params.division.step);
@@ -140,8 +157,8 @@ void print_human(const greengpu::ExperimentResult& r) {
               r.gpu_energy.get(), r.cpu_energy.get(), r.total_energy().get());
   if (r.final_ratio > 0.0) std::printf("   split %2.0f/%2.0f", r.final_ratio * 100.0,
                                        (1.0 - r.final_ratio) * 100.0);
-  if (!r.fault_events.empty()) {
-    std::printf("   faults %zu (degraded iters %zu)", r.fault_events.size(),
+  if (r.fault_event_count > 0) {
+    std::printf("   faults %zu (degraded iters %zu)", r.fault_event_count,
                 r.degraded_iterations);
   }
   std::printf("   %s\n", r.verify_skipped ? "(unverified)"
@@ -174,6 +191,7 @@ int run(const Flags& flags) {
   if (flags.get_bool("campaign", false)) {
     greengpu::CampaignConfig cfg;
     cfg.jobs = jobs;
+    cfg.options.record = record_options_from_flags(flags, greengpu::RecordMode::kCounters);
     const std::string wl = flags.get_string("workload", "");
     if (!wl.empty() && wl != "all") cfg.workloads = {wl};
     const std::string json_file = flags.get_string("json", "");
@@ -220,6 +238,7 @@ int run(const Flags& flags) {
     options.sync_spin = flags.get_bool("sync", true);
     options.verify = !flags.get_bool("no-verify", false);
     options.faults = fault_config_from_flags(flags);
+    options.record = record_options_from_flags(flags, greengpu::RecordMode::kFull);
     const auto unknown_flags = flags.unconsumed();
     if (!unknown_flags.empty()) {
       for (const auto& key : unknown_flags) {
@@ -258,6 +277,7 @@ int run(const Flags& flags) {
     mpolicy.params.hardening.enabled = flags.get_bool("hardened", false);
     greengpu::MultiRunOptions moptions;
     moptions.faults = fault_config_from_flags(flags);
+    moptions.record = record_options_from_flags(flags, greengpu::RecordMode::kFull);
     const auto unknown_flags = flags.unconsumed();
     if (!unknown_flags.empty()) {
       for (const auto& key : unknown_flags) {
@@ -280,6 +300,7 @@ int run(const Flags& flags) {
   options.sync_spin = flags.get_bool("sync", true);
   options.verify = !flags.get_bool("no-verify", false);
   options.faults = fault_config_from_flags(flags);
+  options.record = record_options_from_flags(flags, greengpu::RecordMode::kFull);
   const std::string trace_file = flags.get_string("trace", "");
   options.record_trace = !trace_file.empty();
   const bool csv = flags.get_bool("csv", false);
