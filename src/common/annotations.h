@@ -1,0 +1,30 @@
+// Source annotations consumed by tools/greengpu_lint.py (and, where the
+// compiler understands them, by codegen).
+//
+// `GG_HOT` marks a function as hot-path: the lint scans the annotated
+// definition's body for heap-allocation calls and fails the build if one
+// appears without an explicit, reasoned suppression.  This turns the PR 3
+// "zero allocations per scaler step / per event-queue op" claim from a
+// benchmark observation into a machine-checked invariant.  The macro also
+// carries the compiler's `hot` attribute so annotated functions get the
+// optimizer's hot-path treatment.
+//
+// The lint additionally keeps a *registry* of functions that must stay
+// annotated (see REQUIRED_HOT in tools/greengpu_lint.py): removing GG_HOT
+// from one of them is itself a diagnostic, so the invariant cannot rot by
+// someone deleting the marker.
+//
+// Suppressions: a violating line is accepted only when it, or the line
+// directly above it, carries
+//
+//     // GG_LINT_ALLOW(<rule-id>): <non-empty reason>
+//
+// e.g. `// GG_LINT_ALLOW(hot-alloc): amortized growth to working size`.
+// The reason is mandatory — the lint rejects bare suppressions.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GG_HOT __attribute__((hot))
+#else
+#define GG_HOT
+#endif

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace gg::common {
 
 class JobPool {
@@ -25,7 +27,7 @@ class JobPool {
   /// `workers` = 0 selects hardware_concurrency (at least 1).  A pool with
   /// one worker runs every batch inline on the submitting thread.
   explicit JobPool(std::size_t workers = 0);
-  ~JobPool();
+  ~JobPool() GG_NO_THREAD_SAFETY_ANALYSIS;  // lock_guard opaque to analysis
 
   JobPool(const JobPool&) = delete;
   JobPool& operator=(const JobPool&) = delete;
@@ -35,7 +37,8 @@ class JobPool {
   /// Run fn(i) for i in [0, n); blocks until every started job finished.
   /// After the first exception no further indices are issued; once in-flight
   /// jobs drain, the recorded exception with the lowest index is rethrown.
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn)
+      GG_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Deterministic fan-out: out[i] = fn(i), independent of worker count.
   template <typename T>
@@ -46,6 +49,9 @@ class JobPool {
   }
 
  private:
+  /// All Batch fields are protected by the owning pool's mutex_ while the
+  /// lock is held across claim/retire transitions; jobs themselves run
+  /// unlocked (the index hand-off is the synchronization point).
   struct Batch {
     std::size_t n{0};
     std::size_t next{0};
@@ -56,18 +62,22 @@ class JobPool {
     std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
   };
 
-  void worker_loop();
+  /// Lock juggling through std::unique_lock (unannotated in libstdc++) is
+  /// opaque to Clang's analysis, hence the explicit opt-outs; the
+  /// GG_GUARDED_BY contracts below still police every other accessor.
+  void worker_loop() GG_NO_THREAD_SAFETY_ANALYSIS;
   /// Claim and run jobs from `batch` until it is exhausted; returns with the
   /// pool mutex held (callers pass the lock they already own).
-  void drain(std::unique_lock<std::mutex>& lock, const std::shared_ptr<Batch>& batch);
+  void drain(std::unique_lock<std::mutex>& lock, const std::shared_ptr<Batch>& batch)
+      GG_NO_THREAD_SAFETY_ANALYSIS;
 
   std::size_t worker_target_{1};
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::shared_ptr<Batch> current_;
-  bool shutdown_{false};
+  std::shared_ptr<Batch> current_ GG_GUARDED_BY(mutex_);
+  bool shutdown_ GG_GUARDED_BY(mutex_){false};
 };
 
 }  // namespace gg::common

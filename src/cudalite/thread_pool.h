@@ -15,13 +15,15 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace gg::cudalite {
 
 class ThreadPool {
  public:
   /// `workers` = 0 selects hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t workers = 0);
-  ~ThreadPool();
+  ~ThreadPool() GG_NO_THREAD_SAFETY_ANALYSIS;  // lock_guard opaque to analysis
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -62,15 +64,21 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::function<void(std::size_t)> run_chunk;  // takes chunk index
-    std::exception_ptr error;
+    /// First exception wins; read by the submitter only after the done_cv_
+    /// wait establishes a happens-before with every worker.
+    std::exception_ptr error GG_GUARDED_BY(error_mutex);
     std::mutex error_mutex;
   };
 
-  void worker_loop();
-  void run_chunks(const std::shared_ptr<Batch>& batch);
+  /// std::unique_lock / condition_variable juggling is opaque to Clang's
+  /// analysis (libstdc++ primitives are unannotated); the GG_GUARDED_BY
+  /// contracts still police any new accessor.
+  void worker_loop() GG_NO_THREAD_SAFETY_ANALYSIS;
+  void run_chunks(const std::shared_ptr<Batch>& batch) GG_NO_THREAD_SAFETY_ANALYSIS;
   void parallel_chunk_indices(
       std::size_t n,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+      GG_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -78,8 +86,8 @@ class ThreadPool {
   std::condition_variable done_cv_;
   // Shared ownership: workers hold a reference while executing, so the batch
   // outlives the submitting call even if a worker wakes late.
-  std::shared_ptr<Batch> current_;
-  bool shutdown_{false};
+  std::shared_ptr<Batch> current_ GG_GUARDED_BY(mutex_);
+  bool shutdown_ GG_GUARDED_BY(mutex_){false};
 };
 
 }  // namespace gg::cudalite

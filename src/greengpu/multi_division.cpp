@@ -45,6 +45,7 @@ MultiStepDivider::MultiStepDivider(std::size_t slots, MultiStepParams params)
 }
 
 void MultiStepDivider::update(const std::vector<Seconds>& slot_times) {
+  owner_.assert_owner("greengpu::MultiStepDivider");
   check_times(slot_times, shares_.size());
 
   // Identify the slowest and fastest slots among those that can give/take
@@ -114,6 +115,7 @@ MultiProfilingDivider::MultiProfilingDivider(std::size_t slots, MultiProfilingPa
 }
 
 void MultiProfilingDivider::update(const std::vector<Seconds>& slot_times) {
+  owner_.assert_owner("greengpu::MultiProfilingDivider");
   check_times(slot_times, shares_.size());
   for (std::size_t i = 0; i < shares_.size(); ++i) {
     if (shares_[i] > 0.0 && slot_times[i] > Seconds{0.0}) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/thread_checker.h"
 #include "src/common/units.h"
 #include "src/greengpu/params.h"
 
@@ -68,6 +69,9 @@ class MultiStepDivider final : public MultiDivider {
   MultiStepParams params_;
   std::vector<double> shares_;
   int hold_streak_{0};
+  /// Dividers are per-runner, single-owner state ("one pthread per GPU"
+  /// feeds one divider); armed in debug/TSan builds, free in release.
+  common::ThreadChecker owner_;
 };
 
 struct MultiProfilingParams {
@@ -97,6 +101,8 @@ class MultiProfilingDivider final : public MultiDivider {
   std::vector<double> shares_;
   std::vector<std::optional<Ewma>> rate_;
   int settle_streak_{0};
+  /// See MultiStepDivider::owner_.
+  common::ThreadChecker owner_;
 };
 
 enum class MultiDividerKind { kStep, kProfiling };

@@ -23,6 +23,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/annotations.h"
+#include "src/common/thread_checker.h"
+
 namespace gg::greengpu {
 
 enum class RecordMode {
@@ -55,14 +58,19 @@ class DecisionRecorder {
     if (mode_ == RecordMode::kRing) store_.reserve(cap_);
   }
 
-  void push(const T& value) {
+  GG_HOT void push(const T& value) {
+    owner_.assert_owner("greengpu::DecisionRecorder");
     ++total_;
     switch (mode_) {
       case RecordMode::kFull:
+        // GG_LINT_ALLOW(hot-alloc): kFull retention is the explicit
+        // opt-in unbounded mode; growth amortizes like vector::push_back.
         store_.push_back(value);
         break;
       case RecordMode::kRing:
         if (store_.size() < cap_) {
+          // GG_LINT_ALLOW(hot-alloc): fills pre-reserved ring capacity;
+          // never reallocates (reserve(cap_) ran at construction).
           store_.push_back(value);
         } else {
           store_[head_] = value;
@@ -125,6 +133,9 @@ class DecisionRecorder {
   std::size_t head_{0};
   std::uint64_t total_{0};
   std::vector<T> store_;
+  /// Recorders are per-run, single-owner state (each campaign cell records
+  /// on its own worker); armed in debug/TSan builds, free in release.
+  common::ThreadChecker owner_;
 };
 
 }  // namespace gg::greengpu

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/common/annotations.h"
 #include "src/greengpu/loss.h"
 
 namespace gg::greengpu {
@@ -51,9 +52,9 @@ void WeightTable::update(const std::vector<double>& core_losses,
   }
 }
 
-PairIndex WeightTable::update_fused(const double* scaled_core_losses,
-                                    const double* scaled_mem_losses,
-                                    double one_minus_beta, double weight_floor) {
+GG_HOT PairIndex WeightTable::update_fused(const double* scaled_core_losses,
+                                           const double* scaled_mem_losses,
+                                           double one_minus_beta, double weight_floor) {
   // Pass 1 — decay.  Per cell this is the exact arithmetic of
   // updated_weight(w, total_loss(lc, lm, phi), beta): the pre-blended rows
   // supply phi*lc and (1-phi)*lm already rounded the way total_loss rounds
@@ -162,9 +163,9 @@ void FixedWeightTable::update(const std::vector<double>& core_losses,
   }
 }
 
-PairIndex FixedWeightTable::update_fused(const double* scaled_core_losses,
-                                         const double* scaled_mem_losses,
-                                         std::uint32_t one_minus_beta_raw) {
+GG_HOT PairIndex FixedWeightTable::update_fused(const double* scaled_core_losses,
+                                                const double* scaled_mem_losses,
+                                                std::uint32_t one_minus_beta_raw) {
   // Same quantize-subtract datapath as update(), with the pair loss formed
   // from the pre-blended rows (one add, identical to total_loss) and the
   // running maximum / argmax tracked inline.

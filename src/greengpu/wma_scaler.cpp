@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/common/annotations.h"
+
 namespace gg::greengpu {
 
 GpuFrequencyScaler::GpuFrequencyScaler(cudalite::NvmlDevice& nvml,
@@ -46,7 +48,7 @@ ScalerDecision GpuFrequencyScaler::step(Seconds now) {
   return params_.reference_impl ? step_reference(now) : step_fast(now);
 }
 
-ScalerDecision GpuFrequencyScaler::step_fast(Seconds now) {
+GG_HOT ScalerDecision GpuFrequencyScaler::step_fast(Seconds now) {
   // A fresh step supersedes any asynchronous actuation retry in flight.
   retry_.cancel();
 

@@ -4,12 +4,17 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/common/annotations.h"
+
 namespace gg::sim {
 
-EventHandle EventQueue::schedule_at(Seconds when, Action action) {
+GG_HOT EventHandle EventQueue::schedule_at(Seconds when, Action action) {
+  owner_.assert_owner("sim::EventQueue");
   if (when < now_) throw std::invalid_argument("EventQueue: schedule in the past");
   if (!action) throw std::invalid_argument("EventQueue: empty action");
   const std::uint32_t slot = slab_->acquire();
+  // GG_LINT_ALLOW(hot-alloc): heap storage grows amortized to the run's
+  // peak pending-event count; steady-state pushes reuse capacity.
   heap_.push_back(Entry{when, next_seq_++, std::move(action), slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return EventHandle{slab_, slot};
@@ -52,7 +57,8 @@ bool EventQueue::empty() const {
   return heap_.empty();
 }
 
-bool EventQueue::step() {
+GG_HOT bool EventQueue::step() {
+  owner_.assert_owner("sim::EventQueue");
   drop_cancelled();
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), Later{});

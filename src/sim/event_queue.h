@@ -19,7 +19,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/inline_function.h"
+#include "src/common/thread_checker.h"
 #include "src/common/units.h"
 
 namespace gg::sim {
@@ -45,8 +47,10 @@ struct EventSlab {
   /// Cancelled entries still sitting in the heap (drives compaction).
   std::size_t cancelled_in_heap{0};
 
-  std::uint32_t acquire() {
+  GG_HOT std::uint32_t acquire() {
     if (free_head == kNone) {
+      // GG_LINT_ALLOW(hot-alloc): slab grows amortized to the run's peak
+      // in-flight event count, then recycles slots forever.
       slots.push_back(Slot{0, kNone, true, false, false});
       return static_cast<std::uint32_t>(slots.size() - 1);
     }
@@ -208,6 +212,10 @@ class EventQueue {
   void retire_entry(const Entry& e) const;
 
   mutable std::vector<Entry> heap_;  // binary heap ordered by Later
+  /// The queue is single-owner by contract: each simulation (campaign cell,
+  /// test, bench) drives its own queue on one thread.  Armed in debug/TSan
+  /// builds; compiles away in release.
+  common::ThreadChecker owner_;
   std::shared_ptr<detail::EventSlab> slab_{std::make_shared<detail::EventSlab>()};
   Seconds now_{0.0};
   std::uint64_t next_seq_{0};

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace gg::common {
@@ -79,12 +81,23 @@ TEST(JobPoolTest, LowestIndexExceptionWins) {
 TEST(JobPoolTest, NoNewIndicesAfterFailure) {
   JobPool pool(2);
   std::atomic<std::size_t> started{0};
-  EXPECT_THROW(pool.run(1000,
-                        [&](std::size_t i) {
-                          started.fetch_add(1);
-                          if (i == 0) throw std::logic_error("first job fails");
-                        }),
-               std::logic_error);
+  std::atomic<bool> failing_job_started{false};
+  EXPECT_THROW(
+      pool.run(1000,
+               [&](std::size_t i) {
+                 started.fetch_add(1);
+                 if (i == 0) {
+                   failing_job_started.store(true);
+                   throw std::logic_error("first job fails");
+                 }
+                 // Other jobs cannot finish before job 0 is underway, and each
+                 // then takes ~1ms, so the second worker cannot drain the
+                 // 999-job tail inside job 0's throw-to-record window (which
+                 // made the original zero-cost jobs flaky under machine load).
+                 while (!failing_job_started.load()) std::this_thread::yield();
+                 std::this_thread::sleep_for(std::chrono::milliseconds(1));
+               }),
+      std::logic_error);
   // In-flight jobs may finish, but the tail of the batch is never issued.
   EXPECT_LT(started.load(), 1000u);
 }

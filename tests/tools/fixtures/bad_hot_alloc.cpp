@@ -1,0 +1,37 @@
+// Lint fixture: GG_HOT bodies must be allocation-free; every pattern class
+// fires once, and both suppression forms (reasoned, bare) are exercised.
+#include <memory>
+#include <string>
+#include <vector>
+
+#define GG_HOT
+
+struct Recorder {
+  std::vector<int> log;
+
+  GG_HOT void hot_push(int v) {
+    log.push_back(v);  // violation: container growth
+  }
+
+  GG_HOT int* hot_new() {
+    return new int{7};  // violation: operator new
+  }
+
+  GG_HOT std::string hot_string(int v) {
+    return std::to_string(v);  // violation: string construction
+  }
+
+  GG_HOT void hot_suppressed(int v) {
+    // GG_LINT_ALLOW(hot-alloc): fixture proves reasoned suppressions hold
+    log.push_back(v);
+  }
+
+  GG_HOT void hot_bare_suppression(int v) {
+    // GG_LINT_ALLOW(hot-alloc)
+    log.push_back(v);
+  }
+
+  void cold_push(int v) {
+    log.push_back(v);  // fine: not GG_HOT
+  }
+};

@@ -1,0 +1,41 @@
+// Lint fixture: every sanctioned-clock/randomness rule must fire here.
+// This file is never compiled; it exists to pin greengpu-lint diagnostics.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_seed() {
+  std::random_device rd;  // violation: nondeterministic seed source
+  return static_cast<int>(rd());
+}
+
+int bad_rand() {
+  srand(42);      // violation: hidden global state
+  return rand();  // violation: hidden global state
+}
+
+long bad_wall_clock() {
+  const auto now = std::chrono::system_clock::now();  // violation: wall clock
+  return now.time_since_epoch().count();
+}
+
+long bad_time() {
+  return ::time(nullptr);  // violation: wall clock
+}
+
+const char* bad_env() {
+  return std::getenv("GREENGPU_MODE");  // violation: host-dependent
+}
+
+int suppressed_ok() {
+  // GG_LINT_ALLOW(nondeterminism): fixture proves reasoned suppressions hold
+  return rand();
+}
+
+int operand(int x) { return x; }  // not a violation: 'rand(' inside a word
+
+int comments_are_stripped() {
+  // mentioning rand() or system_clock in a comment is fine
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Lint fixture: the filename contains "report", so this counts as a
+// serialization path — unordered containers are banned outright here.
+#include <string>
+#include <unordered_map>
+
+double report_total(const std::unordered_map<std::string, double>& cells) {
+  double total = 0.0;
+  for (const auto& kv : cells) total += kv.second;  // violation: unordered range-for
+  return total;
+}

@@ -1,0 +1,18 @@
+// Lint fixture: a fully clean file — the linter must stay silent and exit 0.
+#include <map>
+#include <string>
+#include <vector>
+
+#define GG_HOT
+
+struct Accumulator {
+  double total{0.0};
+
+  GG_HOT void add(double v) { total += v; }
+};
+
+double sum_sorted(const std::map<std::string, double>& cells) {
+  double total = 0.0;
+  for (const auto& kv : cells) total += kv.second;  // ordered: fine anywhere
+  return total;
+}

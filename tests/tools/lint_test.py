@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Tests for tools/greengpu_lint.py.
+
+Two halves:
+  1. Fixture corpus — each file under tests/tools/fixtures/ has a golden
+     diagnostic listing under tests/tools/expected/; the lint's stdout must
+     match byte-for-byte (this is what "asserting exact diagnostic output"
+     means: messages, paths, line numbers, order).  Fixtures whose golden
+     file is non-empty must exit 1; clean ones must exit 0.
+  2. Tree scan — the real tree must lint clean (exit 0, no output).  This is
+     the same invocation CI and tools/lint.sh use.
+
+Run directly or through ctest: python3 tests/tools/lint_test.py --root <repo>
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+FIXTURES = ["bad_nondeterminism", "bad_report_unordered", "bad_hot_alloc", "clean"]
+
+
+def run_lint(root, args):
+    lint = os.path.join(root, "tools", "greengpu_lint.py")
+    return subprocess.run(
+        [sys.executable, lint, "--root", root, *args],
+        capture_output=True, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=os.path.join(os.path.dirname(__file__), "..", ".."))
+    root = os.path.abspath(parser.parse_args().root)
+
+    failures = []
+
+    for name in FIXTURES:
+        fixture = os.path.join(root, "tests", "tools", "fixtures", name + ".cpp")
+        golden_path = os.path.join(root, "tests", "tools", "expected", name + ".txt")
+        with open(golden_path, encoding="utf-8") as f:
+            golden = f.read()
+        result = run_lint(root, [fixture])
+        expected_code = 1 if golden else 0
+        if result.returncode != expected_code:
+            failures.append(
+                f"{name}: exit {result.returncode}, expected {expected_code}\n"
+                f"stderr: {result.stderr}")
+        if result.stdout != golden:
+            failures.append(
+                f"{name}: diagnostic mismatch\n--- expected ---\n{golden}"
+                f"--- actual ---\n{result.stdout}")
+
+    tree = run_lint(root, [])
+    if tree.returncode != 0 or tree.stdout:
+        failures.append(
+            f"tree scan not clean (exit {tree.returncode}):\n{tree.stdout}{tree.stderr}")
+
+    if failures:
+        print(f"lint_test: {len(failures)} failure(s)", file=sys.stderr)
+        for f in failures:
+            print(f, file=sys.stderr)
+        return 1
+    print(f"lint_test: {len(FIXTURES)} fixtures + tree scan OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,441 @@
+#!/usr/bin/env python3
+"""greengpu-lint: project-invariant checks the compiler cannot express.
+
+GreenGPU's core contract is determinism: one seed, one report — byte-identical
+for any --jobs value, faults included — and an allocation-free scaler/event
+hot path (PR 2/3).  The compiler cannot enforce either, so this lint does:
+
+  nondeterminism    Wall-clock reads, std::random_device, rand()/srand(),
+                    getenv() and friends are banned outside sanctioned
+                    timing code: simulated time comes from
+                    sim::EventQueue::now(), randomness from seeded
+                    common/rng.h generators, configuration from flags.
+
+  unordered-iter    Iterating an unordered container feeds unspecified
+                    (libstdc++-version-dependent) order into whatever
+                    consumes the loop, so range-for over any variable
+                    declared as std::unordered_{map,set,...} is flagged
+                    everywhere, and unordered containers are banned outright
+                    in report/serialization translation units.
+
+  hot-alloc         Functions annotated GG_HOT (src/common/annotations.h)
+                    must not allocate: new/malloc, make_unique/make_shared,
+                    push_back/emplace/insert/resize/reserve, string and
+                    stream construction, std::function construction.  This
+                    machine-checks PR 3's "zero allocations per step" claim.
+
+  hot-registry      The functions listed in REQUIRED_HOT below must carry
+                    the GG_HOT annotation, so the hot-alloc guarantee cannot
+                    rot by deleting a marker.  (Tree scans only — skipped
+                    when explicit files are given.)
+
+Suppression: a violating line is accepted when it, or the line directly
+above it, carries `// GG_LINT_ALLOW(<rule>): <reason>` with a non-empty
+reason.  A suppression without a reason is itself a diagnostic
+(bare-suppression).
+
+Output: `path:line: error: [rule] message`, sorted by path then line; exit
+status 1 if anything was reported, 0 on a clean tree.
+
+Usage:
+    greengpu_lint.py [--root DIR]            # scan the tree (default: cwd)
+    greengpu_lint.py [--root DIR] FILE...    # scan specific files (fixture
+                                             # mode; hot-registry skipped)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Configuration
+# --------------------------------------------------------------------------
+
+SCAN_DIRS = ("src", "tools", "bench", "examples", "tests")
+EXTS = (".h", ".hpp", ".cpp", ".cc")
+EXCLUDE_PARTS = ("tests/tools/fixtures",)  # lint's own violation corpus
+
+# nondeterminism: (regex, only_under_src, message)
+NONDET_PATTERNS = [
+    (re.compile(r"std::random_device"), False,
+     "std::random_device is a nondeterministic seed source; use a seeded "
+     "generator from src/common/rng.h"),
+    (re.compile(r"\b(?:std::)?s?rand\s*\("), False,
+     "rand()/srand() draw from hidden global state; use a seeded generator "
+     "from src/common/rng.h"),
+    (re.compile(r"\bsystem_clock\b|\bhigh_resolution_clock\b"), False,
+     "wall-clock reads make runs irreproducible; simulated time comes from "
+     "sim::EventQueue::now()"),
+    (re.compile(r"\bsteady_clock\b"), True,
+     "steady_clock is sanctioned for wall-time measurement in tools/ and "
+     "bench/ only; inside src/ all time must come from sim::EventQueue::now()"),
+    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bclock\s*\(\s*\)"), False,
+     "OS clock reads make runs irreproducible; simulated time comes from "
+     "sim::EventQueue::now()"),
+    (re.compile(r"(?:::|\bstd::)time\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), False,
+     "time() is a wall-clock read; simulated time comes from "
+     "sim::EventQueue::now()"),
+    (re.compile(r"\bgetenv\s*\("), False,
+     "environment reads make runs host-dependent; thread configuration "
+     "through src/common/flags.h"),
+]
+
+# unordered containers are banned outright in these translation units: they
+# produce the repo's externally-visible bytes (CSV/JSON reports, traces,
+# telemetry snapshots), where unspecified iteration order breaks the
+# byte-identity contract.
+REPORT_PATH_RE = re.compile(
+    r"(src/common/(csv|json)\.(h|cpp)"
+    r"|src/greengpu/(campaign|telemetry)\.(h|cpp)"
+    r"|src/sim/trace\.(h|cpp)"
+    r"|report|serial)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<")
+# declared variable name after the closing template bracket, e.g.
+# `std::unordered_map<K, V> index_;` or `unordered_set<int> seen{...};`
+UNORDERED_VAR_RE = re.compile(
+    r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*&?\s*"
+    r"(\w+)\s*(?:[;={(,)]|$)")
+
+ALLOC_PATTERNS = [
+    (re.compile(r"\bnew\b"), "operator new"),
+    (re.compile(r"\b(?:malloc|calloc|realloc|strdup)\s*\("), "C allocation"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "make_unique/make_shared"),
+    (re.compile(r"\.(?:push_back|emplace_back|emplace|insert|resize|reserve)\s*\("),
+     "container growth"),
+    (re.compile(r"\bstd::to_string\b|\bstd::(?:o|i)?stringstream\b|"
+                r"\bstd::string\s*[({]"), "string construction"),
+    (re.compile(r"\bstd::function\s*<"), "std::function construction"),
+    (re.compile(r"\bstd::vector\s*<[^;]*?>\s+\w+\s*[({]"), "local vector"),
+]
+
+# hot-registry: (repo-relative file, definition regex, display name).
+# These are the functions whose allocation-freedom the benchmarks and the
+# PR 3 equivalence suite rely on; each must carry GG_HOT on its definition
+# line or the line above.
+REQUIRED_HOT = [
+    ("src/greengpu/weight_table.cpp",
+     re.compile(r"PairIndex\s+WeightTable::update_fused\s*\("),
+     "WeightTable::update_fused"),
+    ("src/greengpu/weight_table.cpp",
+     re.compile(r"PairIndex\s+FixedWeightTable::update_fused\s*\("),
+     "FixedWeightTable::update_fused"),
+    ("src/greengpu/wma_scaler.cpp",
+     re.compile(r"ScalerDecision\s+GpuFrequencyScaler::step_fast\s*\("),
+     "GpuFrequencyScaler::step_fast"),
+    ("src/sim/event_queue.cpp",
+     re.compile(r"EventHandle\s+EventQueue::schedule_at\s*\("),
+     "EventQueue::schedule_at"),
+    ("src/sim/event_queue.cpp",
+     re.compile(r"bool\s+EventQueue::step\s*\("),
+     "EventQueue::step"),
+    ("src/sim/event_queue.h",
+     re.compile(r"std::uint32_t\s+acquire\s*\("),
+     "EventSlab::acquire"),
+    ("src/greengpu/telemetry.h",
+     re.compile(r"void\s+push\s*\("),
+     "DecisionRecorder::push"),
+]
+
+ALLOW_RE = re.compile(r"GG_LINT_ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+
+# --------------------------------------------------------------------------
+# Mechanics
+# --------------------------------------------------------------------------
+
+
+class Diagnostic:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: error: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    so line numbers survive.  Good enough for token scans; not a parser."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif mode == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "code"
+            out.append(c if c == "\n" else " ")
+        elif mode == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                mode = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def collect_suppressions(raw_lines):
+    """line number -> {rule: reason-or-None} from GG_LINT_ALLOW comments."""
+    allows = {}
+    for ln, line in enumerate(raw_lines, 1):
+        m = ALLOW_RE.search(line)
+        if m:
+            allows.setdefault(ln, {})[m.group(1)] = m.group(2)
+    return allows
+
+
+class FileLinter:
+    def __init__(self, relpath: str, raw: str):
+        self.relpath = relpath
+        self.raw_lines = raw.splitlines()
+        self.code = strip_comments_and_strings(raw)
+        self.code_lines = self.code.splitlines()
+        self.allows = collect_suppressions(self.raw_lines)
+        self.diags: list[Diagnostic] = []
+
+    def report(self, line: int, rule: str, message: str) -> None:
+        # A suppression covers the line it sits on, or a violation directly
+        # below the (possibly multi-line) comment block it starts.
+        probes = [line]
+        probe = line - 1
+        while probe >= 1 and self.raw_lines[probe - 1].lstrip().startswith("//"):
+            probes.append(probe)
+            probe -= 1
+        for p in probes:
+            rules = self.allows.get(p, {})
+            if rule in rules:
+                if rules[rule]:
+                    return  # suppressed with a reason
+                self.diags.append(Diagnostic(
+                    self.relpath, p, "bare-suppression",
+                    f"GG_LINT_ALLOW({rule}) needs a reason after ':'"))
+                return
+        self.diags.append(Diagnostic(self.relpath, line, rule, message))
+
+    # -- nondeterminism ----------------------------------------------------
+    def check_nondeterminism(self) -> None:
+        under_src = self.relpath.startswith("src/")
+        for ln, line in enumerate(self.code_lines, 1):
+            for pattern, src_only, message in NONDET_PATTERNS:
+                if src_only and not under_src:
+                    continue
+                if pattern.search(line):
+                    self.report(ln, "nondeterminism", message)
+
+    # -- unordered-iter ----------------------------------------------------
+    def check_unordered(self) -> None:
+        in_report_path = REPORT_PATH_RE.search(self.relpath) is not None
+        unordered_vars = set()
+        for ln, line in enumerate(self.code_lines, 1):
+            if in_report_path and UNORDERED_DECL_RE.search(line):
+                self.report(
+                    ln, "unordered-iter",
+                    "unordered containers are banned in report/serialization "
+                    "paths (iteration order is unspecified); use std::map or "
+                    "a sorted vector")
+            for m in UNORDERED_VAR_RE.finditer(line):
+                unordered_vars.add(m.group(1))
+        if not unordered_vars:
+            return
+        names = "|".join(re.escape(v) for v in sorted(unordered_vars))
+        range_for = re.compile(
+            r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(" + names + r")\b")
+        for ln, line in enumerate(self.code_lines, 1):
+            m = range_for.search(line)
+            if m:
+                self.report(
+                    ln, "unordered-iter",
+                    f"range-for over unordered container '{m.group(1)}' has "
+                    "unspecified order; iterate sorted keys or switch to an "
+                    "ordered container")
+
+    # -- hot-alloc ---------------------------------------------------------
+    def _hot_spans(self):
+        """Yield (name, body_start_line, body_end_line) for each GG_HOT
+        function.  Body = first '{' after the marker, brace-matched."""
+        text = self.code
+        for m in re.finditer(r"\bGG_HOT\b", text):
+            line_start = text.rfind("\n", 0, m.start()) + 1
+            if text[line_start:m.start()].lstrip().startswith("#"):
+                continue  # the macro's own #define, not an annotation
+            open_idx = text.find("{", m.end())
+            if open_idx < 0:
+                continue
+            sig = text[m.end():open_idx]
+            name_m = re.findall(r"([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(", sig)
+            name = name_m[0] if name_m else "<unknown>"
+            depth = 0
+            end_idx = open_idx
+            for i in range(open_idx, len(text)):
+                if text[i] == "{":
+                    depth += 1
+                elif text[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end_idx = i
+                        break
+            start_line = text.count("\n", 0, open_idx) + 1
+            end_line = text.count("\n", 0, end_idx) + 1
+            yield name, start_line, end_line
+
+    def check_hot_alloc(self) -> None:
+        for name, start, end in self._hot_spans():
+            for ln in range(start, end + 1):
+                line = self.code_lines[ln - 1] if ln - 1 < len(self.code_lines) else ""
+                for pattern, what in ALLOC_PATTERNS:
+                    if pattern.search(line):
+                        self.report(
+                            ln, "hot-alloc",
+                            f"{what} in GG_HOT function '{name}' — hot paths "
+                            "must be allocation-free (see "
+                            "src/common/annotations.h)")
+
+    def run(self) -> list[Diagnostic]:
+        self.check_nondeterminism()
+        self.check_unordered()
+        self.check_hot_alloc()
+        return self.diags
+
+
+def check_registry(root: str) -> list[Diagnostic]:
+    diags = []
+    for relpath, pattern, display in REQUIRED_HOT:
+        path = os.path.join(root, relpath)
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = f.read()
+        except OSError:
+            diags.append(Diagnostic(
+                relpath, 1, "hot-registry",
+                f"registry function '{display}' expected here but the file "
+                "is missing — update REQUIRED_HOT in tools/greengpu_lint.py"))
+            continue
+        lines = strip_comments_and_strings(raw).splitlines()
+        found = False
+        for ln, line in enumerate(lines, 1):
+            if pattern.search(line):
+                found = True
+                prev = lines[ln - 2] if ln >= 2 else ""
+                if "GG_HOT" not in line and "GG_HOT" not in prev:
+                    diags.append(Diagnostic(
+                        relpath, ln, "hot-registry",
+                        f"'{display}' is in the hot registry but its "
+                        "definition is missing the GG_HOT annotation"))
+                break
+        if not found:
+            diags.append(Diagnostic(
+                relpath, 1, "hot-registry",
+                f"registry function '{display}' not found — if it moved or "
+                "was renamed, update REQUIRED_HOT in tools/greengpu_lint.py"))
+    return diags
+
+
+def iter_tree(root: str):
+    for top in SCAN_DIRS:
+        base = os.path.join(root, top)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                path = os.path.join(dirpath, fname)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                if not rel.endswith(EXTS):
+                    continue
+                if any(part in rel for part in EXCLUDE_PARTS):
+                    continue
+                yield path, rel
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (skips hot-registry)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    diags: list[Diagnostic] = []
+
+    if args.files:
+        targets = []
+        for f in args.files:
+            path = os.path.abspath(f)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if rel.startswith(".."):
+                rel = os.path.basename(path)  # outside root: bare name
+            targets.append((path, rel))
+    else:
+        targets = list(iter_tree(root))
+        diags.extend(check_registry(root))
+
+    for path, rel in targets:
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = f.read()
+        except OSError as err:
+            print(f"greengpu-lint: cannot read {rel}: {err}", file=sys.stderr)
+            return 2
+        diags.extend(FileLinter(rel, raw).run())
+
+    diags.sort(key=lambda d: (d.path, d.line, d.rule, d.message))
+    seen = set()
+    diags = [d for d in diags
+             if (key := (d.path, d.line, d.rule, d.message)) not in seen
+             and not seen.add(key)]
+    for d in diags:
+        print(d.render())
+    if diags:
+        print(f"greengpu-lint: {len(diags)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Single local entry point for the static-analysis layer (what the CI lint
+# job runs).  Always runs greengpu-lint; runs clang-format and clang-tidy
+# when the tools are installed, and says so when they are not, so a box
+# without LLVM still gets the project-invariant checks.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir (default: build) must contain compile_commands.json for the
+#   clang-tidy pass (the top-level CMakeLists exports it unconditionally).
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+STATUS=0
+
+echo "== greengpu-lint =="
+if ! python3 tools/greengpu_lint.py --root .; then
+  STATUS=1
+else
+  echo "clean"
+fi
+
+echo "== clang-format (check only) =="
+if command -v clang-format >/dev/null 2>&1; then
+  # shellcheck disable=SC2046
+  if ! clang-format --dry-run --Werror \
+      $(git ls-files 'src/**/*.h' 'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' \
+                     'bench/*.h' 'examples/*.cpp' 'tests/**/*.cpp' \
+        | grep -v tests/tools/fixtures); then
+    STATUS=1
+  else
+    echo "clean"
+  fi
+else
+  echo "clang-format not installed: skipped"
+fi
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "no $BUILD_DIR/compile_commands.json: configure with cmake first"
+    STATUS=1
+  else
+    # shellcheck disable=SC2046
+    if ! clang-tidy -p "$BUILD_DIR" --quiet \
+        $(git ls-files 'src/**/*.cpp'); then
+      STATUS=1
+    else
+      echo "clean"
+    fi
+  fi
+else
+  echo "clang-tidy not installed: skipped"
+fi
+
+exit $STATUS
