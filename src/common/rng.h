@@ -96,6 +96,24 @@ class Rng {
   /// Derive an independent child generator (for per-component streams).
   [[nodiscard]] constexpr Rng fork() { return Rng{next() ^ 0xD1B54A32D192ED03ULL}; }
 
+  /// Raw stream state, for checkpointing.  Restoring via restore_state()
+  /// continues the exact sequence (including a cached normal() spare).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double spare{0.0};
+    bool have_spare{false};
+  };
+
+  [[nodiscard]] constexpr State state() const {
+    return State{state_, spare_, have_spare_};
+  }
+
+  constexpr void restore_state(const State& st) {
+    state_ = st.s;
+    spare_ = st.spare;
+    have_spare_ = st.have_spare;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

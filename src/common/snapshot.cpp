@@ -1,0 +1,208 @@
+#include "src/common/snapshot.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/killpoint.h"
+
+namespace gg::common {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+/// Fixed header: magic u32 + version u32 + payload length u64 + CRC u32.
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::u32(std::uint32_t v) { put_u32(buf_, v); }
+
+void SnapshotWriter::u64(std::uint64_t v) { put_u64(buf_, v); }
+
+void SnapshotWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void SnapshotWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+std::vector<std::uint8_t> SnapshotWriter::frame() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + buf_.size());
+  put_u32(out, kSnapshotMagic);
+  put_u32(out, kSnapshotVersion);
+  put_u64(out, buf_.size());
+  put_u32(out, crc32(buf_.data(), buf_.size()));
+  out.insert(out.end(), buf_.begin(), buf_.end());
+  return out;
+}
+
+void SnapshotWriter::write_atomic(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  const std::vector<std::uint8_t> bytes = frame();
+  {
+    // GG_LINT_ALLOW(checkpoint-write): this IS the atomic write-rename
+    // helper — the temp file is renamed over the target below.
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("snapshot: cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) throw SnapshotError("snapshot: short write to " + tmp);
+  }
+  // Torn-write window: a crash here leaves `<path>.tmp` and the previous
+  // good snapshot (or no snapshot) at `path` — readers never see a partial
+  // frame.
+  killpoint(KillPoint::kMidCheckpoint);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw SnapshotError("snapshot: cannot rename " + tmp + " to " + path);
+  }
+}
+
+SnapshotReader SnapshotReader::from_frame(const std::uint8_t* data, std::size_t size) {
+  if (size < kHeaderSize) {
+    throw SnapshotError("snapshot: truncated header (" + std::to_string(size) +
+                        " bytes)");
+  }
+  if (read_u32(data) != kSnapshotMagic) {
+    throw SnapshotError("snapshot: bad magic (not a GGSN snapshot)");
+  }
+  const std::uint32_t version = read_u32(data + 4);
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot: schema version " + std::to_string(version) +
+                        " unsupported (expected " + std::to_string(kSnapshotVersion) +
+                        ")");
+  }
+  const std::uint64_t length = read_u64(data + 8);
+  if (length != size - kHeaderSize) {
+    throw SnapshotError("snapshot: payload length mismatch (declared " +
+                        std::to_string(length) + ", have " +
+                        std::to_string(size - kHeaderSize) + ")");
+  }
+  const std::uint32_t declared_crc = read_u32(data + 16);
+  const std::uint32_t actual_crc = crc32(data + kHeaderSize, length);
+  if (declared_crc != actual_crc) {
+    throw SnapshotError("snapshot: CRC mismatch (corrupt payload)");
+  }
+  SnapshotReader r;
+  r.buf_.assign(data + kHeaderSize, data + size);
+  return r;
+}
+
+SnapshotReader SnapshotReader::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot: cannot open " + path);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return from_frame(bytes.data(), bytes.size());
+}
+
+SnapshotReader SnapshotReader::from_payload(std::vector<std::uint8_t> payload) {
+  SnapshotReader r;
+  r.buf_ = std::move(payload);
+  return r;
+}
+
+void SnapshotReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    throw SnapshotError("snapshot: payload over-read (schema/data mismatch)");
+  }
+}
+
+std::uint8_t SnapshotReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t SnapshotReader::u32() {
+  need(4);
+  const std::uint32_t v = read_u32(buf_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  need(8);
+  const std::uint64_t v = read_u64(buf_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string SnapshotReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> SnapshotReader::f64_vec() {
+  const std::uint64_t n = u64();
+  need(n * 8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+void SnapshotReader::expect_done() const {
+  if (pos_ != buf_.size()) {
+    throw SnapshotError("snapshot: " + std::to_string(buf_.size() - pos_) +
+                        " trailing payload bytes (schema/data mismatch)");
+  }
+}
+
+}  // namespace gg::common

@@ -59,6 +59,13 @@ class Ewma {
   [[nodiscard]] double value() const { return value_; }
   [[nodiscard]] bool seeded() const { return seeded_; }
 
+  /// Put the filter back into a checkpointed state (alpha is configuration,
+  /// not state — it comes from the rebuilt controller).
+  void restore(double value, bool seeded) {
+    value_ = value;
+    seeded_ = seeded;
+  }
+
  private:
   double alpha_;
   double value_{0.0};

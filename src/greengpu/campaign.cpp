@@ -41,15 +41,42 @@ std::uint64_t campaign_cell_seed(std::uint64_t base, std::size_t cell_index) {
   return splitmix64(state);
 }
 
-CampaignResult run_campaign(const CampaignConfig& config, const CampaignProgress& progress) {
-  CampaignResult out;
-  out.workloads =
+CampaignPlan plan_campaign(const CampaignConfig& config) {
+  CampaignPlan plan;
+  plan.workloads =
       config.workloads.empty() ? workloads::all_workload_names() : config.workloads;
-  std::vector<Policy> policies = config.policies;
-  if (policies.empty()) {
-    policies = {Policy::best_performance(), Policy::scaling_only(),
-                Policy::division_only(), Policy::green_gpu()};
+  plan.policies = config.policies;
+  if (plan.policies.empty()) {
+    plan.policies = {Policy::best_performance(), Policy::scaling_only(),
+                     Policy::division_only(), Policy::green_gpu()};
   }
+  return plan;
+}
+
+void finalize_campaign_savings(CampaignResult& result) {
+  const std::size_t policy_count = result.policy_names.size();
+  for (std::size_t w = 0; w < result.workloads.size(); ++w) {
+    const ExperimentResult& baseline = result.cells[w * policy_count].result;
+    const double baseline_energy = baseline.total_energy().get();
+    const double baseline_time = baseline.exec_time.get();
+    for (std::size_t p = 0; p < policy_count; ++p) {
+      CampaignCell& cell = result.cells[w * policy_count + p];
+      cell.energy_saving =
+          baseline_energy > 0.0
+              ? 1.0 - cell.result.total_energy().get() / baseline_energy
+              : 0.0;
+      cell.time_delta = baseline_time > 0.0
+                            ? cell.result.exec_time.get() / baseline_time - 1.0
+                            : 0.0;
+    }
+  }
+}
+
+CampaignResult run_campaign(const CampaignConfig& config, const CampaignProgress& progress) {
+  const CampaignPlan plan = plan_campaign(config);
+  CampaignResult out;
+  out.workloads = plan.workloads;
+  const std::vector<Policy>& policies = plan.policies;
   for (const auto& p : policies) out.policy_names.push_back(p.name);
 
   const std::size_t policy_count = policies.size();
@@ -78,21 +105,7 @@ CampaignResult run_campaign(const CampaignConfig& config, const CampaignProgress
     }
   });
 
-  for (std::size_t w = 0; w < out.workloads.size(); ++w) {
-    const ExperimentResult& baseline = out.cells[w * policy_count].result;
-    const double baseline_energy = baseline.total_energy().get();
-    const double baseline_time = baseline.exec_time.get();
-    for (std::size_t p = 0; p < policy_count; ++p) {
-      CampaignCell& cell = out.cells[w * policy_count + p];
-      cell.energy_saving =
-          baseline_energy > 0.0
-              ? 1.0 - cell.result.total_energy().get() / baseline_energy
-              : 0.0;
-      cell.time_delta = baseline_time > 0.0
-                            ? cell.result.exec_time.get() / baseline_time - 1.0
-                            : 0.0;
-    }
-  }
+  finalize_campaign_savings(out);
   return out;
 }
 

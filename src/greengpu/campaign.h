@@ -73,6 +73,22 @@ struct CampaignResult {
 using CampaignProgress =
     std::function<void(const std::string&, const std::string&, std::size_t, std::size_t)>;
 
+/// The resolved (workload x policy) matrix a config expands to.  Shared by
+/// run_campaign and the checkpointed runner (recovery.h) so both agree on
+/// cell indexing — flat index i = workload * policies.size() + policy.
+struct CampaignPlan {
+  std::vector<std::string> workloads;
+  std::vector<Policy> policies;
+  [[nodiscard]] std::size_t total() const { return workloads.size() * policies.size(); }
+};
+
+[[nodiscard]] CampaignPlan plan_campaign(const CampaignConfig& config);
+
+/// Deterministic post-pass computing per-cell savings vs each workload's
+/// baseline policy (index 0).  Identical for any execution order, so
+/// resumed and uninterrupted campaigns report byte-identical savings.
+void finalize_campaign_savings(CampaignResult& result);
+
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
                                           const CampaignProgress& progress = {});
 

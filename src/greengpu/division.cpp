@@ -92,4 +92,30 @@ void DivisionController::reset() {
   history_.clear();
 }
 
+namespace {
+void save_division_decision(common::SnapshotWriter& w, const DivisionDecision& d) {
+  w.f64(d.ratio);
+  w.u8(static_cast<std::uint8_t>(d.action));
+}
+
+DivisionDecision load_division_decision(common::SnapshotReader& r) {
+  DivisionDecision d;
+  d.ratio = r.f64();
+  d.action = static_cast<DivisionAction>(r.u8());
+  return d;
+}
+}  // namespace
+
+void DivisionController::save(common::SnapshotWriter& w) const {
+  w.f64(ratio_);
+  w.u64(static_cast<std::uint64_t>(hold_streak_));
+  history_.save(w, save_division_decision);
+}
+
+void DivisionController::load(common::SnapshotReader& r) {
+  ratio_ = r.f64();
+  hold_streak_ = static_cast<int>(r.u64());
+  history_.load(r, load_division_decision);
+}
+
 }  // namespace gg::greengpu

@@ -69,6 +69,13 @@ class Divider {
   /// log, if it keeps one (clears retained decisions).  Default: no-op for
   /// dividers without a log.
   virtual void set_record(RecordOptions /*opts*/) {}
+
+  /// Serialize the divider's learned state (ratio, streaks, rate filters,
+  /// retained history).  Restoring into a divider of the same kind and
+  /// configuration continues the exact decision stream.
+  virtual void save(common::SnapshotWriter& w) const = 0;
+  /// Counterpart of save(); throws common::SnapshotError on mismatch.
+  virtual void load(common::SnapshotReader& r) = 0;
 };
 
 /// The paper's light-weight step heuristic with the oscillation safeguard.
@@ -112,6 +119,9 @@ class DivisionController final : public Divider {
   }
 
   void reset() override;
+
+  void save(common::SnapshotWriter& w) const override;
+  void load(common::SnapshotReader& r) override;
 
  private:
   DivisionDecision decide(Seconds tc, Seconds tg) const;

@@ -69,6 +69,41 @@ void ProfilingDivider::reset() {
   settle_streak_ = 0;
 }
 
+namespace {
+void save_rate(common::SnapshotWriter& w, const std::optional<Ewma>& rate) {
+  w.b(rate.has_value());
+  if (rate) {
+    w.f64(rate->value());
+    w.b(rate->seeded());
+  }
+}
+
+void load_rate(common::SnapshotReader& r, std::optional<Ewma>& rate, double alpha) {
+  if (!r.b()) {
+    rate.reset();
+    return;
+  }
+  const double value = r.f64();
+  const bool seeded = r.b();
+  rate.emplace(alpha);
+  rate->restore(value, seeded);
+}
+}  // namespace
+
+void ProfilingDivider::save(common::SnapshotWriter& w) const {
+  w.f64(ratio_);
+  save_rate(w, cpu_rate_);
+  save_rate(w, gpu_rate_);
+  w.u64(static_cast<std::uint64_t>(settle_streak_));
+}
+
+void ProfilingDivider::load(common::SnapshotReader& r) {
+  ratio_ = r.f64();
+  load_rate(r, cpu_rate_, params_.rate_alpha);
+  load_rate(r, gpu_rate_, params_.rate_alpha);
+  settle_streak_ = static_cast<int>(r.u64());
+}
+
 EnergyModelDivider::EnergyModelDivider(EnergyModelDividerParams params)
     : params_(params), ratio_(params.probe_low) {
   if (params_.probe_low <= 0.0 || params_.probe_low >= 1.0 || params_.probe_high <= 0.0 ||
@@ -183,6 +218,42 @@ void EnergyModelDivider::reset() {
   p_sys_ = 0.0;
   c_cpu_ = 0.0;
   settle_streak_ = 0;
+}
+
+void EnergyModelDivider::save(common::SnapshotWriter& w) const {
+  w.f64(ratio_);
+  w.u64(static_cast<std::uint64_t>(iteration_));
+  save_rate(w, cpu_rate_);
+  save_rate(w, gpu_rate_);
+  w.u64(observations_.size());
+  for (const Observation& o : observations_) {
+    w.f64(o.ratio);
+    w.f64(o.makespan);
+    w.f64(o.energy);
+  }
+  w.f64(p_sys_);
+  w.f64(c_cpu_);
+  w.u64(static_cast<std::uint64_t>(settle_streak_));
+}
+
+void EnergyModelDivider::load(common::SnapshotReader& r) {
+  ratio_ = r.f64();
+  iteration_ = static_cast<int>(r.u64());
+  load_rate(r, cpu_rate_, params_.rate_alpha);
+  load_rate(r, gpu_rate_, params_.rate_alpha);
+  const std::uint64_t n = r.u64();
+  observations_.clear();
+  observations_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Observation o{};
+    o.ratio = r.f64();
+    o.makespan = r.f64();
+    o.energy = r.f64();
+    observations_.push_back(o);
+  }
+  p_sys_ = r.f64();
+  c_cpu_ = r.f64();
+  settle_streak_ = static_cast<int>(r.u64());
 }
 
 std::string_view to_string(DividerKind kind) {

@@ -51,6 +51,9 @@ class ProfilingDivider final : public Divider {
   }
   void reset() override;
 
+  void save(common::SnapshotWriter& w) const override;
+  void load(common::SnapshotReader& r) override;
+
   /// Estimated processing rates (share of the iteration per second); zero
   /// until the corresponding side has been observed.
   [[nodiscard]] double cpu_rate() const { return cpu_rate_ ? cpu_rate_->value() : 0.0; }
@@ -90,6 +93,9 @@ class EnergyModelDivider final : public Divider {
     return settle_streak_ >= streak;
   }
   void reset() override;
+
+  void save(common::SnapshotWriter& w) const override;
+  void load(common::SnapshotReader& r) override;
 
   /// Fitted model parameters (0 until enough observations).
   [[nodiscard]] double fitted_system_power() const { return p_sys_; }

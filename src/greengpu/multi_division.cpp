@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/common/snapshot.h"
+
 namespace gg::greengpu {
 
 namespace {
@@ -105,6 +107,29 @@ void MultiStepDivider::reset() {
   hold_streak_ = 0;
 }
 
+namespace {
+std::vector<double> load_shares(common::SnapshotReader& r, std::size_t slots,
+                                const char* kind) {
+  std::vector<double> shares = r.f64_vec();
+  if (shares.size() != slots) {
+    throw common::SnapshotError(std::string(kind) + ": snapshot has " +
+                                std::to_string(shares.size()) + " slots but divider has " +
+                                std::to_string(slots));
+  }
+  return shares;
+}
+}  // namespace
+
+void MultiStepDivider::save(common::SnapshotWriter& w) const {
+  w.f64_vec(shares_);
+  w.u64(static_cast<std::uint64_t>(hold_streak_));
+}
+
+void MultiStepDivider::load(common::SnapshotReader& r) {
+  shares_ = load_shares(r, shares_.size(), "MultiStepDivider");
+  hold_streak_ = static_cast<int>(r.u64());
+}
+
 MultiProfilingDivider::MultiProfilingDivider(std::size_t slots, MultiProfilingParams params)
     : params_(params),
       shares_(initial_shares(slots, params.initial_cpu_share)),
@@ -161,6 +186,38 @@ void MultiProfilingDivider::reset() {
   shares_ = initial_shares(shares_.size(), params_.initial_cpu_share);
   std::fill(rate_.begin(), rate_.end(), std::nullopt);
   settle_streak_ = 0;
+}
+
+void MultiProfilingDivider::save(common::SnapshotWriter& w) const {
+  w.f64_vec(shares_);
+  w.u64(rate_.size());
+  for (const auto& rate : rate_) {
+    w.b(rate.has_value());
+    if (rate) {
+      w.f64(rate->value());
+      w.b(rate->seeded());
+    }
+  }
+  w.u64(static_cast<std::uint64_t>(settle_streak_));
+}
+
+void MultiProfilingDivider::load(common::SnapshotReader& r) {
+  shares_ = load_shares(r, shares_.size(), "MultiProfilingDivider");
+  const std::uint64_t n = r.u64();
+  if (n != rate_.size()) {
+    throw common::SnapshotError("MultiProfilingDivider: rate slot count mismatch");
+  }
+  for (auto& rate : rate_) {
+    if (r.b()) {
+      const double value = r.f64();
+      const bool seeded = r.b();
+      rate.emplace(params_.rate_alpha);
+      rate->restore(value, seeded);
+    } else {
+      rate.reset();
+    }
+  }
+  settle_streak_ = static_cast<int>(r.u64());
 }
 
 std::unique_ptr<MultiDivider> make_multi_divider(MultiDividerKind kind, std::size_t slots) {

@@ -26,6 +26,11 @@
 #include "src/common/units.h"
 #include "src/greengpu/params.h"
 
+namespace gg::common {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace gg::common
+
 namespace gg::greengpu {
 
 class MultiDivider {
@@ -39,6 +44,11 @@ class MultiDivider {
   virtual void update(const std::vector<Seconds>& slot_times) = 0;
   [[nodiscard]] virtual bool converged(int streak = 2) const = 0;
   virtual void reset() = 0;
+
+  /// Serialize shares/streaks/rate filters; restore into a divider of the
+  /// same kind and slot count (mismatch throws common::SnapshotError).
+  virtual void save(common::SnapshotWriter& w) const = 0;
+  virtual void load(common::SnapshotReader& r) = 0;
 };
 
 struct MultiStepParams {
@@ -64,6 +74,9 @@ class MultiStepDivider final : public MultiDivider {
     return hold_streak_ >= streak;
   }
   void reset() override;
+
+  void save(common::SnapshotWriter& w) const override;
+  void load(common::SnapshotReader& r) override;
 
  private:
   MultiStepParams params_;
@@ -92,6 +105,9 @@ class MultiProfilingDivider final : public MultiDivider {
     return settle_streak_ >= streak;
   }
   void reset() override;
+
+  void save(common::SnapshotWriter& w) const override;
+  void load(common::SnapshotReader& r) override;
 
   /// Estimated per-slot rates (share/second); 0 while unobserved.
   [[nodiscard]] std::vector<double> rates() const;

@@ -1,0 +1,335 @@
+#include "src/greengpu/recovery.h"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "src/common/job_pool.h"
+#include "src/common/killpoint.h"
+#include "src/common/snapshot.h"
+
+namespace gg::greengpu {
+
+namespace {
+
+/// Journal magic "GGJL" + its own version, separate from the snapshot frame
+/// version (the journal carries raw CRC-framed records, not GGSN frames).
+constexpr std::uint32_t kJournalMagic = 0x4C4A4747u;
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kJournalHeaderSize = 4 + 4 + 8;
+/// Per-record frame: cell index + payload length + payload CRC.
+constexpr std::size_t kRecordHeaderSize = 8 + 8 + 4;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+/// The scalar fields of an ExperimentResult — everything the campaign
+/// reports consume.  Per-record vectors (iterations, traces, decision logs)
+/// are intentionally NOT journaled: campaigns run in counters-only
+/// retention and their reports never read them.
+void save_result(common::SnapshotWriter& w, const ExperimentResult& r) {
+  w.str(r.workload);
+  w.str(r.policy);
+  w.f64(r.exec_time.get());
+  w.f64(r.gpu_energy.get());
+  w.f64(r.cpu_energy.get());
+  w.f64(r.gpu_idle_power.get());
+  w.f64(r.cpu_spin_energy.get());
+  w.f64(r.cpu_spin_time.get());
+  w.f64(r.cpu_credited_spin_time.get());
+  w.f64(r.cpu_credited_spin_energy.get());
+  w.f64(r.cpu_spin_power_lowest.get());
+  w.f64(r.final_ratio);
+  w.u64(static_cast<std::uint64_t>(r.convergence_iteration));
+  w.b(r.verified);
+  w.b(r.verify_skipped);
+  w.u64(static_cast<std::uint64_t>(r.iteration_count));
+  w.u64(r.scaler_decision_count);
+  w.u64(r.governor_decision_count);
+  w.u64(static_cast<std::uint64_t>(r.fault_event_count));
+  w.u64(r.gpu_frequency_transitions);
+  w.u64(static_cast<std::uint64_t>(r.degraded_iterations));
+  w.u64(r.watchdog_trips);
+}
+
+ExperimentResult load_result(common::SnapshotReader& r) {
+  ExperimentResult out;
+  out.workload = r.str();
+  out.policy = r.str();
+  out.exec_time = Seconds{r.f64()};
+  out.gpu_energy = Joules{r.f64()};
+  out.cpu_energy = Joules{r.f64()};
+  out.gpu_idle_power = Watts{r.f64()};
+  out.cpu_spin_energy = Joules{r.f64()};
+  out.cpu_spin_time = Seconds{r.f64()};
+  out.cpu_credited_spin_time = Seconds{r.f64()};
+  out.cpu_credited_spin_energy = Joules{r.f64()};
+  out.cpu_spin_power_lowest = Watts{r.f64()};
+  out.final_ratio = r.f64();
+  out.convergence_iteration = static_cast<std::size_t>(r.u64());
+  out.verified = r.b();
+  out.verify_skipped = r.b();
+  out.iteration_count = static_cast<std::size_t>(r.u64());
+  out.scaler_decision_count = r.u64();
+  out.governor_decision_count = r.u64();
+  out.fault_event_count = static_cast<std::size_t>(r.u64());
+  out.gpu_frequency_transitions = r.u64();
+  out.degraded_iterations = static_cast<std::size_t>(r.u64());
+  out.watchdog_trips = r.u64();
+  r.expect_done();
+  return out;
+}
+
+}  // namespace
+
+std::optional<RunCheckpointMeta> read_run_checkpoint_meta(const std::string& path) {
+  try {
+    common::SnapshotReader r = common::SnapshotReader::from_file(path);
+    RunCheckpointMeta meta;
+    meta.iteration = r.u64();
+    meta.sim_time = r.f64();
+    meta.has_scaler = r.b();
+    meta.has_divider = r.b();
+    return meta;
+  } catch (const common::SnapshotError&) {
+    return std::nullopt;
+  }
+}
+
+std::uint64_t CampaignJournal::fingerprint(const CampaignPlan& plan,
+                                           const RunOptions& options) {
+  common::SnapshotWriter w;
+  for (const auto& name : plan.workloads) w.str(name);
+  for (const auto& policy : plan.policies) w.str(policy.name);
+  // Every option a cell's results depend on.  Host-side knobs that cannot
+  // change simulated outcomes (pool_workers, retention mode, checkpoint
+  // cadence) are deliberately excluded so resuming with different host
+  // settings stays legal.
+  w.u64(static_cast<std::uint64_t>(options.max_iterations));
+  w.b(options.verify);
+  w.b(options.sync_spin);
+  w.f64(options.emulation_guard_per_launch.get());
+  const sim::FaultConfig& f = options.faults;
+  w.u64(f.seed);
+  w.f64(f.util_drop_rate);
+  w.f64(f.util_stale_rate);
+  w.f64(f.util_corrupt_rate);
+  w.f64(f.clock_reject_rate);
+  w.f64(f.clock_delay_rate);
+  w.f64(f.clock_delay.get());
+  w.f64(f.clock_clamp_rate);
+  w.f64(f.launch_fail_rate);
+  w.f64(f.host_fail_rate);
+  w.f64(f.throttle_mtbf.get());
+  w.f64(f.throttle_duration.get());
+  const auto& payload = w.payload();
+  return static_cast<std::uint64_t>(payload.size()) << 32 |
+         common::crc32(payload.data(), payload.size());
+}
+
+std::vector<CampaignJournal::Entry> CampaignJournal::read(const std::string& path,
+                                                          std::uint64_t fingerprint) {
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw common::SnapshotError("campaign journal: cannot open " + path);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  if (bytes.size() < kJournalHeaderSize) {
+    throw common::SnapshotError("campaign journal: truncated header in " + path);
+  }
+  if (get_u32(bytes.data()) != kJournalMagic) {
+    throw common::SnapshotError("campaign journal: bad magic in " + path);
+  }
+  const std::uint32_t version = get_u32(bytes.data() + 4);
+  if (version != kJournalVersion) {
+    throw common::SnapshotError("campaign journal: version " + std::to_string(version) +
+                                " unsupported");
+  }
+  if (get_u64(bytes.data() + 8) != fingerprint) {
+    throw common::SnapshotError(
+        "campaign journal: configuration fingerprint mismatch — " + path +
+        " was written by a different campaign (refusing to mix results)");
+  }
+
+  std::vector<Entry> entries;
+  std::size_t pos = kJournalHeaderSize;
+  std::size_t good_end = pos;
+  while (pos + kRecordHeaderSize <= bytes.size()) {
+    const std::uint64_t cell = get_u64(bytes.data() + pos);
+    const std::uint64_t len = get_u64(bytes.data() + pos + 8);
+    const std::uint32_t crc = get_u32(bytes.data() + pos + 16);
+    const std::size_t payload_at = pos + kRecordHeaderSize;
+    if (payload_at + len > bytes.size()) break;  // torn tail
+    if (common::crc32(bytes.data() + payload_at, len) != crc) break;  // torn tail
+    try {
+      auto reader = common::SnapshotReader::from_payload(std::vector<std::uint8_t>(
+          bytes.begin() + static_cast<std::ptrdiff_t>(payload_at),
+          bytes.begin() + static_cast<std::ptrdiff_t>(payload_at + len)));
+      Entry e;
+      e.cell_index = static_cast<std::size_t>(cell);
+      e.result = load_result(reader);
+      entries.push_back(std::move(e));
+    } catch (const common::SnapshotError&) {
+      break;  // schema disagreement: trust nothing from here on
+    }
+    pos = payload_at + len;
+    good_end = pos;
+  }
+  if (good_end < bytes.size()) {
+    // Drop the torn tail so the next append starts on a record boundary.
+    std::filesystem::resize_file(path, good_end);
+  }
+  return entries;
+}
+
+CampaignJournal::CampaignJournal(std::string path, std::uint64_t fingerprint, bool fresh)
+    : path_(std::move(path)) {
+  if (fresh || !std::filesystem::exists(path_)) {
+    std::string header;
+    put_u32(header, kJournalMagic);
+    put_u32(header, kJournalVersion);
+    put_u64(header, fingerprint);
+    // GG_LINT_ALLOW(checkpoint-write): journal header creation; records are
+    // CRC-framed and a torn tail is truncated on read, so the append path
+    // needs no write-rename.
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw common::SnapshotError("campaign journal: cannot create " + path_);
+    }
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.flush();
+    if (!out) throw common::SnapshotError("campaign journal: short write to " + path_);
+  }
+}
+
+void CampaignJournal::append(std::size_t cell_index, const ExperimentResult& result) {
+  common::SnapshotWriter w;
+  save_result(w, result);
+  const auto& payload = w.payload();
+
+  std::string frame;
+  frame.reserve(kRecordHeaderSize + payload.size());
+  put_u64(frame, static_cast<std::uint64_t>(cell_index));
+  put_u64(frame, payload.size());
+  put_u32(frame, common::crc32(payload.data(), payload.size()));
+  frame.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+
+  // GG_LINT_ALLOW(checkpoint-write): the journal is append-only by design;
+  // each record carries its own CRC and read() truncates a torn tail, which
+  // gives the same never-see-a-partial-record guarantee as write-rename
+  // without rewriting the whole file per cell.
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) throw common::SnapshotError("campaign journal: cannot open " + path_);
+  // Two-flush write with the kill-point in between: an exit-mode kill here
+  // leaves exactly the half-written record that read() detects and drops.
+  const std::size_t half = frame.size() / 2;
+  out.write(frame.data(), static_cast<std::streamsize>(half));
+  out.flush();
+  common::killpoint(common::KillPoint::kMidCheckpoint);
+  out.write(frame.data() + half, static_cast<std::streamsize>(frame.size() - half));
+  out.flush();
+  if (!out) throw common::SnapshotError("campaign journal: short append to " + path_);
+}
+
+CampaignResult run_campaign_checkpointed(const CampaignConfig& config,
+                                         const CheckpointOptions& ckpt,
+                                         const CampaignProgress& progress) {
+  if (!ckpt.enabled()) return run_campaign(config, progress);
+
+  const CampaignPlan plan = plan_campaign(config);
+  CampaignResult out;
+  out.workloads = plan.workloads;
+  for (const auto& p : plan.policies) out.policy_names.push_back(p.name);
+  const std::size_t policy_count = plan.policies.size();
+  const std::size_t total = plan.total();
+  out.cells.resize(total);
+
+  std::filesystem::create_directories(ckpt.dir);
+  const std::string journal_path = ckpt.dir + "/campaign.journal";
+  const std::uint64_t fp = CampaignJournal::fingerprint(plan, config.options);
+
+  std::vector<char> done(total, 0);
+  std::size_t completed = 0;
+  const bool resuming = ckpt.resume && std::filesystem::exists(journal_path);
+  if (resuming) {
+    for (auto& entry : CampaignJournal::read(journal_path, fp)) {
+      if (entry.cell_index < total && !done[entry.cell_index]) {
+        out.cells[entry.cell_index].result = std::move(entry.result);
+        done[entry.cell_index] = 1;
+        ++completed;
+      }
+    }
+  }
+  CampaignJournal journal(journal_path, fp, /*fresh=*/!resuming);
+
+  std::mutex mutex;
+  common::JobPool pool(config.jobs);
+  pool.run(total, [&](std::size_t i) {
+    if (done[i]) return;
+    const std::size_t w = i / policy_count;
+    const std::size_t p = i % policy_count;
+    RunOptions options = config.options;
+    if (options.faults.any_faults()) {
+      options.faults.seed = campaign_cell_seed(options.faults.seed, i);
+    }
+    if (ckpt.every != 0) {
+      options.checkpoint_every = ckpt.every;
+      options.checkpoint_dir = ckpt.dir;
+      options.checkpoint_tag = "cell-" + std::to_string(i);
+    }
+    ExperimentResult result =
+        run_experiment(plan.workloads[w], plan.policies[p], options);
+    // The cell finished but is not journaled yet: a kill here loses the
+    // work, and the resume re-runs the cell bit-identically.
+    common::killpoint(common::KillPoint::kMidCampaignCell);
+    std::lock_guard<std::mutex> lock(mutex);
+    journal.append(i, result);
+    out.cells[i].result = std::move(result);
+    ++completed;
+    if (progress) {
+      progress(plan.workloads[w], plan.policies[p].name, completed, total);
+    }
+  });
+
+  finalize_campaign_savings(out);
+  return out;
+}
+
+CampaignResult RecoverySupervisor::run(const CampaignProgress& progress) {
+  restarts_ = 0;
+  CheckpointOptions ckpt = ckpt_;
+  for (;;) {
+    try {
+      return run_campaign_checkpointed(config_, ckpt, progress);
+    } catch (const common::CrashInjected&) {
+      if (restarts_ >= max_restarts_) throw;
+      ++restarts_;
+      // The journal holds every cell finished before the crash; pick up
+      // from there.  (The fired kill-point is single-shot, so the retry
+      // sails past it — matching the real-world "the crash was transient"
+      // supervision model.)
+      ckpt.resume = true;
+    }
+  }
+}
+
+}  // namespace gg::greengpu

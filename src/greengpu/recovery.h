@@ -1,0 +1,131 @@
+// Crash recovery: the campaign journal and the RecoverySupervisor.
+//
+// A campaign is a (workload x policy) matrix of independent, deterministic
+// cells (campaign.h).  Crash consistency therefore works at cell
+// granularity: every completed cell's scalar results are appended to a
+// crash-safe journal, and a resumed campaign loads the journal, skips the
+// journaled cells and re-runs the rest from scratch.  Because each cell's
+// fault RNG is forked from the configured seed by cell *position*
+// (campaign_cell_seed), a re-run cell produces bit-identical results — so a
+// campaign killed at ANY point and resumed reports byte-identical CSV/JSON
+// to an uninterrupted run, for any --jobs value, faults on or off.
+//
+// The journal is append-only with per-record CRC framing.  A torn trailing
+// record (the process died mid-append — exactly what the mid-checkpoint
+// kill-point and std::_Exit produce) is detected on open and truncated away;
+// everything before it stays trusted.  A header fingerprint derived from the
+// campaign plan and options refuses to resume against a journal written by a
+// different configuration.
+//
+// The RecoverySupervisor is the in-process form of "systemd restarts the
+// daemon": it runs the checkpointed campaign, catches CrashInjected (the
+// throw-mode kill-point), flips resume on and tries again, up to a restart
+// budget.  Real process death (exit-mode kill-points, exit code 70) is
+// supervised the same way from the outside by the CI crash-recovery matrix
+// re-invoking `greengpu_cli --campaign --resume`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/greengpu/campaign.h"
+
+namespace gg::greengpu {
+
+/// Checkpoint/resume knobs threaded from the CLI.
+struct CheckpointOptions {
+  /// Journal + snapshot directory; empty disables checkpointing entirely.
+  std::string dir;
+  /// Per-run controller snapshot cadence in iterations (0 = journal only).
+  std::size_t every{0};
+  /// Skip cells already present in the journal instead of starting fresh.
+  bool resume{false};
+
+  [[nodiscard]] bool enabled() const { return !dir.empty(); }
+};
+
+/// Validated prefix of a periodic run checkpoint written by run_experiment
+/// (`<dir>/<tag>.ggsn`).  nullopt for a missing, truncated or corrupt file —
+/// the caller's clean fallback is "cold start".
+struct RunCheckpointMeta {
+  std::uint64_t iteration{0};
+  double sim_time{0.0};
+  bool has_scaler{false};
+  bool has_divider{false};
+};
+[[nodiscard]] std::optional<RunCheckpointMeta> read_run_checkpoint_meta(
+    const std::string& path);
+
+/// Append-only, CRC-framed journal of completed campaign cells.
+class CampaignJournal {
+ public:
+  struct Entry {
+    std::size_t cell_index{0};
+    ExperimentResult result;
+  };
+
+  /// Configuration fingerprint stored in the header: covers the resolved
+  /// plan (workload and policy names) and every option that affects cell
+  /// results, so a journal can only resume the campaign that wrote it.
+  [[nodiscard]] static std::uint64_t fingerprint(const CampaignPlan& plan,
+                                                 const RunOptions& options);
+
+  /// Scan `path`: validate the header against `fingerprint`, load every
+  /// intact record and truncate a torn tail in place.  Throws
+  /// common::SnapshotError on a missing/foreign/mismatched journal.
+  [[nodiscard]] static std::vector<Entry> read(const std::string& path,
+                                               std::uint64_t fingerprint);
+
+  /// Open for appending.  `fresh` truncates and writes a new header;
+  /// otherwise records append after the existing (already truncated-to-good)
+  /// content.
+  CampaignJournal(std::string path, std::uint64_t fingerprint, bool fresh);
+
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  /// Append one completed cell and flush.  Hosts the mid-checkpoint
+  /// kill-point between two half-record flushes, so an exit-mode kill here
+  /// leaves exactly the torn tail that read() truncates.
+  void append(std::size_t cell_index, const ExperimentResult& result);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// run_campaign with a crash-safe journal: journaled cells are skipped on
+/// resume, finished cells are appended as they complete, and the report is
+/// byte-identical to an uninterrupted run.  Falls back to plain
+/// run_campaign when `ckpt` is disabled.
+[[nodiscard]] CampaignResult run_campaign_checkpointed(
+    const CampaignConfig& config, const CheckpointOptions& ckpt,
+    const CampaignProgress& progress = {});
+
+/// In-process supervisor: reruns the checkpointed campaign after every
+/// injected crash (CrashInjected from a throw-mode kill-point), resuming
+/// from the journal, until it completes or the restart budget is exhausted
+/// (then the last CrashInjected propagates).
+class RecoverySupervisor {
+ public:
+  RecoverySupervisor(CampaignConfig config, CheckpointOptions ckpt,
+                     int max_restarts = 16)
+      : config_(std::move(config)), ckpt_(std::move(ckpt)),
+        max_restarts_(max_restarts) {}
+
+  [[nodiscard]] CampaignResult run(const CampaignProgress& progress = {});
+
+  /// Crashes survived during the last run().
+  [[nodiscard]] int restarts() const { return restarts_; }
+
+ private:
+  CampaignConfig config_;
+  CheckpointOptions ckpt_;
+  int max_restarts_;
+  int restarts_{0};
+};
+
+}  // namespace gg::greengpu

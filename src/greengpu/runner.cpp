@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/snapshot.h"
 #include "src/cudalite/nvml.h"
 #include "src/cudalite/nvsettings.h"
 #include "src/sim/platform.h"
@@ -185,6 +186,19 @@ ExperimentResult run_experiment(workloads::Workload& workload, const Policy& pol
       }
     }
     iteration_log.push(rec);
+
+    if (options.checkpoint_every != 0 && !options.checkpoint_dir.empty() &&
+        (iter + 1) % options.checkpoint_every == 0) {
+      common::SnapshotWriter ckpt;
+      ckpt.u64(iter + 1);
+      ckpt.f64(platform.now().get());
+      ckpt.b(scaler != nullptr);
+      ckpt.b(divider != nullptr);
+      if (scaler) scaler->save(ckpt);
+      if (divider) divider->save(ckpt);
+      ckpt.write_atomic(options.checkpoint_dir + "/" + options.checkpoint_tag +
+                        ".ggsn");
+    }
   }
 
   workload.teardown(rt);

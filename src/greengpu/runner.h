@@ -130,6 +130,16 @@ struct RunOptions {
   /// feeds control, so joules/decisions are bit-identical across modes.
   /// Campaigns override this to counters-only (see campaign.h).
   RecordOptions record{};
+  /// Write a controller checkpoint (scaler weights, divider state, virtual
+  /// time) every N iterations via the atomic snapshot writer; 0 disables.
+  /// Checkpoints are pure observation — they never feed back into the run,
+  /// so results are bit-identical at any cadence (proven by the bench's
+  /// `journaled_reports_identical` invariant).
+  std::size_t checkpoint_every{0};
+  /// Directory for periodic checkpoints (must exist; empty disables).
+  std::string checkpoint_dir;
+  /// File stem of this run's checkpoint: `<dir>/<tag>.ggsn`.
+  std::string checkpoint_tag{"run"};
 };
 
 /// Throwing failure mode of a run on a faulty platform: an un-hardened

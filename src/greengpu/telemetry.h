@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/annotations.h"
+#include "src/common/snapshot.h"
 #include "src/common/thread_checker.h"
 
 namespace gg::greengpu {
@@ -125,6 +126,39 @@ class DecisionRecorder {
     store_.clear();
     head_ = 0;
     total_ = 0;
+  }
+
+  /// Serialize policy + counters + retained records; `item` writes one T
+  /// (`item(w, t)`).  Restoring into a recorder with the same policy
+  /// continues the stream bit-identically.
+  template <typename WriteItem>
+  void save(common::SnapshotWriter& w, WriteItem item) const {
+    w.u8(static_cast<std::uint8_t>(mode_));
+    w.u64(cap_);
+    w.u64(head_);
+    w.u64(total_);
+    w.u64(store_.size());
+    for (const T& t : store_) item(w, t);
+  }
+
+  /// Counterpart of save(); `item` reads one T (`T t = item(r)`).  Throws
+  /// common::SnapshotError when the saved retention policy does not match
+  /// this recorder's (policy is configuration, not state).
+  template <typename ReadItem>
+  void load(common::SnapshotReader& r, ReadItem item) {
+    const auto mode = static_cast<RecordMode>(r.u8());
+    const std::uint64_t cap = r.u64();
+    if (mode != mode_ || cap != cap_) {
+      throw common::SnapshotError(
+          "DecisionRecorder: retention policy mismatch between snapshot and "
+          "restored recorder");
+    }
+    head_ = static_cast<std::size_t>(r.u64());
+    total_ = r.u64();
+    const std::uint64_t n = r.u64();
+    store_.clear();
+    store_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) store_.push_back(item(r));
   }
 
  private:

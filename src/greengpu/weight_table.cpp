@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/common/annotations.h"
+#include "src/common/snapshot.h"
 #include "src/greengpu/loss.h"
 
 namespace gg::greengpu {
@@ -228,5 +229,46 @@ PairIndex FixedWeightTable::argmax() const {
 }
 
 void FixedWeightTable::reset() { std::fill(w_.begin(), w_.end(), UQ08::one()); }
+
+namespace {
+void check_snapshot_dims(std::size_t saved_n, std::size_t saved_m, std::size_t n,
+                         std::size_t m, const char* kind) {
+  if (saved_n != n || saved_m != m) {
+    throw common::SnapshotError(std::string(kind) + ": snapshot is " +
+                                std::to_string(saved_n) + "x" + std::to_string(saved_m) +
+                                " but table is " + std::to_string(n) + "x" +
+                                std::to_string(m));
+  }
+}
+}  // namespace
+
+void WeightTable::save(common::SnapshotWriter& w) const {
+  w.u64(n_);
+  w.u64(m_);
+  w.f64_vec(w_);
+}
+
+void WeightTable::load(common::SnapshotReader& r) {
+  const auto n = static_cast<std::size_t>(r.u64());
+  const auto m = static_cast<std::size_t>(r.u64());
+  check_snapshot_dims(n, m, n_, m_, "WeightTable");
+  w_ = r.f64_vec();
+  if (w_.size() != n_ * m_) {
+    throw common::SnapshotError("WeightTable: weight count does not match dimensions");
+  }
+}
+
+void FixedWeightTable::save(common::SnapshotWriter& w) const {
+  w.u64(n_);
+  w.u64(m_);
+  for (UQ08 q : w_) w.u8(q.raw());
+}
+
+void FixedWeightTable::load(common::SnapshotReader& r) {
+  const auto n = static_cast<std::size_t>(r.u64());
+  const auto m = static_cast<std::size_t>(r.u64());
+  check_snapshot_dims(n, m, n_, m_, "FixedWeightTable");
+  for (UQ08& q : w_) q = UQ08::from_raw(r.u8());
+}
 
 }  // namespace gg::greengpu

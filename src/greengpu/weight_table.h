@@ -14,6 +14,11 @@
 #include "src/common/fixed_point.h"
 #include "src/greengpu/params.h"
 
+namespace gg::common {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace gg::common
+
 namespace gg::greengpu {
 
 /// Index of a (core level, memory level) pair.
@@ -60,6 +65,13 @@ class WeightTable {
 
   void reset();
 
+  /// Serialize dimensions + weights (raw f64 bits, so restore is
+  /// bit-identical).
+  void save(common::SnapshotWriter& w) const;
+  /// Restore into a table of the same dimensions; dimension mismatch throws
+  /// common::SnapshotError (dimensions are configuration, not state).
+  void load(common::SnapshotReader& r);
+
  private:
   [[nodiscard]] std::size_t idx(std::size_t core, std::size_t mem) const {
     return core * m_ + mem;
@@ -102,6 +114,10 @@ class FixedWeightTable {
   [[nodiscard]] PairIndex argmax() const;
 
   void reset();
+
+  /// See WeightTable::save/load; entries round-trip as their raw Q0.8 bytes.
+  void save(common::SnapshotWriter& w) const;
+  void load(common::SnapshotReader& r);
 
  private:
   [[nodiscard]] std::size_t idx(std::size_t core, std::size_t mem) const {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "src/common/annotations.h"
+#include "src/common/killpoint.h"
+#include "src/common/snapshot.h"
 
 namespace gg::greengpu {
 
@@ -45,7 +47,11 @@ GpuFrequencyScaler::GpuFrequencyScaler(cudalite::NvmlDevice& nvml,
 }
 
 ScalerDecision GpuFrequencyScaler::step(Seconds now) {
-  return params_.reference_impl ? step_reference(now) : step_fast(now);
+  common::killpoint(common::KillPoint::kPreScalerStep);
+  const ScalerDecision decision =
+      params_.reference_impl ? step_reference(now) : step_fast(now);
+  common::killpoint(common::KillPoint::kPostScalerStep);
+  return decision;
 }
 
 GG_HOT ScalerDecision GpuFrequencyScaler::step_fast(Seconds now) {
@@ -252,6 +258,64 @@ void GpuFrequencyScaler::reset() {
   held_steps_ = 0;
   actuation_failures_ = 0;
   retry_.cancel();
+}
+
+namespace {
+void save_decision(common::SnapshotWriter& w, const ScalerDecision& d) {
+  w.f64(d.time.get());
+  w.f64(d.core_util);
+  w.f64(d.mem_util);
+  w.f64(d.filtered_core_util);
+  w.f64(d.filtered_mem_util);
+  w.u64(d.chosen.core);
+  w.u64(d.chosen.mem);
+  w.b(d.sample_ok);
+  w.b(d.actuation_ok);
+}
+
+ScalerDecision load_decision(common::SnapshotReader& r) {
+  ScalerDecision d;
+  d.time = Seconds{r.f64()};
+  d.core_util = r.f64();
+  d.mem_util = r.f64();
+  d.filtered_core_util = r.f64();
+  d.filtered_mem_util = r.f64();
+  d.chosen.core = static_cast<std::size_t>(r.u64());
+  d.chosen.mem = static_cast<std::size_t>(r.u64());
+  d.sample_ok = r.b();
+  d.actuation_ok = r.b();
+  return d;
+}
+}  // namespace
+
+void GpuFrequencyScaler::save(common::SnapshotWriter& w) const {
+  table_.save(w);
+  w.f64(core_filter_.value());
+  w.b(core_filter_.seeded());
+  w.f64(mem_filter_.value());
+  w.b(mem_filter_.seeded());
+  w.u64(argmax_.core);
+  w.u64(argmax_.mem);
+  w.u64(steps_);
+  w.u64(held_steps_);
+  w.u64(actuation_failures_);
+  decisions_.save(w, save_decision);
+}
+
+void GpuFrequencyScaler::load(common::SnapshotReader& r) {
+  table_.load(r);
+  const double core_value = r.f64();
+  const bool core_seeded = r.b();
+  core_filter_.restore(core_value, core_seeded);
+  const double mem_value = r.f64();
+  const bool mem_seeded = r.b();
+  mem_filter_.restore(mem_value, mem_seeded);
+  argmax_.core = static_cast<std::size_t>(r.u64());
+  argmax_.mem = static_cast<std::size_t>(r.u64());
+  steps_ = r.u64();
+  held_steps_ = r.u64();
+  actuation_failures_ = r.u64();
+  decisions_.load(r, load_decision);
 }
 
 }  // namespace gg::greengpu

@@ -89,6 +89,16 @@ class GpuFrequencyScaler {
   /// Forget all learned state (weights back to uniform).
   void reset();
 
+  /// Serialize every piece of learned/derived state (weights, EWMA
+  /// filters, running argmax, counters, retained decisions).  A scaler
+  /// restored from this snapshot continues the exact decision stream the
+  /// saved one would have produced.
+  void save(common::SnapshotWriter& w) const;
+  /// Restore into a scaler built with the SAME WmaParams (parameters are
+  /// configuration; mismatched table dimensions or retention policy throw
+  /// common::SnapshotError with state unchanged where detectable).
+  void load(common::SnapshotReader& r);
+
  private:
   void arm(sim::EventQueue& queue);
   ScalerDecision step_fast(Seconds now);

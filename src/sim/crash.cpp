@@ -1,0 +1,30 @@
+#include "src/sim/crash.h"
+
+#include <stdexcept>
+
+namespace gg::sim {
+
+CrashSpec parse_crash_spec(std::string_view spec) {
+  CrashSpec out;
+  std::string_view name = spec;
+  if (const auto colon = spec.find(':'); colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    const std::string count(spec.substr(colon + 1));
+    std::size_t used = 0;
+    unsigned long long nth = 0;
+    try {
+      nth = std::stoull(count, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != count.size() || nth == 0) {
+      throw std::invalid_argument("--crash-at: hit count '" + count +
+                                  "' must be a positive integer");
+    }
+    out.nth = nth;
+  }
+  out.point = common::kill_point_from_string(name);  // throws with valid names
+  return out;
+}
+
+}  // namespace gg::sim

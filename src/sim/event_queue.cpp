@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/annotations.h"
+#include "src/common/snapshot.h"
 
 namespace gg::sim {
 
@@ -86,6 +87,23 @@ void EventQueue::run_until(Seconds until) {
 void EventQueue::run_until_empty() {
   while (step()) {
   }
+}
+
+void EventQueue::save(common::SnapshotWriter& w) const {
+  w.f64(now_.get());
+  w.u64(next_seq_);
+  w.u64(fired_);
+  w.u64(compactions_);
+}
+
+void EventQueue::load(common::SnapshotReader& r) {
+  if (!empty()) {
+    throw std::logic_error("EventQueue: load() requires an empty queue");
+  }
+  now_ = Seconds{r.f64()};
+  next_seq_ = r.u64();
+  fired_ = r.u64();
+  compactions_ = r.u64();
 }
 
 }  // namespace gg::sim

@@ -24,6 +24,11 @@
 #include "src/common/thread_checker.h"
 #include "src/common/units.h"
 
+namespace gg::common {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace gg::common
+
 namespace gg::sim {
 
 namespace detail {
@@ -186,6 +191,14 @@ class EventQueue {
   [[nodiscard]] std::uint64_t fired_count() const { return fired_; }
   /// Times the heap was rebuilt to shed cancelled entries.
   [[nodiscard]] std::uint64_t compaction_count() const { return compactions_; }
+
+  /// Serialize virtual time and counters.  Pending events are NOT captured
+  /// (their callbacks are arbitrary closures); checkpoints are taken at
+  /// quiescent points where the queue is drained, and load() enforces that.
+  void save(common::SnapshotWriter& w) const;
+  /// Restore clock/counters into an EMPTY queue (throws std::logic_error
+  /// otherwise) so resumed runs schedule against the checkpointed clock.
+  void load(common::SnapshotReader& r);
 
  private:
   struct Entry {

@@ -1,0 +1,256 @@
+#include "src/common/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/killpoint.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace gg::common {
+namespace {
+
+/// Fresh per-test scratch directory under the system temp root.  Named
+/// after the running test so concurrent ctest jobs never collide, and
+/// wiped on entry so reruns start clean.
+std::filesystem::path test_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      (std::string("gg_") + info->test_suite_name() + "_" + info->name());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::filesystem::path& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  // GG_LINT_ALLOW(checkpoint-write): corruption harness — these tests plant
+  // deliberately torn/bit-flipped snapshots to prove readers reject them.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+SnapshotWriter sample_writer() {
+  SnapshotWriter w;
+  w.u8(0xAB);
+  w.b(true);
+  w.b(false);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1234.5e-6);
+  w.str("greengpu");
+  w.f64_vec({0.0, -0.0, 1.5, 2.5});
+  return w;
+}
+
+void expect_sample(SnapshotReader& r) {
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), -1234.5e-6);
+  EXPECT_EQ(r.str(), "greengpu");
+  const std::vector<double> v = r.f64_vec();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[2], 1.5);
+  r.expect_done();
+}
+
+TEST(Snapshot, Crc32MatchesKnownVector) {
+  // The canonical IEEE-802.3 check value for "123456789".
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data, sizeof data), 0xCBF43926u);
+  EXPECT_EQ(crc32(data, 0), 0u);
+}
+
+TEST(Snapshot, PayloadRoundTripsThroughFrame) {
+  const SnapshotWriter w = sample_writer();
+  const std::vector<std::uint8_t> frame = w.frame();
+  SnapshotReader r = SnapshotReader::from_frame(frame.data(), frame.size());
+  expect_sample(r);
+}
+
+TEST(Snapshot, DoublesRestoreBitIdentically) {
+  SnapshotWriter w;
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.f64(std::numeric_limits<double>::denorm_min());
+  w.f64(std::numeric_limits<double>::infinity());
+  const std::vector<std::uint8_t> frame = w.frame();
+  SnapshotReader r = SnapshotReader::from_frame(frame.data(), frame.size());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()), std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  r.expect_done();
+}
+
+TEST(Snapshot, FileRoundTripIsAtomic) {
+  const std::filesystem::path dir = test_dir();
+  const std::string path = (dir / "state.ggsn").string();
+  sample_writer().write_atomic(path);
+  // The temp file must not survive a successful rename.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  SnapshotReader r = SnapshotReader::from_file(path);
+  expect_sample(r);
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  const std::filesystem::path dir = test_dir();
+  EXPECT_THROW((void)SnapshotReader::from_file((dir / "nope.ggsn").string()),
+               SnapshotError);
+}
+
+TEST(Snapshot, TruncatedFileThrowsAtEveryLength) {
+  const std::filesystem::path dir = test_dir();
+  const std::string path = (dir / "state.ggsn").string();
+  sample_writer().write_atomic(path);
+  const std::vector<std::uint8_t> good = read_bytes(path);
+  ASSERT_GT(good.size(), 20u);
+  // Chop the frame at the header boundary, inside the header and inside the
+  // payload: every prefix must be rejected, never partially loaded.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, std::size_t{19}, good.size() / 2,
+        good.size() - 1}) {
+    std::vector<std::uint8_t> cut(good.begin(),
+                                  good.begin() + static_cast<std::ptrdiff_t>(len));
+    write_bytes(path, cut);
+    EXPECT_THROW((void)SnapshotReader::from_file(path), SnapshotError)
+        << "length " << len;
+  }
+}
+
+TEST(Snapshot, BadMagicThrows) {
+  const std::filesystem::path dir = test_dir();
+  const std::string path = (dir / "state.ggsn").string();
+  sample_writer().write_atomic(path);
+  std::vector<std::uint8_t> bytes = read_bytes(path);
+  bytes[0] ^= 0xFF;
+  write_bytes(path, bytes);
+  EXPECT_THROW((void)SnapshotReader::from_file(path), SnapshotError);
+}
+
+TEST(Snapshot, WrongSchemaVersionThrows) {
+  const std::filesystem::path dir = test_dir();
+  const std::string path = (dir / "state.ggsn").string();
+  sample_writer().write_atomic(path);
+  std::vector<std::uint8_t> bytes = read_bytes(path);
+  bytes[4] = static_cast<std::uint8_t>(kSnapshotVersion + 1);  // version field
+  write_bytes(path, bytes);
+  try {
+    (void)SnapshotReader::from_file(path);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, FlippedPayloadBitFailsCrc) {
+  const std::filesystem::path dir = test_dir();
+  const std::string path = (dir / "state.ggsn").string();
+  sample_writer().write_atomic(path);
+  std::vector<std::uint8_t> bytes = read_bytes(path);
+  bytes.back() ^= 0x01;  // last payload byte
+  write_bytes(path, bytes);
+  EXPECT_THROW((void)SnapshotReader::from_file(path), SnapshotError);
+}
+
+TEST(Snapshot, LengthFieldMismatchThrows) {
+  const SnapshotWriter w = sample_writer();
+  std::vector<std::uint8_t> frame = w.frame();
+  frame[8] ^= 0x01;  // declared payload length (LE u64 at offset 8)
+  EXPECT_THROW((void)SnapshotReader::from_frame(frame.data(), frame.size()),
+               SnapshotError);
+}
+
+TEST(Snapshot, OverReadAndTrailingBytesThrow) {
+  SnapshotWriter w;
+  w.u32(7);
+  const std::vector<std::uint8_t> frame = w.frame();
+  {
+    SnapshotReader r = SnapshotReader::from_frame(frame.data(), frame.size());
+    (void)r.u32();
+    EXPECT_THROW((void)r.u8(), SnapshotError);  // past the end
+  }
+  {
+    SnapshotReader r = SnapshotReader::from_frame(frame.data(), frame.size());
+    (void)r.u8();
+    EXPECT_THROW(r.expect_done(), SnapshotError);  // 3 bytes unconsumed
+  }
+}
+
+TEST(Snapshot, CrashMidCheckpointKeepsPreviousSnapshot) {
+  const std::filesystem::path dir = test_dir();
+  const std::string path = (dir / "state.ggsn").string();
+  sample_writer().write_atomic(path);
+
+  // The mid-checkpoint kill-point sits between the temp-file write and the
+  // rename: a crash there must leave the previous snapshot untouched.
+  arm_kill_point(KillPoint::kMidCheckpoint, 1, CrashMode::kThrow);
+  SnapshotWriter next;
+  next.str("new state that must not land");
+  EXPECT_THROW(next.write_atomic(path), CrashInjected);
+  disarm_kill_points();
+
+  SnapshotReader r = SnapshotReader::from_file(path);
+  expect_sample(r);  // still the old content, fully valid
+}
+
+TEST(Snapshot, RngStateRoundTripContinuesExactStream) {
+  Rng a(0xFEEDF00Dull);
+  (void)a.uniform();
+  (void)a.normal();  // leaves a cached spare in the state
+  const Rng::State st = a.state();
+
+  SnapshotWriter w;
+  for (const std::uint64_t word : st.s) w.u64(word);
+  w.f64(st.spare);
+  w.b(st.have_spare);
+  const std::vector<std::uint8_t> frame = w.frame();
+
+  SnapshotReader r = SnapshotReader::from_frame(frame.data(), frame.size());
+  Rng::State restored;
+  for (auto& word : restored.s) word = r.u64();
+  restored.spare = r.f64();
+  restored.have_spare = r.b();
+  r.expect_done();
+
+  Rng b;
+  b.restore_state(restored);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at draw " << i;
+  }
+  ASSERT_EQ(a.normal(), b.normal());
+}
+
+TEST(Snapshot, EwmaRestoreContinuesFilter) {
+  Ewma a(0.25);
+  (void)a.update(10.0);
+  (void)a.update(4.0);
+  Ewma b(0.25);
+  b.restore(a.value(), a.seeded());
+  EXPECT_EQ(a.update(7.0), b.update(7.0));
+  // An unseeded restore must re-seed on the first sample.
+  Ewma c(0.25);
+  c.restore(0.0, false);
+  EXPECT_EQ(c.update(3.5), 3.5);
+}
+
+}  // namespace
+}  // namespace gg::common

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/snapshot.h"
 #include "src/greengpu/loss.h"
 
 namespace gg::greengpu {
@@ -159,6 +160,57 @@ TEST(FixedWeightTable, RenormalizationPreservesOrder) {
   EXPECT_EQ(p.core, 2u);
   // Weights must stay in a representable, ordered state.
   EXPECT_GT(t.weight(p.core, p.mem).raw(), 127);
+}
+
+TEST(WeightTable, SnapshotRoundTripIsBitIdentical) {
+  WeightTable t(6, 6);
+  for (int k = 0; k < 5; ++k) {
+    t.update(losses_for(0.55, kUmeans, 0.15), losses_for(0.3, kUmeans, 0.02), 0.3,
+             0.2, 1e-9);
+  }
+  common::SnapshotWriter w;
+  t.save(w);
+  WeightTable restored(6, 6);
+  common::SnapshotReader r = common::SnapshotReader::from_payload(w.payload());
+  restored.load(r);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(t.weight(i, j), restored.weight(i, j));
+    }
+  }
+  const PairIndex a = t.argmax();
+  const PairIndex b = restored.argmax();
+  EXPECT_EQ(a.core, b.core);
+  EXPECT_EQ(a.mem, b.mem);
+}
+
+TEST(WeightTable, SnapshotDimensionMismatchThrows) {
+  WeightTable t(6, 6);
+  common::SnapshotWriter w;
+  t.save(w);
+  WeightTable other(4, 6);
+  common::SnapshotReader r = common::SnapshotReader::from_payload(w.payload());
+  EXPECT_THROW(other.load(r), common::SnapshotError);
+}
+
+TEST(FixedWeightTable, SnapshotRoundTripsRawEntries) {
+  FixedWeightTable t(6, 6);
+  for (int k = 0; k < 5; ++k) {
+    t.update(losses_for(0.5, kUmeans, 0.15), losses_for(0.5, kUmeans, 0.02), 0.3, 0.2);
+  }
+  common::SnapshotWriter w;
+  t.save(w);
+  FixedWeightTable restored(6, 6);
+  common::SnapshotReader r = common::SnapshotReader::from_payload(w.payload());
+  restored.load(r);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(t.weight(i, j).raw(), restored.weight(i, j).raw());
+    }
+  }
+  FixedWeightTable mismatch(6, 3);
+  common::SnapshotReader r2 = common::SnapshotReader::from_payload(w.payload());
+  EXPECT_THROW(mismatch.load(r2), common::SnapshotError);
 }
 
 TEST(FixedWeightTable, AllZeroRecoversToUniform) {

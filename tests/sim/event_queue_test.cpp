@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <stdexcept>
 #include <memory>
 #include <utility>
 #include <vector>
+
+#include "src/common/snapshot.h"
 
 namespace gg::sim {
 namespace {
@@ -315,6 +318,43 @@ TEST(EventQueue, ManyEventsStressOrder) {
   q.run_until_empty();
   ASSERT_EQ(times.size(), 1000u);
   for (std::size_t i = 1; i < times.size(); ++i) EXPECT_LT(times[i - 1], times[i]);
+}
+
+TEST(EventQueue, SnapshotRoundTripsClockAndCounters) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1_s, [&fired] { ++fired; });
+  q.schedule_at(2_s, [&fired] { ++fired; });
+  q.run_until(5_s);
+  ASSERT_EQ(fired, 2);
+
+  common::SnapshotWriter w;
+  q.save(w);
+
+  EventQueue restored;
+  common::SnapshotReader r = common::SnapshotReader::from_payload(w.payload());
+  restored.load(r);
+  EXPECT_EQ(restored.now(), q.now());
+  EXPECT_EQ(restored.fired_count(), q.fired_count());
+  EXPECT_EQ(restored.compaction_count(), q.compaction_count());
+  // The restored clock gates scheduling exactly like the original's.
+  EXPECT_THROW(restored.schedule_at(1_s, [] {}), std::invalid_argument);
+  bool ran = false;
+  restored.schedule_at(6_s, [&ran] { ran = true; });
+  restored.run_until(6_s);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, SnapshotLoadRequiresEmptyQueue) {
+  EventQueue q;
+  q.run_until(3_s);
+  common::SnapshotWriter w;
+  q.save(w);
+
+  EventQueue busy;
+  busy.schedule_at(1_s, [] {});
+  common::SnapshotReader r = common::SnapshotReader::from_payload(w.payload());
+  EXPECT_THROW(busy.load(r), std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,28 @@
+// Lint fixture: checkpoint/snapshot state must reach disk through the
+// atomic write-rename helper (SnapshotWriter::write_atomic); a direct
+// ofstream can be torn by a crash.  The file name marks this as checkpoint
+// infrastructure, so every unsuppressed ofstream construction fires.
+#include <fstream>
+#include <string>
+
+void write_snapshot_bad(const std::string& dir) {
+  std::ofstream out(dir + "/state.ggsn", std::ios::binary);  // violation
+  out << "weights";
+}
+
+void append_journal_bad(const std::string& journal_path) {
+  std::ofstream out(journal_path, std::ios::app);  // violation
+  out << "record";
+}
+
+void write_snapshot_suppressed(const std::string& dir) {
+  // GG_LINT_ALLOW(checkpoint-write): fixture proves reasoned suppressions hold
+  std::ofstream out(dir + "/state.ggsn", std::ios::binary);
+  out << "weights";
+}
+
+void write_snapshot_bare_suppression(const std::string& dir) {
+  // GG_LINT_ALLOW(checkpoint-write)
+  std::ofstream out(dir + "/state.ggsn", std::ios::binary);
+  out << "weights";
+}

@@ -1,4 +1,5 @@
 // Lint fixture: a fully clean file — the linter must stay silent and exit 0.
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,4 +16,10 @@ double sum_sorted(const std::map<std::string, double>& cells) {
   double total = 0.0;
   for (const auto& kv : cells) total += kv.second;  // ordered: fine anywhere
   return total;
+}
+
+void write_report(const std::string& path, double total) {
+  // An ordinary report file: plain ofstream is fine here.
+  std::ofstream out(path);
+  out << total << "\n";
 }

@@ -18,7 +18,8 @@ import os
 import subprocess
 import sys
 
-FIXTURES = ["bad_nondeterminism", "bad_report_unordered", "bad_hot_alloc", "clean"]
+FIXTURES = ["bad_nondeterminism", "bad_report_unordered", "bad_hot_alloc",
+            "bad_checkpoint_write", "clean"]
 
 
 def run_lint(root, args):

@@ -12,12 +12,16 @@
 //   * times one Algorithm 1 scaler step through the fused fast path and the
 //     straight-line reference (ns/op + speedup) and asserts their decision
 //     streams match over the timed runs,
+//   * measures the crash-checkpoint overhead (journal + periodic controller
+//     snapshots at --checkpoint-every 0/10/100 vs no checkpointing) and
+//     asserts the journaled reports stay byte-identical to the plain run,
 // then writes the whole record as JSON (default BENCH_campaign.json).
 //
 // Exit code 0 iff every identity check passed.
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -29,6 +33,7 @@
 #include "src/cudalite/nvml.h"
 #include "src/cudalite/nvsettings.h"
 #include "src/greengpu/campaign.h"
+#include "src/greengpu/recovery.h"
 #include "src/greengpu/wma_scaler.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/platform.h"
@@ -49,11 +54,9 @@ struct CampaignRun {
   std::size_t runs{0};
 };
 
-CampaignRun run_campaign_timed(const greengpu::CampaignConfig& cfg) {
-  const auto start = Clock::now();
-  const greengpu::CampaignResult result = greengpu::run_campaign(cfg);
+CampaignRun to_run(const greengpu::CampaignResult& result, double seconds) {
   CampaignRun out;
-  out.seconds = seconds_since(start);
+  out.seconds = seconds;
   out.runs = result.cells.size();
   std::ostringstream csv, json;
   greengpu::write_campaign_csv(csv, result);
@@ -61,6 +64,19 @@ CampaignRun run_campaign_timed(const greengpu::CampaignConfig& cfg) {
   out.csv = csv.str();
   out.json = json.str();
   return out;
+}
+
+CampaignRun run_campaign_timed(const greengpu::CampaignConfig& cfg) {
+  const auto start = Clock::now();
+  const greengpu::CampaignResult result = greengpu::run_campaign(cfg);
+  return to_run(result, seconds_since(start));
+}
+
+CampaignRun run_campaign_checkpointed_timed(const greengpu::CampaignConfig& cfg,
+                                            const greengpu::CheckpointOptions& ckpt) {
+  const auto start = Clock::now();
+  const greengpu::CampaignResult result = greengpu::run_campaign_checkpointed(cfg, ckpt);
+  return to_run(result, seconds_since(start));
 }
 
 /// Fault channels that perturb every cell but never abort an un-hardened
@@ -247,6 +263,35 @@ int main(int argc, char** argv) {
   const CampaignRun f_parallel = run_campaign_timed(faulted_parallel);
   ok = report_identity("fault-injected", f_serial, f_parallel) && ok;
 
+  // Checkpoint overhead: the same serial campaign with the crash-safe
+  // journal alone (--checkpoint-every 0) and with periodic controller
+  // snapshots every 10 and 100 iterations.  Checkpoints are pure
+  // observation, so all three reports must stay byte-identical to the
+  // plain run measured above.
+  std::printf("measuring checkpoint overhead (journal + periodic snapshots)...\n");
+  const std::filesystem::path ckpt_root =
+      std::filesystem::temp_directory_path() / "gg_bench_checkpoint";
+  std::filesystem::remove_all(ckpt_root);
+  double ckpt_seconds[3] = {0.0, 0.0, 0.0};
+  bool ckpt_identical = true;
+  const std::size_t cadences[3] = {0, 10, 100};
+  for (int i = 0; i < 3; ++i) {
+    greengpu::CheckpointOptions ckpt;
+    ckpt.dir = (ckpt_root / ("every-" + std::to_string(cadences[i]))).string();
+    ckpt.every = cadences[i];
+    const CampaignRun run = run_campaign_checkpointed_timed(serial_cfg, ckpt);
+    ckpt_seconds[i] = run.seconds;
+    ckpt_identical = ckpt_identical && run.csv == serial.csv && run.json == serial.json;
+    std::printf("  --checkpoint-every %-3zu %.2f s (%+.1f%% vs plain serial)\n",
+                cadences[i], run.seconds,
+                (run.seconds / serial.seconds - 1.0) * 100.0);
+  }
+  std::filesystem::remove_all(ckpt_root);
+  std::printf("[%s] checkpointed reports vs plain run: %s\n",
+              ckpt_identical ? "OK" : "FAIL",
+              ckpt_identical ? "identical" : "DIFFER");
+  ok = ckpt_identical && ok;
+
   std::printf("timing sim::EventQueue hot paths...\n");
   const QueueTimings q = time_event_queue();
   std::printf("  schedule+fire:        %.1f ns/event\n", q.schedule_fire_ns);
@@ -299,6 +344,16 @@ int main(int argc, char** argv) {
   w.kv("reference_ns_per_step", s.reference_ns);
   w.kv("speedup_fast_vs_reference", s.speedup);
   w.kv("decisions_identical", s.decisions_match);
+  w.end_object();
+  w.key("checkpoint");
+  w.begin_object();
+  w.kv("every_0_seconds", ckpt_seconds[0]);
+  w.kv("every_10_seconds", ckpt_seconds[1]);
+  w.kv("every_100_seconds", ckpt_seconds[2]);
+  w.kv("overhead_every_0", ckpt_seconds[0] / serial.seconds - 1.0);
+  w.kv("overhead_every_10", ckpt_seconds[1] / serial.seconds - 1.0);
+  w.kv("overhead_every_100", ckpt_seconds[2] / serial.seconds - 1.0);
+  w.kv("journaled_reports_identical", ckpt_identical);
   w.end_object();
   w.end_object();
   out << "\n";

@@ -38,6 +38,18 @@
 //   --campaign                  run the full (workload x policy) matrix;
 //                               with --json FILE, write a structured report
 //
+// Crash consistency (docs/RECOVERY.md):
+//   --checkpoint-dir DIR        journal + snapshot directory (enables
+//                               checkpointing; created if missing)
+//   --checkpoint-every N        also snapshot controller state every N
+//                               iterations (N >= 1; omit to disable)
+//   --resume                    campaign only: skip cells already in DIR's
+//                               journal; the finished report is byte-identical
+//                               to an uninterrupted run
+//   --crash-at POINT[:N]        die (exit code 70) at the Nth hit of a named
+//                               kill-point: pre-scaler-step, post-scaler-step,
+//                               mid-checkpoint, mid-campaign-cell
+//
 // Fault injection (all rates in [0,1]; injector installs only if any is set):
 //   --fault-rate R              uniform preset: every channel at rate R
 //   --fault-seed N              deterministic fault schedule seed
@@ -55,8 +67,10 @@
 //   greengpu_cli --campaign --json report.json
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,13 +80,66 @@
 #include "src/greengpu/campaign.h"
 #include "src/greengpu/multi_runner.h"
 #include "src/greengpu/policy.h"
+#include "src/greengpu/recovery.h"
 #include "src/greengpu/runner.h"
+#include "src/sim/crash.h"
 #include "src/workloads/registry.h"
 #include "src/workloads/trace_workload.h"
 
 namespace {
 
 using namespace gg;
+
+/// Up-front range validation with one-line errors naming the offending
+/// flag.  Without this, bad WMA parameters only surface as constructor
+/// exceptions deep inside campaign workers (naming the field, not the
+/// flag), and fault rates the same; main() prints the message and exits 2.
+void validate_flag_ranges(const Flags& flags) {
+  const auto reject = [](const std::string& message) {
+    throw std::invalid_argument(message);
+  };
+  if (flags.has("phi")) {
+    const double v = flags.get_double("phi", 0.0);
+    if (v < 0.0 || v > 1.0) reject("--phi must be in [0, 1]");
+  }
+  if (flags.has("beta")) {
+    const double v = flags.get_double("beta", 0.0);
+    if (v <= 0.0 || v >= 1.0) reject("--beta must be in (0, 1)");
+  }
+  for (const char* name :
+       {"fault-rate", "fault-util-drop", "fault-util-stale", "fault-util-corrupt",
+        "fault-clock-reject", "fault-clock-delay", "fault-clock-clamp",
+        "fault-launch", "fault-host"}) {
+    if (!flags.has(name)) continue;
+    const double v = flags.get_double(name, 0.0);
+    if (v < 0.0 || v > 1.0) reject(std::string("--") + name + " must be in [0, 1]");
+  }
+  for (const char* name :
+       {"fault-clock-delay-s", "fault-throttle-mtbf", "fault-throttle-duration"}) {
+    if (!flags.has(name)) continue;
+    if (flags.get_double(name, 0.0) < 0.0) {
+      reject(std::string("--") + name + " must be >= 0");
+    }
+  }
+  if (flags.has("checkpoint-every") && flags.get_int("checkpoint-every", 0) < 1) {
+    reject("--checkpoint-every must be >= 1 (omit the flag to disable "
+           "periodic snapshots)");
+  }
+  if (flags.get_bool("resume", false)) {
+    if (!flags.get_bool("campaign", false)) reject("--resume requires --campaign");
+    if (flags.get_string("checkpoint-dir", "").empty()) {
+      reject("--resume requires --checkpoint-dir");
+    }
+  }
+}
+
+greengpu::CheckpointOptions checkpoint_options_from_flags(const Flags& flags) {
+  greengpu::CheckpointOptions ckpt;
+  ckpt.dir = flags.get_string("checkpoint-dir", "");
+  ckpt.every = static_cast<std::size_t>(flags.get_int("checkpoint-every", 0));
+  ckpt.resume = flags.get_bool("resume", false);
+  return ckpt;
+}
 
 sim::FaultConfig fault_config_from_flags(const Flags& flags) {
   sim::FaultConfig cfg;
@@ -173,6 +240,17 @@ void print_csv_row(CsvWriter& w, const greengpu::ExperimentResult& r) {
 }
 
 int run(const Flags& flags) {
+  validate_flag_ranges(flags);
+
+  // --crash-at arms a process-wide kill-point in exit mode: the run dies
+  // with exit code 70 exactly where a SIGKILL would leave it (no flushes),
+  // which is what the CI crash-recovery matrix supervises from outside.
+  std::optional<sim::CrashInjector> crash;
+  const std::string crash_at = flags.get_string("crash-at", "");
+  if (!crash_at.empty()) {
+    crash.emplace(sim::parse_crash_spec(crash_at), sim::CrashMode::kExit);
+  }
+
   // Worker count for the parallel modes (campaign, --workload all).  Output
   // is byte-identical for every value; only wall-clock changes.
   const long long jobs_flag = flags.get_int("jobs", 1);
@@ -192,6 +270,16 @@ int run(const Flags& flags) {
     greengpu::CampaignConfig cfg;
     cfg.jobs = jobs;
     cfg.options.record = record_options_from_flags(flags, greengpu::RecordMode::kCounters);
+    cfg.options.faults = fault_config_from_flags(flags);
+    cfg.options.max_iterations = static_cast<std::size_t>(flags.get_int("iterations", 0));
+    if (flags.get_bool("hardened", false)) {
+      // Fault-injected campaigns need the hardened controllers: un-hardened
+      // policies DNF by design on a faulty platform (watchdog abort).
+      cfg.policies = {greengpu::Policy::best_performance(), greengpu::Policy::scaling_only(),
+                      greengpu::Policy::division_only(), greengpu::Policy::green_gpu()};
+      for (auto& p : cfg.policies) p.params.hardening.enabled = true;
+    }
+    const greengpu::CheckpointOptions ckpt = checkpoint_options_from_flags(flags);
     const std::string wl = flags.get_string("workload", "");
     if (!wl.empty() && wl != "all") cfg.workloads = {wl};
     const std::string json_file = flags.get_string("json", "");
@@ -203,9 +291,10 @@ int run(const Flags& flags) {
       }
       return 2;
     }
-    const greengpu::CampaignResult result = greengpu::run_campaign(
-        cfg, [](const std::string& w, const std::string& p, std::size_t done,
-                std::size_t total) {
+    const greengpu::CampaignResult result = greengpu::run_campaign_checkpointed(
+        cfg, ckpt,
+        [](const std::string& w, const std::string& p, std::size_t done,
+           std::size_t total) {
           std::fprintf(stderr, "[%zu/%zu] %s / %s\n", done, total, w.c_str(), p.c_str());
         });
     if (markdown) {
@@ -301,6 +390,11 @@ int run(const Flags& flags) {
   options.verify = !flags.get_bool("no-verify", false);
   options.faults = fault_config_from_flags(flags);
   options.record = record_options_from_flags(flags, greengpu::RecordMode::kFull);
+  options.checkpoint_every = static_cast<std::size_t>(flags.get_int("checkpoint-every", 0));
+  options.checkpoint_dir = flags.get_string("checkpoint-dir", "");
+  if (!options.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options.checkpoint_dir);
+  }
   const std::string trace_file = flags.get_string("trace", "");
   options.record_trace = !trace_file.empty();
   const bool csv = flags.get_bool("csv", false);
@@ -330,7 +424,9 @@ int run(const Flags& flags) {
   std::vector<greengpu::ExperimentResult> results(names.size());
   common::JobPool pool(jobs);
   pool.run(names.size(), [&](std::size_t i) {
-    results[i] = greengpu::run_experiment(names[i], policy, options);
+    greengpu::RunOptions cell = options;
+    if (cell.checkpoint_every != 0) cell.checkpoint_tag = names[i];
+    results[i] = greengpu::run_experiment(names[i], policy, cell);
   });
 
   int failures = 0;

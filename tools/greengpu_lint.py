@@ -29,6 +29,17 @@ hot path (PR 2/3).  The compiler cannot enforce either, so this lint does:
                     rot by deleting a marker.  (Tree scans only — skipped
                     when explicit files are given.)
 
+  checkpoint-write  Snapshot/checkpoint state must reach disk through
+                    SnapshotWriter::write_atomic (write `<path>.tmp`, flush,
+                    rename — src/common/snapshot.h), the only write path
+                    that cannot leave a torn file behind a crash.  A plain
+                    ofstream constructed in checkpoint infrastructure (file
+                    name mentions snapshot/checkpoint/recovery/journal) or
+                    near checkpoint path tokens is flagged; deliberately
+                    non-atomic writers (the helper itself, the CRC-framed
+                    append-only journal, corruption tests) carry reasoned
+                    suppressions.
+
 Suppression: a violating line is accepted when it, or the line directly
 above it, carries `// GG_LINT_ALLOW(<rule>): <reason>` with a non-empty
 reason.  A suppression without a reason is itself a diagnostic
@@ -140,6 +151,18 @@ REQUIRED_HOT = [
      re.compile(r"void\s+push\s*\("),
      "DecisionRecorder::push"),
 ]
+
+# checkpoint-write: an ofstream construction counts as a checkpoint write
+# when the file itself is checkpoint infrastructure, or when the raw lines
+# just above (strings and comments included — that is where path literals
+# like ".ggsn" live) mention checkpoint tokens.  GG_LINT_ALLOW lines are
+# not evidence, or suppression comments would self-trigger the rule.
+CKPT_OFSTREAM_RE = re.compile(r"\b(?:std::)?ofstream\b")
+CKPT_FILE_RE = re.compile(r"(snapshot|checkpoint|recovery|journal|ckpt)",
+                          re.IGNORECASE)
+CKPT_TOKEN_RE = re.compile(r"ckpt|checkpoint|snapshot|journal|\.ggsn",
+                           re.IGNORECASE)
+CKPT_WINDOW = 4  # raw lines above the construction scanned for evidence
 
 ALLOW_RE = re.compile(r"GG_LINT_ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
 
@@ -338,10 +361,35 @@ class FileLinter:
                             "must be allocation-free (see "
                             "src/common/annotations.h)")
 
+    # -- checkpoint-write --------------------------------------------------
+    def check_checkpoint_write(self) -> None:
+        fname = self.relpath.rsplit("/", 1)[-1]
+        infra_file = CKPT_FILE_RE.search(fname) is not None
+        for ln, line in enumerate(self.code_lines, 1):
+            if not CKPT_OFSTREAM_RE.search(line):
+                continue
+            evidence = infra_file
+            if not evidence:
+                lo = max(0, ln - 1 - CKPT_WINDOW)
+                for raw in self.raw_lines[lo:ln]:
+                    if "GG_LINT_ALLOW" in raw:
+                        continue
+                    if CKPT_TOKEN_RE.search(raw):
+                        evidence = True
+                        break
+            if evidence:
+                self.report(
+                    ln, "checkpoint-write",
+                    "direct ofstream to a checkpoint/snapshot path is not "
+                    "crash-safe (a kill mid-write leaves a torn file); route "
+                    "it through SnapshotWriter::write_atomic "
+                    "(src/common/snapshot.h)")
+
     def run(self) -> list[Diagnostic]:
         self.check_nondeterminism()
         self.check_unordered()
         self.check_hot_alloc()
+        self.check_checkpoint_write()
         return self.diags
 
 
