@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,11 +31,34 @@ inline greengpu::RunOptions default_options() {
   return o;
 }
 
+/// A mistyped flag exits 2 with a one-line error instead of silently running
+/// the bench with its default — a sweep that quietly ignored --jobs=32 costs
+/// hours before anyone notices.
+[[noreturn]] inline void die_unknown(const std::invalid_argument& e) {
+  std::fprintf(stderr, "%s\n", e.what());
+  std::exit(2);
+}
+
+/// For benches with no options at all: any flag is unknown.
+inline void expect_no_flags(int argc, const char* const* argv) {
+  try {
+    const Flags flags(argc, argv);
+    flags.reject_unknown();
+  } catch (const std::invalid_argument& e) {
+    die_unknown(e);
+  }
+}
+
 /// Parse `--jobs N` (0 = all cores; default 1 = serial).
 inline std::size_t jobs_from_argv(int argc, const char* const* argv) {
-  const Flags flags(argc, argv);
-  const long long jobs = flags.get_int("jobs", 1);
-  return jobs < 0 ? 0 : static_cast<std::size_t>(jobs);
+  try {
+    const Flags flags(argc, argv);
+    const long long jobs = flags.get_int("jobs", 1);
+    flags.reject_unknown();
+    return jobs < 0 ? 0 : static_cast<std::size_t>(jobs);
+  } catch (const std::invalid_argument& e) {
+    die_unknown(e);
+  }
 }
 
 /// Run fn(i) for i in [0, n) across `jobs` workers.  Results must go to

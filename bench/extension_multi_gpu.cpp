@@ -31,7 +31,8 @@ void sweep(const std::string& workload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gg::bench::expect_no_flags(argc, argv);
   bench::banner("extension_multi_gpu",
                 "Section VI extension: the pthread-per-GPU structure at N > 1");
 

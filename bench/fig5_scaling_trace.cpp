@@ -8,7 +8,8 @@
 #include "bench/bench_util.h"
 #include "src/greengpu/policy.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gg::bench::expect_no_flags(argc, argv);
   using namespace gg;
   bench::banner("fig5_scaling_trace",
                 "Fig. 5 (a-c), frequency scaling trace on streamcluster");

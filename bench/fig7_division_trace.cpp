@@ -51,7 +51,8 @@ std::pair<double, greengpu::ExperimentResult> static_optimum(const std::string& 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gg::bench::expect_no_flags(argc, argv);
   bench::banner("fig7_division_trace",
                 "Fig. 7 (a, b) + Section VII-B static-optimum comparison");
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include <stdexcept>
+#include "src/common/flags.h"
 #include "src/greengpu/policy.h"
 #include "src/greengpu/runner.h"
 #include "src/workloads/workload.h"
@@ -95,7 +97,14 @@ class MonteCarloPi final : public workloads::ProfiledWorkload {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const gg::Flags flags(argc, argv);
+    flags.reject_unknown();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   std::printf("Custom workload under GreenGPU: Monte-Carlo pi\n\n");
 
   MonteCarloPi base_wl;

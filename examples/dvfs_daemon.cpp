@@ -5,8 +5,10 @@
 //   ./build/examples/dvfs_daemon [workload]   (default: streamcluster)
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
+#include "src/common/flags.h"
 #include "src/cudalite/api.h"
 #include "src/cudalite/nvml.h"
 #include "src/cudalite/nvsettings.h"
@@ -15,7 +17,15 @@
 
 int main(int argc, char** argv) {
   using namespace gg;
-  const std::string name = argc > 1 ? argv[1] : "streamcluster";
+  std::string name = "streamcluster";
+  try {
+    const Flags flags(argc, argv);
+    flags.reject_unknown();
+    if (!flags.positional().empty()) name = flags.positional().front();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   // Assemble the stack by hand (the runner does this for you normally) to
   // show the moving parts: platform, runtime, monitoring, actuation, daemon.

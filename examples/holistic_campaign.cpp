@@ -6,12 +6,21 @@
 
 #include <cstdio>
 #include <vector>
+#include <stdexcept>
+#include "src/common/flags.h"
 
 #include "src/greengpu/policy.h"
 #include "src/greengpu/runner.h"
 #include "src/workloads/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
+  try {
+    const gg::Flags flags(argc, argv);
+    flags.reject_unknown();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   using namespace gg;
 
   std::printf("GreenGPU evaluation campaign (simulated 8800 GTX + Phenom II X2)\n");

@@ -5,15 +5,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
+#include "src/common/flags.h"
 #include "src/greengpu/policy.h"
 #include "src/greengpu/runner.h"
 #include "src/workloads/kmeans.h"
 
 int main(int argc, char** argv) {
   using namespace gg;
-  const double initial = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.30;
+  double initial = 0.30;
+  try {
+    const Flags flags(argc, argv);
+    flags.reject_unknown();
+    if (!flags.positional().empty()) {
+      initial = std::atof(flags.positional().front().c_str()) / 100.0;
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   if (initial < 0.0 || initial > 0.95) {
     std::fprintf(stderr, "initial share must be in [0, 95] percent\n");
     return 1;

@@ -5,13 +5,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
+#include "src/common/flags.h"
 #include "src/greengpu/multi_runner.h"
 #include "src/workloads/kmeans.h"
 
 int main(int argc, char** argv) {
   using namespace gg;
-  const std::size_t gpus = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+  std::size_t gpus = 2;
+  try {
+    const Flags flags(argc, argv);
+    flags.reject_unknown();
+    if (!flags.positional().empty()) {
+      gpus = static_cast<std::size_t>(std::atoi(flags.positional().front().c_str()));
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   if (gpus == 0 || gpus > 16) {
     std::fprintf(stderr, "gpu_count must be in [1, 16]\n");
     return 1;

@@ -8,15 +8,25 @@
 // The workload argument is any Table II name (default: kmeans).
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
+#include "src/common/flags.h"
 #include "src/greengpu/policy.h"
 #include "src/greengpu/runner.h"
 #include "src/workloads/registry.h"
 
 int main(int argc, char** argv) {
   using namespace gg;
-  const std::string name = argc > 1 ? argv[1] : "kmeans";
+  std::string name = "kmeans";
+  try {
+    const Flags flags(argc, argv);
+    flags.reject_unknown();
+    if (!flags.positional().empty()) name = flags.positional().front();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   std::printf("GreenGPU quickstart: workload '%s'\n", name.c_str());
   std::printf("simulated testbed: GeForce 8800 GTX + Phenom II X2 (see DESIGN.md)\n\n");

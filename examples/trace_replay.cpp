@@ -11,18 +11,30 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
+#include "src/common/flags.h"
 #include "src/greengpu/greengpu.h"
 #include "src/workloads/trace_workload.h"
 
 int main(int argc, char** argv) {
   using namespace gg;
+  std::string trace_path;
+  try {
+    const Flags flags(argc, argv);
+    flags.reject_unknown();
+    if (!flags.positional().empty()) trace_path = flags.positional().front();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   auto make_workload = [&]() -> workloads::TraceWorkload {
-    if (argc > 1) {
-      std::ifstream in(argv[1]);
+    if (!trace_path.empty()) {
+      std::ifstream in(trace_path);
       if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", argv[1]);
+        std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
         std::exit(1);
       }
       return workloads::TraceWorkload::from_csv(in);

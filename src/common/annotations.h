@@ -21,6 +21,13 @@
 //
 // e.g. `// GG_LINT_ALLOW(hot-alloc): amortized growth to working size`.
 // The reason is mandatory — the lint rejects bare suppressions.
+// `GG_BOUNDED(reason)` marks a container-growth site in src/service/ as
+// deliberately bounded: the lint's service-growth rule flags every
+// push_back/emplace/push in the service layer's hot paths, because an
+// unbounded queue is how a daemon turns overload into an OOM kill.  The
+// annotation names the bound ("capacity enforced by BoundedQueue", "one
+// entry per device, fixed at startup") on the growth line or the line
+// above it; a bare GG_BOUNDED() without a reason is itself a diagnostic.
 #pragma once
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -28,3 +35,5 @@
 #else
 #define GG_HOT
 #endif
+
+#define GG_BOUNDED(reason)

@@ -1,0 +1,91 @@
+// Exponential backoff with deterministic jitter.
+//
+// Supervision loops (greengpu::RecoverySupervisor, the greengpud service
+// executor) restart crashed work under a budget; restarting immediately
+// turns a persistent fault into a hot spin, and restarting on a fixed
+// period synchronizes every supervisor in a fleet.  ExponentialBackoff
+// produces the standard doubling delay sequence with a bounded jitter term
+// drawn from a seeded common::Rng, so the schedule decorrelates restarts
+// while staying bit-reproducible: one seed, one delay sequence, on every
+// host.  The class is pure computation — it never sleeps and never reads a
+// clock; callers decide what to do with the returned delay.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace gg::common {
+
+struct BackoffConfig {
+  /// Delay before the first retry.
+  Seconds initial{0.01};
+  /// Growth factor applied after every retry (>= 1).
+  double multiplier{2.0};
+  /// Ceiling the un-jittered delay saturates at.
+  Seconds max{2.0};
+  /// Jitter amplitude as a fraction of the base delay, in [0, 1]: each
+  /// delay is perturbed by a uniform draw in [-jitter, +jitter] * base.
+  double jitter{0.1};
+  /// Seed of the jitter stream (deterministic: same seed, same schedule).
+  std::uint64_t seed{0xB0FF5EEDULL};
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const {
+    if (initial.get() <= 0.0) {
+      throw std::invalid_argument("BackoffConfig: initial must be > 0, got " +
+                                  std::to_string(initial.get()));
+    }
+    if (multiplier < 1.0) {
+      throw std::invalid_argument("BackoffConfig: multiplier must be >= 1, got " +
+                                  std::to_string(multiplier));
+    }
+    if (max.get() < initial.get()) {
+      throw std::invalid_argument("BackoffConfig: max must be >= initial");
+    }
+    if (jitter < 0.0 || jitter > 1.0) {
+      throw std::invalid_argument("BackoffConfig: jitter must be in [0, 1], got " +
+                                  std::to_string(jitter));
+    }
+  }
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(BackoffConfig config = {})
+      : config_(config), rng_(config.seed), base_(config.initial) {
+    config.validate();
+  }
+
+  /// Delay before the next retry; advances the schedule.  Never negative.
+  [[nodiscard]] Seconds next() {
+    ++attempts_;
+    const double base = base_.get();
+    const double jittered =
+        base + base * config_.jitter * rng_.uniform(-1.0, 1.0);
+    base_ = Seconds{std::min(base * config_.multiplier, config_.max.get())};
+    return Seconds{jittered < 0.0 ? 0.0 : jittered};
+  }
+
+  /// Retries drawn since construction or the last reset().
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+  /// Restart the schedule from `initial` (the jitter stream continues, so
+  /// reset does not replay the previous delays).
+  void reset() {
+    base_ = config_.initial;
+    attempts_ = 0;
+  }
+
+ private:
+  BackoffConfig config_;
+  Rng rng_;
+  Seconds base_;
+  int attempts_{0};
+};
+
+}  // namespace gg::common

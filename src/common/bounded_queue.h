@@ -1,0 +1,89 @@
+// Fixed-capacity queue with explicit admission.
+//
+// The greengpud service layer must never let a request queue grow without
+// bound: under overload the correct behaviour is an explicit 503-style
+// rejection at admission time, not an ever-deeper queue that collapses
+// under its own memory and latency.  BoundedQueue makes the bound the API:
+// try_push refuses when full (the caller sheds), and evict_worst lets an
+// admission controller trade the lowest-priority queued element for a more
+// important arrival.  All scans are deterministic (insertion order), so
+// identical request sequences produce identical shed decisions.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace gg::common {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("BoundedQueue: capacity must be >= 1");
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+
+  /// Admit `value` if there is room; false means the caller must shed.
+  [[nodiscard]] bool try_push(T value) {
+    if (full()) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  /// Oldest element, FIFO.
+  [[nodiscard]] std::optional<T> pop_front() {
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Remove and return the element that `better(candidate, element)` never
+  /// prefers — i.e. the minimum under `better` (ties resolved toward the
+  /// oldest element, keeping eviction deterministic).  `better(a, b)` must
+  /// be a strict weak ordering meaning "a should outlive b".
+  template <typename Better>
+  [[nodiscard]] std::optional<T> evict_worst(Better better) {
+    if (items_.empty()) return std::nullopt;
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      if (better(items_[worst], items_[i])) worst = i;
+    }
+    T out = std::move(items_[worst]);
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(worst));
+    return out;
+  }
+
+  /// Remove and return the element that `better` prefers over every other
+  /// (the maximum under `better`; ties resolved toward the oldest element,
+  /// so equal-priority elements leave in FIFO order).
+  template <typename Better>
+  [[nodiscard]] std::optional<T> pop_best(Better better) {
+    if (items_.empty()) return std::nullopt;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      if (better(items_[i], items_[best])) best = i;
+    }
+    T out = std::move(items_[best]);
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(best));
+    return out;
+  }
+
+  /// Deterministic insertion-order view (admission-cost scans).
+  [[nodiscard]] const std::deque<T>& items() const { return items_; }
+
+ private:
+  std::deque<T> items_;
+  std::size_t capacity_;
+};
+
+}  // namespace gg::common

@@ -110,4 +110,12 @@ std::vector<std::string> Flags::unconsumed() const {
   return out;
 }
 
+void Flags::reject_unknown() const {
+  const auto unknown = unconsumed();
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag:";
+  for (const auto& key : unknown) msg += " --" + key;
+  throw std::invalid_argument(msg);
+}
+
 }  // namespace gg

@@ -39,6 +39,11 @@ class Flags {
   /// typically typos; check after all getters ran.
   [[nodiscard]] std::vector<std::string> unconsumed() const;
 
+  /// Throws std::invalid_argument with a one-line "unknown flag: --x --y"
+  /// message if any flag was never queried.  Every binary calls this after
+  /// its last getter so a typo fails loudly instead of being ignored.
+  void reject_unknown() const;
+
  private:
   void parse(const std::vector<std::string>& tokens);
   [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;

@@ -1,0 +1,147 @@
+#include "src/common/journal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "src/common/killpoint.h"
+#include "src/common/snapshot.h"
+
+namespace gg::common {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+/// Per-record frame: tag + payload length + payload CRC.
+constexpr std::size_t kRecordHeaderSize = 8 + 8 + 4;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<Journal::Record> Journal::read(const std::string& path, Format format,
+                                           std::uint64_t fingerprint) {
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw SnapshotError("journal " + path + ": cannot open");
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  if (bytes.size() < kHeaderSize) {
+    throw SnapshotError("journal " + path + ": truncated header (" +
+                        std::to_string(bytes.size()) + " of " +
+                        std::to_string(kHeaderSize) + " bytes at byte 0)");
+  }
+  if (get_u32(bytes.data()) != format.magic) {
+    throw SnapshotError("journal " + path + ": bad magic at byte 0");
+  }
+  const std::uint32_t version = get_u32(bytes.data() + 4);
+  if (version != format.version) {
+    throw SnapshotError("journal " + path + ": version " + std::to_string(version) +
+                        " unsupported at byte 4 (expected " +
+                        std::to_string(format.version) + ")");
+  }
+  if (get_u64(bytes.data() + 8) != fingerprint) {
+    throw SnapshotError("journal " + path +
+                        ": configuration fingerprint mismatch at byte 8 — written "
+                        "by a different configuration (refusing to mix results)");
+  }
+
+  std::vector<Record> records;
+  std::size_t pos = kHeaderSize;
+  std::size_t good_end = pos;
+  while (pos + kRecordHeaderSize <= bytes.size()) {
+    const std::uint64_t tag = get_u64(bytes.data() + pos);
+    const std::uint64_t len = get_u64(bytes.data() + pos + 8);
+    const std::uint32_t crc = get_u32(bytes.data() + pos + 16);
+    const std::size_t payload_at = pos + kRecordHeaderSize;
+    if (payload_at + len > bytes.size()) break;  // torn tail
+    if (crc32(bytes.data() + payload_at, len) != crc) break;  // torn tail
+    Record r;
+    r.tag = tag;
+    r.offset = pos;
+    r.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(payload_at),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(payload_at + len));
+    records.push_back(std::move(r));
+    pos = payload_at + len;
+    good_end = pos;
+  }
+  if (good_end < bytes.size()) {
+    // Drop the torn tail so the next append starts on a record boundary.
+    std::filesystem::resize_file(path, good_end);
+  }
+  return records;
+}
+
+void Journal::truncate_to(const std::string& path, std::uint64_t size) {
+  std::filesystem::resize_file(path, size);
+}
+
+Journal::Journal(std::string path, Format format, std::uint64_t fingerprint, bool fresh)
+    : path_(std::move(path)) {
+  if (fresh || !std::filesystem::exists(path_)) {
+    std::string header;
+    put_u32(header, format.magic);
+    put_u32(header, format.version);
+    put_u64(header, fingerprint);
+    // GG_LINT_ALLOW(checkpoint-write): journal header creation; records are
+    // CRC-framed and a torn tail is truncated on read, so the append path
+    // needs no write-rename.
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("journal " + path_ + ": cannot create");
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.flush();
+    if (!out) {
+      throw SnapshotError("journal " + path_ + ": short header write at byte 0");
+    }
+  }
+}
+
+void Journal::append(std::uint64_t tag, const std::vector<std::uint8_t>& payload) {
+  std::string frame;
+  frame.reserve(kRecordHeaderSize + payload.size());
+  put_u64(frame, tag);
+  put_u64(frame, payload.size());
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+
+  // GG_LINT_ALLOW(checkpoint-write): the journal is append-only by design;
+  // each record carries its own CRC and read() truncates a torn tail, which
+  // gives the same never-see-a-partial-record guarantee as write-rename
+  // without rewriting the whole file per record.
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) throw SnapshotError("journal " + path_ + ": cannot open for append");
+  const auto at = static_cast<std::uint64_t>(std::filesystem::file_size(path_));
+  // Two-flush write with the kill-point in between: an exit-mode kill here
+  // leaves exactly the half-written record that read() detects and drops.
+  const std::size_t half = frame.size() / 2;
+  out.write(frame.data(), static_cast<std::streamsize>(half));
+  out.flush();
+  killpoint(KillPoint::kMidCheckpoint);
+  out.write(frame.data() + half, static_cast<std::streamsize>(frame.size() - half));
+  out.flush();
+  if (!out) {
+    throw SnapshotError("journal " + path_ + ": short append at byte " +
+                        std::to_string(at));
+  }
+}
+
+}  // namespace gg::common

@@ -1,0 +1,76 @@
+// Generic append-only, CRC-framed journal.
+//
+// Two subsystems keep an append-only record stream on disk: the campaign
+// journal (greengpu/recovery.h — one record per completed campaign cell)
+// and the greengpud service journal (service/journal.h — one record per
+// admission decision and per completed request).  Both need the same
+// crash-consistency story, so it lives here once:
+//
+//   header:  [magic u32][version u32][fingerprint u64]
+//   record:  [tag u64][payload length u64][payload CRC32 u32][payload]
+//
+// Appends are flushed per record; a process killed mid-append leaves a torn
+// trailing record that read() detects (short frame or CRC mismatch),
+// truncates away in place, and reports — everything before it stays
+// trusted.  The header fingerprint refuses to mix streams written by a
+// different configuration.  Every error message names the offending file
+// and byte offset, so a daemon log line is enough to find the damage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gg::common {
+
+class Journal {
+ public:
+  /// Per-stream framing identity: campaign and service journals use
+  /// different magics so one can never be resumed as the other.
+  struct Format {
+    std::uint32_t magic{0};
+    std::uint32_t version{0};
+  };
+
+  /// One intact record as stored: `tag` is caller-defined (cell index,
+  /// record kind, ...), `offset` is where the record's frame starts in the
+  /// file (for error reporting and partial-trust truncation).
+  struct Record {
+    std::uint64_t tag{0};
+    std::vector<std::uint8_t> payload;
+    std::uint64_t offset{0};
+  };
+
+  /// Scan `path`: validate the header against `format`/`fingerprint`, load
+  /// every intact record and truncate a torn tail in place.  Throws
+  /// common::SnapshotError naming the path and byte offset on a
+  /// missing/foreign/version- or fingerprint-mismatched journal.
+  [[nodiscard]] static std::vector<Record> read(const std::string& path,
+                                                Format format,
+                                                std::uint64_t fingerprint);
+
+  /// Truncate `path` to `size` bytes — the hook callers use to drop records
+  /// *after* a byte offset when a payload fails to parse (the journal layer
+  /// cannot know payload schemas; see CampaignJournal::read).
+  static void truncate_to(const std::string& path, std::uint64_t size);
+
+  /// Open for appending.  `fresh` truncates and writes a new header;
+  /// otherwise records append after the existing (already truncated-to-good)
+  /// content.  Throws common::SnapshotError on I/O failure.
+  Journal(std::string path, Format format, std::uint64_t fingerprint, bool fresh);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Append one record and flush.  Hosts the mid-checkpoint kill-point
+  /// between two half-record flushes, so an exit-mode kill here leaves
+  /// exactly the torn tail that read() truncates.
+  void append(std::uint64_t tag, const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace gg::common

@@ -26,13 +26,16 @@ namespace gg::common {
 /// Where a run can be killed.  Names (for --crash-at and logs) are the
 /// kebab-case forms returned by to_string().
 enum class KillPoint : std::uint8_t {
-  kPreScalerStep,    ///< before an Algorithm 1 scaler step runs
-  kPostScalerStep,   ///< after the step's decision is recorded
-  kMidCheckpoint,    ///< inside a checkpoint/journal write, torn-file window
-  kMidCampaignCell,  ///< after a campaign cell finished, before it is journaled
+  kPreScalerStep,      ///< before an Algorithm 1 scaler step runs
+  kPostScalerStep,     ///< after the step's decision is recorded
+  kMidCheckpoint,      ///< inside a checkpoint/journal write, torn-file window
+  kMidCampaignCell,    ///< after a campaign cell finished, before it is journaled
+  kServicePostAdmit,   ///< after a greengpud admission is journaled, before reply
+  kServicePreResult,   ///< after a greengpud request executed, before its result
+                       ///< is journaled (the re-execute-on-resume window)
 };
 
-inline constexpr int kKillPointCount = 4;
+inline constexpr int kKillPointCount = 6;
 
 [[nodiscard]] std::string_view to_string(KillPoint point);
 /// Accepts the kebab-case names; throws std::invalid_argument otherwise.
@@ -65,8 +68,8 @@ class CrashInjected : public std::runtime_error {
 
 namespace detail {
 /// Hits remaining until the armed point fires; <= 0 means disarmed or
-/// already fired (a kill-point is single-shot by construction, so a
-/// resumed in-process run sails past it).
+/// out of shots (a kill-point is single-shot by default, so a resumed
+/// in-process run sails past it).
 extern std::atomic<std::int64_t> g_kill_remaining;
 extern std::atomic<std::uint8_t> g_kill_point;
 extern std::atomic<std::uint8_t> g_kill_mode;
@@ -74,10 +77,16 @@ extern std::atomic<std::uint8_t> g_kill_mode;
 }  // namespace detail
 
 /// Arm `point` to fire on its `nth` hit (1 = the next one) process-wide.
-/// Only one point can be armed at a time; re-arming replaces the previous
-/// arm.  Thread-safe: concurrent hits from campaign workers elect exactly
-/// one trigger.
-void arm_kill_point(KillPoint point, std::uint64_t nth, CrashMode mode);
+/// `shots` is how many times the point fires in total: after each firing it
+/// re-arms for another `nth` hits until the shots are spent.  shots > 1 is
+/// how tests model a *persistent* fault — a supervisor that restarts the
+/// work crashes again at the same place until its budget runs out (only
+/// meaningful in kThrow mode; a kExit firing ends the process).  Only one
+/// point can be armed at a time; re-arming replaces the previous arm.
+/// Thread-safe: concurrent hits from campaign workers elect exactly one
+/// trigger.
+void arm_kill_point(KillPoint point, std::uint64_t nth, CrashMode mode,
+                    std::uint64_t shots = 1);
 
 /// Disarm whatever is armed (idempotent).
 void disarm_kill_points();

@@ -109,53 +109,66 @@ void SnapshotWriter::write_atomic(const std::string& path) const {
   }
 }
 
-SnapshotReader SnapshotReader::from_frame(const std::uint8_t* data, std::size_t size) {
+SnapshotReader SnapshotReader::from_frame(const std::uint8_t* data, std::size_t size,
+                                          const std::string& context) {
+  const std::string where =
+      context.empty() ? std::string("snapshot") : "snapshot " + context;
   if (size < kHeaderSize) {
-    throw SnapshotError("snapshot: truncated header (" + std::to_string(size) +
-                        " bytes)");
+    throw SnapshotError(where + ": truncated header (" + std::to_string(size) +
+                        " of " + std::to_string(kHeaderSize) + " bytes at byte 0)");
   }
   if (read_u32(data) != kSnapshotMagic) {
-    throw SnapshotError("snapshot: bad magic (not a GGSN snapshot)");
+    throw SnapshotError(where + ": bad magic at byte 0 (not a GGSN snapshot)");
   }
   const std::uint32_t version = read_u32(data + 4);
   if (version != kSnapshotVersion) {
-    throw SnapshotError("snapshot: schema version " + std::to_string(version) +
-                        " unsupported (expected " + std::to_string(kSnapshotVersion) +
-                        ")");
+    throw SnapshotError(where + ": schema version " + std::to_string(version) +
+                        " unsupported at byte 4 (expected " +
+                        std::to_string(kSnapshotVersion) + ")");
   }
   const std::uint64_t length = read_u64(data + 8);
   if (length != size - kHeaderSize) {
-    throw SnapshotError("snapshot: payload length mismatch (declared " +
+    throw SnapshotError(where + ": payload length mismatch at byte 8 (declared " +
                         std::to_string(length) + ", have " +
                         std::to_string(size - kHeaderSize) + ")");
   }
   const std::uint32_t declared_crc = read_u32(data + 16);
   const std::uint32_t actual_crc = crc32(data + kHeaderSize, length);
   if (declared_crc != actual_crc) {
-    throw SnapshotError("snapshot: CRC mismatch (corrupt payload)");
+    throw SnapshotError(where + ": CRC mismatch at byte 16 (corrupt payload)");
   }
   SnapshotReader r;
   r.buf_.assign(data + kHeaderSize, data + size);
+  r.context_ = context;
   return r;
 }
 
 SnapshotReader SnapshotReader::from_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw SnapshotError("snapshot: cannot open " + path);
+  if (!in) throw SnapshotError("snapshot " + path + ": cannot open");
   std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
                                   std::istreambuf_iterator<char>()};
-  return from_frame(bytes.data(), bytes.size());
+  return from_frame(bytes.data(), bytes.size(), path);
 }
 
-SnapshotReader SnapshotReader::from_payload(std::vector<std::uint8_t> payload) {
+SnapshotReader SnapshotReader::from_payload(std::vector<std::uint8_t> payload,
+                                            const std::string& context) {
   SnapshotReader r;
   r.buf_ = std::move(payload);
+  r.context_ = context;
   return r;
+}
+
+std::string SnapshotReader::where() const {
+  return context_.empty() ? std::string("snapshot") : "snapshot " + context_;
 }
 
 void SnapshotReader::need(std::size_t n) const {
   if (pos_ + n > buf_.size()) {
-    throw SnapshotError("snapshot: payload over-read (schema/data mismatch)");
+    throw SnapshotError(where() + ": payload over-read at byte " +
+                        std::to_string(pos_) + " (need " + std::to_string(n) +
+                        ", have " + std::to_string(buf_.size() - pos_) +
+                        "; schema/data mismatch)");
   }
 }
 
@@ -200,8 +213,9 @@ std::vector<double> SnapshotReader::f64_vec() {
 
 void SnapshotReader::expect_done() const {
   if (pos_ != buf_.size()) {
-    throw SnapshotError("snapshot: " + std::to_string(buf_.size() - pos_) +
-                        " trailing payload bytes (schema/data mismatch)");
+    throw SnapshotError(where() + ": " + std::to_string(buf_.size() - pos_) +
+                        " trailing payload bytes at byte " + std::to_string(pos_) +
+                        " (schema/data mismatch)");
   }
 }
 

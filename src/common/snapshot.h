@@ -79,14 +79,20 @@ class SnapshotWriter {
 /// impossible — either the whole payload is trusted or none of it is.
 class SnapshotReader {
  public:
-  /// Parse a full frame (header + CRC + payload).  Throws SnapshotError.
-  static SnapshotReader from_frame(const std::uint8_t* data, std::size_t size);
+  /// Parse a full frame (header + CRC + payload).  Throws SnapshotError;
+  /// `context` (usually the file path) is threaded into every diagnostic so
+  /// daemon logs name the offending file and byte offset.
+  static SnapshotReader from_frame(const std::uint8_t* data, std::size_t size,
+                                   const std::string& context = "");
   /// Load and validate `path`.  Throws SnapshotError (missing file,
-  /// truncation, bad magic/version/CRC).
+  /// truncation, bad magic/version/CRC), always naming `path` and the
+  /// offending byte offset.
   static SnapshotReader from_file(const std::string& path);
   /// Wrap an already-validated payload (journal records carry their own
-  /// framing and CRC).
-  static SnapshotReader from_payload(std::vector<std::uint8_t> payload);
+  /// framing and CRC).  `context` names the payload's origin for reader
+  /// diagnostics.
+  static SnapshotReader from_payload(std::vector<std::uint8_t> payload,
+                                     const std::string& context = "");
 
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] bool b() { return u8() != 0; }
@@ -104,9 +110,12 @@ class SnapshotReader {
  private:
   SnapshotReader() = default;
   void need(std::size_t n) const;
+  /// "snapshot <context>: " or "snapshot: " — every diagnostic's prefix.
+  [[nodiscard]] std::string where() const;
 
   std::vector<std::uint8_t> buf_;
   std::size_t pos_{0};
+  std::string context_;
 };
 
 }  // namespace gg::common

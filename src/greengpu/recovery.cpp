@@ -1,7 +1,6 @@
 #include "src/greengpu/recovery.h"
 
 #include <filesystem>
-#include <fstream>
 #include <mutex>
 #include <utility>
 
@@ -15,31 +14,8 @@ namespace {
 
 /// Journal magic "GGJL" + its own version, separate from the snapshot frame
 /// version (the journal carries raw CRC-framed records, not GGSN frames).
-constexpr std::uint32_t kJournalMagic = 0x4C4A4747u;
-constexpr std::uint32_t kJournalVersion = 1;
-constexpr std::size_t kJournalHeaderSize = 4 + 4 + 8;
-/// Per-record frame: cell index + payload length + payload CRC.
-constexpr std::size_t kRecordHeaderSize = 8 + 8 + 4;
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = v << 8 | p[i];
-  return v;
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
-  return v;
-}
+constexpr common::Journal::Format kJournalFormat{/*magic=*/0x4C4A4747u,
+                                                /*version=*/1};
 
 /// The scalar fields of an ExperimentResult — everything the campaign
 /// reports consume.  Per-record vectors (iterations, traces, decision logs)
@@ -147,107 +123,34 @@ std::uint64_t CampaignJournal::fingerprint(const CampaignPlan& plan,
 
 std::vector<CampaignJournal::Entry> CampaignJournal::read(const std::string& path,
                                                           std::uint64_t fingerprint) {
-  std::vector<std::uint8_t> bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw common::SnapshotError("campaign journal: cannot open " + path);
-    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-  }
-  if (bytes.size() < kJournalHeaderSize) {
-    throw common::SnapshotError("campaign journal: truncated header in " + path);
-  }
-  if (get_u32(bytes.data()) != kJournalMagic) {
-    throw common::SnapshotError("campaign journal: bad magic in " + path);
-  }
-  const std::uint32_t version = get_u32(bytes.data() + 4);
-  if (version != kJournalVersion) {
-    throw common::SnapshotError("campaign journal: version " + std::to_string(version) +
-                                " unsupported");
-  }
-  if (get_u64(bytes.data() + 8) != fingerprint) {
-    throw common::SnapshotError(
-        "campaign journal: configuration fingerprint mismatch — " + path +
-        " was written by a different campaign (refusing to mix results)");
-  }
-
   std::vector<Entry> entries;
-  std::size_t pos = kJournalHeaderSize;
-  std::size_t good_end = pos;
-  while (pos + kRecordHeaderSize <= bytes.size()) {
-    const std::uint64_t cell = get_u64(bytes.data() + pos);
-    const std::uint64_t len = get_u64(bytes.data() + pos + 8);
-    const std::uint32_t crc = get_u32(bytes.data() + pos + 16);
-    const std::size_t payload_at = pos + kRecordHeaderSize;
-    if (payload_at + len > bytes.size()) break;  // torn tail
-    if (common::crc32(bytes.data() + payload_at, len) != crc) break;  // torn tail
+  for (auto& record : common::Journal::read(path, kJournalFormat, fingerprint)) {
     try {
-      auto reader = common::SnapshotReader::from_payload(std::vector<std::uint8_t>(
-          bytes.begin() + static_cast<std::ptrdiff_t>(payload_at),
-          bytes.begin() + static_cast<std::ptrdiff_t>(payload_at + len)));
+      auto reader = common::SnapshotReader::from_payload(
+          std::move(record.payload),
+          path + " record at byte " + std::to_string(record.offset));
       Entry e;
-      e.cell_index = static_cast<std::size_t>(cell);
+      e.cell_index = static_cast<std::size_t>(record.tag);
       e.result = load_result(reader);
       entries.push_back(std::move(e));
     } catch (const common::SnapshotError&) {
-      break;  // schema disagreement: trust nothing from here on
+      // Schema disagreement: trust nothing from here on.  Drop this record
+      // and everything after it so the next append starts on a boundary the
+      // current schema wrote.
+      common::Journal::truncate_to(path, record.offset);
+      break;
     }
-    pos = payload_at + len;
-    good_end = pos;
-  }
-  if (good_end < bytes.size()) {
-    // Drop the torn tail so the next append starts on a record boundary.
-    std::filesystem::resize_file(path, good_end);
   }
   return entries;
 }
 
 CampaignJournal::CampaignJournal(std::string path, std::uint64_t fingerprint, bool fresh)
-    : path_(std::move(path)) {
-  if (fresh || !std::filesystem::exists(path_)) {
-    std::string header;
-    put_u32(header, kJournalMagic);
-    put_u32(header, kJournalVersion);
-    put_u64(header, fingerprint);
-    // GG_LINT_ALLOW(checkpoint-write): journal header creation; records are
-    // CRC-framed and a torn tail is truncated on read, so the append path
-    // needs no write-rename.
-    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw common::SnapshotError("campaign journal: cannot create " + path_);
-    }
-    out.write(header.data(), static_cast<std::streamsize>(header.size()));
-    out.flush();
-    if (!out) throw common::SnapshotError("campaign journal: short write to " + path_);
-  }
-}
+    : journal_(std::move(path), kJournalFormat, fingerprint, fresh) {}
 
 void CampaignJournal::append(std::size_t cell_index, const ExperimentResult& result) {
   common::SnapshotWriter w;
   save_result(w, result);
-  const auto& payload = w.payload();
-
-  std::string frame;
-  frame.reserve(kRecordHeaderSize + payload.size());
-  put_u64(frame, static_cast<std::uint64_t>(cell_index));
-  put_u64(frame, payload.size());
-  put_u32(frame, common::crc32(payload.data(), payload.size()));
-  frame.append(reinterpret_cast<const char*>(payload.data()), payload.size());
-
-  // GG_LINT_ALLOW(checkpoint-write): the journal is append-only by design;
-  // each record carries its own CRC and read() truncates a torn tail, which
-  // gives the same never-see-a-partial-record guarantee as write-rename
-  // without rewriting the whole file per cell.
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) throw common::SnapshotError("campaign journal: cannot open " + path_);
-  // Two-flush write with the kill-point in between: an exit-mode kill here
-  // leaves exactly the half-written record that read() detects and drops.
-  const std::size_t half = frame.size() / 2;
-  out.write(frame.data(), static_cast<std::streamsize>(half));
-  out.flush();
-  common::killpoint(common::KillPoint::kMidCheckpoint);
-  out.write(frame.data() + half, static_cast<std::streamsize>(frame.size() - half));
-  out.flush();
-  if (!out) throw common::SnapshotError("campaign journal: short append to " + path_);
+  journal_.append(static_cast<std::uint64_t>(cell_index), w.payload());
 }
 
 CampaignResult run_campaign_checkpointed(const CampaignConfig& config,
@@ -316,6 +219,8 @@ CampaignResult run_campaign_checkpointed(const CampaignConfig& config,
 
 CampaignResult RecoverySupervisor::run(const CampaignProgress& progress) {
   restarts_ = 0;
+  restart_delays_.clear();
+  common::ExponentialBackoff backoff(backoff_);
   CheckpointOptions ckpt = ckpt_;
   for (;;) {
     try {
@@ -323,10 +228,15 @@ CampaignResult RecoverySupervisor::run(const CampaignProgress& progress) {
     } catch (const common::CrashInjected&) {
       if (restarts_ >= max_restarts_) throw;
       ++restarts_;
+      // The planned delay before this retry.  The supervisor never sleeps
+      // itself (campaign time is simulated and tests must stay instant);
+      // daemon-style callers read restart_delays() and sleep for real.
+      restart_delays_.push_back(backoff.next());
       // The journal holds every cell finished before the crash; pick up
-      // from there.  (The fired kill-point is single-shot, so the retry
-      // sails past it — matching the real-world "the crash was transient"
-      // supervision model.)
+      // from there.  (A single-shot kill-point stays quiet on the retry —
+      // the "crash was transient" model; a multi-shot arm keeps crashing
+      // until its shots or this budget run out — the persistent-fault
+      // model.)
       ckpt.resume = true;
     }
   }

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/backoff.h"
+#include "src/common/journal.h"
 #include "src/greengpu/campaign.h"
 
 namespace gg::greengpu {
@@ -58,7 +60,9 @@ struct RunCheckpointMeta {
 [[nodiscard]] std::optional<RunCheckpointMeta> read_run_checkpoint_meta(
     const std::string& path);
 
-/// Append-only, CRC-framed journal of completed campaign cells.
+/// Append-only, CRC-framed journal of completed campaign cells — the
+/// campaign-cell schema layered on common::Journal's framing (magic "GGJL",
+/// record tag = cell index, payload = serialized scalar results).
 class CampaignJournal {
  public:
   struct Entry {
@@ -91,10 +95,10 @@ class CampaignJournal {
   /// leaves exactly the torn tail that read() truncates.
   void append(std::size_t cell_index, const ExperimentResult& result);
 
-  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& path() const { return journal_.path(); }
 
  private:
-  std::string path_;
+  common::Journal journal_;
 };
 
 /// run_campaign with a crash-safe journal: journaled cells are skipped on
@@ -112,20 +116,32 @@ class CampaignJournal {
 class RecoverySupervisor {
  public:
   RecoverySupervisor(CampaignConfig config, CheckpointOptions ckpt,
-                     int max_restarts = 16)
+                     int max_restarts = 16,
+                     common::BackoffConfig backoff = {})
       : config_(std::move(config)), ckpt_(std::move(ckpt)),
-        max_restarts_(max_restarts) {}
+        max_restarts_(max_restarts), backoff_(backoff) {}
 
   [[nodiscard]] CampaignResult run(const CampaignProgress& progress = {});
 
   /// Crashes survived during the last run().
   [[nodiscard]] int restarts() const { return restarts_; }
 
+  /// The backoff delay planned before each restart of the last run(), in
+  /// order (size == restarts()).  The supervisor itself never sleeps —
+  /// campaigns run in simulated time and tests must stay instant — but the
+  /// schedule is the exact deterministic sequence a daemon-style caller
+  /// sleeps through, so tests assert on it directly.
+  [[nodiscard]] const std::vector<Seconds>& restart_delays() const {
+    return restart_delays_;
+  }
+
  private:
   CampaignConfig config_;
   CheckpointOptions ckpt_;
   int max_restarts_;
+  common::BackoffConfig backoff_;
   int restarts_{0};
+  std::vector<Seconds> restart_delays_;
 };
 
 }  // namespace gg::greengpu

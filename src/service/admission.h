@@ -1,0 +1,83 @@
+// Admission control: bounded queue, priority shedding, deadline budgeting.
+//
+// Every SUBMIT passes through here before it costs the executor anything.
+// The controller enforces three things:
+//
+//   capacity   The queue is a common::BoundedQueue.  A submission that
+//              finds it full either displaces the lowest-priority queued
+//              request (when the arrival outranks it — the displaced
+//              request is shed with reason "evicted") or is itself shed
+//              with reason "queue-full".
+//
+//   deadlines  A request with a deadline is admitted only if its estimated
+//              completion fits the budget: estimated wait = cost of the
+//              in-flight request + costs of queued requests that will run
+//              before it (priority >= its own) + its own cost.  Estimates
+//              are the maximum observed simulated exec_time per
+//              (workload, policy) — conservative, so an admitted
+//              high-priority request does not miss its deadline because
+//              admission was optimistic — with a configured default before
+//              the first observation.
+//
+//   draining   After DRAIN no submission is admitted, full stop.
+//
+// All decisions are pure functions of (journal-derived) state and the
+// submission sequence, so live, resumed and replayed runs shed identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/bounded_queue.h"
+#include "src/common/units.h"
+#include "src/service/types.h"
+
+namespace gg::service {
+
+class AdmissionController {
+ public:
+  struct Decision {
+    bool admitted{false};
+    /// Shed reason when not admitted ("queue-full", "deadline-unmeetable",
+    /// "draining"); empty on admission.
+    std::string reason;
+    /// Lower-priority request displaced to make room (shed as "evicted").
+    std::optional<Request> evicted;
+  };
+
+  AdmissionController(std::size_t capacity, double default_cost_estimate);
+
+  /// Decide on `r`.  `inflight_cost` is the estimated remaining cost of the
+  /// request currently executing (0 when idle); `draining` rejects
+  /// everything.  On admission the request is queued.
+  [[nodiscard]] Decision offer(Request r, Seconds inflight_cost,
+                               bool draining);
+
+  /// Re-queue an already-admitted request during resume (bypasses the
+  /// admission checks it already passed).  Throws std::logic_error if the
+  /// queue cannot hold it — impossible for a journal this controller wrote.
+  void requeue(Request r);
+
+  /// Highest-priority queued request, FIFO within a priority.
+  [[nodiscard]] std::optional<Request> next();
+
+  /// Record an observed per-request cost; estimates are max-so-far.
+  void observe_cost(const std::string& workload, const std::string& policy,
+                    Seconds exec_time);
+  [[nodiscard]] Seconds estimate(const std::string& workload,
+                                         const std::string& policy) const;
+
+  [[nodiscard]] std::size_t depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return queue_.capacity(); }
+
+ private:
+  common::BoundedQueue<Request> queue_;
+  double default_cost_;
+  /// Max observed simulated exec_time per (workload, policy).
+  std::map<std::pair<std::string, std::string>, double> observed_costs_;
+};
+
+}  // namespace gg::service

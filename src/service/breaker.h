@@ -1,0 +1,66 @@
+// Per-device circuit breaker: quarantine a flaky simulated device, probe it
+// back to health.
+//
+// The executor asks the breaker which device should run the next request.
+// A device that fails `failure_threshold` requests in a row is opened
+// (quarantined) and stops receiving work; after `probe_after` completions
+// on other devices it becomes probe-ready and the next acquire() sends it a
+// single half-open probe — success closes it, failure re-opens it and the
+// probe clock starts over.  When every device is open the breaker force-
+// probes the one quarantined longest instead of deadlocking the queue: an
+// always-on service must keep trying *something*.
+//
+// Determinism: the breaker reads no clock — its probe schedule counts
+// completed requests, and its entire state is a pure function of the
+// (journaled) outcome sequence, so a resumed daemon rebuilds it exactly by
+// replaying outcomes through on_result().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/service/types.h"
+
+namespace gg::service {
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// What on_result() did to the device's state (for logs and HEALTH).
+  enum class Event : std::uint8_t { kNone, kOpened, kClosed, kReopened };
+
+  CircuitBreaker(std::size_t devices, BreakerConfig config);
+
+  /// The device the next request should run on: closed devices round-robin;
+  /// a probe-ready open device when it is due (it turns half-open and gets
+  /// exactly one request); the longest-quarantined device when everything
+  /// is open.  Always returns a valid device.
+  [[nodiscard]] std::size_t acquire();
+
+  /// Feed the outcome of a request executed on `device`.
+  Event on_result(std::size_t device, bool ok);
+
+  [[nodiscard]] State state(std::size_t device) const;
+  [[nodiscard]] std::size_t device_count() const { return slots_.size(); }
+  /// Completions observed so far (the probe clock).
+  [[nodiscard]] std::uint64_t completions() const { return completions_; }
+
+  [[nodiscard]] static std::string to_string(State state);
+
+ private:
+  struct Slot {
+    State state{State::kClosed};
+    int consecutive_failures{0};
+    /// Value of completions_ when the device was (last) opened.
+    std::uint64_t opened_at{0};
+  };
+
+  BreakerConfig config_;
+  std::vector<Slot> slots_;
+  std::uint64_t completions_{0};
+};
+
+}  // namespace gg::service

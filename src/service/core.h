@@ -1,0 +1,147 @@
+// ServiceCore: the greengpud state machine, free of sockets and threads.
+//
+// The daemon (tools/greengpud.cpp) is a thin shell: a socket loop feeding
+// client lines into handle_line() and one executor thread driving
+// take_next() / run_job() / complete().  Everything that decides anything
+// lives here, synchronously, so the whole service — admission, shedding,
+// deadlines, the circuit breaker, drain, resume, replay — is testable
+// in-process without a daemon, and deterministic by construction:
+//
+//   * handle_line() and complete() mutate state and journal as one step;
+//     the caller serializes them (the daemon holds a mutex, tests are
+//     single-threaded).
+//   * run_job() — the expensive part — is a pure static function of
+//     (config, request, device, vtime); the daemon runs it outside the
+//     lock so admissions stay responsive while work executes.
+//   * The journal is the single source of truth: the report is generated
+//     from it (write_report), a restarted daemon rebuilds every byte of
+//     state from it (resume), and replay_window() re-executes journaled
+//     outcomes from their recorded (seed, device) and verifies the journal
+//     bit-for-bit.
+//
+// Protocol (one text line in, one text line out; replies start with a
+// numeric status — see docs/SERVICE.md for the operator guide):
+//
+//   SUBMIT <workload> <policy> [priority=N] [deadline=S] [iters=N]
+//   STATUS <seq> | STATS | HEALTH | PAUSE | RESUME | DRAIN | PING
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/greengpu/runner.h"
+#include "src/service/admission.h"
+#include "src/service/breaker.h"
+#include "src/service/journal.h"
+#include "src/service/types.h"
+
+namespace gg::service {
+
+class ServiceCore {
+ public:
+  /// One claimed unit of work: the request, the device the breaker chose,
+  /// and the virtual time it started at (fixed until its outcome lands).
+  struct Job {
+    Request request;
+    std::size_t device{0};
+    Seconds vtime_before{0.0};
+  };
+
+  /// Open (or resume from) `journal_path`.  With `resume` the journal is
+  /// read back: admitted-but-unfinished requests re-enter the queue, and
+  /// virtual time, breaker state, the cost model and all counters are
+  /// rebuilt — the daemon continues as if never killed.  Without `resume`
+  /// the journal starts fresh.  Throws common::SnapshotError on a journal
+  /// written by a different configuration.
+  ServiceCore(ServiceConfig config, std::string journal_path, bool resume);
+
+  /// Handle one protocol line; returns the reply line (no newline).  Hosts
+  /// the service-post-admit kill-point (admission journaled, reply lost).
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  // -- Executor half ---------------------------------------------------------
+
+  /// Claim the next runnable request.  nullopt when paused, empty, or a job
+  /// is already in flight (the executor is a single lane — serial execution
+  /// is what makes the outcome order deterministic).
+  [[nodiscard]] std::optional<Job> take_next();
+
+  /// Execute `request` on `device`: the expensive, lock-free part.  Pure —
+  /// both the live executor and offline replay produce outcomes through
+  /// this one function, which is why replay can verify the journal
+  /// bit-for-bit.  Propagates common::CrashInjected (supervised by the
+  /// caller); a run the platform kills (ExperimentAborted) becomes a
+  /// kFailed outcome that does not advance virtual time.
+  [[nodiscard]] static OutcomeRecord run_job(const ServiceConfig& config,
+                                             const Request& request,
+                                             std::size_t device,
+                                             Seconds vtime_before);
+
+  /// Land `outcome` for the in-flight `job`: journal it (service-pre-result
+  /// kill-point — executed but not yet journaled, the re-execute-on-resume
+  /// window), advance virtual time, feed the breaker and the cost model.
+  void complete(const Job& job, const OutcomeRecord& outcome);
+
+  /// take_next + run_job + complete, one request, for tests and drain
+  /// loops.  False when nothing is runnable.  Retries nothing: a crash
+  /// (CrashInjected) unwinds to the caller with the job still in flight, so
+  /// calling step() again re-executes it — the in-process restart model.
+  bool step();
+
+  /// Crashes survived by the caller's supervision (reported by STATS).
+  void note_restart() { ++stats_.restarts; }
+
+  // -- State queries ---------------------------------------------------------
+
+  [[nodiscard]] bool paused() const { return paused_; }
+  [[nodiscard]] bool draining() const { return draining_; }
+  /// Drain requested and nothing queued or in flight: safe to exit 0.
+  [[nodiscard]] bool drained() const;
+  [[nodiscard]] std::size_t queue_depth() const { return admission_.depth(); }
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
+  [[nodiscard]] Seconds vtime() const { return vtime_; }
+
+  // -- Journal-derived outputs -----------------------------------------------
+
+  /// Regenerate the report (one render()ed line per record, journal order)
+  /// from the journal and write it to `path`.
+  void write_report(const std::string& report_path) const;
+
+  /// Re-execute the journal's records [lo, hi] (0-based, inclusive): admits
+  /// and sheds are rendered as-is; every outcome is re-run through
+  /// run_job() from its journaled (seed, device) and compared field-for-
+  /// field against the journal.  On success `out` holds the window's report
+  /// lines (byte-identical to the same lines of write_report()) and true is
+  /// returned; on divergence or a bad window, `error` names the record and
+  /// field.
+  [[nodiscard]] static bool replay_window(const ServiceConfig& config,
+                                          const std::string& journal_path,
+                                          std::size_t lo, std::size_t hi,
+                                          std::string& out, std::string& error);
+
+ private:
+  [[nodiscard]] std::string handle_submit(const std::vector<std::string>& tokens);
+  [[nodiscard]] Seconds inflight_cost() const;
+  void resume_from_journal();
+
+  ServiceConfig config_;
+  ServiceJournal journal_;
+  AdmissionController admission_;
+  CircuitBreaker breaker_;
+  ServiceStats stats_;
+  /// Virtual service time: simulated seconds of completed (ok) work.
+  Seconds vtime_{0.0};
+  std::uint64_t next_seq_{1};
+  std::optional<Job> inflight_;
+  bool paused_{false};
+  bool draining_{false};
+  /// seq -> lifecycle state ("queued", "running", "ok", "failed",
+  /// "shed:<reason>", "evicted") for STATUS.
+  std::map<std::uint64_t, std::string> states_;
+};
+
+}  // namespace gg::service

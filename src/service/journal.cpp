@@ -1,0 +1,226 @@
+#include "src/service/journal.h"
+
+#include <cstdio>
+
+#include "src/common/annotations.h"
+#include "src/common/snapshot.h"
+
+namespace gg::service {
+
+namespace {
+
+/// "GGSL" — service log; distinct from the campaign journal's "GGJL".
+constexpr common::Journal::Format kServiceFormat{/*magic=*/0x4C534747u,
+                                                 /*version=*/1};
+
+void save_admit(common::SnapshotWriter& w, const Request& r) {
+  w.u64(r.seq);
+  w.str(r.workload);
+  w.str(r.policy);
+  w.u64(r.priority);
+  w.f64(r.deadline.get());
+  w.u64(r.iterations);
+  w.u64(r.seed);
+  w.f64(r.vtime_admit.get());
+}
+
+Request load_admit(common::SnapshotReader& r) {
+  Request out;
+  out.seq = r.u64();
+  out.workload = r.str();
+  out.policy = r.str();
+  out.priority = r.u64();
+  out.deadline = Seconds{r.f64()};
+  out.iterations = r.u64();
+  out.seed = r.u64();
+  out.vtime_admit = Seconds{r.f64()};
+  r.expect_done();
+  return out;
+}
+
+void save_shed(common::SnapshotWriter& w, const ShedRecord& s) {
+  w.u64(s.seq);
+  w.str(s.workload);
+  w.str(s.policy);
+  w.u64(s.priority);
+  w.str(s.reason);
+}
+
+ShedRecord load_shed(common::SnapshotReader& r) {
+  ShedRecord out;
+  out.seq = r.u64();
+  out.workload = r.str();
+  out.policy = r.str();
+  out.priority = r.u64();
+  out.reason = r.str();
+  r.expect_done();
+  return out;
+}
+
+void save_outcome(common::SnapshotWriter& w, const OutcomeRecord& o) {
+  w.u64(o.seq);
+  w.u64(o.device);
+  w.u8(static_cast<std::uint8_t>(o.status));
+  w.f64(o.exec_time);
+  w.f64(o.gpu_energy);
+  w.f64(o.cpu_energy);
+  w.b(o.verified);
+  w.u64(o.fault_events);
+  w.u64(o.watchdog_trips);
+  w.u8(static_cast<std::uint8_t>(o.deadline));
+  w.f64(o.vtime_after);
+}
+
+OutcomeRecord load_outcome(common::SnapshotReader& r) {
+  OutcomeRecord out;
+  out.seq = r.u64();
+  out.device = r.u64();
+  out.status = static_cast<OutcomeStatus>(r.u8());
+  out.exec_time = r.f64();
+  out.gpu_energy = r.f64();
+  out.cpu_energy = r.f64();
+  out.verified = r.b();
+  out.fault_events = r.u64();
+  out.watchdog_trips = r.u64();
+  out.deadline = static_cast<DeadlineVerdict>(r.u8());
+  out.vtime_after = r.f64();
+  r.expect_done();
+  return out;
+}
+
+void save_start(common::SnapshotWriter& w, const StartRecord& s) {
+  w.u64(s.seq);
+  w.u64(s.device);
+  w.f64(s.vtime);
+}
+
+StartRecord load_start(common::SnapshotReader& r) {
+  StartRecord out;
+  out.seq = r.u64();
+  out.device = r.u64();
+  out.vtime = r.f64();
+  r.expect_done();
+  return out;
+}
+
+const char* deadline_word(DeadlineVerdict v) {
+  switch (v) {
+    case DeadlineVerdict::kNone: return "none";
+    case DeadlineVerdict::kMet: return "met";
+    case DeadlineVerdict::kViolated: return "violated";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render(const ServiceRecord& record) {
+  char buf[512];
+  switch (record.kind) {
+    case RecordKind::kAdmit: {
+      const Request& a = record.admit;
+      std::snprintf(buf, sizeof buf,
+                    "admit seq=%llu workload=%s policy=%s priority=%llu "
+                    "deadline=%.6f iters=%llu seed=%llu vtime=%.6f",
+                    static_cast<unsigned long long>(a.seq), a.workload.c_str(),
+                    a.policy.c_str(), static_cast<unsigned long long>(a.priority),
+                    a.deadline.get(), static_cast<unsigned long long>(a.iterations),
+                    static_cast<unsigned long long>(a.seed), a.vtime_admit.get());
+      break;
+    }
+    case RecordKind::kShed: {
+      const ShedRecord& s = record.shed;
+      std::snprintf(buf, sizeof buf,
+                    "shed seq=%llu workload=%s policy=%s priority=%llu reason=%s",
+                    static_cast<unsigned long long>(s.seq), s.workload.c_str(),
+                    s.policy.c_str(), static_cast<unsigned long long>(s.priority),
+                    s.reason.c_str());
+      break;
+    }
+    case RecordKind::kStart: {
+      const StartRecord& s = record.start;
+      std::snprintf(buf, sizeof buf, "start seq=%llu device=%llu vtime=%.6f",
+                    static_cast<unsigned long long>(s.seq),
+                    static_cast<unsigned long long>(s.device), s.vtime);
+      break;
+    }
+    case RecordKind::kOutcome: {
+      const OutcomeRecord& o = record.outcome;
+      std::snprintf(buf, sizeof buf,
+                    "outcome seq=%llu device=%llu status=%s exec=%.6f "
+                    "gpu_j=%.6f cpu_j=%.6f verified=%d faults=%llu "
+                    "watchdog=%llu deadline=%s vtime=%.6f",
+                    static_cast<unsigned long long>(o.seq),
+                    static_cast<unsigned long long>(o.device),
+                    o.status == OutcomeStatus::kOk ? "ok" : "failed", o.exec_time,
+                    o.gpu_energy, o.cpu_energy, o.verified ? 1 : 0,
+                    static_cast<unsigned long long>(o.fault_events),
+                    static_cast<unsigned long long>(o.watchdog_trips),
+                    deadline_word(o.deadline), o.vtime_after);
+      break;
+    }
+  }
+  return std::string(buf);
+}
+
+std::vector<ServiceRecord> ServiceJournal::read(const std::string& path,
+                                                std::uint64_t fingerprint) {
+  std::vector<ServiceRecord> records;
+  for (auto& raw : common::Journal::read(path, kServiceFormat, fingerprint)) {
+    try {
+      auto reader = common::SnapshotReader::from_payload(
+          std::move(raw.payload),
+          path + " record at byte " + std::to_string(raw.offset));
+      ServiceRecord record;
+      record.kind = static_cast<RecordKind>(raw.tag);
+      switch (record.kind) {
+        case RecordKind::kAdmit: record.admit = load_admit(reader); break;
+        case RecordKind::kShed: record.shed = load_shed(reader); break;
+        case RecordKind::kOutcome: record.outcome = load_outcome(reader); break;
+        case RecordKind::kStart: record.start = load_start(reader); break;
+        default:
+          throw common::SnapshotError(path + ": unknown record tag " +
+                                      std::to_string(raw.tag) + " at byte " +
+                                      std::to_string(raw.offset));
+      }
+      // GG_BOUNDED(one decoded record per journal record on disk)
+      records.push_back(std::move(record));
+    } catch (const common::SnapshotError&) {
+      // Schema disagreement: drop this record and everything after it so
+      // the next append starts on a boundary the current schema wrote.
+      common::Journal::truncate_to(path, raw.offset);
+      break;
+    }
+  }
+  return records;
+}
+
+ServiceJournal::ServiceJournal(std::string path, std::uint64_t fingerprint,
+                               bool fresh)
+    : journal_(std::move(path), kServiceFormat, fingerprint, fresh) {}
+
+void ServiceJournal::admit(const Request& request) {
+  common::SnapshotWriter w;
+  save_admit(w, request);
+  journal_.append(static_cast<std::uint64_t>(RecordKind::kAdmit), w.payload());
+}
+
+void ServiceJournal::shed(const ShedRecord& record) {
+  common::SnapshotWriter w;
+  save_shed(w, record);
+  journal_.append(static_cast<std::uint64_t>(RecordKind::kShed), w.payload());
+}
+
+void ServiceJournal::outcome(const OutcomeRecord& record) {
+  common::SnapshotWriter w;
+  save_outcome(w, record);
+  journal_.append(static_cast<std::uint64_t>(RecordKind::kOutcome), w.payload());
+}
+
+void ServiceJournal::start(const StartRecord& record) {
+  common::SnapshotWriter w;
+  save_start(w, record);
+  journal_.append(static_cast<std::uint64_t>(RecordKind::kStart), w.payload());
+}
+
+}  // namespace gg::service

@@ -1,0 +1,148 @@
+#include "src/service/socket_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/annotations.h"
+
+namespace gg::service {
+
+namespace {
+
+void fill_addr(sockaddr_un& addr, const std::string& path) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Read newline-terminated lines from `fd`, feed each through `handler`,
+/// write each reply followed by '\n'.  Returns when the peer closes.
+void serve_connection(int fd, const LineHandler& handler) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return;
+    // GG_BOUNDED(one connection's unterminated tail; lines are consumed as
+    // soon as their newline arrives)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string reply = handler(buffer.substr(start, nl - start)) + "\n";
+      std::size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w = ::write(fd, reply.data() + sent, reply.size() - sent);
+        if (w <= 0) return;
+        sent += static_cast<std::size_t>(w);
+      }
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string path) : path_(std::move(path)) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail("socket", path_);
+  sockaddr_un addr;
+  fill_addr(addr, path_);
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    fail("bind", path_);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    fail("listen", path_);
+  }
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::serve(const LineHandler& handler,
+                         const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal delivery; re-check stop
+      fail("poll", path_);
+    }
+    if (ready == 0) continue;  // timeout tick: re-check stop
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      fail("accept", path_);
+    }
+    serve_connection(fd, handler);
+    ::close(fd);
+  }
+}
+
+std::string socket_request(const std::string& path, const std::string& lines) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket", path);
+  sockaddr_un addr;
+  fill_addr(addr, path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("connect", path);
+  }
+  std::string request = lines;
+  if (request.empty() || request.back() != '\n') request += '\n';
+  std::size_t expected = 0;
+  for (const char c : request) expected += c == '\n' ? 1 : 0;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t w = ::write(fd, request.data() + sent, request.size() - sent);
+    if (w <= 0) {
+      ::close(fd);
+      fail("write", path);
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string replies;
+  char chunk[4096];
+  std::size_t newlines = 0;
+  while (newlines < expected) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    // GG_BOUNDED(one reply line per request line sent on this connection)
+    replies.append(chunk, static_cast<std::size_t>(n));
+    newlines = 0;
+    for (const char c : replies) newlines += c == '\n' ? 1 : 0;
+  }
+  ::close(fd);
+  return replies;
+}
+
+}  // namespace gg::service

@@ -1,0 +1,51 @@
+// Line-oriented AF_UNIX server and client for greengpud.
+//
+// Deliberately minimal transport: one connection is one or more newline-
+// terminated request lines, each answered with one newline-terminated reply
+// line.  All protocol meaning lives in ServiceCore::handle_line — this layer
+// only moves bytes, so every service behaviour is testable without a socket
+// and the daemon shell stays a thin loop.
+//
+// serve() polls with a short timeout and re-checks `stop` between waits, so
+// a signal handler flipping the atomic stops the server within one tick
+// without async-signal-unsafe work in the handler.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+namespace gg::service {
+
+/// Handle one request line (no newline), return one reply line (no newline).
+using LineHandler = std::function<std::string(const std::string&)>;
+
+/// Listening Unix-domain socket bound to `path` (any stale socket file is
+/// replaced).  Throws std::runtime_error naming the path on bind failure.
+class SocketServer {
+ public:
+  explicit SocketServer(std::string path);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept connections and feed each received line through `handler` until
+  /// `stop` becomes true.  Connections are served one at a time — the
+  /// handler is never called concurrently.
+  void serve(const LineHandler& handler, const std::atomic<bool>& stop);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int listen_fd_{-1};
+};
+
+/// Client side: send each line of `lines` (newline-separated) over one
+/// connection to the socket at `path`, collecting one reply line per request
+/// line.  Throws std::runtime_error naming the path if the daemon is not
+/// there.
+[[nodiscard]] std::string socket_request(const std::string& path,
+                                         const std::string& lines);
+
+}  // namespace gg::service

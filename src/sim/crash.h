@@ -22,10 +22,13 @@ using common::CrashMode;
 using common::KillPoint;
 using common::kCrashExitCode;
 
-/// A parsed --crash-at specification: which point, and on which hit.
+/// A parsed --crash-at specification: which point, on which hit, and how
+/// many times it fires in total (shots > 1 models a persistent fault that
+/// keeps crashing a supervised retry; throw mode only).
 struct CrashSpec {
   KillPoint point{KillPoint::kPreScalerStep};
   std::uint64_t nth{1};
+  std::uint64_t shots{1};
 };
 
 /// Parse "point" or "point:N" (e.g. "mid-checkpoint", "pre-scaler-step:3").
@@ -37,13 +40,14 @@ struct CrashSpec {
 /// behind for the next test.
 class CrashInjector {
  public:
-  CrashInjector(KillPoint point, std::uint64_t nth, CrashMode mode)
+  CrashInjector(KillPoint point, std::uint64_t nth, CrashMode mode,
+                std::uint64_t shots = 1)
       : point_(point) {
-    common::arm_kill_point(point, nth, mode);
+    common::arm_kill_point(point, nth, mode, shots);
   }
 
   explicit CrashInjector(const CrashSpec& spec, CrashMode mode = CrashMode::kThrow)
-      : CrashInjector(spec.point, spec.nth, mode) {}
+      : CrashInjector(spec.point, spec.nth, mode, spec.shots) {}
 
   CrashInjector(const CrashInjector&) = delete;
   CrashInjector& operator=(const CrashInjector&) = delete;

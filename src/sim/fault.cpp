@@ -70,6 +70,33 @@ FaultConfig FaultConfig::uniform(double rate, std::uint64_t seed) {
   return c;
 }
 
+FaultConfig FaultConfig::from_flags(const Flags& flags) {
+  FaultConfig cfg;
+  const auto seed = static_cast<std::uint64_t>(
+      flags.get_int("fault-seed", static_cast<long long>(cfg.seed)));
+  if (flags.has("fault-rate")) {
+    cfg = uniform(flags.get_double("fault-rate", 0.0), seed);
+  }
+  cfg.seed = seed;
+  cfg.util_drop_rate = flags.get_double("fault-util-drop", cfg.util_drop_rate);
+  cfg.util_stale_rate = flags.get_double("fault-util-stale", cfg.util_stale_rate);
+  cfg.util_corrupt_rate = flags.get_double("fault-util-corrupt", cfg.util_corrupt_rate);
+  cfg.clock_reject_rate = flags.get_double("fault-clock-reject", cfg.clock_reject_rate);
+  cfg.clock_delay_rate = flags.get_double("fault-clock-delay", cfg.clock_delay_rate);
+  cfg.clock_delay =
+      Seconds{flags.get_double("fault-clock-delay-s", cfg.clock_delay.get())};
+  cfg.clock_clamp_rate = flags.get_double("fault-clock-clamp", cfg.clock_clamp_rate);
+  cfg.launch_fail_rate = flags.get_double("fault-launch", cfg.launch_fail_rate);
+  cfg.host_fail_rate = flags.get_double("fault-host", cfg.host_fail_rate);
+  cfg.throttle_mtbf =
+      Seconds{flags.get_double("fault-throttle-mtbf", cfg.throttle_mtbf.get())};
+  cfg.throttle_duration =
+      Seconds{flags.get_double("fault-throttle-duration", cfg.throttle_duration.get())};
+  // Throws std::invalid_argument naming the offending field; main() prints it.
+  cfg.validate();
+  return cfg;
+}
+
 std::string to_string(FaultChannel channel) {
   switch (channel) {
     case FaultChannel::kUtilRead: return "util-read";

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/sim/event_queue.h"
@@ -71,6 +72,12 @@ struct FaultConfig {
   /// Convenience: set every probability channel to `rate` (throttle
   /// unchanged).
   [[nodiscard]] static FaultConfig uniform(double rate, std::uint64_t seed = 0x5EEDFA517ULL);
+
+  /// Parse the shared --fault-* flag family (used identically by
+  /// greengpu_cli and greengpud): --fault-seed, --fault-rate (uniform
+  /// shorthand), per-channel rates, delay/throttle durations.  Calls
+  /// validate(); throws std::invalid_argument naming the offending flag.
+  [[nodiscard]] static FaultConfig from_flags(const Flags& flags);
 };
 
 /// Which platform surface a fault event belongs to.

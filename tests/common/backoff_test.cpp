@@ -1,0 +1,99 @@
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gg::common {
+namespace {
+
+TEST(BackoffConfig, ValidateNamesTheField) {
+  BackoffConfig bad;
+  bad.initial = Seconds{0.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = {};
+  bad.multiplier = 0.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = {};
+  bad.max = Seconds{0.001};  // < initial
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = {};
+  bad.jitter = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(BackoffConfig{}.validate());
+}
+
+TEST(ExponentialBackoff, DoublesAndSaturates) {
+  BackoffConfig cfg;
+  cfg.initial = Seconds{1.0};
+  cfg.multiplier = 2.0;
+  cfg.max = Seconds{4.0};
+  cfg.jitter = 0.0;  // exact sequence
+  ExponentialBackoff backoff(cfg);
+  EXPECT_DOUBLE_EQ(backoff.next().get(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.next().get(), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.next().get(), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.next().get(), 4.0);  // saturated at max
+  EXPECT_EQ(backoff.attempts(), 4);
+}
+
+TEST(ExponentialBackoff, JitterIsBoundedAndDeterministic) {
+  BackoffConfig cfg;
+  cfg.initial = Seconds{1.0};
+  cfg.multiplier = 1.0;  // constant base isolates the jitter term
+  cfg.max = Seconds{1.0};
+  cfg.jitter = 0.25;
+  std::vector<double> first;
+  {
+    ExponentialBackoff backoff(cfg);
+    for (int i = 0; i < 16; ++i) {
+      const double d = backoff.next().get();
+      EXPECT_GE(d, 0.75);
+      EXPECT_LE(d, 1.25);
+      first.push_back(d);
+    }
+  }
+  ExponentialBackoff again(cfg);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(again.next().get(), first[i]) << "delay " << i;
+  }
+}
+
+TEST(ExponentialBackoff, SeedChangesTheSchedule) {
+  BackoffConfig a;
+  BackoffConfig b;
+  b.seed = a.seed + 1;
+  ExponentialBackoff ba(a);
+  ExponentialBackoff bb(b);
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    differs = differs || ba.next().get() != bb.next().get();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ExponentialBackoff, ResetRestartsBaseNotJitterStream) {
+  BackoffConfig cfg;
+  cfg.initial = Seconds{1.0};
+  cfg.max = Seconds{8.0};
+  ExponentialBackoff backoff(cfg);
+  const double d0 = backoff.next().get();
+  (void)backoff.next();
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0);
+  const double d0_again = backoff.next().get();
+  // Base is back near `initial` (within jitter)…
+  EXPECT_NEAR(d0_again, 1.0, cfg.jitter);
+  // …but the jitter stream advanced, so the delay is not a replay.
+  EXPECT_NE(d0, d0_again);
+}
+
+TEST(ExponentialBackoff, NeverNegativeEvenWithFullJitter) {
+  BackoffConfig cfg;
+  cfg.jitter = 1.0;
+  ExponentialBackoff backoff(cfg);
+  for (int i = 0; i < 64; ++i) EXPECT_GE(backoff.next().get(), 0.0);
+}
+
+}  // namespace
+}  // namespace gg::common

@@ -1,0 +1,91 @@
+#include "src/common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gg::common {
+namespace {
+
+struct Item {
+  int priority{0};
+  int seq{0};
+};
+
+/// "a outranks b": higher priority, then older (lower seq).
+bool outranks(const Item& a, const Item& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.seq < b.seq;
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, PopFrontIsFifo) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.pop_front().value(), 1);
+  EXPECT_EQ(q.pop_front().value(), 2);
+  EXPECT_EQ(q.pop_front(), std::nullopt);
+}
+
+TEST(BoundedQueue, EvictWorstRemovesMinimumTiesToOldest) {
+  BoundedQueue<Item> q(4);
+  ASSERT_TRUE(q.try_push({2, 1}));
+  ASSERT_TRUE(q.try_push({0, 2}));
+  ASSERT_TRUE(q.try_push({0, 3}));
+  ASSERT_TRUE(q.try_push({1, 4}));
+  const auto worst = q.evict_worst(outranks);
+  ASSERT_TRUE(worst.has_value());
+  // Both priority-0 items are minimal; the *younger* one (seq 3) is evicted
+  // because seq 2 outranks it — eviction prefers to keep older requests.
+  EXPECT_EQ(worst->priority, 0);
+  EXPECT_EQ(worst->seq, 3);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(BoundedQueue, PopBestReturnsMaximumFifoWithinPriority) {
+  BoundedQueue<Item> q(4);
+  ASSERT_TRUE(q.try_push({1, 1}));
+  ASSERT_TRUE(q.try_push({2, 2}));
+  ASSERT_TRUE(q.try_push({2, 3}));
+  ASSERT_TRUE(q.try_push({1, 4}));
+  EXPECT_EQ(q.pop_best(outranks)->seq, 2);  // highest priority, oldest first
+  EXPECT_EQ(q.pop_best(outranks)->seq, 3);
+  EXPECT_EQ(q.pop_best(outranks)->seq, 1);  // then the priority-1 band, FIFO
+  EXPECT_EQ(q.pop_best(outranks)->seq, 4);
+  EXPECT_EQ(q.pop_best(outranks), std::nullopt);
+}
+
+TEST(BoundedQueue, EmptyQueueEdgeCases) {
+  BoundedQueue<std::string> q(1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop_front(), std::nullopt);
+  EXPECT_EQ(q.evict_worst([](const std::string&, const std::string&) { return false; }),
+            std::nullopt);
+}
+
+TEST(BoundedQueue, ItemsViewIsInsertionOrder) {
+  BoundedQueue<int> q(3);
+  ASSERT_TRUE(q.try_push(7));
+  ASSERT_TRUE(q.try_push(5));
+  ASSERT_TRUE(q.try_push(6));
+  ASSERT_EQ(q.items().size(), 3u);
+  EXPECT_EQ(q.items()[0], 7);
+  EXPECT_EQ(q.items()[1], 5);
+  EXPECT_EQ(q.items()[2], 6);
+}
+
+}  // namespace
+}  // namespace gg::common

@@ -102,5 +102,35 @@ TEST(Flags, LastValueWins) {
   EXPECT_EQ(f.get_int("x", 0), 2);
 }
 
+TEST(Flags, RejectUnknownPassesWhenEverythingIsConsumed) {
+  Flags f({"--workload=kmeans", "--csv"});
+  (void)f.get_string("workload");
+  (void)f.get_bool("csv", false);
+  EXPECT_NO_THROW(f.reject_unknown());
+}
+
+TEST(Flags, RejectUnknownNamesEveryStrayFlag) {
+  Flags f({"--workload=kmeans", "--worklaod=typo", "--frob"});
+  (void)f.get_string("workload");
+  try {
+    f.reject_unknown();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("unknown flag:", 0), 0u) << what;
+    EXPECT_NE(what.find("--worklaod"), std::string::npos) << what;
+    EXPECT_NE(what.find("--frob"), std::string::npos) << what;
+    EXPECT_EQ(what.find("--workload="), std::string::npos) << what;
+  }
+}
+
+TEST(Flags, RejectUnknownIgnoresPositionals) {
+  Flags f({"trace.csv", "--csv"});
+  (void)f.get_bool("csv", false);
+  EXPECT_NO_THROW(f.reject_unknown());
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "trace.csv");
+}
+
 }  // namespace
 }  // namespace gg

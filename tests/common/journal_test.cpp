@@ -1,0 +1,166 @@
+#include "src/common/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/snapshot.h"
+
+namespace gg::common {
+namespace {
+
+constexpr Journal::Format kFormat{/*magic=*/0x54534554u, /*version=*/1};
+constexpr std::uint64_t kFingerprint = 0xABCDEF0123456789ULL;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("gg_journal_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  [[nodiscard]] std::uintmax_t file_size() const {
+    return std::filesystem::file_size(path_);
+  }
+
+  std::string path_;
+};
+
+std::vector<std::uint8_t> payload(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+TEST_F(JournalTest, RoundTripsRecords) {
+  {
+    Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true);
+    journal.append(1, payload({1, 2, 3}));
+    journal.append(7, payload({}));
+    journal.append(2, payload({9}));
+  }
+  const auto records = Journal::read(path_, kFormat, kFingerprint);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].tag, 1u);
+  EXPECT_EQ(records[0].payload, payload({1, 2, 3}));
+  EXPECT_EQ(records[1].tag, 7u);
+  EXPECT_TRUE(records[1].payload.empty());
+  EXPECT_EQ(records[2].tag, 2u);
+}
+
+TEST_F(JournalTest, AppendAfterReopenExtends) {
+  {
+    Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true);
+    journal.append(1, payload({1}));
+  }
+  {
+    Journal journal(path_, kFormat, kFingerprint, /*fresh=*/false);
+    journal.append(2, payload({2}));
+  }
+  EXPECT_EQ(Journal::read(path_, kFormat, kFingerprint).size(), 2u);
+}
+
+TEST_F(JournalTest, FreshTruncatesOldContent) {
+  {
+    Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true);
+    journal.append(1, payload({1}));
+  }
+  { Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true); }
+  EXPECT_TRUE(Journal::read(path_, kFormat, kFingerprint).empty());
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedEarlierRecordsSurvive) {
+  {
+    Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true);
+    journal.append(1, payload({1, 2, 3, 4}));
+    journal.append(2, payload({5, 6, 7, 8}));
+  }
+  // Chop the last record mid-payload, as a kill during append would.
+  const std::uintmax_t full = file_size();
+  std::filesystem::resize_file(path_, full - 2);
+  const auto records = Journal::read(path_, kFormat, kFingerprint);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].tag, 1u);
+  // read() repaired the file in place: the torn tail is gone for good.
+  EXPECT_LT(file_size(), full - 2);
+}
+
+TEST_F(JournalTest, CorruptPayloadIsDetectedByCrc) {
+  {
+    Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true);
+    journal.append(1, payload({1, 2, 3, 4}));
+  }
+  {  // flip the final payload byte
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\xFF');
+  }
+  EXPECT_TRUE(Journal::read(path_, kFormat, kFingerprint).empty());
+}
+
+TEST_F(JournalTest, FingerprintMismatchNamesPathAndOffset) {
+  { Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true); }
+  try {
+    (void)Journal::read(path_, kFormat, kFingerprint + 1);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path_), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+TEST_F(JournalTest, ForeignMagicNamesPathAndOffset) {
+  { Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true); }
+  Journal::Format foreign = kFormat;
+  foreign.magic ^= 0xFFu;
+  try {
+    (void)Journal::read(path_, foreign, kFingerprint);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path_), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+TEST_F(JournalTest, MissingFileNamesPath) {
+  try {
+    (void)Journal::read(path_, kFormat, kFingerprint);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find(path_), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(JournalTest, TruncateToDropsTailRecords) {
+  std::uint64_t second_offset = 0;
+  {
+    Journal journal(path_, kFormat, kFingerprint, /*fresh=*/true);
+    journal.append(1, payload({1}));
+    journal.append(2, payload({2}));
+    journal.append(3, payload({3}));
+  }
+  {
+    const auto records = Journal::read(path_, kFormat, kFingerprint);
+    ASSERT_EQ(records.size(), 3u);
+    second_offset = records[1].offset;
+  }
+  Journal::truncate_to(path_, second_offset);
+  const auto records = Journal::read(path_, kFormat, kFingerprint);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].tag, 1u);
+}
+
+}  // namespace
+}  // namespace gg::common

@@ -150,6 +150,103 @@ TEST(Recovery, SupervisorGivesUpPastRestartBudget) {
   EXPECT_EQ(supervisor.restarts(), 0);
 }
 
+TEST(Recovery, SupervisorExhaustsItsBudgetAgainstAPersistentCrash) {
+  const std::filesystem::path dir = test_dir();
+  const CampaignConfig cfg = small_config(false);
+  CheckpointOptions ckpt;
+  ckpt.dir = dir.string();
+  // The crash fires on every attempt (shots far beyond the budget): a
+  // persistent fault.  The supervisor spends its whole budget, then rethrows
+  // rather than looping forever.
+  sim::CrashInjector crash(KillPoint::kMidCampaignCell, 1, common::CrashMode::kThrow,
+                           /*shots=*/100);
+  common::BackoffConfig backoff;
+  RecoverySupervisor supervisor(cfg, ckpt, /*max_restarts=*/3, backoff);
+  EXPECT_THROW((void)supervisor.run(), common::CrashInjected);
+  EXPECT_EQ(supervisor.restarts(), 3);
+
+  // The planned delays are exactly the backoff schedule: exponential with
+  // deterministic jitter, replayable from the same config.
+  const std::vector<Seconds>& delays = supervisor.restart_delays();
+  ASSERT_EQ(delays.size(), 3u);
+  common::ExponentialBackoff replay(backoff);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    EXPECT_DOUBLE_EQ(delays[i].get(), replay.next().get()) << "delay " << i;
+  }
+}
+
+TEST(Recovery, SupervisorSurvivesExactlyAsManyCrashesAsItsBudget) {
+  const std::filesystem::path dir = test_dir();
+  const CampaignConfig cfg = small_config(false);
+  const std::string golden = report(run_campaign(cfg));
+  CheckpointOptions ckpt;
+  ckpt.dir = dir.string();
+  // Two shots, budget two: the fault dies before the supervisor does, and
+  // the survivor's report is still byte-identical.
+  sim::CrashInjector crash(KillPoint::kMidCampaignCell, 1, common::CrashMode::kThrow,
+                           /*shots=*/2);
+  RecoverySupervisor supervisor(cfg, ckpt, /*max_restarts=*/2);
+  EXPECT_EQ(report(supervisor.run()), golden);
+  EXPECT_EQ(supervisor.restarts(), 2);
+  EXPECT_EQ(supervisor.restart_delays().size(), 2u);
+}
+
+TEST(Recovery, HeaderOnlyJournalResumesFromScratch) {
+  // Degenerate journal #1: a run killed before its first cell was journaled
+  // leaves a header and nothing else.  Resume must treat it as "no progress"
+  // and still converge to the golden bytes.
+  const std::filesystem::path dir = test_dir();
+  CampaignConfig cfg = small_config(false);
+  cfg.workloads = {"pathfinder"};
+  cfg.policies = {Policy::best_performance()};
+  const std::string golden = report(run_campaign(cfg));
+  CheckpointOptions ckpt;
+  ckpt.dir = dir.string();
+  {
+    sim::CrashInjector crash(KillPoint::kMidCampaignCell, 1, common::CrashMode::kThrow);
+    EXPECT_THROW((void)run_campaign_checkpointed(cfg, ckpt), common::CrashInjected);
+  }
+  const std::string journal = (dir / "campaign.journal").string();
+  const CampaignPlan plan = plan_campaign(cfg);
+  const std::uint64_t fp = CampaignJournal::fingerprint(plan, cfg.options);
+  EXPECT_TRUE(CampaignJournal::read(journal, fp).empty());
+
+  ckpt.resume = true;
+  EXPECT_EQ(report(run_campaign_checkpointed(cfg, ckpt)), golden);
+}
+
+TEST(Recovery, SingleCellCampaignKillsAndResumes) {
+  // Degenerate journal #2: the smallest possible campaign, one cell.
+  const std::filesystem::path dir = test_dir();
+  CampaignConfig cfg = small_config(false);
+  cfg.workloads = {"lud"};
+  cfg.policies = {Policy::scaling_only()};
+  const std::string golden = report(run_campaign(cfg));
+  CheckpointOptions ckpt;
+  ckpt.dir = dir.string();
+  sim::CrashInjector crash(KillPoint::kPostScalerStep, 3, common::CrashMode::kThrow);
+  RecoverySupervisor supervisor(cfg, ckpt);
+  EXPECT_EQ(report(supervisor.run()), golden);
+  EXPECT_TRUE(crash.fired());
+}
+
+TEST(Recovery, AllCellsCompleteResumeExecutesNothing) {
+  // Degenerate journal #3: every cell already journaled.  Resume renders the
+  // report straight from the journal; a kill-point armed at the very first
+  // re-executed cell proves none runs.
+  const std::filesystem::path dir = test_dir();
+  const CampaignConfig cfg = small_config(false);
+  const std::string golden = report(run_campaign(cfg));
+  CheckpointOptions ckpt;
+  ckpt.dir = dir.string();
+  (void)run_campaign_checkpointed(cfg, ckpt);
+
+  ckpt.resume = true;
+  sim::CrashInjector tripwire(KillPoint::kMidCampaignCell, 1, common::CrashMode::kThrow);
+  EXPECT_EQ(report(run_campaign_checkpointed(cfg, ckpt)), golden);
+  EXPECT_FALSE(tripwire.fired()) << "a fully-journaled campaign re-ran a cell";
+}
+
 TEST(Recovery, JournalFingerprintMismatchRefusesResume) {
   const std::filesystem::path dir = test_dir();
   CampaignConfig cfg = small_config(false);

@@ -1,0 +1,120 @@
+#include "src/service/breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+namespace gg::service {
+namespace {
+
+BreakerConfig config(int threshold, int probe_after) {
+  BreakerConfig c;
+  c.failure_threshold = threshold;
+  c.probe_after = probe_after;
+  return c;
+}
+
+TEST(CircuitBreaker, RejectsZeroDevices) {
+  EXPECT_THROW(CircuitBreaker(0, config(3, 4)), std::invalid_argument);
+}
+
+TEST(CircuitBreaker, RoundRobinCursorIsTheCompletionCount) {
+  CircuitBreaker b(2, config(3, 4));
+  EXPECT_EQ(b.acquire(), 0u);
+  // acquire() alone never advances the cursor — only completions do, because
+  // only completions are journaled and a resumed breaker must converge.
+  EXPECT_EQ(b.acquire(), 0u);
+  b.on_result(0, true);
+  EXPECT_EQ(b.acquire(), 1u);
+  b.on_result(1, true);
+  EXPECT_EQ(b.acquire(), 0u);
+  EXPECT_EQ(b.completions(), 2u);
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresOnly) {
+  CircuitBreaker b(2, config(2, 4));
+  EXPECT_EQ(b.on_result(0, false), CircuitBreaker::Event::kNone);
+  // A success resets the consecutive-failure count…
+  EXPECT_EQ(b.on_result(0, true), CircuitBreaker::Event::kNone);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kClosed);
+  // …so quarantine needs the full threshold again.
+  EXPECT_EQ(b.on_result(0, false), CircuitBreaker::Event::kNone);
+  EXPECT_EQ(b.on_result(0, false), CircuitBreaker::Event::kOpened);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreaker, OpenDeviceIsSkippedByRotation) {
+  CircuitBreaker b(2, config(2, 4));
+  b.on_result(0, false);
+  b.on_result(0, false);  // device 0 quarantined, completions = 2
+  ASSERT_EQ(b.state(0), CircuitBreaker::State::kOpen);
+  // Cursor 2 % 2 = 0 points at the open device; rotation steps past it.
+  EXPECT_EQ(b.acquire(), 1u);
+}
+
+TEST(CircuitBreaker, ProbesAfterEnoughCompletionsElsewhere) {
+  CircuitBreaker b(2, config(2, 3));
+  b.on_result(0, false);
+  b.on_result(0, false);  // opened_at = 2
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(b.acquire(), 1u) << "not probe-ready yet";
+    b.on_result(1, true);
+  }
+  b.on_result(1, true);  // completions = 5 >= opened_at + probe_after
+  EXPECT_EQ(b.acquire(), 0u);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kHalfOpen);
+  // The probe succeeds: the device is healthy again.
+  EXPECT_EQ(b.on_result(0, true), CircuitBreaker::Event::kClosed);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensAndRestartsTheClock) {
+  CircuitBreaker b(2, config(2, 3));
+  b.on_result(0, false);
+  b.on_result(0, false);  // opened_at = 2
+  b.on_result(1, true);
+  b.on_result(1, true);
+  b.on_result(1, true);  // completions = 5: probe due
+  ASSERT_EQ(b.acquire(), 0u);
+  EXPECT_EQ(b.on_result(0, false), CircuitBreaker::Event::kReopened);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kOpen);
+  // opened_at restarted at 6: the very next acquire goes back to rotation.
+  EXPECT_EQ(b.acquire(), 1u);
+  b.on_result(1, true);
+  b.on_result(1, true);
+  EXPECT_EQ(b.acquire(), 1u) << "probe clock restarted, 8 < 6 + 3";
+  b.on_result(1, true);  // completions = 9
+  EXPECT_EQ(b.acquire(), 0u) << "second probe due";
+}
+
+TEST(CircuitBreaker, AllOpenForceProbesTheLongestQuarantined) {
+  CircuitBreaker b(2, config(1, 100));
+  b.on_result(1, false);  // device 1 opened first (opened_at = 1)
+  b.on_result(0, false);  // device 0 opened second (opened_at = 2)
+  ASSERT_EQ(b.state(0), CircuitBreaker::State::kOpen);
+  ASSERT_EQ(b.state(1), CircuitBreaker::State::kOpen);
+  // No probe is due (probe_after = 100), but the queue must not stall:
+  // the longest-quarantined device gets a forced half-open probe.
+  EXPECT_EQ(b.acquire(), 1u);
+  EXPECT_EQ(b.state(1), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreaker, ReplayingOutcomesRebuildsIdenticalState) {
+  // The resume property the daemon relies on: state is a pure function of
+  // the outcome sequence, so feeding the same (device, ok) stream into a
+  // fresh breaker converges to the same acquire() behaviour.
+  const std::pair<std::size_t, bool> outcomes[] = {
+      {0, true}, {1, false}, {0, true}, {1, false}, {1, false}, {0, true}};
+  CircuitBreaker live(2, config(2, 2));
+  CircuitBreaker rebuilt(2, config(2, 2));
+  for (const auto& [device, ok] : outcomes) live.on_result(device, ok);
+  for (const auto& [device, ok] : outcomes) rebuilt.on_result(device, ok);
+  EXPECT_EQ(live.completions(), rebuilt.completions());
+  for (std::size_t d = 0; d < 2; ++d) EXPECT_EQ(live.state(d), rebuilt.state(d));
+  EXPECT_EQ(live.acquire(), rebuilt.acquire());
+}
+
+}  // namespace
+}  // namespace gg::service

@@ -1,0 +1,172 @@
+#include "src/service/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/common/snapshot.h"
+
+namespace gg::service {
+namespace {
+
+constexpr std::uint64_t kFingerprint = 0x5EEDF00DULL;
+
+class ServiceJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("gg_service_journal_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+Request sample_admit() {
+  Request r;
+  r.seq = 7;
+  r.workload = "bfs";
+  r.policy = "greengpu";
+  r.priority = 2;
+  r.deadline = Seconds{12.5};
+  r.iterations = 40;
+  r.seed = 99;
+  r.vtime_admit = Seconds{1.25};
+  return r;
+}
+
+OutcomeRecord sample_outcome() {
+  OutcomeRecord o;
+  o.seq = 7;
+  o.device = 1;
+  o.status = OutcomeStatus::kOk;
+  o.exec_time = 3.5;
+  o.gpu_energy = 10.0;
+  o.cpu_energy = 4.0;
+  o.verified = true;
+  o.fault_events = 2;
+  o.watchdog_trips = 1;
+  o.deadline = DeadlineVerdict::kMet;
+  o.vtime_after = 4.75;
+  return o;
+}
+
+TEST_F(ServiceJournalTest, RoundTripsAllRecordKinds) {
+  {
+    ServiceJournal journal(path_, kFingerprint, /*fresh=*/true);
+    journal.admit(sample_admit());
+    journal.shed({8, "kmeans", "division", 0, "queue-full"});
+    journal.start({7, 1, 1.25});
+    journal.outcome(sample_outcome());
+  }
+  const auto records = ServiceJournal::read(path_, kFingerprint);
+  ASSERT_EQ(records.size(), 4u);
+
+  ASSERT_EQ(records[0].kind, RecordKind::kAdmit);
+  const Request& a = records[0].admit;
+  EXPECT_EQ(a.seq, 7u);
+  EXPECT_EQ(a.workload, "bfs");
+  EXPECT_EQ(a.policy, "greengpu");
+  EXPECT_EQ(a.priority, 2u);
+  EXPECT_DOUBLE_EQ(a.deadline.get(), 12.5);
+  EXPECT_EQ(a.iterations, 40u);
+  EXPECT_EQ(a.seed, 99u);
+  EXPECT_DOUBLE_EQ(a.vtime_admit.get(), 1.25);
+
+  ASSERT_EQ(records[1].kind, RecordKind::kShed);
+  EXPECT_EQ(records[1].shed.seq, 8u);
+  EXPECT_EQ(records[1].shed.reason, "queue-full");
+
+  ASSERT_EQ(records[2].kind, RecordKind::kStart);
+  EXPECT_EQ(records[2].start.seq, 7u);
+  EXPECT_EQ(records[2].start.device, 1u);
+  EXPECT_DOUBLE_EQ(records[2].start.vtime, 1.25);
+
+  ASSERT_EQ(records[3].kind, RecordKind::kOutcome);
+  const OutcomeRecord& o = records[3].outcome;
+  EXPECT_EQ(o.seq, 7u);
+  EXPECT_EQ(o.device, 1u);
+  EXPECT_EQ(o.status, OutcomeStatus::kOk);
+  EXPECT_DOUBLE_EQ(o.exec_time, 3.5);
+  EXPECT_TRUE(o.verified);
+  EXPECT_EQ(o.fault_events, 2u);
+  EXPECT_EQ(o.watchdog_trips, 1u);
+  EXPECT_EQ(o.deadline, DeadlineVerdict::kMet);
+  EXPECT_DOUBLE_EQ(o.vtime_after, 4.75);
+}
+
+TEST_F(ServiceJournalTest, RenderIsByteStable) {
+  // The report is the concatenation of these lines; replay compares them
+  // byte-for-byte, so the exact text is contract, not cosmetics.
+  ServiceRecord admit;
+  admit.kind = RecordKind::kAdmit;
+  admit.admit = sample_admit();
+  EXPECT_EQ(render(admit),
+            "admit seq=7 workload=bfs policy=greengpu priority=2 "
+            "deadline=12.500000 iters=40 seed=99 vtime=1.250000");
+
+  ServiceRecord shed;
+  shed.kind = RecordKind::kShed;
+  shed.shed = {8, "kmeans", "division", 0, "queue-full"};
+  EXPECT_EQ(render(shed),
+            "shed seq=8 workload=kmeans policy=division priority=0 "
+            "reason=queue-full");
+
+  ServiceRecord start;
+  start.kind = RecordKind::kStart;
+  start.start = {7, 1, 1.25};
+  EXPECT_EQ(render(start), "start seq=7 device=1 vtime=1.250000");
+
+  ServiceRecord outcome;
+  outcome.kind = RecordKind::kOutcome;
+  outcome.outcome = sample_outcome();
+  EXPECT_EQ(render(outcome),
+            "outcome seq=7 device=1 status=ok exec=3.500000 gpu_j=10.000000 "
+            "cpu_j=4.000000 verified=1 faults=2 watchdog=1 deadline=met "
+            "vtime=4.750000");
+
+  outcome.outcome.status = OutcomeStatus::kFailed;
+  outcome.outcome.deadline = DeadlineVerdict::kViolated;
+  const std::string failed = render(outcome);
+  EXPECT_NE(failed.find("status=failed"), std::string::npos);
+  EXPECT_NE(failed.find("deadline=violated"), std::string::npos);
+}
+
+TEST_F(ServiceJournalTest, AppendAfterReopenExtends) {
+  {
+    ServiceJournal journal(path_, kFingerprint, /*fresh=*/true);
+    journal.admit(sample_admit());
+  }
+  {
+    ServiceJournal journal(path_, kFingerprint, /*fresh=*/false);
+    journal.outcome(sample_outcome());
+  }
+  EXPECT_EQ(ServiceJournal::read(path_, kFingerprint).size(), 2u);
+}
+
+TEST_F(ServiceJournalTest, FreshTruncatesAndFingerprintGuards) {
+  {
+    ServiceJournal journal(path_, kFingerprint, /*fresh=*/true);
+    journal.admit(sample_admit());
+  }
+  { ServiceJournal journal(path_, kFingerprint, /*fresh=*/true); }
+  EXPECT_TRUE(ServiceJournal::read(path_, kFingerprint).empty());
+  // A journal written under one configuration refuses another; the error
+  // names the file and the offending byte offset.
+  try {
+    (void)ServiceJournal::read(path_, kFingerprint + 1);
+    FAIL() << "expected SnapshotError";
+  } catch (const common::SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path_), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace gg::service

@@ -1,0 +1,38 @@
+// Lint fixture: container growth in the service layer must be bounded.
+// The file name marks this as service code, so every unannotated
+// push_back/emplace/push/insert fires; GG_BOUNDED(<reason>) on the growth
+// line or the line above accepts it, and a bare GG_BOUNDED() is itself a
+// diagnostic.
+#include <deque>
+#include <vector>
+
+struct Request {
+  int priority{0};
+};
+
+void enqueue_bad(std::deque<Request>& queue, const Request& r) {
+  queue.push_back(r);  // violation: nothing bounds this
+}
+
+void enqueue_bad_emplace(std::vector<Request>& queue) {
+  queue.emplace_back();  // violation
+}
+
+void enqueue_annotated(std::deque<Request>& queue, const Request& r) {
+  // GG_BOUNDED(capacity checked by the caller's BoundedQueue facade)
+  queue.push_back(r);
+}
+
+void enqueue_annotated_inline(std::vector<Request>& slots, const Request& r) {
+  slots.push_back(r);  // GG_BOUNDED(one slot per device, fixed at startup)
+}
+
+void enqueue_bare_annotation(std::deque<Request>& queue, const Request& r) {
+  // GG_BOUNDED()
+  queue.push_back(r);
+}
+
+void enqueue_suppressed(std::deque<Request>& queue, const Request& r) {
+  // GG_LINT_ALLOW(service-growth): fixture proves reasoned suppressions hold
+  queue.push_back(r);
+}

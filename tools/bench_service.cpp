@@ -1,0 +1,151 @@
+// bench_service — performance record for the greengpud admission path.
+//
+//   bench_service [--submissions N] [--out FILE.json]
+//
+// Drives ServiceCore::handle_line in-process (no socket, no executor
+// thread): N SUBMITs against a paused core, timing each call, then drains a
+// small batch through the executor to time end-to-end completion.  Records
+//   * submissions/sec through the full admission path (validate, seq/seed
+//     assignment, admission decision, journal append),
+//   * p50/p99 admission latency in microseconds,
+//   * completions/sec for the drain batch.
+//
+// When --out names an existing BENCH json (the default merges into
+// BENCH_campaign.json) the "service" section is spliced into it so one file
+// carries the whole performance record.
+//
+// Wall clocks are sanctioned here (tools/), not in src/service/ — the
+// service itself never reads one.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/json.h"
+#include "src/service/core.h"
+
+namespace {
+
+using namespace gg;
+using Clock = std::chrono::steady_clock;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Render the "service" section and merge it into an existing BENCH object
+/// (replacing a previous "service" section — it is always written last) or
+/// start a fresh one.
+void write_out(const std::string& out_file, const std::string& service_json) {
+  std::string existing;
+  if (std::filesystem::exists(out_file)) existing = slurp(out_file);
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' ')) {
+    existing.pop_back();
+  }
+  std::string merged;
+  const std::size_t prior = existing.rfind(",\"service\":");
+  if (!existing.empty() && existing.back() == '}') {
+    if (prior != std::string::npos) {
+      existing.erase(prior);
+    } else {
+      existing.pop_back();
+    }
+    merged = existing + ",\"service\":" + service_json + "}\n";
+  } else {
+    merged = "{\"service\":" + service_json + "}\n";
+  }
+  std::ofstream out(out_file, std::ios::trunc | std::ios::binary);
+  out << merged;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::size_t submissions =
+      static_cast<std::size_t>(flags.get_int("submissions", 2000));
+  const std::string out_file = flags.get_string("out", "BENCH_campaign.json");
+  try {
+    flags.reject_unknown();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const auto journal =
+      std::filesystem::temp_directory_path() / "gg_bench_service.journal";
+  std::filesystem::remove(journal);
+
+  service::ServiceConfig config;
+  config.queue_capacity = submissions;  // nothing sheds; every SUBMIT admits
+  service::ServiceCore core(config, journal.string(), /*resume=*/false);
+  (void)core.handle_line("PAUSE");
+
+  std::printf("bench_service: timing %zu submissions...\n", submissions);
+  std::vector<double> latencies_us;
+  // GG_BOUNDED(one sample per timed submission, sized up front)
+  latencies_us.reserve(submissions);
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < submissions; ++i) {
+    const auto t0 = Clock::now();
+    const std::string reply =
+        core.handle_line("SUBMIT bfs best-performance priority=" +
+                         std::to_string(i % 4));
+    const auto t1 = Clock::now();
+    if (reply.compare(0, 3, "202") != 0) {
+      std::fprintf(stderr, "unexpected reply: %s\n", reply.c_str());
+      return 1;
+    }
+    // GG_BOUNDED(one sample per submission; the benchmark submits a fixed count)
+    latencies_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  const double total_s = std::chrono::duration<double>(Clock::now() - start).count();
+  const double per_sec = static_cast<double>(submissions) / total_s;
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = latencies_us[latencies_us.size() / 2];
+  const double p99 = latencies_us[latencies_us.size() * 99 / 100];
+  std::printf("  %.0f submissions/s, admission latency p50=%.1fus p99=%.1fus\n",
+              per_sec, p50, p99);
+
+  // Drain a small batch end-to-end so the record also carries the cost of a
+  // real completed request (run_experiment dominates).
+  constexpr std::size_t kDrain = 4;
+  (void)core.handle_line("RESUME");
+  const auto drain_start = Clock::now();
+  for (std::size_t i = 0; i < kDrain; ++i) {
+    if (!core.step()) break;
+  }
+  const double drain_s =
+      std::chrono::duration<double>(Clock::now() - drain_start).count();
+  const double completions_per_sec = static_cast<double>(kDrain) / drain_s;
+  std::printf("  %.2f completions/s over %zu executed requests\n",
+              completions_per_sec, kDrain);
+
+  std::ostringstream service_json;
+  {
+    JsonWriter w(service_json);
+    w.begin_object();
+    w.kv("submissions", static_cast<double>(submissions));
+    w.kv("submissions_per_sec", per_sec);
+    w.kv("admission_latency_p50_us", p50);
+    w.kv("admission_latency_p99_us", p99);
+    w.kv("drained_requests", static_cast<double>(kDrain));
+    w.kv("completions_per_sec", completions_per_sec);
+    w.end_object();
+  }
+  write_out(out_file, service_json.str());
+  std::filesystem::remove(journal);
+  std::printf("wrote %s\n", out_file.c_str());
+  return 0;
+}

@@ -142,27 +142,9 @@ greengpu::CheckpointOptions checkpoint_options_from_flags(const Flags& flags) {
 }
 
 sim::FaultConfig fault_config_from_flags(const Flags& flags) {
-  sim::FaultConfig cfg;
-  const auto seed =
-      static_cast<std::uint64_t>(flags.get_int("fault-seed", static_cast<long long>(cfg.seed)));
-  if (flags.has("fault-rate")) {
-    cfg = sim::FaultConfig::uniform(flags.get_double("fault-rate", 0.0), seed);
-  }
-  cfg.seed = seed;
-  cfg.util_drop_rate = flags.get_double("fault-util-drop", cfg.util_drop_rate);
-  cfg.util_stale_rate = flags.get_double("fault-util-stale", cfg.util_stale_rate);
-  cfg.util_corrupt_rate = flags.get_double("fault-util-corrupt", cfg.util_corrupt_rate);
-  cfg.clock_reject_rate = flags.get_double("fault-clock-reject", cfg.clock_reject_rate);
-  cfg.clock_delay_rate = flags.get_double("fault-clock-delay", cfg.clock_delay_rate);
-  cfg.clock_delay = Seconds{flags.get_double("fault-clock-delay-s", cfg.clock_delay.get())};
-  cfg.clock_clamp_rate = flags.get_double("fault-clock-clamp", cfg.clock_clamp_rate);
-  cfg.launch_fail_rate = flags.get_double("fault-launch", cfg.launch_fail_rate);
-  cfg.host_fail_rate = flags.get_double("fault-host", cfg.host_fail_rate);
-  cfg.throttle_mtbf = Seconds{flags.get_double("fault-throttle-mtbf", cfg.throttle_mtbf.get())};
-  cfg.throttle_duration =
-      Seconds{flags.get_double("fault-throttle-duration", cfg.throttle_duration.get())};
-  // Throws std::invalid_argument naming the offending field; main() prints it.
-  cfg.validate();
+  // The --fault-* family is shared with greengpud; the parser lives with the
+  // config it builds (src/sim/fault.h).
+  sim::FaultConfig cfg = sim::FaultConfig::from_flags(flags);
   return cfg;
 }
 
@@ -239,7 +221,27 @@ void print_csv_row(CsvWriter& w, const greengpu::ExperimentResult& r) {
                r.verified ? 1 : 0);
 }
 
+/// The complete flag vocabulary (the doc comment at the top of this file).
+/// A flag outside this list is a typo, and typos must fail loudly: a
+/// silently-ignored --fault-rtae changes what experiment actually ran.
+void reject_unknown_flags(const Flags& flags) {
+  static constexpr const char* kKnown[] = {
+      "workload", "policy", "ratio", "core-level", "mem-level", "divider",
+      "governor", "step", "init-ratio", "safeguard", "alpha-c", "alpha-m",
+      "phi", "beta", "interval", "iterations", "record", "record-ring",
+      "jobs", "sync", "trace", "csv", "no-verify", "gpus", "replay",
+      "campaign", "json", "markdown", "list", "checkpoint-dir",
+      "checkpoint-every", "resume", "crash-at", "hardened", "fault-rate",
+      "fault-seed", "fault-util-drop", "fault-util-stale",
+      "fault-util-corrupt", "fault-clock-reject", "fault-clock-delay",
+      "fault-clock-clamp", "fault-clock-delay-s", "fault-launch",
+      "fault-host", "fault-throttle-mtbf", "fault-throttle-duration"};
+  for (const char* name : kKnown) (void)flags.has(name);  // has() marks consumed
+  flags.reject_unknown();
+}
+
 int run(const Flags& flags) {
+  reject_unknown_flags(flags);
   validate_flag_ranges(flags);
 
   // --crash-at arms a process-wide kill-point in exit mode: the run dies

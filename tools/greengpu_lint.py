@@ -40,6 +40,15 @@ hot path (PR 2/3).  The compiler cannot enforce either, so this lint does:
                     append-only journal, corruption tests) carry reasoned
                     suppressions.
 
+  service-growth    The service layer (src/service/) runs forever under
+                    adversarial load, so every container-growth call
+                    (push_back/emplace/push/insert) there must either go
+                    through common::BoundedQueue or carry a
+                    GG_BOUNDED(<bound>) annotation naming why the growth
+                    is bounded — an unbounded queue is how a daemon turns
+                    overload into an OOM kill.  A bare GG_BOUNDED() with
+                    no reason is itself a diagnostic.
+
 Suppression: a violating line is accepted when it, or the line directly
 above it, carries `// GG_LINT_ALLOW(<rule>): <reason>` with a non-empty
 reason.  A suppression without a reason is itself a diagnostic
@@ -165,6 +174,14 @@ CKPT_TOKEN_RE = re.compile(r"ckpt|checkpoint|snapshot|journal|\.ggsn",
 CKPT_WINDOW = 4  # raw lines above the construction scanned for evidence
 
 ALLOW_RE = re.compile(r"GG_LINT_ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+
+# service-growth: applies to the always-on service layer (and, like the
+# checkpoint-write filename heuristic, to any file named after it, which is
+# how the fixture corpus exercises the rule).
+SERVICE_PATH_RE = re.compile(r"(^|/)src/service/|service[^/]*$")
+SERVICE_GROWTH_RE = re.compile(
+    r"\.\s*(?:push_back|emplace_back|emplace|push|insert)\s*\(")
+BOUNDED_RE = re.compile(r"GG_BOUNDED\(([^)]*)\)")
 
 # --------------------------------------------------------------------------
 # Mechanics
@@ -385,11 +402,42 @@ class FileLinter:
                     "it through SnapshotWriter::write_atomic "
                     "(src/common/snapshot.h)")
 
+    # -- service-growth ----------------------------------------------------
+    def check_service_growth(self) -> None:
+        if not SERVICE_PATH_RE.search(self.relpath):
+            return
+        for ln, line in enumerate(self.code_lines, 1):
+            if not SERVICE_GROWTH_RE.search(line):
+                continue
+            annotation = None
+            for probe in (ln, ln - 1):
+                if probe < 1:
+                    continue
+                m = BOUNDED_RE.search(self.raw_lines[probe - 1])
+                if m:
+                    annotation = m
+                    break
+            if annotation is not None:
+                if annotation.group(1).strip():
+                    continue  # bounded, with a stated reason
+                self.diags.append(Diagnostic(
+                    self.relpath, ln, "service-growth",
+                    "GG_BOUNDED() needs a reason naming the bound (e.g. "
+                    "GG_BOUNDED(capacity enforced by BoundedQueue))"))
+                continue
+            self.report(
+                ln, "service-growth",
+                "unbounded container growth in the service layer — route it "
+                "through common::BoundedQueue or annotate the site "
+                "GG_BOUNDED(<why the growth is bounded>) "
+                "(src/common/annotations.h)")
+
     def run(self) -> list[Diagnostic]:
         self.check_nondeterminism()
         self.check_unordered()
         self.check_hot_alloc()
         self.check_checkpoint_write()
+        self.check_service_growth()
         return self.diags
 
 

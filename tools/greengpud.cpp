@@ -1,0 +1,256 @@
+// greengpud — the always-on GreenGPU service.
+//
+// Three modes, one binary:
+//
+//   server (default)
+//     greengpud --socket /tmp/gg.sock --journal /tmp/gg.journal [--resume]
+//     Listens on a Unix socket for the line protocol (see docs/SERVICE.md),
+//     runs admitted requests through the greengpu:: controllers on one
+//     executor thread, journals every decision, and on SIGTERM/SIGINT stops
+//     admitting, finishes in-flight work, writes the report and exits 0.
+//     The executor is supervised: an injected crash (--crash-at, throw mode)
+//     is caught, backed off (the same exponential-backoff schedule as
+//     RecoverySupervisor, computed in-core and slept here in the shell where
+//     wall clocks are sanctioned) and retried within --max-restarts.
+//
+//   client
+//     greengpud --client --socket /tmp/gg.sock   (request lines on stdin)
+//
+//   replay
+//     greengpud --replay /tmp/gg.journal --window 3:7 [service flags]
+//     Re-executes the journaled outcomes of records [3,7] from their
+//     recorded (seed, device) and verifies them against the journal; prints
+//     the window's report lines (byte-identical to the live report's) on
+//     success, a divergence diagnosis on failure.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/common/backoff.h"
+#include "src/common/flags.h"
+#include "src/common/killpoint.h"
+#include "src/service/core.h"
+#include "src/service/socket_server.h"
+#include "src/service/types.h"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void on_signal(int) { g_shutdown.store(true, std::memory_order_release); }
+
+gg::service::ServiceConfig config_from_flags(const gg::Flags& flags) {
+  gg::service::ServiceConfig config;
+  config.devices = static_cast<std::size_t>(flags.get_int("devices", 2));
+  config.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue-cap", 8));
+  config.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<long long>(config.seed)));
+  config.hardened = flags.get_bool("hardened", false);
+  config.max_iterations =
+      static_cast<std::uint64_t>(flags.get_int("max-iterations", 0));
+  config.default_cost_estimate = flags.get_double("default-cost", 60.0);
+  config.faults = gg::sim::FaultConfig::from_flags(flags);
+  // --faulty-device accepts one index or a comma list ("1" or "0,2").
+  const std::string faulty = flags.get_string("faulty-device", "");
+  for (std::size_t begin = 0; begin < faulty.size();) {
+    std::size_t end = faulty.find(',', begin);
+    if (end == std::string::npos) end = faulty.size();
+    // GG_BOUNDED(one entry per comma-separated token of one flag value)
+    config.faulty_devices.push_back(
+        static_cast<std::size_t>(std::stoull(faulty.substr(begin, end - begin))));
+    begin = end + 1;
+  }
+  config.breaker.failure_threshold =
+      static_cast<int>(flags.get_int("breaker-threshold", 3));
+  config.breaker.probe_after =
+      static_cast<int>(flags.get_int("breaker-probe-after", 4));
+  config.max_restarts = static_cast<int>(flags.get_int("max-restarts", 8));
+  config.backoff.initial =
+      gg::Seconds{flags.get_double("backoff-initial-s", 0.01)};
+  config.backoff.max = gg::Seconds{flags.get_double("backoff-max-s", 0.1)};
+  config.validate();
+  return config;
+}
+
+int run_client(const std::string& socket_path) {
+  std::string lines;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, stdin) != nullptr) lines += buf;
+  if (lines.empty()) return 0;
+  std::fputs(gg::service::socket_request(socket_path, lines).c_str(), stdout);
+  return 0;
+}
+
+int run_replay(const gg::service::ServiceConfig& config,
+               const std::string& journal_path, const std::string& window) {
+  const std::size_t colon = window.find(':');
+  if (window.empty() || colon == std::string::npos) {
+    std::fprintf(stderr, "--replay needs --window <lo>:<hi>\n");
+    return 2;
+  }
+  const std::size_t lo = std::stoull(window.substr(0, colon));
+  const std::size_t hi = std::stoull(window.substr(colon + 1));
+  std::string out;
+  std::string error;
+  if (!gg::service::ServiceCore::replay_window(config, journal_path, lo, hi,
+                                               out, error)) {
+    std::fprintf(stderr, "replay failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+/// The supervised executor loop: claim under the lock, run outside it, land
+/// under the lock.  A CrashInjected from either kill-point is survived with
+/// exponential backoff until the restart budget runs out, mirroring
+/// RecoverySupervisor's semantics for a process that must not die.
+void executor_loop(gg::service::ServiceCore& core, std::mutex& mu,
+                   const gg::service::ServiceConfig& config) {
+  gg::common::ExponentialBackoff backoff(config.backoff);
+  int restarts = 0;
+  while (!g_shutdown.load(std::memory_order_acquire) ||
+         [&] { std::lock_guard<std::mutex> lock(mu); return !core.drained(); }()) {
+    try {
+      std::optional<gg::service::ServiceCore::Job> job;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        job = core.take_next();
+      }
+      if (!job) {
+        if (g_shutdown.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (core.drained()) return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      const auto outcome = gg::service::ServiceCore::run_job(
+          core.config(), job->request, job->device, job->vtime_before);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        core.complete(*job, outcome);
+      }
+      backoff.reset();
+    } catch (const gg::common::CrashInjected& e) {
+      if (++restarts > config.max_restarts) {
+        std::fprintf(stderr, "greengpud: restart budget (%d) exhausted: %s\n",
+                     config.max_restarts, e.what());
+        std::exit(70);
+      }
+      const gg::Seconds delay = backoff.next();
+      std::fprintf(stderr, "greengpud: executor crash (%s), restart %d/%d after %.3fs\n",
+                   e.what(), restarts, config.max_restarts, delay.get());
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay.get()));
+      std::lock_guard<std::mutex> lock(mu);
+      core.note_restart();
+      // The in-flight job stays claimed; the next take_next()/step retries it.
+    }
+  }
+}
+
+int run_server(const gg::service::ServiceConfig& config,
+               const std::string& socket_path, const std::string& journal_path,
+               const std::string& report_path, bool resume) {
+  gg::service::ServiceCore core(config, journal_path, resume);
+  std::mutex mu;
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  gg::service::SocketServer server(socket_path);
+  std::thread executor([&] { executor_loop(core, mu, config); });
+
+  server.serve(
+      [&](const std::string& line) {
+        std::lock_guard<std::mutex> lock(mu);
+        return core.handle_line(line);
+      },
+      g_shutdown);
+
+  // Graceful drain: the socket stopped admitting; let the executor finish
+  // everything queued and in flight, then derive the report from the journal.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    (void)core.handle_line("DRAIN");
+  }
+  executor.join();
+  if (!report_path.empty()) {
+    std::lock_guard<std::mutex> lock(mu);
+    core.write_report(report_path);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    gg::Flags flags(argc, argv);
+    const bool client = flags.get_bool("client", false);
+    const std::string replay = flags.get_string("replay", "");
+    const std::string socket_path = flags.get_string("socket", "");
+    const std::string journal_path = flags.get_string("journal", "");
+    const std::string report_path = flags.get_string("report", "");
+    const std::string window = flags.get_string("window", "");
+    const bool resume = flags.get_bool("resume", false);
+
+    // --crash-at <point>:<nth>[:shots] arms a kill-point in exit mode: the
+    // process dies with _Exit(70) exactly where a real fault would strike,
+    // which is what the CI kill-and-restart matrix drives.
+    const std::string crash_at = flags.get_string("crash-at", "");
+
+    if (client) {
+      flags.reject_unknown();
+      if (socket_path.empty()) {
+        std::fprintf(stderr, "--client needs --socket\n");
+        return 2;
+      }
+      return run_client(socket_path);
+    }
+
+    const gg::service::ServiceConfig config = config_from_flags(flags);
+    flags.reject_unknown();
+
+    if (!replay.empty()) return run_replay(config, replay, window);
+
+    if (socket_path.empty() || journal_path.empty()) {
+      std::fprintf(stderr, "usage: greengpud --socket <path> --journal <path> "
+                           "[--report <path>] [--resume] | --client --socket "
+                           "<path> | --replay <journal> --window <lo>:<hi>\n");
+      return 2;
+    }
+    if (!crash_at.empty()) {
+      const std::size_t c1 = crash_at.find(':');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : crash_at.find(':', c1 + 1);
+      const std::string point_name =
+          crash_at.substr(0, c1 == std::string::npos ? crash_at.size() : c1);
+      const std::uint64_t nth =
+          c1 == std::string::npos
+              ? 1
+              : std::stoull(crash_at.substr(c1 + 1, c2 == std::string::npos
+                                                        ? std::string::npos
+                                                        : c2 - c1 - 1));
+      const std::uint64_t shots =
+          c2 == std::string::npos ? 1 : std::stoull(crash_at.substr(c2 + 1));
+      gg::common::arm_kill_point(gg::common::kill_point_from_string(point_name),
+                                 nth, gg::common::CrashMode::kExit, shots);
+    }
+    return run_server(config, socket_path, journal_path, report_path, resume);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "greengpud: %s\n", e.what());
+    return 1;
+  }
+}
