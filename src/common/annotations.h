@@ -21,6 +21,15 @@
 //
 // e.g. `// GG_LINT_ALLOW(hot-alloc): amortized growth to working size`.
 // The reason is mandatory — the lint rejects bare suppressions.
+// `GG_HOT_BATCH` marks a batch-stepper kernel: a function whose inner loop
+// walks many campaign cells (or SoA lanes) in lockstep.  The lint's
+// batch-loop-alloc rule scans only the *loop bodies* inside the annotated
+// definition for heap allocation — per-batch setup before the loop may
+// allocate, but per-cell work inside the loop must not, or an O(cells)
+// allocation storm hides in the hot path.  The hot-registry substring check
+// also covers GG_HOT_BATCH, so required batch kernels cannot silently lose
+// their annotation.
+//
 // `GG_BOUNDED(reason)` marks a container-growth site in src/service/ as
 // deliberately bounded: the lint's service-growth rule flags every
 // push_back/emplace/push in the service layer's hot paths, because an
@@ -32,8 +41,10 @@
 
 #if defined(__GNUC__) || defined(__clang__)
 #define GG_HOT __attribute__((hot))
+#define GG_HOT_BATCH __attribute__((hot))
 #else
 #define GG_HOT
+#define GG_HOT_BATCH
 #endif
 
 #define GG_BOUNDED(reason)

@@ -8,6 +8,7 @@
 // byte-identical results for any worker count (see map()).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -46,6 +47,24 @@ class JobPool {
     std::vector<T> out(n);
     run(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
     return out;
+  }
+
+  /// Run fn(first, last) over the ceil(n / batch) contiguous groups
+  /// [g*batch, min(n, (g+1)*batch)); the work unit handed to a worker is a
+  /// whole group, never a single index.  The batch campaign engine uses this
+  /// to keep one workload's cells on one worker (its verification memo and
+  /// warm-up prefix snapshots are per-group state).  Same determinism
+  /// contract as run(): groups land in index-determined slots, so results
+  /// are byte-identical for any worker count.
+  void run_batches(std::size_t n, std::size_t batch,
+                   const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (batch == 0) batch = 1;
+    const std::size_t groups = n / batch + (n % batch != 0 ? 1 : 0);
+    run(groups, [&](std::size_t g) {
+      const std::size_t first = g * batch;
+      const std::size_t last = std::min(n, first + batch);
+      fn(first, last);
+    });
   }
 
  private:

@@ -5,9 +5,12 @@
 namespace gg::cudalite {
 
 Runtime::Runtime(sim::Platform& platform, std::size_t pool_workers, bool sync_spin)
-    : platform_(&platform),
-      pool_(std::make_unique<ThreadPool>(pool_workers)),
-      sync_spin_(sync_spin) {}
+    : platform_(&platform), pool_workers_(pool_workers), sync_spin_(sync_spin) {}
+
+ThreadPool& Runtime::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(pool_workers_);
+  return *pool_;
+}
 
 void* Runtime::raw_alloc(std::size_t bytes, std::size_t alignment) {
   if (bytes == 0) throw std::invalid_argument("cudalite: zero-byte allocation");
@@ -125,7 +128,9 @@ bool Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& 
   if (!admit_launch(stream.device_)) return false;
   // Real execution: one pool task per block; threads within a block run
   // sequentially (kernels here carry no intra-block synchronization).
-  pool_->parallel_for(n_blocks, [&](std::size_t flat_block) {
+  // Model-only launches submit the identical simulated work without running
+  // the kernel body.
+  if (compute_enabled()) pool().parallel_for(n_blocks, [&](std::size_t flat_block) {
     ThreadCtx ctx;
     ctx.grid_dim = grid;
     ctx.block_dim = block;
@@ -157,7 +162,7 @@ bool Runtime::launch_range(Stream& stream, std::size_t n, const WorkEstimate& es
                            std::function<void()> on_complete) {
   if (n == 0) throw std::invalid_argument("cudalite: empty launch_range");
   if (!admit_launch(stream.device_)) return false;
-  pool_->parallel_for_chunks(n, fn);
+  if (compute_enabled()) pool().parallel_for_chunks(n, fn);
   ++stats_.kernels_launched;
   auto counter = stream.outstanding_;
   ++*counter;
@@ -195,7 +200,7 @@ Event Runtime::record_event(Stream& stream) {
 bool Runtime::host_submit(const sim::CpuWork& work, const std::function<void()>& fn,
                           std::function<void()> on_complete) {
   if (!admit_host_task()) return false;
-  if (fn) fn();
+  if (fn && compute_enabled()) fn();
   ++stats_.host_tasks;
   platform_->cpu().submit(work, std::move(on_complete));
   return true;

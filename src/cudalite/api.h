@@ -74,6 +74,22 @@ struct WorkEstimate {
 
 class Runtime;
 
+/// What a launch really executes.
+///
+///  * kFull — kernels and host chunks run on the pool and memcpys move real
+///    bytes (the default; results can be verified against scalar references).
+///  * kModelOnly — the real computation and data movement are skipped while
+///    EVERY simulated side effect (work submission, transfer charges, fault
+///    draws, completion callbacks) happens identically.  Simulated timing,
+///    energy and controller decisions are bit-identical to kFull by
+///    construction, because real kernel output never feeds the model.  This
+///    is the cell-stepping mode of the batched campaign engine, which
+///    memoizes one kFull execution per workload for verification instead.
+enum class ComputeMode {
+  kFull,
+  kModelOnly,
+};
+
 /// Typed handle to device memory.  Device memory is owned by the Runtime and
 /// freed when the Runtime dies (or via Runtime::free).
 template <typename T>
@@ -175,10 +191,19 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   [[nodiscard]] sim::Platform& platform() { return *platform_; }
-  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+  /// The host execution pool.  Created on first use so model-only runtimes
+  /// never pay the worker-thread spawn.
+  [[nodiscard]] ThreadPool& pool();
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   [[nodiscard]] bool sync_spin() const { return sync_spin_; }
   void set_sync_spin(bool v) { sync_spin_ = v; }
+  [[nodiscard]] ComputeMode compute_mode() const { return compute_mode_; }
+  void set_compute_mode(ComputeMode mode) { compute_mode_ = mode; }
+  /// True when real computation runs (kFull).  Workloads consult this before
+  /// doing host-side data work whose only consumer is verify().
+  [[nodiscard]] bool compute_enabled() const {
+    return compute_mode_ == ComputeMode::kFull;
+  }
   [[nodiscard]] const FaultTolerance& fault_tolerance() const { return tolerance_; }
   void set_fault_tolerance(const FaultTolerance& t) { tolerance_ = t; }
 
@@ -205,7 +230,7 @@ class Runtime {
   template <typename T>
   void memcpy_h2d(DeviceBuffer<T>& dst, const T* src, std::size_t count) {
     check_range(dst, count, "memcpy_h2d");
-    std::copy(src, src + count, dst.data());
+    if (compute_enabled()) std::copy(src, src + count, dst.data());
     charge_transfer(static_cast<double>(count * sizeof(T)), /*h2d=*/true);
   }
   template <typename T>
@@ -215,7 +240,7 @@ class Runtime {
   template <typename T>
   void memcpy_d2h(T* dst, const DeviceBuffer<T>& src, std::size_t count) {
     check_range(src, count, "memcpy_d2h");
-    std::copy(src.data(), src.data() + count, dst);
+    if (compute_enabled()) std::copy(src.data(), src.data() + count, dst);
     charge_transfer(static_cast<double>(count * sizeof(T)), /*h2d=*/false);
   }
   template <typename T>
@@ -282,8 +307,10 @@ class Runtime {
   bool admit_host_task();
 
   sim::Platform* platform_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;  // lazy, see pool()
+  std::size_t pool_workers_;
   bool sync_spin_;
+  ComputeMode compute_mode_{ComputeMode::kFull};
   std::size_t current_device_{0};
   RuntimeStats stats_;
   FaultTolerance tolerance_;

@@ -108,6 +108,22 @@ class NvmlDevice {
 
   [[nodiscard]] std::size_t device() const { return device_; }
 
+  /// Serialize the monitoring-window state (sampler baseline, last query
+  /// instant, last served rates) so a restored handle reports the exact
+  /// windowed averages the saved one would have.
+  void save(common::SnapshotWriter& w) const {
+    sampler_.save(w);
+    w.f64(last_query_.get());
+    w.u64(last_rates_.gpu);
+    w.u64(last_rates_.memory);
+  }
+  void load(common::SnapshotReader& r) {
+    sampler_.load(r);
+    last_query_ = Seconds{r.f64()};
+    last_rates_.gpu = static_cast<unsigned>(r.u64());
+    last_rates_.memory = static_cast<unsigned>(r.u64());
+  }
+
  private:
   static unsigned to_percent(double u) {
     const double p = u * 100.0 + 0.5;

@@ -7,6 +7,8 @@
 #include "src/common/job_pool.h"
 #include "src/common/json.h"
 #include "src/common/rng.h"
+#include "src/greengpu/batch_engine.h"
+#include "src/sim/soa.h"
 #include "src/workloads/registry.h"
 
 namespace gg::greengpu {
@@ -35,6 +37,20 @@ bool CampaignResult::all_verified() const {
   return true;
 }
 
+std::string_view to_string(CampaignEngine engine) {
+  switch (engine) {
+    case CampaignEngine::kScalar: return "scalar";
+    case CampaignEngine::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+std::optional<CampaignEngine> campaign_engine_from_string(std::string_view name) {
+  if (name == "scalar") return CampaignEngine::kScalar;
+  if (name == "batch") return CampaignEngine::kBatch;
+  return std::nullopt;
+}
+
 std::uint64_t campaign_cell_seed(std::uint64_t base, std::size_t cell_index) {
   std::uint64_t state =
       base + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(cell_index) + 1);
@@ -50,25 +66,56 @@ CampaignPlan plan_campaign(const CampaignConfig& config) {
     plan.policies = {Policy::best_performance(), Policy::scaling_only(),
                      Policy::division_only(), Policy::green_gpu()};
   }
+  // Fault-seed sweep: expand every policy into `fault_replicates` copies
+  // that differ only in their forked fault seed (the flat cell index feeds
+  // campaign_cell_seed).  Expansion happens in the plan so the scalar and
+  // batch engines, the checkpoint journal and the reports all see the same
+  // cell matrix.
+  if (config.fault_replicates > 1 && config.options.faults.any_faults()) {
+    std::vector<Policy> expanded;
+    expanded.reserve(plan.policies.size() * config.fault_replicates);
+    for (const Policy& base : plan.policies) {
+      for (std::size_t r = 0; r < config.fault_replicates; ++r) {
+        Policy copy = base;
+        copy.name = base.name + "#s" + std::to_string(r);
+        expanded.push_back(std::move(copy));
+      }
+    }
+    plan.policies = std::move(expanded);
+    plan.replicate_stride = config.fault_replicates;
+  }
   return plan;
 }
 
 void finalize_campaign_savings(CampaignResult& result) {
   const std::size_t policy_count = result.policy_names.size();
+  const std::size_t total = result.cells.size();
+  if (policy_count == 0 || total == 0) return;
+  // SoA pass: gather every cell's scalars (and its workload-row baseline,
+  // broadcast per cell) into contiguous arrays, run the element-independent
+  // savings kernels over the whole campaign at once, scatter back.  The
+  // kernels are the same IEEE operations the old per-cell loop performed,
+  // in the same order, so reports are bit-identical — just vectorizable.
+  std::vector<double> energy(total), base_energy(total);
+  std::vector<double> time(total), base_time(total);
+  std::vector<double> saving(total), delta(total);
   for (std::size_t w = 0; w < result.workloads.size(); ++w) {
     const ExperimentResult& baseline = result.cells[w * policy_count].result;
     const double baseline_energy = baseline.total_energy().get();
     const double baseline_time = baseline.exec_time.get();
     for (std::size_t p = 0; p < policy_count; ++p) {
-      CampaignCell& cell = result.cells[w * policy_count + p];
-      cell.energy_saving =
-          baseline_energy > 0.0
-              ? 1.0 - cell.result.total_energy().get() / baseline_energy
-              : 0.0;
-      cell.time_delta = baseline_time > 0.0
-                            ? cell.result.exec_time.get() / baseline_time - 1.0
-                            : 0.0;
+      const std::size_t i = w * policy_count + p;
+      energy[i] = result.cells[i].result.total_energy().get();
+      time[i] = result.cells[i].result.exec_time.get();
+      base_energy[i] = baseline_energy;
+      base_time[i] = baseline_time;
     }
+  }
+  sim::batch_saving_vs_baseline(energy.data(), base_energy.data(), saving.data(), total);
+  sim::batch_rel_delta(time.data(), base_time.data(), delta.data(), total);
+  for (std::size_t i = 0; i < total; ++i) {
+    result.cells[i].energy_saving = saving[i];
+    result.cells[i].time_delta = delta[i];
   }
 }
 
@@ -86,24 +133,39 @@ CampaignResult run_campaign(const CampaignConfig& config, const CampaignProgress
   // Every cell is an independent simulation on a fresh Platform, so the
   // matrix fans out across the pool.  Results land in index-determined
   // slots and savings are computed in a deterministic post-pass, so the
-  // report is byte-identical for any `jobs` value.
+  // report is byte-identical for any `jobs` value — and for either engine
+  // (the batch engine reproduces the scalar reports bit-for-bit).
   std::mutex progress_mutex;
   std::size_t completed = 0;
-  common::JobPool pool(config.jobs);
-  pool.run(total, [&](std::size_t i) {
-    const std::size_t w = i / policy_count;
-    const std::size_t p = i % policy_count;
-    RunOptions options = config.options;
-    if (options.faults.any_faults()) {
-      options.faults.seed = campaign_cell_seed(options.faults.seed, i);
-    }
-    out.cells[i].result = run_experiment(out.workloads[w], policies[p], options);
+  if (config.engine == CampaignEngine::kBatch) {
+    BatchCampaignEngine engine(plan, config.options, config.jobs);
+    BatchCampaignEngine::Hooks hooks;
     if (progress) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
-      ++completed;
-      progress(out.workloads[w], policies[p].name, completed, total);
+      hooks.on_done = [&](std::size_t i, const ExperimentResult&) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed;
+        progress(out.workloads[i / policy_count], policies[i % policy_count].name,
+                 completed, total);
+      };
     }
-  });
+    engine.run(out.cells, hooks);
+  } else {
+    common::JobPool pool(config.jobs);
+    pool.run(total, [&](std::size_t i) {
+      const std::size_t w = i / policy_count;
+      const std::size_t p = i % policy_count;
+      RunOptions options = config.options;
+      if (options.faults.any_faults()) {
+        options.faults.seed = campaign_cell_seed(options.faults.seed, i);
+      }
+      out.cells[i].result = run_experiment(out.workloads[w], policies[p], options);
+      if (progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed;
+        progress(out.workloads[w], policies[p].name, completed, total);
+      }
+    });
+  }
 
   finalize_campaign_savings(out);
   return out;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/greengpu/policy.h"
@@ -26,6 +27,26 @@ namespace gg::greengpu {
   return options;
 }
 
+/// Which execution engine steps the campaign's cells.  Both engines produce
+/// byte-identical reports for the same config (the identity matrix in
+/// tests/greengpu/batch_engine_test.cpp and the bench's identical_reports
+/// invariants gate this); only wall-clock differs.
+enum class CampaignEngine {
+  /// One full run_experiment() per cell — the historical path.
+  kScalar,
+  /// BatchCampaignEngine: cells advance in lockstep per workload row, real
+  /// verification is memoized once per workload (the other cells run
+  /// model-only), and fault-seed replicates fork from a memoized warm-up
+  /// prefix snapshot instead of re-simulating it.
+  kBatch,
+};
+
+[[nodiscard]] std::string_view to_string(CampaignEngine engine);
+/// Parse "scalar" / "batch"; nullopt on anything else (the CLI turns that
+/// into its one-line unknown-value rejection, exit 2).
+[[nodiscard]] std::optional<CampaignEngine> campaign_engine_from_string(
+    std::string_view name);
+
 struct CampaignConfig {
   /// Table II names; empty means the full suite.
   std::vector<std::string> workloads;
@@ -40,6 +61,16 @@ struct CampaignConfig {
   /// injection, because each cell's fault RNG is forked from the configured
   /// seed by cell index (see campaign_cell_seed).
   std::size_t jobs{1};
+  /// Execution engine; reports are byte-identical across engines.
+  CampaignEngine engine{CampaignEngine::kScalar};
+  /// Fault-seed sweep: expand every policy into R copies named
+  /// "<name>#s<r>" that differ only in their forked fault seed (the flat
+  /// cell index feeds campaign_cell_seed, so each replicate draws a distinct
+  /// fault schedule).  0 or 1 = no expansion; ignored unless a fault channel
+  /// is active.  With options.faults_active_from = W, replicates of one
+  /// policy share a bit-identical fault-free warm-up that the batch engine
+  /// simulates once and forks.
+  std::size_t fault_replicates{0};
 };
 
 /// Deterministic per-cell fault seed: forks `base` by flat cell index so a
@@ -79,6 +110,10 @@ using CampaignProgress =
 struct CampaignPlan {
   std::vector<std::string> workloads;
   std::vector<Policy> policies;
+  /// Replicate-group width after fault_replicates expansion: policies
+  /// [g*stride, (g+1)*stride) are seed-replicates of one base policy.
+  /// 1 when no expansion happened — every policy is its own group.
+  std::size_t replicate_stride{1};
   [[nodiscard]] std::size_t total() const { return workloads.size() * policies.size(); }
 };
 

@@ -29,6 +29,54 @@ void CpuGovernor::attach() {
   arm();
 }
 
+void CpuGovernor::attach_at(Seconds first_step) {
+  detach();
+  next_ = platform_->queue().schedule_at(first_step, [this] {
+    step(platform_->queue().now());
+    arm();
+  });
+}
+
+namespace {
+
+void save_governor_decision(common::SnapshotWriter& w, const GovernorDecision& d) {
+  w.f64(d.time.get());
+  w.f64(d.util);
+  w.u64(d.level);
+}
+
+GovernorDecision load_governor_decision(common::SnapshotReader& r) {
+  GovernorDecision d;
+  d.time = Seconds{r.f64()};
+  d.util = r.f64();
+  d.level = static_cast<std::size_t>(r.u64());
+  return d;
+}
+
+}  // namespace
+
+void CpuGovernor::save(common::SnapshotWriter& w) const {
+  sampler_.save(w);
+  w.u64(steps_);
+  decisions_.save(w, save_governor_decision);
+}
+
+void CpuGovernor::load(common::SnapshotReader& r) {
+  sampler_.load(r);
+  steps_ = r.u64();
+  decisions_.load(r, load_governor_decision);
+}
+
+void WmaCpuGovernor::save(common::SnapshotWriter& w) const {
+  CpuGovernor::save(w);
+  table_.save(w);
+}
+
+void WmaCpuGovernor::load(common::SnapshotReader& r) {
+  CpuGovernor::load(r);
+  table_.load(r);
+}
+
 void CpuGovernor::arm() {
   next_ = platform_->queue().schedule_in(interval_, [this] {
     step(platform_->queue().now());

@@ -47,6 +47,18 @@ class CpuGovernor {
   /// Start/stop periodic invocation on the platform's queue.
   void attach();
   void detach();
+  /// Start periodic invocation with the first step at the absolute instant
+  /// `first_step` (must be >= now); used when restoring a saved run so the
+  /// sampling phase continues exactly where the donor run left off.
+  void attach_at(Seconds first_step);
+
+  /// Serialize the governor's windowed-sampling and telemetry state (plus
+  /// any learned state in subclasses).  A governor restored from this
+  /// snapshot continues the exact decision stream the saved one would have
+  /// produced.  Parameters are configuration: load() into a governor built
+  /// with the same kind/params.
+  virtual void save(common::SnapshotWriter& w) const;
+  virtual void load(common::SnapshotReader& r);
 
   [[nodiscard]] Seconds interval() const { return interval_; }
   /// Retained decision log (everything in kFull record mode — the default;
@@ -152,6 +164,9 @@ class WmaCpuGovernor final : public CpuGovernor {
                  double alpha = 0.15, double beta = 0.2, double weight_floor = 1e-2);
   [[nodiscard]] std::string_view name() const override { return "wma"; }
   [[nodiscard]] const WeightTable& weights() const { return table_; }
+
+  void save(common::SnapshotWriter& w) const override;
+  void load(common::SnapshotReader& r) override;
 
  protected:
   std::size_t decide(double util) override;

@@ -7,6 +7,7 @@
 #include "src/common/job_pool.h"
 #include "src/common/killpoint.h"
 #include "src/common/snapshot.h"
+#include "src/greengpu/batch_engine.h"
 
 namespace gg::greengpu {
 
@@ -103,6 +104,11 @@ std::uint64_t CampaignJournal::fingerprint(const CampaignPlan& plan,
   w.b(options.verify);
   w.b(options.sync_spin);
   w.f64(options.emulation_guard_per_launch.get());
+  // The fault-warm-up boundary changes where the injector joins and so the
+  // fault schedule; the execution *engine* is deliberately excluded — both
+  // engines produce byte-identical results, so a campaign journaled under
+  // one may resume under the other.
+  w.u64(static_cast<std::uint64_t>(options.faults_active_from));
   const sim::FaultConfig& f = options.faults;
   w.u64(f.seed);
   w.f64(f.util_drop_rate);
@@ -185,33 +191,63 @@ CampaignResult run_campaign_checkpointed(const CampaignConfig& config,
   CampaignJournal journal(journal_path, fp, /*fresh=*/!resuming);
 
   std::mutex mutex;
-  common::JobPool pool(config.jobs);
-  pool.run(total, [&](std::size_t i) {
-    if (done[i]) return;
-    const std::size_t w = i / policy_count;
-    const std::size_t p = i % policy_count;
-    RunOptions options = config.options;
-    if (options.faults.any_faults()) {
-      options.faults.seed = campaign_cell_seed(options.faults.seed, i);
-    }
+  if (config.engine == CampaignEngine::kBatch) {
+    // The batch engine publishes each cell through on_done in flat-index
+    // order within a row; the journal append is index-tagged, so append
+    // order across rows doesn't matter.  The kill-point sits between "cell
+    // finished" and "cell journaled", exactly like the scalar path: a kill
+    // there loses that cell (and, batched, the not-yet-published rest of
+    // its row) and the resume re-runs the pending cells bit-identically.
+    BatchCampaignEngine engine(plan, config.options, config.jobs);
+    engine.skip_completed(done);
+    BatchCampaignEngine::Hooks hooks;
     if (ckpt.every != 0) {
-      options.checkpoint_every = ckpt.every;
-      options.checkpoint_dir = ckpt.dir;
-      options.checkpoint_tag = "cell-" + std::to_string(i);
+      hooks.customize = [&ckpt](std::size_t i, RunOptions& options) {
+        options.checkpoint_every = ckpt.every;
+        options.checkpoint_dir = ckpt.dir;
+        options.checkpoint_tag = "cell-" + std::to_string(i);
+      };
     }
-    ExperimentResult result =
-        run_experiment(plan.workloads[w], plan.policies[p], options);
-    // The cell finished but is not journaled yet: a kill here loses the
-    // work, and the resume re-runs the cell bit-identically.
-    common::killpoint(common::KillPoint::kMidCampaignCell);
-    std::lock_guard<std::mutex> lock(mutex);
-    journal.append(i, result);
-    out.cells[i].result = std::move(result);
-    ++completed;
-    if (progress) {
-      progress(plan.workloads[w], plan.policies[p].name, completed, total);
-    }
-  });
+    hooks.on_done = [&](std::size_t i, const ExperimentResult& result) {
+      common::killpoint(common::KillPoint::kMidCampaignCell);
+      std::lock_guard<std::mutex> lock(mutex);
+      journal.append(i, result);
+      ++completed;
+      if (progress) {
+        progress(plan.workloads[i / policy_count],
+                 plan.policies[i % policy_count].name, completed, total);
+      }
+    };
+    engine.run(out.cells, hooks);
+  } else {
+    common::JobPool pool(config.jobs);
+    pool.run(total, [&](std::size_t i) {
+      if (done[i]) return;
+      const std::size_t w = i / policy_count;
+      const std::size_t p = i % policy_count;
+      RunOptions options = config.options;
+      if (options.faults.any_faults()) {
+        options.faults.seed = campaign_cell_seed(options.faults.seed, i);
+      }
+      if (ckpt.every != 0) {
+        options.checkpoint_every = ckpt.every;
+        options.checkpoint_dir = ckpt.dir;
+        options.checkpoint_tag = "cell-" + std::to_string(i);
+      }
+      ExperimentResult result =
+          run_experiment(plan.workloads[w], plan.policies[p], options);
+      // The cell finished but is not journaled yet: a kill here loses the
+      // work, and the resume re-runs the cell bit-identically.
+      common::killpoint(common::KillPoint::kMidCampaignCell);
+      std::lock_guard<std::mutex> lock(mutex);
+      journal.append(i, result);
+      out.cells[i].result = std::move(result);
+      ++completed;
+      if (progress) {
+        progress(plan.workloads[w], plan.policies[p].name, completed, total);
+      }
+    });
+  }
 
   finalize_campaign_savings(out);
   return out;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -106,6 +107,19 @@ struct ExperimentResult {
 };
 
 struct RunOptions {
+  /// Defer fault-injector installation until the start of iteration K
+  /// (0 = install before setup, the historical behaviour).  Lets fault-seed
+  /// sweeps share a bit-identical fault-free warm-up prefix that the batch
+  /// campaign engine memoizes; a no-op when no fault channel is active.
+  std::size_t faults_active_from{0};
+  /// Model-only execution (cudalite::ComputeMode::kModelOnly): skip the
+  /// real kernel/host data computation and drive the simulation model
+  /// alone.  Every simulated charge, fault draw and controller decision is
+  /// bit-identical to a full run; only `verified` cannot be computed (data
+  /// buffers are never written), so finish() reports verify_skipped.  The
+  /// batch campaign engine memoizes one real verification per workload and
+  /// patches the report instead.
+  bool model_only{false};
   /// Record a periodic platform trace (Fig. 5).
   bool record_trace{false};
   Seconds trace_period{1.0};
@@ -159,5 +173,80 @@ class ExperimentAborted : public std::runtime_error {
 [[nodiscard]] ExperimentResult run_experiment(const std::string& workload_name,
                                               const Policy& policy,
                                               const RunOptions& options = {});
+
+/// Resumable form of run_experiment: the identical run decomposed into
+/// start() / step_iteration() / finish() so callers can observe, snapshot
+/// and fork a run at iteration boundaries.  run_experiment() is a thin
+/// wrapper around run(); the batch campaign engine drives the pieces
+/// directly (model-only cells, warm-up prefix forking).
+class ExperimentEngine {
+ public:
+  ExperimentEngine(workloads::Workload& workload, const Policy& policy,
+                   const RunOptions& options = {});
+  ~ExperimentEngine();
+  ExperimentEngine(const ExperimentEngine&) = delete;
+  ExperimentEngine& operator=(const ExperimentEngine&) = delete;
+
+  /// Build platform/controllers, run workload setup, take the start-of-run
+  /// energy snapshot.  Must be the first call.
+  void start();
+  /// Advance one iteration; requires start() and iteration() < total_iterations().
+  void step_iteration();
+  /// Iterations completed so far.
+  [[nodiscard]] std::size_t iteration() const { return iter_; }
+  /// Iterations this run will execute (valid after start()).
+  [[nodiscard]] std::size_t total_iterations() const { return n_iters_; }
+  /// Teardown + final accounting + verification; call once, after the last
+  /// iteration.
+  [[nodiscard]] ExperimentResult finish();
+  /// start() + every iteration + finish(), i.e. exactly run_experiment().
+  [[nodiscard]] ExperimentResult run();
+
+  /// Snapshot the entire run at the current iteration boundary: virtual
+  /// clock, device integrals, monitoring windows, controller state, pending
+  /// tick phases and partial accounting.  Legal only before the fault
+  /// injector is installed (use RunOptions::faults_active_from to delay it)
+  /// and without a trace recorder.  The run continues unperturbed after
+  /// saving — observation only.
+  void save_prefix(common::SnapshotWriter& w);
+  /// Restore a save_prefix() snapshot into a freshly start()ed engine with
+  /// the same workload/policy/options (late-binding knobs — fault seeds —
+  /// may differ).  The engine jumps to the saved iteration boundary and
+  /// continues bit-identically to a run that simulated the prefix itself.
+  void restore_prefix(common::SnapshotReader& r);
+
+  [[nodiscard]] sim::Platform& platform() { return *platform_; }
+
+ private:
+  void install_faults();
+  void write_checkpoint() const;
+
+  workloads::Workload* workload_;
+  const Policy* policy_;
+  RunOptions options_;
+
+  std::unique_ptr<sim::Platform> platform_;
+  std::unique_ptr<cudalite::Runtime> rt_;
+  sim::FaultInjector* injector_{nullptr};
+  std::unique_ptr<cudalite::NvmlDevice> nvml_;
+  std::unique_ptr<cudalite::NvSettings> settings_;
+  std::unique_ptr<GpuFrequencyScaler> scaler_;
+  std::unique_ptr<CpuGovernor> governor_;
+  std::unique_ptr<Divider> divider_;
+  std::unique_ptr<sim::TraceRecorder> tracer_;
+  std::optional<cudalite::Stream> stream_;
+
+  ExperimentResult result_;
+  DecisionRecorder<IterationRecord> iteration_log_;
+  std::size_t iter_{0};
+  std::size_t n_iters_{0};
+  double ratio_{0.0};
+  int watchdog_trips_left_{0};
+  sim::EnergySnapshot run_start_;
+  double spin_time_start_{0.0};
+  Joules spin_energy_start_{0.0};
+  bool started_{false};
+  bool finished_{false};
+};
 
 }  // namespace gg::greengpu

@@ -235,6 +235,15 @@ void GpuFrequencyScaler::attach(sim::EventQueue& queue) {
   arm(queue);
 }
 
+void GpuFrequencyScaler::attach_at(sim::EventQueue& queue, Seconds first_step) {
+  detach();
+  attached_queue_ = &queue;
+  next_ = queue.schedule_at(first_step, [this, &queue] {
+    step(queue.now());
+    arm(queue);
+  });
+}
+
 void GpuFrequencyScaler::arm(sim::EventQueue& queue) {
   next_ = queue.schedule_in(params_.interval, [this, &queue] {
     step(queue.now());

@@ -63,6 +63,12 @@ class GpuFrequencyScaler {
 
   /// Start periodic invocation on the queue (first step after one interval).
   void attach(sim::EventQueue& queue);
+  /// Start periodic invocation with the first step at the absolute instant
+  /// `first_step` (must be >= queue.now()); subsequent steps follow every
+  /// `interval`.  Used when restoring a saved run: re-arms the tick train at
+  /// the exact phase the donor run's pending tick had, so the decision
+  /// stream continues bit-identically.
+  void attach_at(sim::EventQueue& queue, Seconds first_step);
   /// Stop periodic invocation.
   void detach();
 

@@ -163,4 +163,33 @@ void CpuDevice::set_level(std::size_t level) {
   if (domain_.set_level(level) && active_) schedule_completion();
 }
 
+void CpuDevice::save(common::SnapshotWriter& w) {
+  if (active_.has_value() || !fifo_.empty() || spinning_) {
+    throw common::SnapshotError("CpuDevice::save: device not quiescent");
+  }
+  account();  // bring every integral up to queue.now() first
+  domain_.save(w);
+  w.f64(last_account_.get());
+  w.f64(counters_.util_integral);
+  w.f64(counters_.busy_integral);
+  w.f64(counters_.spin_integral);
+  energy_.save(w);
+  w.f64(spin_energy_.get());
+  w.u64(tasks_completed_);
+}
+
+void CpuDevice::load(common::SnapshotReader& r) {
+  if (active_.has_value() || !fifo_.empty() || spinning_) {
+    throw common::SnapshotError("CpuDevice::load: device not quiescent");
+  }
+  domain_.load(r);
+  last_account_ = Seconds{r.f64()};
+  counters_.util_integral = r.f64();
+  counters_.busy_integral = r.f64();
+  counters_.spin_integral = r.f64();
+  energy_.load(r);
+  spin_energy_ = Joules{r.f64()};
+  tasks_completed_ = r.u64();
+}
+
 }  // namespace gg::sim

@@ -90,6 +90,14 @@ class CpuDevice {
   [[nodiscard]] const CpuSpec& spec() const { return spec_; }
   [[nodiscard]] std::uint64_t tasks_completed() const { return tasks_completed_; }
 
+  /// Serialize the package's accounting state (P-state, transition count,
+  /// utilization/energy/spin integrals, completion counter).  Only legal at
+  /// a quiescent instant: idle, not spinning, empty FIFO.
+  void save(common::SnapshotWriter& w);
+  /// Counterpart of save(); the device must be idle and built from the same
+  /// spec/table (configuration is not serialized).
+  void load(common::SnapshotReader& r);
+
  private:
   struct Active {
     CpuWork work;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/snapshot.h"
 #include "src/common/units.h"
 
 namespace gg::sim {
@@ -70,6 +71,21 @@ class FreqDomain {
 
   /// Number of set_level calls that changed the level (actuation cost proxy).
   [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+
+  /// Serialize the mutable state (current level + transition count); the
+  /// table itself is configuration and must match at load time.
+  void save(common::SnapshotWriter& w) const {
+    w.u64(level_);
+    w.u64(transitions_);
+  }
+  void load(common::SnapshotReader& r) {
+    const auto level = static_cast<std::size_t>(r.u64());
+    if (level >= table_.levels()) {
+      throw common::SnapshotError("FreqDomain::load: level out of range for " + name_);
+    }
+    level_ = level;
+    transitions_ = r.u64();
+  }
 
  private:
   std::string name_;

@@ -160,4 +160,33 @@ void GpuDevice::set_mem_level(std::size_t level) {
   if (mem_.set_level(level) && active_) schedule_completion();
 }
 
+void GpuDevice::save(common::SnapshotWriter& w) {
+  if (active_.has_value() || !fifo_.empty()) {
+    throw common::SnapshotError("GpuDevice::save: device not quiescent");
+  }
+  account();  // bring every integral up to queue.now() first
+  core_.save(w);
+  mem_.save(w);
+  w.f64(last_account_.get());
+  w.f64(counters_.core_util_integral);
+  w.f64(counters_.mem_util_integral);
+  w.f64(counters_.busy_integral);
+  energy_.save(w);
+  w.u64(kernels_completed_);
+}
+
+void GpuDevice::load(common::SnapshotReader& r) {
+  if (active_.has_value() || !fifo_.empty()) {
+    throw common::SnapshotError("GpuDevice::load: device not quiescent");
+  }
+  core_.load(r);
+  mem_.load(r);
+  last_account_ = Seconds{r.f64()};
+  counters_.core_util_integral = r.f64();
+  counters_.mem_util_integral = r.f64();
+  counters_.busy_integral = r.f64();
+  energy_.load(r);
+  kernels_completed_ = r.u64();
+}
+
 }  // namespace gg::sim

@@ -120,6 +120,15 @@ class GpuDevice {
   [[nodiscard]] const GpuSpec& spec() const { return spec_; }
   [[nodiscard]] std::uint64_t kernels_completed() const { return kernels_completed_; }
 
+  /// Serialize the device's accounting state (clock levels, transition
+  /// counts, utilization/energy integrals, completion counter).  Only legal
+  /// at a quiescent instant: no active kernel, empty FIFO.  A restored
+  /// device continues the exact piecewise integration bit-for-bit.
+  void save(common::SnapshotWriter& w);
+  /// Counterpart of save(); the device must be idle and built from the same
+  /// spec/tables (configuration is not serialized).
+  void load(common::SnapshotReader& r);
+
  private:
   struct Active {
     KernelWork work;

@@ -38,6 +38,21 @@ class GpuUtilSampler {
     return u;
   }
 
+  /// Serialize the windowed-differencing state so a restored sampler
+  /// averages over the exact window the saved one would have used.
+  void save(common::SnapshotWriter& w) const {
+    w.f64(last_.core_util_integral);
+    w.f64(last_.mem_util_integral);
+    w.f64(last_.busy_integral);
+    w.f64(last_time_.get());
+  }
+  void load(common::SnapshotReader& r) {
+    last_.core_util_integral = r.f64();
+    last_.mem_util_integral = r.f64();
+    last_.busy_integral = r.f64();
+    last_time_ = Seconds{r.f64()};
+  }
+
  private:
   GpuDevice* gpu_;
   EventQueue* queue_;
@@ -60,6 +75,20 @@ class CpuUtilSampler {
     last_ = now;
     last_time_ = t;
     return u;
+  }
+
+  /// Serialize the windowed-differencing state (see GpuUtilSampler::save).
+  void save(common::SnapshotWriter& w) const {
+    w.f64(last_.util_integral);
+    w.f64(last_.busy_integral);
+    w.f64(last_.spin_integral);
+    w.f64(last_time_.get());
+  }
+  void load(common::SnapshotReader& r) {
+    last_.util_integral = r.f64();
+    last_.busy_integral = r.f64();
+    last_.spin_integral = r.f64();
+    last_time_ = Seconds{r.f64()};
   }
 
  private:

@@ -61,4 +61,27 @@ FaultInjector& Platform::install_faults(const FaultConfig& config) {
   return *faults_;
 }
 
+void Platform::save(common::SnapshotWriter& w) {
+  if (faults_ != nullptr) {
+    throw common::SnapshotError("Platform::save: fault injector already installed");
+  }
+  queue_.save(w);
+  w.u64(gpus_.size());
+  for (auto& gpu : gpus_) gpu->save(w);
+  cpu_->save(w);
+}
+
+void Platform::load(common::SnapshotReader& r) {
+  if (faults_ != nullptr) {
+    throw common::SnapshotError("Platform::load: fault injector already installed");
+  }
+  queue_.load(r);
+  const std::uint64_t count = r.u64();
+  if (count != gpus_.size()) {
+    throw common::SnapshotError("Platform::load: GPU count mismatch");
+  }
+  for (auto& gpu : gpus_) gpu->load(r);
+  cpu_->load(r);
+}
+
 }  // namespace gg::sim

@@ -71,6 +71,17 @@ class Platform {
   [[nodiscard]] FaultInjector* faults() { return faults_.get(); }
   [[nodiscard]] const FaultInjector* faults() const { return faults_.get(); }
 
+  /// Serialize the whole platform's accounting state (virtual clock plus
+  /// every device's levels/integrals/counters).  Only legal at a quiescent
+  /// instant — all devices idle — and before any fault injector is
+  /// installed (the injector's episode events cannot be captured).  Pending
+  /// periodic controller ticks are NOT captured; callers re-arm them at
+  /// their saved phase (see GpuFrequencyScaler::attach_at).
+  void save(common::SnapshotWriter& w);
+  /// Counterpart of save(): restores into a platform built with the same
+  /// configuration whose event queue is drained.
+  void load(common::SnapshotReader& r);
+
  private:
   EventQueue queue_;
   // unique_ptr: devices hold a reference to queue_ and are not movable.

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "src/common/snapshot.h"
 #include "src/common/units.h"
 
 namespace gg::sim {
@@ -26,6 +27,17 @@ class EnergyIntegrator {
   void reset(Seconds now) {
     last_ = now;
     energy_ = Joules{0.0};
+  }
+
+  /// Serialize the accumulated energy and the last accounting instant; a
+  /// restored integrator continues the exact piecewise sum bit-for-bit.
+  void save(common::SnapshotWriter& w) const {
+    w.f64(last_.get());
+    w.f64(energy_.get());
+  }
+  void load(common::SnapshotReader& r) {
+    last_ = Seconds{r.f64()};
+    energy_ = Joules{r.f64()};
   }
 
  private:

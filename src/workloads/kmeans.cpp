@@ -114,20 +114,22 @@ void Kmeans::cpu_chunk(std::size_t begin, std::size_t end, std::size_t /*iter*/)
 void Kmeans::finish_iteration(cudalite::Runtime& rt, std::size_t /*iter*/) {
   // Reduction point: recompute centroids on the host from the merged
   // assignments, then refresh the device copy for the next iteration.
-  const std::size_t n = config_.points;
-  const std::size_t dims = config_.dims;
-  const std::size_t k = config_.clusters;
-  std::vector<double> sums(k * dims, 0.0);
-  std::vector<std::size_t> counts(k, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto c = static_cast<std::size_t>(assignments_[i]);
-    ++counts[c];
-    for (std::size_t d = 0; d < dims; ++d) sums[c * dims + d] += host_points_[i * dims + d];
-  }
-  for (std::size_t c = 0; c < k; ++c) {
-    if (counts[c] == 0) continue;
-    for (std::size_t d = 0; d < dims; ++d) {
-      centroids_[c * dims + d] = sums[c * dims + d] / static_cast<double>(counts[c]);
+  if (rt.compute_enabled()) {
+    const std::size_t n = config_.points;
+    const std::size_t dims = config_.dims;
+    const std::size_t k = config_.clusters;
+    std::vector<double> sums(k * dims, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(assignments_[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c * dims + d] += host_points_[i * dims + d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        centroids_[c * dims + d] = sums[c * dims + d] / static_cast<double>(counts[c]);
+      }
     }
   }
   rt.memcpy_h2d(dev_centroids_, centroids_);

@@ -25,6 +25,11 @@ std::vector<double> Lud::make_matrix(std::size_t iter) const {
 
 void Lud::setup(cudalite::Runtime& rt) {
   dev_matrix_ = rt.alloc<double>(config_.dim * config_.dim);
+  // Sized here, not by the compute chunks: the teardown writeback's
+  // simulated transfer charges lu_.size() bytes, and model-only runs (which
+  // never execute the chunks) must charge exactly what full runs charge.
+  lu_.assign(config_.dim * config_.dim, 0.0);
+  original_.clear();
   ran_ = false;
 }
 
@@ -58,7 +63,7 @@ void Lud::teardown(cudalite::Runtime& rt) {
 }
 
 bool Lud::verify() const {
-  if (!ran_ || lu_.empty()) return false;
+  if (!ran_ || lu_.empty() || original_.empty()) return false;
   // Check L * U == A for the last factored matrix.
   const std::size_t n = config_.dim;
   for (std::size_t i = 0; i < n; ++i) {

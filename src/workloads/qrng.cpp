@@ -58,7 +58,8 @@ void Qrng::cpu_chunk(std::size_t begin, std::size_t end, std::size_t iter) {
   gpu_chunk(begin, end, iter);
 }
 
-void Qrng::finish_iteration(cudalite::Runtime& /*rt*/, std::size_t /*iter*/) {
+void Qrng::finish_iteration(cudalite::Runtime& rt, std::size_t /*iter*/) {
+  if (!rt.compute_enabled()) return;
   double s = 0.0;
   for (const double v : values_) s += v;
   sums_.push_back(s);

@@ -59,7 +59,8 @@ void Streamcluster::cpu_chunk(std::size_t begin, std::size_t end, std::size_t it
   gpu_chunk(begin, end, iter);
 }
 
-void Streamcluster::finish_iteration(cudalite::Runtime& /*rt*/, std::size_t /*iter*/) {
+void Streamcluster::finish_iteration(cudalite::Runtime& rt, std::size_t /*iter*/) {
+  if (!rt.compute_enabled()) return;
   // Open the candidate centre if reassignments reduce total cost
   // (a facility cost of 1.0 models the opening penalty).
   constexpr double kFacilityCost = 1.0;

@@ -64,7 +64,7 @@ void ProfiledWorkload::run_iteration(cudalite::Runtime& rt, cudalite::Stream& st
           faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kForcedCompletion,
                        stream.device());
         }
-        cpu_chunk(split, items, iter);
+        if (rt.compute_enabled()) cpu_chunk(split, items, iter);
         if (on_gpu_done) on_gpu_done();
       }
     }
@@ -100,7 +100,7 @@ void ProfiledWorkload::run_iteration(cudalite::Runtime& rt, cudalite::Stream& st
           faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kForcedCompletion,
                        stream.device());
         }
-        cpu_chunk(0, split, iter);
+        if (rt.compute_enabled()) cpu_chunk(0, split, iter);
         if (on_cpu_done) on_cpu_done();
       }
     }
@@ -186,7 +186,7 @@ void ProfiledWorkload::run_iteration_multi(cudalite::Runtime& rt,
             faults->note(sim::FaultChannel::kHarness,
                          sim::FaultOutcome::kForcedCompletion, streams[0].device());
           }
-          cpu_chunk(begin, end, iter);
+          if (rt.compute_enabled()) cpu_chunk(begin, end, iter);
           signal();
         }
       }
@@ -226,7 +226,7 @@ void ProfiledWorkload::run_iteration_multi(cudalite::Runtime& rt,
             faults->note(sim::FaultChannel::kHarness,
                          sim::FaultOutcome::kForcedCompletion, streams[k].device());
           }
-          cpu_chunk(begin, end, iter);
+          if (rt.compute_enabled()) cpu_chunk(begin, end, iter);
           signal();
         }
       }

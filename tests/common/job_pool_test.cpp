@@ -121,5 +121,52 @@ TEST(JobPoolTest, BackToBackBatches) {
   }
 }
 
+TEST(JobPoolTest, RunBatchesCoversEveryIndexExactlyOnce) {
+  JobPool pool(4);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9}}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.run_batches(n, 4, [&](std::size_t first, std::size_t last) {
+      ASSERT_LT(first, last);
+      ASSERT_LE(last, n);
+      for (std::size_t i = first; i < last; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(JobPoolTest, RunBatchesGroupsAreContiguousAndAligned) {
+  JobPool pool(1);
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  pool.run_batches(10, 4, [&](std::size_t first, std::size_t last) {
+    groups.emplace_back(first, last);
+  });
+  const std::vector<std::pair<std::size_t, std::size_t>> expect{
+      {0, 4}, {4, 8}, {8, 10}};
+  EXPECT_EQ(groups, expect);
+}
+
+TEST(JobPoolTest, RunBatchesZeroBatchBehavesAsSize1) {
+  JobPool pool(2);
+  std::atomic<int> calls{0};
+  pool.run_batches(5, 0, [&](std::size_t first, std::size_t last) {
+    EXPECT_EQ(last, first + 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(JobPoolTest, RunBatchesPropagatesExceptions) {
+  JobPool pool(2);
+  EXPECT_THROW(pool.run_batches(8, 3,
+                                [](std::size_t first, std::size_t) {
+                                  if (first == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace gg::common

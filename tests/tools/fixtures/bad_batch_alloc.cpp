@@ -1,0 +1,48 @@
+// Lint fixture: GG_HOT_BATCH functions may allocate in their prologue but
+// never inside a loop body — a loop there runs once per cell per iteration.
+// Exercises: a flagged for-body and while-body, a clean prologue allocation,
+// a reasoned suppression, and a plain GG_HOT neighbour (different rule).
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#define GG_HOT
+#define GG_HOT_BATCH
+
+struct Cell {
+  double value = 0.0;
+  void step() { value += 1.0; }
+};
+
+GG_HOT_BATCH void batch_step_bad(Cell* const* live, std::size_t n) {
+  std::vector<double> scratch(n);  // fine: prologue allocation, outside loops
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> lane(4);  // violation: local vector per cell
+    lane[0] = live[i]->value;
+    scratch.push_back(lane[0]);  // violation: container growth per cell
+    live[i]->step();
+  }
+  bool any = n > 0;
+  while (any) {
+    std::string tag = std::to_string(n);  // violation: string construction
+    any = !tag.empty() && false;
+  }
+}
+
+GG_HOT_BATCH void batch_step_suppressed(Cell* const* live, std::size_t n) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    // GG_LINT_ALLOW(batch-loop-alloc): fixture proves reasoned suppressions hold
+    out.push_back(live[i]->value);
+  }
+}
+
+GG_HOT_BATCH void batch_step_clean(Cell* const* live, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    live[i]->step();  // fine: no allocation in the loop body
+  }
+}
+
+GG_HOT void scalar_hot(std::vector<int>& log, int v) {
+  log.push_back(v);  // hot-alloc territory, not batch-loop-alloc
+}

@@ -2,11 +2,17 @@
 //
 //   bench_campaign [--jobs N] [--out FILE.json]
 //
-// Runs the default (workload x policy) campaign twice — serially (--jobs 1)
-// and across N workers — and
+// Runs the default (workload x policy) campaign across a worker sweep
+// (--jobs 1, N/2, N) and
 //   * asserts the CSV and JSON reports are byte-identical (the determinism
-//     contract), with and without fault injection,
-//   * records wall-clock, runs/sec and the parallel speedup,
+//     contract) at every sweep point, with and without fault injection,
+//   * records wall-clock, runs/sec and the parallel speedup, plus a
+//     single_core_host marker so the perf gate never compares parallel
+//     speedups across host classes,
+//   * times the batch campaign engine against the scalar engine on a
+//     fault-replicate sweep (the batch engine's target shape: many cells
+//     per workload sharing a warm-up prefix) and asserts the two engines'
+//     reports are byte-identical at every --jobs value,
 //   * times the sim::EventQueue hot paths (schedule/fire, cancelled-entry
 //     ride-along, DVFS-style cancel churn) in ns per event,
 //   * times one Algorithm 1 scaler step through the fused fast path and the
@@ -231,8 +237,16 @@ int main(int argc, char** argv) {
   const unsigned host_cpus = std::thread::hardware_concurrency();
   const std::size_t jobs = jobs_flag <= 0 ? (host_cpus ? host_cpus : 1)
                                           : static_cast<std::size_t>(jobs_flag);
+  const bool single_core_host = host_cpus <= 1;
 
-  std::printf("bench_campaign: host_cpus=%u jobs=%zu\n", host_cpus, jobs);
+  std::printf("bench_campaign: host_cpus=%u jobs=%zu%s\n", host_cpus, jobs,
+              single_core_host ? " (single-core host)" : "");
+
+  // Worker sweep: 1, N/2, N (deduplicated; collapses to {1} on a
+  // single-core host).  Every point must produce identical bytes.
+  std::vector<std::size_t> jobs_sweep{1};
+  if (jobs / 2 > 1) jobs_sweep.push_back(jobs / 2);
+  if (jobs > jobs_sweep.back()) jobs_sweep.push_back(jobs);
 
   greengpu::CampaignConfig serial_cfg;
   serial_cfg.jobs = 1;
@@ -243,14 +257,25 @@ int main(int argc, char** argv) {
   const CampaignRun serial = run_campaign_timed(serial_cfg);
   std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", serial.runs, serial.seconds,
               serial.runs / serial.seconds);
-  std::printf("running campaign with %zu workers...\n", jobs);
-  const CampaignRun parallel = run_campaign_timed(parallel_cfg);
-  std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", parallel.runs, parallel.seconds,
-              parallel.runs / parallel.seconds);
+  std::vector<CampaignRun> sweep_runs{serial};
+  bool sweep_identical = true;
+  for (std::size_t i = 1; i < jobs_sweep.size(); ++i) {
+    greengpu::CampaignConfig cfg = serial_cfg;
+    cfg.jobs = jobs_sweep[i];
+    std::printf("running campaign with %zu workers...\n", jobs_sweep[i]);
+    const CampaignRun run = run_campaign_timed(cfg);
+    std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", run.runs, run.seconds,
+                run.runs / run.seconds);
+    sweep_identical =
+        sweep_identical && run.csv == serial.csv && run.json == serial.json;
+    sweep_runs.push_back(run);
+  }
+  const CampaignRun& parallel = sweep_runs.back();
   const double speedup = serial.seconds / parallel.seconds;
   std::printf("  speedup vs --jobs 1: %.2fx\n", speedup);
 
-  bool ok = report_identity("fault-free", serial, parallel);
+  bool ok = report_identity("fault-free", serial, parallel) && sweep_identical;
+  if (!sweep_identical) std::printf("[FAIL] jobs sweep reports differ\n");
 
   // Same comparison with fault injection: each cell's fault RNG must fork
   // from the campaign seed by cell index, never by execution order.
@@ -262,6 +287,46 @@ int main(int argc, char** argv) {
   const CampaignRun f_serial = run_campaign_timed(faulted_serial);
   const CampaignRun f_parallel = run_campaign_timed(faulted_parallel);
   ok = report_identity("fault-injected", f_serial, f_parallel) && ok;
+
+  // Batch engine vs scalar engine on the shape the batch engine targets:
+  // a fault-replicate sweep (every policy expanded into kReplicates seeded
+  // copies) with a fault-free warm-up window, so the engine can memoize one
+  // verification per workload and fork replicates from a shared prefix
+  // snapshot.  Same-host, same-config, so the speedup is comparable on any
+  // machine; the reports must be byte-identical at every --jobs value.
+  constexpr std::size_t kReplicates = 6;
+  constexpr std::size_t kWarmup = 4;
+  greengpu::CampaignConfig sweep_scalar;
+  sweep_scalar.jobs = 1;
+  sweep_scalar.engine = greengpu::CampaignEngine::kScalar;
+  sweep_scalar.fault_replicates = kReplicates;
+  sweep_scalar.options.faults = benign_faults();
+  sweep_scalar.options.faults_active_from = kWarmup;
+  std::printf("running replicate sweep (x%zu) with the scalar engine...\n", kReplicates);
+  const CampaignRun b_scalar = run_campaign_timed(sweep_scalar);
+  std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", b_scalar.runs, b_scalar.seconds,
+              b_scalar.runs / b_scalar.seconds);
+  greengpu::CampaignConfig sweep_batch = sweep_scalar;
+  sweep_batch.engine = greengpu::CampaignEngine::kBatch;
+  std::printf("running replicate sweep (x%zu) with the batch engine...\n", kReplicates);
+  const CampaignRun b_batch = run_campaign_timed(sweep_batch);
+  std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", b_batch.runs, b_batch.seconds,
+              b_batch.runs / b_batch.seconds);
+  const double batch_speedup = b_batch.seconds > 0.0 ? b_scalar.seconds / b_batch.seconds : 0.0;
+  std::printf("  batch engine speedup vs scalar: %.2fx\n", batch_speedup);
+  ok = report_identity("batch-vs-scalar", b_scalar, b_batch) && ok;
+  bool batch_jobs_identical = true;
+  for (std::size_t i = 1; i < jobs_sweep.size(); ++i) {
+    greengpu::CampaignConfig cfg = sweep_batch;
+    cfg.jobs = jobs_sweep[i];
+    const CampaignRun run = run_campaign_timed(cfg);
+    batch_jobs_identical =
+        batch_jobs_identical && run.csv == b_batch.csv && run.json == b_batch.json;
+  }
+  std::printf("[%s] batch engine across jobs sweep: %s\n",
+              batch_jobs_identical ? "OK" : "FAIL",
+              batch_jobs_identical ? "identical" : "DIFFER");
+  ok = batch_jobs_identical && ok;
 
   // Checkpoint overhead: the same serial campaign with the crash-safe
   // journal alone (--checkpoint-every 0) and with periodic controller
@@ -317,6 +382,7 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.kv("host_cpus", static_cast<double>(host_cpus));
   w.kv("jobs", static_cast<double>(jobs));
+  w.kv("single_core_host", single_core_host);
   w.key("campaign");
   w.begin_object();
   w.kv("runs", static_cast<double>(serial.runs));
@@ -325,9 +391,33 @@ int main(int argc, char** argv) {
   w.kv("serial_runs_per_sec", serial.runs / serial.seconds);
   w.kv("parallel_runs_per_sec", parallel.runs / parallel.seconds);
   w.kv("speedup_vs_jobs1", speedup);
-  w.kv("identical_reports", serial.csv == parallel.csv && serial.json == parallel.json);
+  w.key("jobs_sweep");
+  w.begin_array();
+  for (std::size_t i = 0; i < sweep_runs.size(); ++i) {
+    w.begin_object();
+    w.kv("jobs", static_cast<double>(jobs_sweep[i]));
+    w.kv("seconds", sweep_runs[i].seconds);
+    w.kv("runs_per_sec", sweep_runs[i].runs / sweep_runs[i].seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("identical_reports",
+       sweep_identical && serial.csv == parallel.csv && serial.json == parallel.json);
   w.kv("identical_reports_with_faults",
        f_serial.csv == f_parallel.csv && f_serial.json == f_parallel.json);
+  w.end_object();
+  w.key("batch");
+  w.begin_object();
+  w.kv("runs", static_cast<double>(b_scalar.runs));
+  w.kv("fault_replicates", static_cast<double>(kReplicates));
+  w.kv("warmup_iterations", static_cast<double>(kWarmup));
+  w.kv("scalar_seconds", b_scalar.seconds);
+  w.kv("batch_seconds", b_batch.seconds);
+  w.kv("scalar_runs_per_sec", b_scalar.runs / b_scalar.seconds);
+  w.kv("batch_runs_per_sec", b_batch.runs / b_batch.seconds);
+  w.kv("speedup_vs_scalar", batch_speedup);
+  w.kv("identical_reports", b_scalar.csv == b_batch.csv && b_scalar.json == b_batch.json);
+  w.kv("identical_reports_across_jobs", batch_jobs_identical);
   w.end_object();
   w.key("event_queue");
   w.begin_object();

@@ -8,9 +8,15 @@ Compares a freshly measured record against the committed one:
 
 Checks, in order:
   * hard invariants that must hold on any host: the determinism identity
-    flags and the scaler fast-vs-reference decision identity;
+    flags (including batch-vs-scalar engine identity) and the scaler
+    fast-vs-reference decision identity;
   * the scaler fast path must actually be faster than the reference
     (speedup floor, host-independent — both sides ran on the same machine);
+  * the batch campaign engine must beat the scalar engine on the replicate
+    sweep (speedup floor, host-independent for the same reason);
+  * the parallel speedup vs --jobs 1, but only when neither record carries
+    the single_core_host marker — one worker cannot speed anything up, so
+    comparing that number across host classes is meaningless;
   * ns/op and campaign wall-clock regressions vs the baseline, but only
     when the baseline was recorded on the same host class (matching
     host_cpus) — absolute timings are not comparable across machines.
@@ -34,6 +40,8 @@ TIMED_METRICS = [
     ("checkpoint", "every_0_seconds"),
     ("checkpoint", "every_10_seconds"),
     ("checkpoint", "every_100_seconds"),
+    ("batch", "scalar_seconds"),
+    ("batch", "batch_seconds"),
 ]
 
 # Invariants that must be true in the current record, on any host.
@@ -42,9 +50,15 @@ INVARIANT_FLAGS = [
     ("campaign", "identical_reports_with_faults"),
     ("scaler", "decisions_identical"),
     ("checkpoint", "journaled_reports_identical"),
+    ("batch", "identical_reports"),
+    ("batch", "identical_reports_across_jobs"),
 ]
 
 SPEEDUP_FLOOR = 2.0  # scaler fast path vs reference, same host by construction
+# Batch engine vs scalar engine on the replicate sweep.  Algorithmic, not
+# parallel: both sides run --jobs 1 on the same machine, so the floor holds
+# on any host class, single-core included.
+BATCH_SPEEDUP_FLOOR = 5.0
 
 
 def get(record, section, key):
@@ -109,6 +123,39 @@ def main():
     else:
         print(f"[OK]   scaler fast path {speedup:.2f}x faster than reference "
               f"(floor {SPEEDUP_FLOOR:.1f}x)")
+
+    batch_speedup = get(current, "batch", "speedup_vs_scalar")
+    if not isinstance(batch_speedup, (int, float)) or isinstance(batch_speedup, bool):
+        failures.append("batch.speedup_vs_scalar: missing from current record")
+    elif batch_speedup < BATCH_SPEEDUP_FLOOR:
+        failures.append(
+            f"batch.speedup_vs_scalar: {batch_speedup:.2f}x < "
+            f"{BATCH_SPEEDUP_FLOOR:.1f}x floor")
+    else:
+        print(f"[OK]   batch engine {batch_speedup:.2f}x faster than scalar "
+              f"(floor {BATCH_SPEEDUP_FLOOR:.1f}x)")
+
+    # Parallel speedup needs real cores on BOTH records: a single-core host
+    # legitimately reports ~1.0x, and comparing that against a multi-core
+    # baseline (or vice versa) is a host-class artifact, not a regression.
+    cur_single = current.get("single_core_host") is True
+    base_single = baseline.get("single_core_host") is True
+    par_speedup = get(current, "campaign", "speedup_vs_jobs1")
+    base_par_speedup = get(baseline, "campaign", "speedup_vs_jobs1")
+    if cur_single or base_single:
+        print("[SKIP] campaign.speedup_vs_jobs1: single-core host marker set "
+              f"(current={cur_single}, baseline={base_single})")
+    elif not isinstance(par_speedup, (int, float)) or isinstance(par_speedup, bool):
+        failures.append("campaign.speedup_vs_jobs1: missing from current record")
+    elif not isinstance(base_par_speedup, (int, float)) or isinstance(base_par_speedup, bool):
+        print("[SKIP] campaign.speedup_vs_jobs1: not in baseline (first record)")
+    elif par_speedup < base_par_speedup * (1.0 - args.tolerance):
+        failures.append(
+            f"campaign.speedup_vs_jobs1: {par_speedup:.2f}x vs baseline "
+            f"{base_par_speedup:.2f}x (beyond {args.tolerance * 100.0:.0f}% tolerance)")
+    else:
+        print(f"[OK]   campaign.speedup_vs_jobs1: {par_speedup:.2f}x vs baseline "
+              f"{base_par_speedup:.2f}x")
 
     base_cpus = baseline.get("host_cpus")
     cur_cpus = current.get("host_cpus")

@@ -37,6 +37,18 @@
 //                               as the workload instead of a Table II name
 //   --campaign                  run the full (workload x policy) matrix;
 //                               with --json FILE, write a structured report
+//   --engine scalar|batch       campaign execution engine (default scalar).
+//                               The batch engine steps a workload row's cells
+//                               in lockstep, memoizes one real verification
+//                               per workload and forks fault replicates from
+//                               a shared warm-up snapshot; reports are
+//                               byte-identical to the scalar engine
+//   --fault-replicates R        campaign fault-seed sweep: R copies of every
+//                               policy, each with a distinct forked seed
+//                               (needs an active --fault-* channel)
+//   --fault-warmup W            install the fault injector at iteration W
+//                               instead of before setup (fault-free warm-up
+//                               prefix; lets --engine batch fork replicates)
 //
 // Crash consistency (docs/RECOVERY.md):
 //   --checkpoint-dir DIR        journal + snapshot directory (enables
@@ -130,6 +142,24 @@ void validate_flag_ranges(const Flags& flags) {
     if (flags.get_string("checkpoint-dir", "").empty()) {
       reject("--resume requires --checkpoint-dir");
     }
+  }
+  if (flags.has("engine")) {
+    if (!flags.get_bool("campaign", false)) reject("--engine requires --campaign");
+    const std::string v = flags.get_string("engine", "");
+    if (!greengpu::campaign_engine_from_string(v).has_value()) {
+      reject("--engine must be 'scalar' or 'batch', got '" + v + "'");
+    }
+  }
+  if (flags.has("fault-replicates")) {
+    if (!flags.get_bool("campaign", false)) {
+      reject("--fault-replicates requires --campaign");
+    }
+    if (flags.get_int("fault-replicates", 0) < 0) {
+      reject("--fault-replicates must be >= 0");
+    }
+  }
+  if (flags.has("fault-warmup") && flags.get_int("fault-warmup", 0) < 0) {
+    reject("--fault-warmup must be >= 0");
   }
 }
 
@@ -235,7 +265,8 @@ void reject_unknown_flags(const Flags& flags) {
       "fault-seed", "fault-util-drop", "fault-util-stale",
       "fault-util-corrupt", "fault-clock-reject", "fault-clock-delay",
       "fault-clock-clamp", "fault-clock-delay-s", "fault-launch",
-      "fault-host", "fault-throttle-mtbf", "fault-throttle-duration"};
+      "fault-host", "fault-throttle-mtbf", "fault-throttle-duration",
+      "engine", "fault-replicates", "fault-warmup"};
   for (const char* name : kKnown) (void)flags.has(name);  // has() marks consumed
   flags.reject_unknown();
 }
@@ -274,6 +305,14 @@ int run(const Flags& flags) {
     cfg.options.record = record_options_from_flags(flags, greengpu::RecordMode::kCounters);
     cfg.options.faults = fault_config_from_flags(flags);
     cfg.options.max_iterations = static_cast<std::size_t>(flags.get_int("iterations", 0));
+    cfg.options.faults_active_from =
+        static_cast<std::size_t>(flags.get_int("fault-warmup", 0));
+    // Validated in validate_flag_ranges; .value() cannot throw here.
+    cfg.engine = greengpu::campaign_engine_from_string(
+                     flags.get_string("engine", "scalar"))
+                     .value();
+    cfg.fault_replicates =
+        static_cast<std::size_t>(flags.get_int("fault-replicates", 0));
     if (flags.get_bool("hardened", false)) {
       // Fault-injected campaigns need the hardened controllers: un-hardened
       // policies DNF by design on a faulty platform (watchdog abort).
@@ -391,6 +430,8 @@ int run(const Flags& flags) {
   options.sync_spin = flags.get_bool("sync", true);
   options.verify = !flags.get_bool("no-verify", false);
   options.faults = fault_config_from_flags(flags);
+  options.faults_active_from =
+      static_cast<std::size_t>(flags.get_int("fault-warmup", 0));
   options.record = record_options_from_flags(flags, greengpu::RecordMode::kFull);
   options.checkpoint_every = static_cast<std::size_t>(flags.get_int("checkpoint-every", 0));
   options.checkpoint_dir = flags.get_string("checkpoint-dir", "");

@@ -24,10 +24,20 @@ hot path (PR 2/3).  The compiler cannot enforce either, so this lint does:
                     stream construction, std::function construction.  This
                     machine-checks PR 3's "zero allocations per step" claim.
 
+  batch-loop-alloc  Functions annotated GG_HOT_BATCH (the batch campaign
+                    engine's lockstep steppers and SoA kernels) may allocate
+                    in their setup prologue but not inside any loop: a loop
+                    body there runs once per cell per iteration, so a single
+                    allocation multiplies by the whole campaign.  Flags the
+                    hot-alloc allocation patterns, restricted to
+                    brace-delimited for/while bodies inside GG_HOT_BATCH
+                    functions.
+
   hot-registry      The functions listed in REQUIRED_HOT below must carry
-                    the GG_HOT annotation, so the hot-alloc guarantee cannot
-                    rot by deleting a marker.  (Tree scans only — skipped
-                    when explicit files are given.)
+                    the GG_HOT (or GG_HOT_BATCH) annotation, so the
+                    allocation guarantees cannot rot by deleting a marker.
+                    (Tree scans only — skipped when explicit files are
+                    given.)
 
   checkpoint-write  Snapshot/checkpoint state must reach disk through
                     SnapshotWriter::write_atomic (write `<path>.tmp`, flush,
@@ -159,6 +169,18 @@ REQUIRED_HOT = [
     ("src/greengpu/telemetry.h",
      re.compile(r"void\s+push\s*\("),
      "DecisionRecorder::push"),
+    # Batch campaign engine (PR 7): the lockstep stepper and the SoA finalize
+    # kernels carry GG_HOT_BATCH, which puts their loop bodies under the
+    # batch-loop-alloc rule.
+    ("src/greengpu/batch_engine.cpp",
+     re.compile(r"void\s+step_lockstep\s*\("),
+     "step_lockstep"),
+    ("src/sim/soa.h",
+     re.compile(r"void\s+batch_saving_vs_baseline\s*\("),
+     "batch_saving_vs_baseline"),
+    ("src/sim/soa.h",
+     re.compile(r"void\s+batch_rel_delta\s*\("),
+     "batch_rel_delta"),
 ]
 
 # checkpoint-write: an ofstream construction counts as a checkpoint write
@@ -378,6 +400,72 @@ class FileLinter:
                             "must be allocation-free (see "
                             "src/common/annotations.h)")
 
+    # -- batch-loop-alloc --------------------------------------------------
+    def _match_brace(self, open_idx: int) -> int:
+        """Index of the '}' matching the '{' at open_idx in self.code."""
+        depth = 0
+        for i in range(open_idx, len(self.code)):
+            if self.code[i] == "{":
+                depth += 1
+            elif self.code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        return len(self.code) - 1
+
+    def check_batch_loop_alloc(self) -> None:
+        """GG_HOT_BATCH steppers may allocate in their prologue (gather
+        buffers, pointer tables) but never inside a loop — loop bodies run
+        once per cell per iteration.  Note GG_HOT's \\bGG_HOT\\b word
+        boundary does not match inside GG_HOT_BATCH (underscore is a word
+        character), so the two rules never double-report a function."""
+        text = self.code
+        for m in re.finditer(r"\bGG_HOT_BATCH\b", text):
+            line_start = text.rfind("\n", 0, m.start()) + 1
+            if text[line_start:m.start()].lstrip().startswith("#"):
+                continue  # the macro's own #define, not an annotation
+            open_idx = text.find("{", m.end())
+            if open_idx < 0:
+                continue
+            sig = text[m.end():open_idx]
+            name_m = re.findall(r"([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(", sig)
+            name = name_m[0] if name_m else "<unknown>"
+            body_end = self._match_brace(open_idx)
+            loop_lines: set[int] = set()
+            for lm in re.finditer(r"\b(?:for|while)\s*\(", text[open_idx:body_end]):
+                # Match the loop header's parens, then require an immediate
+                # '{' — single-statement and do-while tails are skipped
+                # rather than mis-spanned.
+                i = open_idx + lm.end() - 1
+                pdepth = 0
+                while i < body_end:
+                    if text[i] == "(":
+                        pdepth += 1
+                    elif text[i] == ")":
+                        pdepth -= 1
+                        if pdepth == 0:
+                            break
+                    i += 1
+                body_open = text.find("{", i)
+                if body_open < 0 or body_open > body_end:
+                    continue
+                if text[i + 1:body_open].strip():
+                    continue
+                body_close = self._match_brace(body_open)
+                first = text.count("\n", 0, body_open) + 1
+                last = text.count("\n", 0, body_close) + 1
+                loop_lines.update(range(first, last + 1))
+            for ln in sorted(loop_lines):
+                line = self.code_lines[ln - 1] if ln - 1 < len(self.code_lines) else ""
+                for pattern, what in ALLOC_PATTERNS:
+                    if pattern.search(line):
+                        self.report(
+                            ln, "batch-loop-alloc",
+                            f"{what} inside a loop of GG_HOT_BATCH function "
+                            f"'{name}' — the batch stepper runs this once per "
+                            "cell per iteration; hoist the allocation into "
+                            "the prologue (see src/common/annotations.h)")
+
     # -- checkpoint-write --------------------------------------------------
     def check_checkpoint_write(self) -> None:
         fname = self.relpath.rsplit("/", 1)[-1]
@@ -436,6 +524,7 @@ class FileLinter:
         self.check_nondeterminism()
         self.check_unordered()
         self.check_hot_alloc()
+        self.check_batch_loop_alloc()
         self.check_checkpoint_write()
         self.check_service_growth()
         return self.diags
