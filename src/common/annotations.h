@@ -30,6 +30,16 @@
 // also covers GG_HOT_BATCH, so required batch kernels cannot silently lose
 // their annotation.
 //
+// `GG_PIPELINE_STAGE` marks a pipeline stage callback: a lambda (or
+// function) that runs inside the asynchronous stream machinery — completion
+// callbacks of memcpy_*_async / launch stages in pipeline workloads.  The
+// lint's pipeline-blocking-sync rule scans the annotated body for
+// `synchronize(` / `device_synchronize(` calls: a blocking wait inside a
+// stage callback serializes the very pipeline the stage belongs to (and can
+// deadlock the scheduler's issue loop), so stages must express ordering with
+// events (`stream_wait_event`) and completion callbacks instead.  The macro
+// itself expands to nothing; it exists for the lint and the reader.
+//
 // `GG_BOUNDED(reason)` marks a container-growth site in src/service/ as
 // deliberately bounded: the lint's service-growth rule flags every
 // push_back/emplace/push in the service layer's hot paths, because an
@@ -48,3 +58,5 @@
 #endif
 
 #define GG_BOUNDED(reason)
+
+#define GG_PIPELINE_STAGE

@@ -5,7 +5,25 @@
 namespace gg::cudalite {
 
 Runtime::Runtime(sim::Platform& platform, std::size_t pool_workers, bool sync_spin)
-    : platform_(&platform), pool_workers_(pool_workers), sync_spin_(sync_spin) {}
+    : platform_(&platform), pool_workers_(pool_workers), sync_spin_(sync_spin) {
+  schedulers_.reserve(platform.gpu_count());
+  for (std::size_t i = 0; i < platform.gpu_count(); ++i) {
+    schedulers_.push_back(std::make_unique<StreamScheduler>(platform.gpu(i),
+                                                            platform.copy_engine(i)));
+  }
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats s = stats_;
+  for (std::size_t i = 0; i < platform_->gpu_count(); ++i) {
+    s.overlapped_seconds += platform_->copy_engine(i).counters().overlap_integral;
+  }
+  for (const auto& sched : schedulers_) {
+    s.peak_stream_depth = std::max<std::uint64_t>(s.peak_stream_depth,
+                                                  sched->peak_stream_depth());
+  }
+  return s;
+}
 
 ThreadPool& Runtime::pool() {
   if (!pool_) pool_ = std::make_unique<ThreadPool>(pool_workers_);
@@ -41,7 +59,7 @@ void Runtime::raw_free(void* p, std::size_t bytes) {
   throw std::invalid_argument("cudalite: free of unknown device pointer");
 }
 
-void Runtime::charge_transfer(double bytes, bool h2d) {
+void Runtime::charge_transfer(std::uint64_t bytes, bool h2d) {
   if (h2d) {
     ++stats_.h2d_copies;
     stats_.bytes_h2d += bytes;
@@ -49,15 +67,75 @@ void Runtime::charge_transfer(double bytes, bool h2d) {
     ++stats_.d2h_copies;
     stats_.bytes_d2h += bytes;
   }
-  const Seconds t = platform_->bus().transfer_time(bytes);
   auto& queue = platform_->queue();
-  const Seconds deadline = queue.now() + t;
   // Blocking copy: host spins for the duration unless the CPU is executing
   // its own divided chunk (the copy is issued from the GPU-owner pthread).
   const bool spin = sync_spin_ && !platform_->cpu().busy();
   if (spin) platform_->cpu().set_spinning(true);
-  queue.run_until(deadline);
+  // The transfer rides the same DMA engine as async copies (FIFO behind any
+  // in-flight ones); on an idle engine it completes at exactly the
+  // synchronous stack's `now + transfer_time` instant.
+  bool done = false;
+  platform_->copy_engine(current_device_)
+      .submit(static_cast<double>(bytes), [&done] { done = true; });
+  while (!done) {
+    if (!queue.step()) {
+      if (spin) platform_->cpu().set_spinning(false);
+      throw std::logic_error("cudalite: blocking copy but event queue is empty");
+    }
+  }
+  // Fire co-timed events the synchronous run_until(deadline) would have
+  // fired before returning control to the host.
+  queue.run_until(queue.now());
   if (spin) platform_->cpu().set_spinning(false);
+}
+
+void Runtime::enqueue_kernel(Stream& stream, const sim::KernelWork& work,
+                             std::function<void()> on_complete) {
+  auto s = stream.state_;
+  StreamScheduler* scheduler = schedulers_[s->device].get();
+  StreamOp op;
+  op.kind = StreamOp::Kind::kKernel;
+  op.work = work;
+  op.on_complete = [scheduler, s, cb = std::move(on_complete)] {
+    --s->in_flight_kernel;
+    --s->incomplete;
+    scheduler->pump(s);
+    if (cb) cb();
+  };
+  scheduler->enqueue(s, std::move(op));
+}
+
+void Runtime::enqueue_copy(Stream& stream, std::uint64_t bytes, bool h2d,
+                           std::function<void()> on_complete) {
+  if (h2d) {
+    ++stats_.h2d_copies;
+    stats_.bytes_h2d += bytes;
+  } else {
+    ++stats_.d2h_copies;
+    stats_.bytes_d2h += bytes;
+  }
+  ++stats_.async_copies;
+  auto s = stream.state_;
+  StreamScheduler* scheduler = schedulers_[s->device].get();
+  StreamOp op;
+  op.kind = StreamOp::Kind::kCopy;
+  op.bytes = static_cast<double>(bytes);
+  op.on_complete = [scheduler, s, cb = std::move(on_complete)] {
+    --s->in_flight_copy;
+    --s->incomplete;
+    scheduler->pump(s);
+    if (cb) cb();
+  };
+  scheduler->enqueue(s, std::move(op));
+}
+
+void Runtime::stream_wait_event(Stream& stream, const Event& event) {
+  auto s = stream.state_;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kWaitEvent;
+  op.event = event.state_;
+  schedulers_[s->device]->enqueue(s, std::move(op));
 }
 
 void Runtime::set_device(std::size_t index) {
@@ -68,7 +146,7 @@ void Runtime::set_device(std::size_t index) {
 }
 
 Stream Runtime::create_stream() {
-  return Stream{std::make_shared<std::size_t>(0), current_device_};
+  return Stream{schedulers_[current_device_]->create_stream(current_device_)};
 }
 
 bool Runtime::admit_launch(std::size_t device) {
@@ -125,7 +203,7 @@ bool Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& 
   if (n_blocks == 0 || threads_per_block == 0) {
     throw std::invalid_argument("cudalite: empty launch configuration");
   }
-  if (!admit_launch(stream.device_)) return false;
+  if (!admit_launch(stream.device())) return false;
   // Real execution: one pool task per block; threads within a block run
   // sequentially (kernels here carry no intra-block synchronization).
   // Model-only launches submit the identical simulated work without running
@@ -147,13 +225,7 @@ bool Runtime::launch(Stream& stream, Dim3 grid, Dim3 block, const WorkEstimate& 
     }
   });
   ++stats_.kernels_launched;
-  auto counter = stream.outstanding_;
-  ++*counter;
-  platform_->gpu(stream.device_).submit(estimate.to_kernel_work(),
-                                        [counter, cb = std::move(on_complete)] {
-                                          --*counter;
-                                          if (cb) cb();
-                                        });
+  enqueue_kernel(stream, estimate.to_kernel_work(), std::move(on_complete));
   return true;
 }
 
@@ -161,39 +233,41 @@ bool Runtime::launch_range(Stream& stream, std::size_t n, const WorkEstimate& es
                            const std::function<void(std::size_t, std::size_t)>& fn,
                            std::function<void()> on_complete) {
   if (n == 0) throw std::invalid_argument("cudalite: empty launch_range");
-  if (!admit_launch(stream.device_)) return false;
+  if (!admit_launch(stream.device())) return false;
   if (compute_enabled()) pool().parallel_for_chunks(n, fn);
   ++stats_.kernels_launched;
-  auto counter = stream.outstanding_;
-  ++*counter;
-  platform_->gpu(stream.device_).submit(estimate.to_kernel_work(),
-                                        [counter, cb = std::move(on_complete)] {
-                                          --*counter;
-                                          if (cb) cb();
-                                        });
+  enqueue_kernel(stream, estimate.to_kernel_work(), std::move(on_complete));
   return true;
 }
 
 Event Runtime::record_event(Stream& stream) {
   Event ev;
-  if (*stream.outstanding_ == 0) {
+  auto s = stream.state_;
+  if (s->incomplete == 0) {
     ev.state_->complete = true;
     ev.state_->when = platform_->now();
     return ev;
   }
-  // Piggy-back on the device FIFO: submit a negligible marker kernel that
-  // completes right after the stream's current tail.
+  // Piggy-back on the device FIFO: a negligible marker kernel, stream-ordered
+  // behind everything enqueued so far (the scheduler holds it back while any
+  // prior copy is pending or in flight).
   sim::KernelWork marker;
   marker.units = 1.0;
   marker.overhead_per_unit = Seconds{1e-9};
-  auto counter = stream.outstanding_;
-  ++*counter;
+  StreamScheduler* scheduler = schedulers_[s->device].get();
   auto* platform = platform_;
-  platform_->gpu(stream.device_).submit(marker, [counter, state = ev.state_, platform] {
-    --*counter;
+  StreamOp op;
+  op.kind = StreamOp::Kind::kRecordEvent;
+  op.work = marker;
+  op.on_complete = [scheduler, s, state = ev.state_, platform] {
+    --s->in_flight_kernel;
+    --s->incomplete;
     state->complete = true;
     state->when = platform->now();
-  });
+    scheduler->notify_event_complete(*state);
+    scheduler->pump(s);
+  };
+  scheduler->enqueue(s, std::move(op));
   return ev;
 }
 
@@ -224,8 +298,8 @@ void Runtime::run_queue_until(const std::function<bool()>& done) {
 }
 
 void Runtime::synchronize(Stream& stream) {
-  auto counter = stream.outstanding_;
-  run_queue_until([counter] { return *counter == 0; });
+  auto s = stream.state_;
+  run_queue_until([s] { return s->incomplete == 0; });
 }
 
 void Runtime::device_synchronize() {
@@ -234,6 +308,7 @@ void Runtime::device_synchronize() {
     if (platform->cpu().busy()) return false;
     for (std::size_t i = 0; i < platform->gpu_count(); ++i) {
       if (platform->gpu(i).busy()) return false;
+      if (platform->copy_engine(i).busy()) return false;
     }
     return true;
   });

@@ -1,0 +1,55 @@
+#include "src/cudalite/stream_scheduler.h"
+
+#include <algorithm>
+
+namespace gg::cudalite {
+
+void StreamScheduler::enqueue(const std::shared_ptr<StreamState>& s, StreamOp op) {
+  ++s->incomplete;
+  s->pending.push_back(std::move(op));
+  s->peak_pending = std::max(s->peak_pending, s->pending.size());
+  peak_depth_ = std::max(peak_depth_, s->peak_pending);
+  pump(s);
+}
+
+void StreamScheduler::notify_event_complete(EventState& event) {
+  // Steal the list before pumping: a pumped stream may hit another wait on
+  // the same event and re-register without invalidating this iteration.
+  std::vector<std::pair<StreamScheduler*, std::shared_ptr<StreamState>>> waiters =
+      std::move(event.waiters);
+  event.waiters.clear();
+  for (auto& [scheduler, stream] : waiters) scheduler->pump(stream);
+}
+
+GG_HOT void StreamScheduler::pump(const std::shared_ptr<StreamState>& s) {
+  while (!s->pending.empty()) {
+    StreamOp& head = s->pending.front();
+    if (head.kind == StreamOp::Kind::kWaitEvent) {
+      if (!head.event->complete) {
+        // The event may live on another device's scheduler, so the waiter
+        // entry carries `this` for the completion-side pump.
+        // GG_LINT_ALLOW(hot-alloc): bounded by streams concurrently blocked on one event
+        head.event->waiters.push_back({this, s});
+        return;
+      }
+      s->pending.pop_front();
+      --s->incomplete;  // waits complete at pop: nothing issues downstream
+      continue;
+    }
+    const bool kernel_engine = head.kind != StreamOp::Kind::kCopy;
+    if (kernel_engine ? s->in_flight_copy != 0 : s->in_flight_kernel != 0) {
+      return;  // in-order: cannot pass an in-flight op on the other engine
+    }
+    StreamOp op = std::move(head);
+    s->pending.pop_front();
+    if (kernel_engine) {
+      ++s->in_flight_kernel;
+      gpu_->submit(op.work, std::move(op.on_complete));
+    } else {
+      ++s->in_flight_copy;
+      copy_->submit(op.bytes, std::move(op.on_complete));
+    }
+  }
+}
+
+}  // namespace gg::cudalite

@@ -1,0 +1,109 @@
+// Per-device stream scheduler: issues from multiple in-order streams into
+// the device's kernel FIFO and DMA copy-engine FIFO.
+//
+// Each stream is a deque of pending ops (kernels, async copies, event
+// records, event waits) plus in-flight counters split by engine.  The issue
+// rule preserves per-stream ordering while exposing cross-engine overlap:
+//
+//   * the head op may issue while same-engine ops from this stream are in
+//     flight (the target FIFO serializes them in order anyway), but must
+//     wait for in-flight ops on the OTHER engine — an H2D copy cannot pass a
+//     kernel of its own stream, and vice versa;
+//   * a kWaitEvent op blocks the head until its event completes, expressing
+//     cross-stream dependency edges without blocking the host.
+//
+// Cross-stream arbitration needs no extra policy: both FIFOs are themselves
+// in-order, so submission order (deterministic: host program order plus
+// simulated completion order) decides interleaving — one seed, one schedule.
+//
+// Ops carry their full completion callback pre-built at enqueue time
+// (bookkeeping + user callback fused into one closure), so the GG_HOT issue
+// path `pump` moves closures into the FIFOs without allocating.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/annotations.h"
+#include "src/sim/copy_engine.h"
+#include "src/sim/gpu_device.h"
+
+namespace gg::cudalite {
+
+class StreamScheduler;
+struct StreamState;
+
+/// Shared completion state behind cudalite::Event.  `waiters` holds the
+/// streams whose head is a wait on this event; completion pumps them.
+struct EventState {
+  bool complete{false};
+  Seconds when{0.0};
+  std::vector<std::pair<StreamScheduler*, std::shared_ptr<StreamState>>> waiters;
+};
+
+/// One enqueued stream operation.
+struct StreamOp {
+  enum class Kind : std::uint8_t { kKernel, kCopy, kRecordEvent, kWaitEvent };
+  Kind kind{Kind::kKernel};
+  /// kKernel / kRecordEvent: the work submitted to the GPU FIFO.
+  sim::KernelWork work{};
+  /// kCopy: simulated bytes submitted to the copy-engine FIFO.
+  double bytes{0.0};
+  /// Pre-built completion closure (bookkeeping + user callback).
+  std::function<void()> on_complete;
+  /// kWaitEvent: the dependency edge.
+  std::shared_ptr<EventState> event;
+};
+
+/// Per-stream in-order state, shared by Stream handles and the scheduler.
+struct StreamState {
+  std::size_t device{0};
+  /// Ops enqueued and not yet completed (waits count until popped).
+  std::size_t incomplete{0};
+  /// Issued-but-uncompleted ops, split by target engine.
+  std::size_t in_flight_kernel{0};
+  std::size_t in_flight_copy{0};
+  std::deque<StreamOp> pending;
+  /// Deepest `pending` ever got — the per-stream queue-depth signal.
+  std::size_t peak_pending{0};
+};
+
+class StreamScheduler {
+ public:
+  StreamScheduler(sim::GpuDevice& gpu, sim::CopyEngine& copy)
+      : gpu_(&gpu), copy_(&copy) {}
+
+  StreamScheduler(const StreamScheduler&) = delete;
+  StreamScheduler& operator=(const StreamScheduler&) = delete;
+
+  /// Register a fresh in-order stream bound to `device`.
+  [[nodiscard]] std::shared_ptr<StreamState> create_stream(std::size_t device) {
+    auto s = std::make_shared<StreamState>();
+    s->device = device;
+    return s;
+  }
+
+  /// Append an op to the stream and issue as far as ordering allows.
+  void enqueue(const std::shared_ptr<StreamState>& s, StreamOp op);
+
+  /// Event completed: re-pump every stream whose head waits on it.
+  void notify_event_complete(EventState& event);
+
+  /// Issue loop: drain the stream's pending deque into the FIFOs until the
+  /// head is blocked (cross-engine in-flight op or incomplete event).
+  void pump(const std::shared_ptr<StreamState>& s);
+
+  /// Deepest any of this scheduler's streams ever queued.
+  [[nodiscard]] std::size_t peak_stream_depth() const { return peak_depth_; }
+
+ private:
+  sim::GpuDevice* gpu_;
+  sim::CopyEngine* copy_;
+  std::size_t peak_depth_{0};
+};
+
+}  // namespace gg::cudalite

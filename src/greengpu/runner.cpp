@@ -20,6 +20,8 @@ void save_iteration_record(common::SnapshotWriter& w, const IterationRecord& rec
   w.f64(rec.duration.get());
   w.f64(rec.gpu_energy.get());
   w.f64(rec.cpu_energy.get());
+  w.f64(rec.copy_busy_time.get());
+  w.f64(rec.overlap_time.get());
   w.u8(static_cast<std::uint8_t>(rec.division_action));
   w.u64(rec.fault_events);
   w.b(rec.degraded);
@@ -34,6 +36,8 @@ IterationRecord load_iteration_record(common::SnapshotReader& r) {
   rec.duration = Seconds{r.f64()};
   rec.gpu_energy = Joules{r.f64()};
   rec.cpu_energy = Joules{r.f64()};
+  rec.copy_busy_time = Seconds{r.f64()};
+  rec.overlap_time = Seconds{r.f64()};
   rec.division_action = static_cast<DivisionAction>(r.u8());
   rec.fault_events = static_cast<std::size_t>(r.u64());
   rec.degraded = r.b();
@@ -179,6 +183,7 @@ void ExperimentEngine::step_iteration() {
   const std::size_t iter = iter_;
 
   const sim::EnergySnapshot e0 = platform.snapshot();
+  const sim::CopyEngineCounters ce0 = platform.copy_engine().counters();
   const Seconds t0 = platform.now();
   const std::size_t ev0 = injector_ ? injector_->events().size() : 0;
   const bool throttled_at_start = injector_ != nullptr && injector_->throttled(0);
@@ -223,6 +228,7 @@ void ExperimentEngine::step_iteration() {
   workload_->finish_iteration(rt, iter);
 
   const sim::EnergySnapshot e1 = platform.snapshot();
+  const sim::CopyEngineCounters ce1 = platform.copy_engine().counters();
   const sim::EnergyDelta d = sim::Platform::delta(e0, e1);
 
   IterationRecord rec;
@@ -233,6 +239,8 @@ void ExperimentEngine::step_iteration() {
   rec.duration = d.elapsed;
   rec.gpu_energy = d.gpu;
   rec.cpu_energy = d.cpu;
+  rec.copy_busy_time = Seconds{ce1.busy_integral - ce0.busy_integral};
+  rec.overlap_time = Seconds{ce1.overlap_integral - ce0.overlap_integral};
 
   if (injector_ != nullptr) {
     const auto& events = injector_->events();
@@ -259,6 +267,8 @@ void ExperimentEngine::step_iteration() {
     // Only a hardened policy knows to distrust a faulted iteration; the
     // un-hardened baseline learns from the distorted times on purpose.
     feedback.degraded = hard.enabled && rec.degraded;
+    feedback.copy_busy_time = rec.copy_busy_time;
+    feedback.overlap_time = rec.overlap_time;
     const DivisionDecision decision = divider_->update(feedback);
     rec.division_action = decision.action;
     ratio_ = decision.ratio;

@@ -32,6 +32,13 @@ struct IterationRecord {
   Joules gpu_energy{0.0};
   Joules cpu_energy{0.0};
   [[nodiscard]] Joules total_energy() const { return gpu_energy + cpu_energy; }
+  /// DMA copy-engine activity within the iteration: time a transfer was in
+  /// flight, and the part of it that ran concurrently with a kernel.  Both
+  /// are zero for compute-only iterations; on the synchronous stack
+  /// overlap stays zero (the host blocks, so the device FIFO is empty
+  /// while the engine runs).
+  Seconds copy_busy_time{0.0};
+  Seconds overlap_time{0.0};
   /// Division decision taken after this iteration (if the tier is on).
   DivisionAction division_action{DivisionAction::kHold};
   /// Fault-layer events logged during this iteration (0 without injector).

@@ -1,0 +1,92 @@
+#include "src/sim/copy_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/sim/gpu_device.h"
+
+namespace gg::sim {
+
+CopyEngine::CopyEngine(EventQueue& queue, BusSpec bus, GpuDevice& gpu)
+    : queue_(queue), bus_(bus), gpu_(&gpu), last_account_(queue.now()) {
+  gpu_->set_activity_listener([this] { account(); });
+}
+
+void CopyEngine::account() {
+  const Seconds now = queue_.now();
+  const Seconds dt = now - last_account_;
+  if (dt <= Seconds{0.0}) {
+    last_account_ = now;
+    return;
+  }
+  if (active_) {
+    counters_.busy_integral += dt.get();
+    if (gpu_->busy()) counters_.overlap_integral += dt.get();
+  }
+  last_account_ = now;
+}
+
+CopyEngineCounters CopyEngine::counters() {
+  account();
+  return counters_;
+}
+
+void CopyEngine::submit(double bytes, CompletionCallback on_complete) {
+  if (!(bytes >= 0.0)) {
+    throw std::invalid_argument("CopyEngine: negative transfer size");
+  }
+  account();
+  fifo_.push_back(Transfer{bytes, std::move(on_complete)});
+  counters_.peak_queue_depth = std::max<std::uint64_t>(
+      counters_.peak_queue_depth, fifo_.size() + (active_ ? 1 : 0));
+  start_next_if_idle();
+}
+
+void CopyEngine::start_next_if_idle() {
+  if (active_ || fifo_.empty()) return;
+  account();
+  current_ = std::move(fifo_.front());
+  fifo_.pop_front();
+  active_ = true;
+  queue_.schedule_in(bus_.transfer_time(current_.bytes),
+                     [this] { on_completion_event(); });
+}
+
+void CopyEngine::on_completion_event() {
+  account();
+  counters_.bytes_moved += current_.bytes;
+  ++counters_.transfers_completed;
+  CompletionCallback cb = std::move(current_.on_complete);
+  current_ = Transfer{};
+  active_ = false;
+  start_next_if_idle();
+  if (cb) cb();
+}
+
+void CopyEngine::save(common::SnapshotWriter& w) {
+  if (active_ || !fifo_.empty()) {
+    throw common::SnapshotError("CopyEngine::save: engine not quiescent");
+  }
+  account();
+  w.f64(last_account_.get());
+  w.f64(counters_.busy_integral);
+  w.f64(counters_.overlap_integral);
+  w.f64(counters_.bytes_moved);
+  w.u64(counters_.transfers_completed);
+  w.u64(counters_.peak_queue_depth);
+}
+
+void CopyEngine::load(common::SnapshotReader& r) {
+  if (active_ || !fifo_.empty()) {
+    throw common::SnapshotError("CopyEngine::load: engine not quiescent");
+  }
+  last_account_ = Seconds{r.f64()};
+  counters_.busy_integral = r.f64();
+  counters_.overlap_integral = r.f64();
+  counters_.bytes_moved = r.f64();
+  counters_.transfers_completed = r.u64();
+  counters_.peak_queue_depth = r.u64();
+}
+
+}  // namespace gg::sim

@@ -147,9 +147,16 @@ void CpuDevice::schedule_completion() {
 
 void CpuDevice::on_completion_event() {
   account();
+  // Drift guard, but only while the residual eta can still advance the
+  // clock; a sub-ulp remainder would reschedule at the same instant forever
+  // (see GpuDevice::on_completion_event).
   if (active_->units_done < active_->work.units - kUnitEpsilon * active_->work.units) {
-    schedule_completion();
-    return;
+    const double remaining = active_->work.units - active_->units_done;
+    const Seconds eta = unit_time(active_->work) * remaining;
+    if ((queue_.now() + eta).get() > queue_.now().get()) {
+      schedule_completion();
+      return;
+    }
   }
   CompletionCallback cb = std::move(active_->on_complete);
   active_.reset();

@@ -86,6 +86,7 @@ Watts GpuDevice::idle_power(std::size_t core_level, std::size_t mem_level) const
 }
 
 void GpuDevice::account() {
+  if (activity_listener_) activity_listener_();
   const Seconds now = queue_.now();
   const Seconds dt = now - last_account_;
   if (dt <= Seconds{0.0}) {
@@ -138,10 +139,18 @@ void GpuDevice::schedule_completion() {
 
 void GpuDevice::on_completion_event() {
   account();
-  // Guard against floating-point drift from mid-kernel rate changes.
+  // Guard against floating-point drift from mid-kernel rate changes — but
+  // only while the residual eta can still advance the clock.  A sub-ulp
+  // remainder (short kernels late in a long run, e.g. event markers) would
+  // otherwise reschedule at the same instant forever: dt stays 0, units_done
+  // never moves, and the queue spins.
   if (active_->units_done < active_->work.units - kUnitEpsilon * active_->work.units) {
-    schedule_completion();
-    return;
+    const double remaining = active_->work.units - active_->units_done;
+    const Seconds eta = unit_time(active_->work) * remaining;
+    if ((queue_.now() + eta).get() > queue_.now().get()) {
+      schedule_completion();
+      return;
+    }
   }
   CompletionCallback cb = std::move(active_->on_complete);
   active_.reset();

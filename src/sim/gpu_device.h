@@ -120,6 +120,16 @@ class GpuDevice {
   [[nodiscard]] const GpuSpec& spec() const { return spec_; }
   [[nodiscard]] std::uint64_t kernels_completed() const { return kernels_completed_; }
 
+  /// Install a hook invoked at the top of every account() call, BEFORE this
+  /// device integrates or mutates state.  The DMA copy engine registers its
+  /// own account() here so its overlap integral (∫ copy_busy · gpu_busy dt)
+  /// is advanced under the pre-change busy flag at every instant the GPU
+  /// changes state — making the overlap accounting exact.  The listener must
+  /// only read this device's state, never call back into it.
+  void set_activity_listener(std::function<void()> listener) {
+    activity_listener_ = std::move(listener);
+  }
+
   /// Serialize the device's accounting state (clock levels, transition
   /// counts, utilization/energy integrals, completion counter).  Only legal
   /// at a quiescent instant: no active kernel, empty FIFO.  A restored
@@ -157,6 +167,7 @@ class GpuDevice {
   std::deque<Active> fifo_;
   std::optional<Active> active_;
   EventHandle completion_;
+  std::function<void()> activity_listener_;
 
   Seconds last_account_{0.0};
   GpuActivityCounters counters_{};

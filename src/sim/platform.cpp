@@ -15,6 +15,9 @@ Platform::Platform(std::size_t gpu_count) {
     gpus_.push_back(std::make_unique<GpuDevice>(queue_, GpuSpec{}, std::move(core),
                                                 std::move(mem), core_low, mem_low));
   }
+  for (auto& gpu : gpus_) {
+    copy_engines_.push_back(std::make_unique<CopyEngine>(queue_, bus_, *gpu));
+  }
   cpu_ = std::make_unique<CpuDevice>(queue_, CpuSpec{}, phenom2_table(), 0);
 }
 
@@ -27,6 +30,9 @@ Platform::Platform(GpuSpec gpu_spec, DvfsTable gpu_core, DvfsTable gpu_mem,
   for (std::size_t i = 0; i < gpu_count; ++i) {
     gpus_.push_back(std::make_unique<GpuDevice>(queue_, gpu_spec, gpu_core, gpu_mem,
                                                 gpu_core_level, gpu_mem_level));
+  }
+  for (auto& gpu : gpus_) {
+    copy_engines_.push_back(std::make_unique<CopyEngine>(queue_, bus_, *gpu));
   }
   cpu_ = std::make_unique<CpuDevice>(queue_, cpu_spec, std::move(cpu_table), cpu_level);
 }
@@ -69,6 +75,7 @@ void Platform::save(common::SnapshotWriter& w) {
   w.u64(gpus_.size());
   for (auto& gpu : gpus_) gpu->save(w);
   cpu_->save(w);
+  for (auto& engine : copy_engines_) engine->save(w);
 }
 
 void Platform::load(common::SnapshotReader& r) {
@@ -82,6 +89,7 @@ void Platform::load(common::SnapshotReader& r) {
   }
   for (auto& gpu : gpus_) gpu->load(r);
   cpu_->load(r);
+  for (auto& engine : copy_engines_) engine->load(r);
 }
 
 }  // namespace gg::sim

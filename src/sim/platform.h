@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/sim/copy_engine.h"
 #include "src/sim/cpu_device.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/fault.h"
@@ -51,6 +52,11 @@ class Platform {
   [[nodiscard]] GpuDevice& gpu(std::size_t index) { return *gpus_.at(index); }
   [[nodiscard]] std::size_t gpu_count() const { return gpus_.size(); }
   [[nodiscard]] CpuDevice& cpu() { return *cpu_; }
+  /// The DMA copy engine paired with gpu(index); transfers submitted here
+  /// advance concurrently with that GPU's kernel FIFO.
+  [[nodiscard]] CopyEngine& copy_engine(std::size_t index = 0) {
+    return *copy_engines_.at(index);
+  }
   [[nodiscard]] const BusSpec& bus() const { return bus_; }
   [[nodiscard]] Seconds now() const { return queue_.now(); }
 
@@ -86,6 +92,10 @@ class Platform {
   EventQueue queue_;
   // unique_ptr: devices hold a reference to queue_ and are not movable.
   std::vector<std::unique_ptr<GpuDevice>> gpus_;
+  // Declared after gpus_: each engine is its GPU's activity listener, so it
+  // must be destroyed first (listeners never fire during destruction, but
+  // the ordering keeps the dangling window inert).
+  std::vector<std::unique_ptr<CopyEngine>> copy_engines_;
   std::unique_ptr<CpuDevice> cpu_;
   BusSpec bus_;
   std::unique_ptr<FaultInjector> faults_;

@@ -5,14 +5,30 @@
 #include "src/workloads/bfs.h"
 #include "src/workloads/hotspot.h"
 #include "src/workloads/kmeans.h"
+#include "src/workloads/kmeans_pipeline.h"
 #include "src/workloads/lud.h"
 #include "src/workloads/nbody.h"
 #include "src/workloads/pathfinder.h"
 #include "src/workloads/qrng.h"
 #include "src/workloads/srad.h"
+#include "src/workloads/srad_stream.h"
 #include "src/workloads/streamcluster.h"
 
 namespace gg::workloads {
+
+namespace {
+/// Process-wide pipeline tuning; written by set_pipeline_tuning before runs,
+/// only read by make_workload afterwards.
+PipelineTuning g_pipeline_tuning{};
+}  // namespace
+
+std::vector<std::string> pipeline_workload_names() {
+  return {"kmeans_pipeline", "srad_stream"};
+}
+
+void set_pipeline_tuning(const PipelineTuning& tuning) { g_pipeline_tuning = tuning; }
+
+PipelineTuning pipeline_tuning() { return g_pipeline_tuning; }
 
 std::vector<std::string> all_workload_names() {
   return {"bfs",     "lud",     "nbody",  "pathfinder", "QG",
@@ -31,6 +47,20 @@ WorkloadPtr make_workload(std::string_view name) {
   if (name == "hotspot") return std::make_unique<Hotspot>();
   if (name == "kmeans") return std::make_unique<Kmeans>();
   if (name == "streamcluster" || name == "SC") return std::make_unique<Streamcluster>();
+  if (name == "kmeans_pipeline") {
+    KmeansPipelineConfig cfg;
+    cfg.pipelined = g_pipeline_tuning.pipelined;
+    cfg.stream_depth = g_pipeline_tuning.stream_depth;
+    cfg.chunks = g_pipeline_tuning.chunks;
+    return std::make_unique<KmeansPipeline>(cfg);
+  }
+  if (name == "srad_stream") {
+    SradStreamConfig cfg;
+    cfg.pipelined = g_pipeline_tuning.pipelined;
+    cfg.stream_depth = g_pipeline_tuning.stream_depth;
+    cfg.frames_per_iteration = g_pipeline_tuning.chunks;
+    return std::make_unique<SradStream>(cfg);
+  }
   throw std::invalid_argument("unknown workload: " + std::string(name));
 }
 

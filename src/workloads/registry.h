@@ -20,4 +20,26 @@ namespace gg::workloads {
 /// The two divisible workloads the paper's two-tier experiments use.
 [[nodiscard]] std::vector<std::string> divisible_workload_names();
 
+/// The asynchronous pipeline workloads ("kmeans_pipeline", "srad_stream").
+/// Not part of all_workload_names(): the Table II suite is the paper's
+/// fixed nine; campaigns opt in by listing them explicitly.
+[[nodiscard]] std::vector<std::string> pipeline_workload_names();
+
+/// Construction-time tuning applied by make_workload to the pipeline
+/// workloads (the CLI maps --pipeline / --stream-depth / --chunks here).
+struct PipelineTuning {
+  /// False builds the synchronous baseline: same ops, one stream, a
+  /// blocking synchronize per chunk.
+  bool pipelined{true};
+  /// Double-buffer slots (concurrent in-flight chunks).
+  std::size_t stream_depth{3};
+  /// Chunks (kmeans_pipeline) / frames (srad_stream) per iteration.
+  std::size_t chunks{8};
+};
+
+/// Replace the process-wide pipeline tuning.  Call before constructing
+/// workloads; concurrent make_workload calls (campaign workers) only read.
+void set_pipeline_tuning(const PipelineTuning& tuning);
+[[nodiscard]] PipelineTuning pipeline_tuning();
+
 }  // namespace gg::workloads

@@ -1,0 +1,137 @@
+#include "src/sim/copy_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/snapshot.h"
+#include "src/sim/platform.h"
+
+namespace gg::sim {
+namespace {
+
+using namespace gg::literals;
+
+class CopyEngineTest : public ::testing::Test {
+ protected:
+  /// Frequency-independent kernel: duration = units x overhead, so the
+  /// platform's starting DVFS levels never matter.
+  [[nodiscard]] static KernelWork kernel_of(double seconds) {
+    KernelWork w;
+    w.units = 1.0;
+    w.overhead_per_unit = Seconds{seconds};
+    return w;
+  }
+
+  [[nodiscard]] double transfer_seconds(double bytes) const {
+    return platform_.bus().transfer_time(bytes).get();
+  }
+
+  Platform platform_;
+  CopyEngine& ce_{platform_.copy_engine()};
+  EventQueue& q_{platform_.queue()};
+};
+
+TEST_F(CopyEngineTest, TransferCompletesAtBusModelTime) {
+  const double bytes = 3.0e9;  // 1 s at the default 3 GB/s + 15 us latency
+  Seconds done{-1.0};
+  ce_.submit(bytes, [&] { done = q_.now(); });
+  EXPECT_TRUE(ce_.busy());
+  q_.run_until(10_s);
+  EXPECT_FALSE(ce_.busy());
+  EXPECT_NEAR(done.get(), transfer_seconds(bytes), 1e-12);
+}
+
+TEST_F(CopyEngineTest, NegativeBytesRejected) {
+  EXPECT_THROW(ce_.submit(-1.0, {}), std::invalid_argument);
+}
+
+TEST_F(CopyEngineTest, FifoOrderAndBackToBackTiming) {
+  // Three transfers submitted together drain strictly in order, each
+  // starting the instant its predecessor finishes.
+  const double sizes[] = {3.0e9, 1.5e9, 6.0e8};
+  std::vector<int> order;
+  std::vector<double> when;
+  for (int i = 0; i < 3; ++i) {
+    ce_.submit(sizes[i], [&, i] {
+      order.push_back(i);
+      when.push_back(q_.now().get());
+    });
+  }
+  EXPECT_EQ(ce_.queued(), 2u);  // two waiting behind the active transfer
+  q_.run_until(10_s);
+  ASSERT_EQ(order, (std::vector<int>{0, 1, 2}));
+  double expected = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    expected += transfer_seconds(sizes[i]);
+    EXPECT_NEAR(when[static_cast<std::size_t>(i)], expected, 1e-12) << "transfer " << i;
+  }
+  const CopyEngineCounters c = ce_.counters();
+  EXPECT_EQ(c.transfers_completed, 3u);
+  EXPECT_DOUBLE_EQ(c.bytes_moved, sizes[0] + sizes[1] + sizes[2]);
+  EXPECT_EQ(c.peak_queue_depth, 3u);
+  EXPECT_NEAR(c.busy_integral, expected, 1e-12);
+}
+
+TEST_F(CopyEngineTest, OverlapIntegralCountsOnlyConcurrentKernelTime) {
+  // Copy (≈0.5 s) entirely inside a 1 s kernel: overlap == copy busy time.
+  const double bytes = 1.5e9;
+  platform_.gpu().submit(kernel_of(1.0), {});
+  ce_.submit(bytes, {});
+  q_.run_until(10_s);
+  CopyEngineCounters c = ce_.counters();
+  const double tt = transfer_seconds(bytes);
+  EXPECT_NEAR(c.busy_integral, tt, 1e-12);
+  EXPECT_NEAR(c.overlap_integral, tt, 1e-12);
+
+  // A second copy against an idle GPU adds busy time but no overlap.
+  ce_.submit(bytes, {});
+  q_.run_until(20_s);
+  c = ce_.counters();
+  EXPECT_NEAR(c.busy_integral, 2.0 * tt, 1e-12);
+  EXPECT_NEAR(c.overlap_integral, tt, 1e-12);
+}
+
+TEST_F(CopyEngineTest, PartialOverlapIsClippedToKernelWindow) {
+  // Kernel 0.3 s, copy ≈1 s, both issued at t=0: only the first 0.3 s of
+  // the transfer overlaps.
+  const double bytes = 3.0e9;
+  platform_.gpu().submit(kernel_of(0.3), {});
+  ce_.submit(bytes, {});
+  q_.run_until(10_s);
+  const CopyEngineCounters c = ce_.counters();
+  EXPECT_NEAR(c.busy_integral, transfer_seconds(bytes), 1e-12);
+  EXPECT_NEAR(c.overlap_integral, 0.3, 1e-12);
+}
+
+TEST_F(CopyEngineTest, SnapshotRoundTripsCounters) {
+  ce_.submit(1.5e9, {});
+  platform_.gpu().submit(kernel_of(0.2), {});
+  q_.run_until(10_s);
+  const CopyEngineCounters before = ce_.counters();
+
+  common::SnapshotWriter w;
+  ce_.save(w);
+
+  Platform other;
+  other.queue().run_until(platform_.now());
+  common::SnapshotReader r = common::SnapshotReader::from_payload(w.payload());
+  other.copy_engine().load(r);
+  const CopyEngineCounters after = other.copy_engine().counters();
+  EXPECT_DOUBLE_EQ(after.busy_integral, before.busy_integral);
+  EXPECT_DOUBLE_EQ(after.overlap_integral, before.overlap_integral);
+  EXPECT_DOUBLE_EQ(after.bytes_moved, before.bytes_moved);
+  EXPECT_EQ(after.transfers_completed, before.transfers_completed);
+  EXPECT_EQ(after.peak_queue_depth, before.peak_queue_depth);
+}
+
+TEST_F(CopyEngineTest, SnapshotRequiresQuiescence) {
+  ce_.submit(1.5e9, {});
+  common::SnapshotWriter w;
+  EXPECT_THROW(ce_.save(w), common::SnapshotError);
+  q_.run_until(10_s);
+  EXPECT_NO_THROW(ce_.save(w));
+}
+
+}  // namespace
+}  // namespace gg::sim

@@ -1,0 +1,42 @@
+// Lint fixture: blocking waits inside GG_PIPELINE_STAGE stage callbacks.
+// A synchronize()/device_synchronize() call in a stage serializes the
+// pipeline the stage belongs to; ordering must come from events and
+// completion callbacks.  The marker's own #define must not open a span.
+#define GG_PIPELINE_STAGE
+
+struct Stream {};
+
+struct Runtime {
+  void synchronize(Stream&) {}
+  void device_synchronize() {}
+  template <typename F>
+  void memcpy_d2h_async(Stream&, F cb) {
+    cb();
+  }
+};
+
+void stage_bad_stream_sync(Runtime& rt, Stream& s) {
+  rt.memcpy_d2h_async(s, [&rt, &s] GG_PIPELINE_STAGE {
+    rt.synchronize(s);  // violation: blocks the stage's own stream
+  });
+}
+
+void stage_bad_device_sync(Runtime& rt, Stream& s) {
+  rt.memcpy_d2h_async(s, [&rt] GG_PIPELINE_STAGE {
+    rt.device_synchronize();  // violation: drains the whole device mid-stage
+  });
+}
+
+void stage_clean(Runtime& rt, Stream& s) {
+  rt.memcpy_d2h_async(s, [] GG_PIPELINE_STAGE {
+    // events + completion callbacks only: nothing blocking in here
+  });
+  rt.synchronize(s);  // fine: a blocking drain outside any stage callback
+}
+
+void stage_suppressed(Runtime& rt, Stream& s) {
+  rt.memcpy_d2h_async(s, [&rt] GG_PIPELINE_STAGE {
+    // GG_LINT_ALLOW(pipeline-blocking-sync): fixture proves reasoned suppressions hold
+    rt.device_synchronize();
+  });
+}

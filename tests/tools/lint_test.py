@@ -19,8 +19,8 @@ import subprocess
 import sys
 
 FIXTURES = ["bad_nondeterminism", "bad_report_unordered", "bad_hot_alloc",
-            "bad_batch_alloc", "bad_checkpoint_write", "bad_service_growth",
-            "clean"]
+            "bad_batch_alloc", "bad_pipeline_sync", "bad_checkpoint_write",
+            "bad_service_growth", "clean"]
 
 
 def run_lint(root, args):

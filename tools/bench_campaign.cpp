@@ -25,6 +25,7 @@
 //
 // Exit code 0 iff every identity check passed.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -40,9 +41,12 @@
 #include "src/cudalite/nvsettings.h"
 #include "src/greengpu/campaign.h"
 #include "src/greengpu/recovery.h"
+#include "src/greengpu/runner.h"
 #include "src/greengpu/wma_scaler.h"
+#include "src/sim/crash.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/platform.h"
+#include "src/workloads/registry.h"
 
 namespace {
 
@@ -214,6 +218,50 @@ ScalerTimings time_scaler_step() {
   return t;
 }
 
+/// Sync-vs-pipelined comparison for one pipeline workload, all in simulated
+/// units (host-class independent: both schedules run through the same model).
+struct PipelineComparison {
+  std::string name;
+  double sync_seconds{0.0};
+  double pipelined_seconds{0.0};
+  double makespan_speedup{0.0};
+  double sync_energy_j{0.0};
+  double pipelined_energy_j{0.0};
+  double overlap_efficiency{0.0};  // overlapped / copy-engine-busy seconds
+  bool verified{false};
+};
+
+PipelineComparison compare_pipeline(const std::string& name) {
+  greengpu::RunOptions options;
+  options.pool_workers = 2;
+  workloads::PipelineTuning tuning = workloads::pipeline_tuning();
+  tuning.pipelined = false;
+  workloads::set_pipeline_tuning(tuning);
+  const greengpu::ExperimentResult sync =
+      greengpu::run_experiment(name, greengpu::Policy::best_performance(), options);
+  tuning.pipelined = true;
+  workloads::set_pipeline_tuning(tuning);
+  const greengpu::ExperimentResult pipe =
+      greengpu::run_experiment(name, greengpu::Policy::best_performance(), options);
+
+  PipelineComparison c;
+  c.name = name;
+  c.sync_seconds = sync.exec_time.get();
+  c.pipelined_seconds = pipe.exec_time.get();
+  c.makespan_speedup =
+      c.pipelined_seconds > 0.0 ? c.sync_seconds / c.pipelined_seconds : 0.0;
+  c.sync_energy_j = sync.total_energy().get();
+  c.pipelined_energy_j = pipe.total_energy().get();
+  double copy_busy = 0.0, overlap = 0.0;
+  for (const auto& it : pipe.iterations) {
+    copy_busy += it.copy_busy_time.get();
+    overlap += it.overlap_time.get();
+  }
+  c.overlap_efficiency = copy_busy > 0.0 ? overlap / copy_busy : 0.0;
+  c.verified = sync.verified && pipe.verified;
+  return c;
+}
+
 bool report_identity(const char* what, const CampaignRun& a, const CampaignRun& b) {
   const bool csv_ok = a.csv == b.csv;
   const bool json_ok = a.json == b.json;
@@ -328,6 +376,89 @@ int main(int argc, char** argv) {
               batch_jobs_identical ? "identical" : "DIFFER");
   ok = batch_jobs_identical && ok;
 
+  // Pipeline workloads: the asynchronous multi-stream schedule vs the
+  // synchronous baseline, in simulated seconds and joules (both sides run
+  // through the same model, so the speedup holds on any host class), plus
+  // the full determinism matrix over the pipeline campaign — jobs sweep,
+  // batch engine, and a kill/resume cycle must all reproduce the bytes.
+  const workloads::PipelineTuning saved_tuning = workloads::pipeline_tuning();
+  std::printf("comparing pipelined vs synchronous schedules...\n");
+  std::vector<PipelineComparison> pipeline_runs;
+  double min_pipeline_speedup = 0.0;
+  double min_overlap_efficiency = 0.0;
+  bool pipeline_verified = true;
+  bool pipeline_energy_lower = true;
+  for (const std::string& name : workloads::pipeline_workload_names()) {
+    const PipelineComparison c = compare_pipeline(name);
+    std::printf("  %-16s sync %.1f s -> pipelined %.1f s (%.2fx), "
+                "energy %.0f J -> %.0f J, overlap %.0f%%%s\n",
+                c.name.c_str(), c.sync_seconds, c.pipelined_seconds,
+                c.makespan_speedup, c.sync_energy_j, c.pipelined_energy_j,
+                c.overlap_efficiency * 100.0, c.verified ? "" : " [FAIL verify]");
+    min_pipeline_speedup = pipeline_runs.empty()
+                               ? c.makespan_speedup
+                               : std::min(min_pipeline_speedup, c.makespan_speedup);
+    min_overlap_efficiency = pipeline_runs.empty()
+                                 ? c.overlap_efficiency
+                                 : std::min(min_overlap_efficiency, c.overlap_efficiency);
+    pipeline_verified = pipeline_verified && c.verified;
+    pipeline_energy_lower =
+        pipeline_energy_lower && c.pipelined_energy_j < c.sync_energy_j;
+    pipeline_runs.push_back(c);
+  }
+  workloads::set_pipeline_tuning(saved_tuning);
+  ok = pipeline_verified && pipeline_energy_lower && ok;
+
+  greengpu::CampaignConfig pipeline_cfg;
+  pipeline_cfg.workloads = workloads::pipeline_workload_names();
+  pipeline_cfg.jobs = 1;
+  std::printf("running pipeline campaign serially (--jobs 1)...\n");
+  const CampaignRun p_serial = run_campaign_timed(pipeline_cfg);
+  std::printf("  %zu runs in %.2f s (%.1f runs/s)\n", p_serial.runs, p_serial.seconds,
+              p_serial.runs / p_serial.seconds);
+  bool pipeline_jobs_identical = true;
+  for (std::size_t i = 1; i < jobs_sweep.size(); ++i) {
+    greengpu::CampaignConfig cfg = pipeline_cfg;
+    cfg.jobs = jobs_sweep[i];
+    const CampaignRun run = run_campaign_timed(cfg);
+    pipeline_jobs_identical =
+        pipeline_jobs_identical && run.csv == p_serial.csv && run.json == p_serial.json;
+  }
+  std::printf("[%s] pipeline campaign across jobs sweep: %s\n",
+              pipeline_jobs_identical ? "OK" : "FAIL",
+              pipeline_jobs_identical ? "identical" : "DIFFER");
+  ok = pipeline_jobs_identical && ok;
+
+  greengpu::CampaignConfig pipeline_batch_cfg = pipeline_cfg;
+  pipeline_batch_cfg.engine = greengpu::CampaignEngine::kBatch;
+  const CampaignRun p_batch = run_campaign_timed(pipeline_batch_cfg);
+  const bool pipeline_engines_identical =
+      p_batch.csv == p_serial.csv && p_batch.json == p_serial.json;
+  std::printf("[%s] pipeline campaign batch-vs-scalar: %s\n",
+              pipeline_engines_identical ? "OK" : "FAIL",
+              pipeline_engines_identical ? "identical" : "DIFFER");
+  ok = pipeline_engines_identical && ok;
+
+  bool pipeline_resume_identical = false;
+  {
+    const std::filesystem::path resume_dir =
+        std::filesystem::temp_directory_path() / "gg_bench_pipeline_resume";
+    std::filesystem::remove_all(resume_dir);
+    greengpu::CheckpointOptions ckpt;
+    ckpt.dir = resume_dir.string();
+    sim::CrashInjector crash(common::KillPoint::kMidCampaignCell, 1,
+                             common::CrashMode::kThrow);
+    greengpu::RecoverySupervisor supervisor(pipeline_cfg, ckpt);
+    const CampaignRun resumed = to_run(supervisor.run(), 0.0);
+    pipeline_resume_identical = crash.fired() && resumed.csv == p_serial.csv &&
+                                resumed.json == p_serial.json;
+    std::filesystem::remove_all(resume_dir);
+  }
+  std::printf("[%s] pipeline campaign after kill/resume: %s\n",
+              pipeline_resume_identical ? "OK" : "FAIL",
+              pipeline_resume_identical ? "identical" : "DIFFER");
+  ok = pipeline_resume_identical && ok;
+
   // Checkpoint overhead: the same serial campaign with the crash-safe
   // journal alone (--checkpoint-every 0) and with periodic controller
   // snapshots every 10 and 100 iterations.  Checkpoints are pure
@@ -418,6 +549,34 @@ int main(int argc, char** argv) {
   w.kv("speedup_vs_scalar", batch_speedup);
   w.kv("identical_reports", b_scalar.csv == b_batch.csv && b_scalar.json == b_batch.json);
   w.kv("identical_reports_across_jobs", batch_jobs_identical);
+  w.end_object();
+  w.key("pipeline");
+  w.begin_object();
+  w.key("workloads");
+  w.begin_array();
+  for (const PipelineComparison& c : pipeline_runs) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("sync_seconds", c.sync_seconds);
+    w.kv("pipelined_seconds", c.pipelined_seconds);
+    w.kv("makespan_speedup", c.makespan_speedup);
+    w.kv("sync_energy_j", c.sync_energy_j);
+    w.kv("pipelined_energy_j", c.pipelined_energy_j);
+    w.kv("overlap_efficiency", c.overlap_efficiency);
+    w.kv("verified", c.verified);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("min_makespan_speedup", min_pipeline_speedup);
+  w.kv("min_overlap_efficiency", min_overlap_efficiency);
+  w.kv("all_verified", pipeline_verified);
+  w.kv("pipelined_energy_lower", pipeline_energy_lower);
+  w.kv("campaign_runs", static_cast<double>(p_serial.runs));
+  w.kv("campaign_seconds", p_serial.seconds);
+  w.kv("campaign_runs_per_sec", p_serial.runs / p_serial.seconds);
+  w.kv("identical_reports_across_jobs", pipeline_jobs_identical);
+  w.kv("identical_reports_across_engines", pipeline_engines_identical);
+  w.kv("identical_reports_after_resume", pipeline_resume_identical);
   w.end_object();
   w.key("event_queue");
   w.begin_object();

@@ -50,6 +50,17 @@
 //                               instead of before setup (fault-free warm-up
 //                               prefix; lets --engine batch fork replicates)
 //
+// Pipeline workloads (kmeans_pipeline, srad_stream — opt-in by name, not in
+// --workload all; see docs/ARCHITECTURE.md "Asynchronous streams"):
+//   --pipeline 0|1              1 (default) overlaps transfers with kernels
+//                               on multiple streams; 0 runs the synchronous
+//                               baseline (same ops, blocking per chunk)
+//   --stream-depth N            double-buffer slots / concurrent in-flight
+//                               chunks, in [1, 64] (default 3)
+//   --chunks N                  chunks (kmeans_pipeline) or frames per
+//                               iteration (srad_stream), in [1, 8192]
+//                               (default 8)
+//
 // Crash consistency (docs/RECOVERY.md):
 //   --checkpoint-dir DIR        journal + snapshot directory (enables
 //                               checkpointing; created if missing)
@@ -161,6 +172,14 @@ void validate_flag_ranges(const Flags& flags) {
   if (flags.has("fault-warmup") && flags.get_int("fault-warmup", 0) < 0) {
     reject("--fault-warmup must be >= 0");
   }
+  if (flags.has("stream-depth")) {
+    const long long v = flags.get_int("stream-depth", 3);
+    if (v < 1 || v > 64) reject("--stream-depth must be in [1, 64]");
+  }
+  if (flags.has("chunks")) {
+    const long long v = flags.get_int("chunks", 8);
+    if (v < 1 || v > 8192) reject("--chunks must be in [1, 8192]");
+  }
 }
 
 greengpu::CheckpointOptions checkpoint_options_from_flags(const Flags& flags) {
@@ -266,7 +285,8 @@ void reject_unknown_flags(const Flags& flags) {
       "fault-util-corrupt", "fault-clock-reject", "fault-clock-delay",
       "fault-clock-clamp", "fault-clock-delay-s", "fault-launch",
       "fault-host", "fault-throttle-mtbf", "fault-throttle-duration",
-      "engine", "fault-replicates", "fault-warmup"};
+      "engine", "fault-replicates", "fault-warmup", "pipeline",
+      "stream-depth", "chunks"};
   for (const char* name : kKnown) (void)flags.has(name);  // has() marks consumed
   flags.reject_unknown();
 }
@@ -289,9 +309,21 @@ int run(const Flags& flags) {
   const long long jobs_flag = flags.get_int("jobs", 1);
   const std::size_t jobs = jobs_flag < 0 ? 0 : static_cast<std::size_t>(jobs_flag);
 
+  // Pipeline tuning is construction-time workload state; set it once before
+  // any make_workload call (single runs, --workload all, campaigns alike).
+  workloads::PipelineTuning tuning;
+  tuning.pipelined = flags.get_bool("pipeline", true);
+  tuning.stream_depth = static_cast<std::size_t>(flags.get_int("stream-depth", 3));
+  tuning.chunks = static_cast<std::size_t>(flags.get_int("chunks", 8));
+  workloads::set_pipeline_tuning(tuning);
+
   if (flags.get_bool("list", false)) {
     std::printf("workloads:");
     for (const auto& n : workloads::all_workload_names()) std::printf(" %s", n.c_str());
+    std::printf("\npipeline workloads:");
+    for (const auto& n : workloads::pipeline_workload_names()) {
+      std::printf(" %s", n.c_str());
+    }
     std::printf("\npolicies: best-performance scaling division greengpu "
                 "static-division static-pair\n");
     std::printf("dividers: step qilin energy\n");

@@ -39,6 +39,16 @@ hot path (PR 2/3).  The compiler cannot enforce either, so this lint does:
                     (Tree scans only — skipped when explicit files are
                     given.)
 
+  pipeline-blocking-sync
+                    Stage callbacks annotated GG_PIPELINE_STAGE (completion
+                    lambdas of memcpy_*_async / launch stages in pipeline
+                    workloads) must not call synchronize() or
+                    device_synchronize(): a blocking wait inside a stage
+                    serializes the very pipeline the stage belongs to, and a
+                    wait on the stage's own stream deadlocks the scheduler's
+                    issue loop.  Ordering belongs to events
+                    (stream_wait_event) and completion callbacks.
+
   checkpoint-write  Snapshot/checkpoint state must reach disk through
                     SnapshotWriter::write_atomic (write `<path>.tmp`, flush,
                     rename — src/common/snapshot.h), the only write path
@@ -181,7 +191,16 @@ REQUIRED_HOT = [
     ("src/sim/soa.h",
      re.compile(r"void\s+batch_rel_delta\s*\("),
      "batch_rel_delta"),
+    # Async stream machinery (PR 8): the per-stream issue loop runs once per
+    # queued op per completion event — the pipeline's hot path.
+    ("src/cudalite/stream_scheduler.cpp",
+     re.compile(r"void\s+StreamScheduler::pump\s*\("),
+     "StreamScheduler::pump"),
 ]
+
+# pipeline-blocking-sync: blocking waits banned inside GG_PIPELINE_STAGE
+# callback bodies (brace-matched from the first '{' after the marker).
+PIPELINE_SYNC_RE = re.compile(r"\b(?:device_synchronize|synchronize)\s*\(")
 
 # checkpoint-write: an ofstream construction counts as a checkpoint write
 # when the file itself is checkpoint infrastructure, or when the raw lines
@@ -466,6 +485,33 @@ class FileLinter:
                             "cell per iteration; hoist the allocation into "
                             "the prologue (see src/common/annotations.h)")
 
+    # -- pipeline-blocking-sync --------------------------------------------
+    def check_pipeline_blocking_sync(self) -> None:
+        """Stage callbacks marked GG_PIPELINE_STAGE run inside the stream
+        machinery; a blocking wait there serializes (or deadlocks) the
+        pipeline.  Body = first '{' after the marker, brace-matched."""
+        text = self.code
+        for m in re.finditer(r"\bGG_PIPELINE_STAGE\b", text):
+            line_start = text.rfind("\n", 0, m.start()) + 1
+            if text[line_start:m.start()].lstrip().startswith("#"):
+                continue  # the macro's own #define, not an annotation
+            open_idx = text.find("{", m.end())
+            if open_idx < 0:
+                continue
+            start = text.count("\n", 0, open_idx) + 1
+            end = text.count("\n", 0, self._match_brace(open_idx)) + 1
+            for ln in range(start, end + 1):
+                line = self.code_lines[ln - 1] if ln - 1 < len(self.code_lines) else ""
+                if PIPELINE_SYNC_RE.search(line):
+                    self.report(
+                        ln, "pipeline-blocking-sync",
+                        "blocking synchronize()/device_synchronize() inside a "
+                        "GG_PIPELINE_STAGE callback serializes the pipeline "
+                        "the stage belongs to (and a wait on the stage's own "
+                        "stream deadlocks the issue loop); order with events "
+                        "(stream_wait_event) and completion callbacks "
+                        "(see src/common/annotations.h)")
+
     # -- checkpoint-write --------------------------------------------------
     def check_checkpoint_write(self) -> None:
         fname = self.relpath.rsplit("/", 1)[-1]
@@ -525,6 +571,7 @@ class FileLinter:
         self.check_unordered()
         self.check_hot_alloc()
         self.check_batch_loop_alloc()
+        self.check_pipeline_blocking_sync()
         self.check_checkpoint_write()
         self.check_service_growth()
         return self.diags
