@@ -36,7 +36,9 @@ class SnapshotError : public std::runtime_error {
 /// File magic: "GGSN" as bytes on disk.
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E534747u;
 /// Bumped whenever the serialized layout of any snapshottable type changes.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: per-GPU copy-engine state in Platform::save, copy sampler in
+/// NvmlDevice, overlap/copy-busy fields in IterationRecord + ScalerDecision.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of `size` bytes.
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);

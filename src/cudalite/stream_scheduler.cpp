@@ -18,7 +18,10 @@ void StreamScheduler::notify_event_complete(EventState& event) {
   std::vector<std::pair<StreamScheduler*, std::shared_ptr<StreamState>>> waiters =
       std::move(event.waiters);
   event.waiters.clear();
-  for (auto& [scheduler, stream] : waiters) scheduler->pump(stream);
+  for (auto& [scheduler, stream] : waiters) {
+    stream->wait_registered = false;  // the pump may re-park on another event
+    scheduler->pump(stream);
+  }
 }
 
 GG_HOT void StreamScheduler::pump(const std::shared_ptr<StreamState>& s) {
@@ -27,9 +30,14 @@ GG_HOT void StreamScheduler::pump(const std::shared_ptr<StreamState>& s) {
     if (head.kind == StreamOp::Kind::kWaitEvent) {
       if (!head.event->complete) {
         // The event may live on another device's scheduler, so the waiter
-        // entry carries `this` for the completion-side pump.
-        // GG_LINT_ALLOW(hot-alloc): bounded by streams concurrently blocked on one event
-        head.event->waiters.push_back({this, s});
+        // entry carries `this` for the completion-side pump.  Register at
+        // most once: later enqueues re-pump a parked stream, and without the
+        // guard every re-pump would push a duplicate entry.
+        if (!s->wait_registered) {
+          s->wait_registered = true;
+          // GG_LINT_ALLOW(hot-alloc): at most one entry per blocked stream
+          head.event->waiters.push_back({this, s});
+        }
         return;
       }
       s->pending.pop_front();

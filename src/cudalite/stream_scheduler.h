@@ -68,6 +68,11 @@ struct StreamState {
   std::size_t in_flight_kernel{0};
   std::size_t in_flight_copy{0};
   std::deque<StreamOp> pending;
+  /// True while this stream sits in some event's `waiters` list (the head is
+  /// a blocked kWaitEvent).  Guards against duplicate registration when
+  /// later enqueues re-pump a stream already parked on the same event;
+  /// cleared by notify_event_complete before the wake-up pump.
+  bool wait_registered{false};
   /// Deepest `pending` ever got — the per-stream queue-depth signal.
   std::size_t peak_pending{0};
 };

@@ -86,14 +86,12 @@ void KmeansPipeline::setup(cudalite::Runtime& rt) {
   ran_ = false;
 }
 
-void KmeansPipeline::assign_chunk(std::size_t slot, std::size_t c) {
+void KmeansPipeline::assign_chunk(std::size_t slot, std::size_t b, std::size_t e) {
   const std::size_t dims = config_.dims;
   const std::size_t k = config_.clusters;
-  const std::size_t begin = chunk_begin(c);
-  const std::size_t count = chunk_begin(c + 1) - begin;
   const double* points = dev_points_[slot].data();
   int* out = dev_assign_[slot].data();
-  for (std::size_t i = 0; i < count; ++i) {
+  for (std::size_t i = b; i < e; ++i) {
     double best = std::numeric_limits<double>::max();
     int best_c = 0;
     for (std::size_t cl = 0; cl < k; ++cl) {
@@ -178,8 +176,8 @@ void KmeansPipeline::run_iteration(cudalite::Runtime& rt, cudalite::Stream& /*st
     // Stage 2: assignment kernel over the slot buffer.
     if (!rt.launch_range(
             ks, count, est,
-            [this, slot, c](std::size_t /*b*/, std::size_t /*e*/) {
-              assign_chunk(slot, c);
+            [this, slot](std::size_t b, std::size_t e) {
+              assign_chunk(slot, b, e);
             })) {
       // Rejected launch: force-complete inline so the stream-ordered D2H
       // below still downloads correct data (the injector records the
@@ -189,7 +187,7 @@ void KmeansPipeline::run_iteration(cudalite::Runtime& rt, cudalite::Stream& /*st
         faults->note(sim::FaultChannel::kHarness, sim::FaultOutcome::kForcedCompletion,
                      ks.device());
       }
-      if (rt.compute_enabled()) assign_chunk(slot, c);
+      if (rt.compute_enabled()) assign_chunk(slot, 0, count);
     }
 
     // Stage 3: download the chunk's assignments into its own host region

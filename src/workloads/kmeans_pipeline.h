@@ -80,7 +80,9 @@ class KmeansPipeline final : public Workload {
  private:
   /// Balanced chunk ranges: chunk c covers [chunk_begin(c), chunk_begin(c+1)).
   [[nodiscard]] std::size_t chunk_begin(std::size_t c) const;
-  void assign_chunk(std::size_t slot, std::size_t c);
+  /// Assign points [b, e) (chunk-local indices) from the slot buffer — the
+  /// disjoint sub-range a single launch_range worker owns.
+  void assign_chunk(std::size_t slot, std::size_t b, std::size_t e);
   void reduce_chunk(std::size_t c);
   void submit_reduce(cudalite::Runtime& rt, std::size_t c,
                      const std::function<void()>& on_cpu_done);
