@@ -52,9 +52,15 @@ GG_HOT void StreamScheduler::pump(const std::shared_ptr<StreamState>& s) {
     s->pending.pop_front();
     if (kernel_engine) {
       ++s->in_flight_kernel;
+      // GG_LINT_ALLOW(hot-alloc-transitive): the device FIFOs behind
+      // submit() are std::deques whose depth is bounded by the per-stream
+      // in-flight window (one op per engine here), so growth amortizes to
+      // zero after the first chunk.
       gpu_->submit(op.work, std::move(op.on_complete));
     } else {
       ++s->in_flight_copy;
+      // GG_LINT_ALLOW(hot-alloc-transitive): same bounded-FIFO argument as
+      // the kernel-engine submit above.
       copy_->submit(op.bytes, std::move(op.on_complete));
     }
   }

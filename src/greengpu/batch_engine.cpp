@@ -42,6 +42,10 @@ GG_HOT_BATCH void step_lockstep(CellState* const* live, std::size_t n) {
     for (std::size_t k = 0; k < n; ++k) {
       ExperimentEngine& e = *live[k]->engine;
       if (e.iteration() < e.total_iterations()) {
+        // GG_LINT_ALLOW(hot-alloc-transitive): step_iteration allocates only
+        // on the watchdog-abort throw path (the diagnostic string of
+        // ExperimentAborted); the per-iteration fast path is allocation-free
+        // (PR 7 batch-equivalence bench).
         e.step_iteration();
         any = any || e.iteration() < e.total_iterations();
       }

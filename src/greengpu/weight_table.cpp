@@ -177,6 +177,9 @@ GG_HOT PairIndex FixedWeightTable::update_fused(const double* scaled_core_losses
     const double ci = scaled_core_losses[i];
     for (std::size_t j = 0; j < m_; ++j) {
       const double loss = ci + scaled_mem_losses[j];
+      // GG_LINT_ALLOW(hot-alloc-transitive): UQ08::raw() is a bit accessor;
+      // its basename collides with Flags::raw() and the temporary/auto
+      // receivers here defeat gg-analyze's type binding.
       const std::uint32_t loss_raw = UQ08::from_double(loss).raw();
       auto& w = w_[idx(i, j)];
       const std::uint32_t prod = w.raw() * one_minus_beta_raw * loss_raw;  // <= 2^24

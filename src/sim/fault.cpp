@@ -251,6 +251,10 @@ void FaultInjector::note_requested_levels(std::size_t device, std::size_t core,
 }
 
 void FaultInjector::note(FaultChannel channel, FaultOutcome outcome, std::size_t device) {
+  // GG_LINT_ALLOW(hot-alloc-transitive): the fault-event log grows only when
+  // an injected fault, throttle or watchdog trip actually fires; the
+  // no-fault fast path through the observation helpers never reaches this
+  // push_back, so hot callers (step_fast, actuate) stay allocation-free.
   events_.push_back(FaultEvent{queue_->now(), channel, outcome, device});
 }
 

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Tests for tools/gg_analyze.py (and the shared gglint package).
+
+Seven halves of the contract:
+  1. Taint fixtures — every interprocedural fixture under
+     tests/tools/fixtures/ matches its golden under tests/tools/expected/
+     byte-for-byte (chains, source sites, order), with the right exit code.
+  2. Schema fixture trees — schema_clean passes the gate; schema_add (field
+     added, version unbumped) and schema_reorder (typed fields swapped,
+     version unbumped) fail with schema-drift, byte-exact.
+  3. Bumped-version path — bumping kSnapshotVersion over a drifted tree
+     downgrades schema-drift to schema-lock-stale (regenerate, don't block).
+  4. Real tree — gg-analyze runs clean (every suppression carries a reason).
+  5. Lock determinism — regenerating docs/snapshot_schema.lock into a temp
+     file reproduces the committed bytes exactly.
+  6. Suppression inventory — `--list-suppressions` matches the table
+     committed between the GG_SUPPRESSIONS markers in
+     docs/STATIC_ANALYSIS.md.
+  7. JSON output — both gg-analyze and greengpu-lint emit parseable,
+     stable-key-order JSON with counts that agree with the text mode.
+
+Run directly or through ctest: python3 tests/tools/analyze_test.py --root <repo>
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+TAINT_FIXTURES = ["bad_transitive_alloc", "bad_fnptr_alloc",
+                  "bad_overload_alloc", "bad_batch_transitive",
+                  "bad_transitive_report", "bad_sync_transitive",
+                  "clean_scanner_edges"]
+SCHEMA_TREES = ["schema_clean", "schema_add", "schema_reorder"]
+
+BEGIN_MARK = "<!-- BEGIN GG_SUPPRESSIONS (gg_analyze.py --list-suppressions) -->"
+END_MARK = "<!-- END GG_SUPPRESSIONS -->"
+
+
+def run_tool(root, tool, args):
+    path = os.path.join(root, "tools", tool)
+    return subprocess.run(
+        [sys.executable, path, *args], capture_output=True, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--root",
+        default=os.path.join(os.path.dirname(__file__), "..", ".."))
+    root = os.path.abspath(parser.parse_args().root)
+    failures = []
+
+    def check(cond, label, detail=""):
+        if not cond:
+            failures.append(f"{label}\n{detail}" if detail else label)
+
+    # 1. Taint fixtures against goldens.
+    for name in TAINT_FIXTURES:
+        fixture = os.path.join(root, "tests", "tools", "fixtures",
+                               name + ".cpp")
+        with open(os.path.join(root, "tests", "tools", "expected",
+                               name + ".txt"), encoding="utf-8") as f:
+            golden = f.read()
+        result = run_tool(root, "gg_analyze.py", ["--root", root, fixture])
+        expected_code = 1 if golden else 0
+        check(result.returncode == expected_code,
+              f"{name}: exit {result.returncode}, expected {expected_code}",
+              result.stderr)
+        check(result.stdout == golden, f"{name}: diagnostic mismatch",
+              f"--- expected ---\n{golden}--- actual ---\n{result.stdout}")
+
+    # 2. Schema fixture trees against goldens.
+    for name in SCHEMA_TREES:
+        tree = os.path.join(root, "tests", "tools", "fixtures", name)
+        with open(os.path.join(root, "tests", "tools", "expected",
+                               name + ".txt"), encoding="utf-8") as f:
+            golden = f.read()
+        result = run_tool(root, "gg_analyze.py", ["--root", tree])
+        expected_code = 1 if golden else 0
+        check(result.returncode == expected_code,
+              f"{name}: exit {result.returncode}, expected {expected_code}",
+              result.stderr)
+        check(result.stdout == golden, f"{name}: diagnostic mismatch",
+              f"--- expected ---\n{golden}--- actual ---\n{result.stdout}")
+
+    # 3. Bump the version over the drifted tree: drift downgrades to stale.
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = os.path.join(tmp, "schema_add")
+        shutil.copytree(
+            os.path.join(root, "tests", "tools", "fixtures", "schema_add"),
+            tree)
+        header = os.path.join(tree, "src", "common", "snapshot.h")
+        with open(header, encoding="utf-8") as f:
+            text = f.read()
+        with open(header, "w", encoding="utf-8") as f:
+            f.write(text.replace("kSnapshotVersion = 3", "kSnapshotVersion = 4"))
+        result = run_tool(root, "gg_analyze.py", ["--root", tree])
+        check(result.returncode == 1,
+              f"bumped drift tree: exit {result.returncode}, expected 1")
+        check("[schema-lock-stale]" in result.stdout
+              and "[schema-drift]" not in result.stdout,
+              "bumped drift tree: expected schema-lock-stale, not schema-drift",
+              result.stdout)
+
+    # 4. The real tree analyzes clean.
+    result = run_tool(root, "gg_analyze.py", ["--root", root])
+    check(result.returncode == 0 and not result.stdout,
+          f"real tree not clean (exit {result.returncode})",
+          result.stdout + result.stderr)
+
+    # 5. Lock regeneration is bit-identical to the committed lock.
+    committed = os.path.join(root, "docs", "snapshot_schema.lock")
+    with open(committed, "rb") as f:
+        committed_bytes = f.read()
+    with tempfile.TemporaryDirectory() as tmp:
+        regen = os.path.join(tmp, "snapshot_schema.lock")
+        result = run_tool(root, "gg_analyze.py",
+                          ["--root", root, "--write-lock", "--lock", regen])
+        check(result.returncode == 0, "write-lock failed", result.stderr)
+        with open(regen, "rb") as f:
+            regen_bytes = f.read()
+        check(regen_bytes == committed_bytes,
+              "docs/snapshot_schema.lock does not regenerate bit-identically "
+              "— rerun `python3 tools/gg_analyze.py --write-lock` and commit")
+
+    # 6. Suppression inventory in docs/STATIC_ANALYSIS.md is in sync.
+    result = run_tool(root, "gg_analyze.py",
+                      ["--root", root, "--list-suppressions"])
+    check(result.returncode == 0, "list-suppressions failed", result.stderr)
+    with open(os.path.join(root, "docs", "STATIC_ANALYSIS.md"),
+              encoding="utf-8") as f:
+        doc = f.read()
+    m = re.search(re.escape(BEGIN_MARK) + r"\n(.*?)" + re.escape(END_MARK),
+                  doc, re.DOTALL)
+    check(m is not None, "GG_SUPPRESSIONS markers missing from "
+                         "docs/STATIC_ANALYSIS.md")
+    if m is not None:
+        check(m.group(1) == result.stdout,
+              "suppression inventory out of sync — paste the output of "
+              "`python3 tools/gg_analyze.py --list-suppressions` between the "
+              "GG_SUPPRESSIONS markers in docs/STATIC_ANALYSIS.md",
+              f"--- doc ---\n{m.group(1)}--- tool ---\n{result.stdout}")
+    check("(MISSING REASON)" not in result.stdout,
+          "suppression without a reason in the tree", result.stdout)
+
+    # 7. JSON output: parseable, stable key order, counts agree with text.
+    fixture = os.path.join(root, "tests", "tools", "fixtures",
+                           "bad_transitive_alloc.cpp")
+    for tool in ("gg_analyze.py", "greengpu_lint.py"):
+        result = run_tool(root, tool,
+                          ["--root", root, "--format", "json", fixture])
+        try:
+            doc = json.loads(result.stdout)
+        except json.JSONDecodeError as err:
+            check(False, f"{tool} --format json not parseable: {err}",
+                  result.stdout)
+            continue
+        check(doc["count"] == len(doc["diagnostics"]),
+              f"{tool}: count disagrees with diagnostics list")
+        check(doc["count"] == sum(doc["rule_counts"].values()),
+              f"{tool}: rule_counts disagree with count")
+        stable = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        check(result.stdout == stable, f"{tool}: JSON key order not stable")
+
+    if failures:
+        print(f"analyze_test: {len(failures)} failure(s)", file=sys.stderr)
+        for f in failures:
+            print(f, file=sys.stderr)
+        return 1
+    print(f"analyze_test: {len(TAINT_FIXTURES)} taint fixtures + "
+          f"{len(SCHEMA_TREES)} schema trees + lock/inventory/json OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

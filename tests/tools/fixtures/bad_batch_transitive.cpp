@@ -1,0 +1,29 @@
+// gg-analyze fixture: GG_HOT_BATCH taint roots are LOOP BODIES only — the
+// same allocating helper is fine from the prologue and a violation from
+// inside the sweep.
+#include <cstddef>
+#include <vector>
+
+#define GG_HOT_BATCH
+
+namespace fx {
+
+std::vector<double> scratch;
+
+void grow_scratch(double v) {
+  scratch.push_back(v);  // allocation source
+}
+
+double lane_math(double v) {
+  return v * 0.5;  // clean helper
+}
+
+GG_HOT_BATCH void batch_sweep(const double* in, double* out, std::size_t n) {
+  grow_scratch(0.0);  // fine: prologue call, amortized across the batch
+  for (std::size_t i = 0; i < n; ++i) {
+    grow_scratch(in[i]);     // violation: allocating chain per cell
+    out[i] = lane_math(in[i]);  // fine: clean chain
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,35 @@
+// gg-analyze fixture: allocation reached through a function POINTER taken
+// in a hot body (`&helper`) and through a call made inside a lambda defined
+// in the hot body.  Both must count as hot-path call sites; a pointer to a
+// clean helper must not.
+#include <vector>
+
+#define GG_HOT
+
+namespace fx {
+
+std::vector<int> sink;
+
+void alloc_helper(int v) {
+  sink.push_back(v);  // allocation source
+}
+
+int clean_helper(int v) {
+  return v + 1;
+}
+
+void install(void (*cb)(int));
+void observe(int (*cb)(int));
+
+GG_HOT void hot_registers_pointer(int v) {
+  install(&alloc_helper);  // violation: hands the hot path an allocating cb
+  observe(&clean_helper);  // fine: the referenced function is clean
+  (void)v;
+}
+
+GG_HOT void hot_lambda_calls(int v) {
+  auto fn = [v] { alloc_helper(v); };  // violation: lambda body is hot span
+  fn();
+}
+
+}  // namespace fx

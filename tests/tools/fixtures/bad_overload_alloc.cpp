@@ -1,0 +1,26 @@
+// gg-analyze fixture: overloaded names resolve conservatively — a call to
+// `scale` taints if ANY same-named definition allocates, because the token
+// scanner cannot do overload resolution.  The chain message must name the
+// allocating overload's definition site.
+#include <vector>
+
+#define GG_HOT
+
+namespace fx {
+
+std::vector<double> history;
+
+double scale(int v) {
+  return v * 2.0;  // clean overload
+}
+
+double scale(double v) {
+  history.push_back(v);  // allocating overload
+  return v * 2.0;
+}
+
+GG_HOT double hot_calls_overload(int v) {
+  return scale(v);  // violation: conservative — either overload may bind
+}
+
+}  // namespace fx

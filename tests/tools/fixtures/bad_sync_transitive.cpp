@@ -1,0 +1,28 @@
+// gg-analyze fixture: a GG_PIPELINE_STAGE callback reaching a blocking
+// synchronize() through a helper.  The direct in-span case belongs to the
+// intraprocedural pipeline-blocking-sync rule; this is the hidden one.
+#define GG_PIPELINE_STAGE
+
+namespace fx {
+
+struct Device {
+  void synchronize() {}
+};
+
+Device g_dev;
+
+void drain_device() {
+  g_dev.synchronize();  // blocking source hidden in a helper
+}
+
+void flip_buffers() {}
+
+struct Pipeline {
+  GG_PIPELINE_STAGE void on_stage_complete(int stage) {
+    flip_buffers();  // fine: non-blocking helper
+    drain_device();  // violation: stage -> drain_device -> synchronize()
+    (void)stage;
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,43 @@
+// gg-analyze fixture: a GG_HOT function reaching an allocation through a
+// TWO-HOP call chain — exactly what the intraprocedural hot-alloc rule
+// cannot see.  Also exercises: a reasoned call-site suppression, a clean
+// helper chain, and a direct allocation left to the intra rule (gg-analyze
+// must not double-report it).
+#include <cstddef>
+#include <vector>
+
+#define GG_HOT
+
+namespace fx {
+
+std::vector<int> sink;
+
+void grow_log(int v) {
+  sink.push_back(v);  // the allocation source, two hops from the hot path
+}
+
+void record(int v) {
+  grow_log(v + 1);  // hop 1
+}
+
+int pure_math(int v) {
+  return v * 3;  // allocation-free helper chain
+}
+
+int shift(int v) {
+  return pure_math(v) << 1;
+}
+
+GG_HOT int hot_entry(int v) {
+  record(v);       // violation: hot_entry -> record -> grow_log -> push_back
+  return shift(v); // fine: the whole chain is allocation-free
+}
+
+GG_HOT int hot_suppressed(int v) {
+  // GG_LINT_ALLOW(hot-alloc-transitive): fixture proves reasoned call-site
+  // suppressions hold for transitive findings
+  record(v);
+  return v;
+}
+
+}  // namespace fx

@@ -1,0 +1,29 @@
+// gg-analyze fixture: a "report" translation unit (the filename matches the
+// report/serialization root set) whose entry point reaches a
+// nondeterminism source through a helper chain.  A locally SUPPRESSED
+// source must still taint — a helper's waiver is not a report-path waiver.
+#include <cstdlib>
+#include <string>
+
+namespace fx {
+
+const char* env_override() {
+  // GG_LINT_ALLOW(nondeterminism): fixture — local waiver must NOT clear
+  // the transitive report-path rule
+  return std::getenv("FX_MODE");
+}
+
+const char* pick_mode() {
+  return env_override();  // hop 1
+}
+
+std::string render_report() {
+  const char* mode = pick_mode();  // violation: report -> pick_mode -> getenv
+  return std::string(mode != nullptr ? mode : "default");
+}
+
+int column_width(int n) {
+  return n + 2;  // fine: deterministic helper
+}
+
+}  // namespace fx

@@ -1,0 +1,39 @@
+// Scanner edge-case fixture: everything here is CLEAN for both greengpu-lint
+// and gg-analyze.  Raw string literals whose contents look like allocations
+// (new, malloc(, push_back() — plus quotes, braces and parens that would
+// desynchronize a naive scanner), allocations mentioned only in comments,
+// digit separators, and a GG_HOT function built on all of it.
+#include <cstddef>
+
+#define GG_HOT
+
+namespace fx {
+
+// new int[8] and malloc(64) in a comment are not allocations.
+/* neither is push_back(v) in a block comment,
+   nor std::make_unique<int>() spanning lines. */
+
+const char* kDoc = R"gg(
+  This raw string mentions new Foo(), malloc(128), v.push_back(x) and
+  std::to_string(7).  It also nests "quotes", unbalanced braces {{{ and
+  parens ((( that must not confuse brace matching.
+)gg";
+
+const char* kPlain = "string with new and malloc( inside";  // not code
+
+constexpr std::size_t kBig = 1'000'000;  // digit separators, not a char
+
+int helper_math(int v) {
+  return v + static_cast<int>(kBig % 7);
+}
+
+GG_HOT int hot_clean(int v) {
+  // `new` below is inside a raw string operand, not an expression.
+  const char* tag = R"(operator new lives here, inert)";
+  (void)tag;
+  (void)kDoc;
+  (void)kPlain;
+  return helper_math(v);  // clean chain
+}
+
+}  // namespace fx

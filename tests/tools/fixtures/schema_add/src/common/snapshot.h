@@ -1,0 +1,34 @@
+// Schema-gate fixture stub of the real src/common/snapshot.h — gg-analyze
+// only needs the version constant and the writer/reader parameter types.
+#pragma once
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fx {
+
+inline constexpr std::uint32_t kSnapshotVersion = 3;
+
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v);
+  void b(bool v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+  void f64_vec(const std::vector<double>& v);
+};
+
+class SnapshotReader {
+ public:
+  std::uint8_t u8();
+  bool b();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<double> f64_vec();
+};
+
+}  // namespace fx

@@ -1,0 +1,42 @@
+// Schema-gate fixture: a FIELD WAS ADDED (flags) to the serialized state
+// but kSnapshotVersion was not bumped and the lock was not regenerated —
+// the gate must fail with schema-drift.
+#include "src/common/snapshot.h"
+
+namespace fx {
+
+struct ScalerState {
+  std::uint64_t steps = 0;
+  double ema = 0.0;
+  bool harden = false;
+  std::uint32_t flags = 0;  // the new field nobody versioned
+  std::vector<double> history;
+
+  void save(SnapshotWriter& w) const {
+    w.u64(steps);
+    w.f64(ema);
+    w.b(harden);
+    w.u32(flags);
+    w.f64_vec(history);
+  }
+
+  void load(SnapshotReader& r) {
+    steps = r.u64();
+    ema = r.f64();
+    harden = r.b();
+    flags = r.u32();
+    history = r.f64_vec();
+  }
+};
+
+void save_state(const ScalerState& s, SnapshotWriter& w) {
+  w.u32(kSnapshotVersion);
+  s.save(w);
+}
+
+void load_state(ScalerState& s, SnapshotReader& r) {
+  (void)r.u32();
+  s.load(r);
+}
+
+}  // namespace fx

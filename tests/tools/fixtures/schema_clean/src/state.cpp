@@ -1,0 +1,38 @@
+// Schema-gate fixture: a snapshottable type and its free-function framing,
+// matching docs/snapshot_schema.lock exactly — the gate must pass.
+#include "src/common/snapshot.h"
+
+namespace fx {
+
+struct ScalerState {
+  std::uint64_t steps = 0;
+  double ema = 0.0;
+  bool harden = false;
+  std::vector<double> history;
+
+  void save(SnapshotWriter& w) const {
+    w.u64(steps);
+    w.f64(ema);
+    w.b(harden);
+    w.f64_vec(history);
+  }
+
+  void load(SnapshotReader& r) {
+    steps = r.u64();
+    ema = r.f64();
+    harden = r.b();
+    history = r.f64_vec();
+  }
+};
+
+void save_state(const ScalerState& s, SnapshotWriter& w) {
+  w.u32(kSnapshotVersion);
+  s.save(w);
+}
+
+void load_state(ScalerState& s, SnapshotReader& r) {
+  (void)r.u32();
+  s.load(r);
+}
+
+}  // namespace fx

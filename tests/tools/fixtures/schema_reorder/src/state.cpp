@@ -1,0 +1,40 @@
+// Schema-gate fixture: two differently-typed fields SWAPPED PLACES in the
+// write order (u64 steps <-> f64 ema) without a kSnapshotVersion bump —
+// old snapshots would misload bit patterns into the wrong fields.  The
+// gate must fail with schema-drift.
+#include "src/common/snapshot.h"
+
+namespace fx {
+
+struct ScalerState {
+  std::uint64_t steps = 0;
+  double ema = 0.0;
+  bool harden = false;
+  std::vector<double> history;
+
+  void save(SnapshotWriter& w) const {
+    w.f64(ema);
+    w.u64(steps);
+    w.b(harden);
+    w.f64_vec(history);
+  }
+
+  void load(SnapshotReader& r) {
+    ema = r.f64();
+    steps = r.u64();
+    harden = r.b();
+    history = r.f64_vec();
+  }
+};
+
+void save_state(const ScalerState& s, SnapshotWriter& w) {
+  w.u32(kSnapshotVersion);
+  s.save(w);
+}
+
+void load_state(ScalerState& s, SnapshotReader& r) {
+  (void)r.u32();
+  s.load(r);
+}
+
+}  // namespace fx

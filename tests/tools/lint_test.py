@@ -20,7 +20,7 @@ import sys
 
 FIXTURES = ["bad_nondeterminism", "bad_report_unordered", "bad_hot_alloc",
             "bad_batch_alloc", "bad_pipeline_sync", "bad_checkpoint_write",
-            "bad_service_growth", "clean"]
+            "bad_service_growth", "clean", "clean_scanner_edges"]
 
 
 def run_lint(root, args):

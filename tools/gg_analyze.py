@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""gg-analyze: interprocedural call-graph analysis + snapshot-schema gate.
+
+greengpu-lint checks one function body at a time; gg-analyze builds the
+project call graph (tools/gglint/callgraph.py, on the same token scanner)
+and propagates taint through it, so a one-line helper can no longer hide
+an allocation, a clock read or a blocking wait from the invariants:
+
+  hot-alloc-transitive      GG_HOT/GG_HOT_BATCH paths reaching an
+                            allocation through any call chain (for
+                            GG_HOT_BATCH: chains launched inside a loop)
+  nondet-transitive         report/serialization entry points reaching a
+                            wall-clock or unseeded-RNG source through any
+                            call chain (suppressed sources still count —
+                            a local waiver is not a report-path waiver)
+  blocking-sync-transitive  GG_PIPELINE_STAGE callbacks reaching
+                            synchronize()/device_synchronize() via helpers
+
+plus the snapshot wire-schema drift gate (tools/gglint/schema.py):
+
+  schema-drift              the serialized shape of the SnapshotWriter/
+                            SnapshotReader participants changed but
+                            kSnapshotVersion did not
+  schema-lock-stale         docs/snapshot_schema.lock no longer matches
+                            the tree (regenerate with --write-lock)
+
+Diagnostics carry the full call chain and the source site, render exactly
+like greengpu-lint's (`path:line: error: [rule] message`, or one stable
+JSON document with --format json), and are suppressed at the root call
+site with `// GG_LINT_ALLOW(<rule>): <reason>`.
+
+Usage:
+    gg_analyze.py [--root DIR] [--format text|json]    # whole tree (src/)
+    gg_analyze.py [--root DIR] FILE...                 # fixtures: taint
+                                                       # rules only, no gate
+    gg_analyze.py --write-lock [--lock PATH]           # regenerate the lock
+    gg_analyze.py --schema-gate-only                   # just the gate
+    gg_analyze.py --list-suppressions                  # inventory table
+
+Exit status: 0 clean, 1 violations, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from gglint import callgraph, schema
+from gglint.diagnostics import ALLOW_RE, emit, finalize
+from gglint.intraprocedural import iter_tree, resolve_targets
+
+# The call graph covers product code; tools/, bench/ and tests/ have their
+# own (intraprocedural) discipline and would flood the graph with fixture
+# definitions.
+GRAPH_DIRS = ("src",)
+
+
+def _read_files(targets):
+    """[(relpath, raw_text)] for (abspath, relpath) pairs; None on error."""
+    out = []
+    for path, rel in targets:
+        try:
+            with open(path, encoding="utf-8") as f:
+                out.append((rel, f.read()))
+        except OSError as err:
+            print(f"gg-analyze: cannot read {rel}: {err}", file=sys.stderr)
+            return None
+    return out
+
+
+_COMMENT_LINE_RE = re.compile(r"^\s*//")
+
+
+def list_suppressions(root: str, out) -> int:
+    """Markdown inventory of every GG_LINT_ALLOW in the tree — the table
+    committed into docs/STATIC_ANALYSIS.md (tests keep the two in sync).
+
+    Multi-line reasons (continuation `//` lines below the suppression) are
+    joined into one cell.  An occurrence preceded by a backtick on its line
+    is documentation quoting the syntax, not a suppression, and is skipped.
+    """
+    rows = []
+    for path, rel in iter_tree(root):
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+        except OSError:
+            continue
+        for i, line in enumerate(raw_lines):
+            m = ALLOW_RE.search(line)
+            if not m or "`" in line[:m.start()]:
+                continue
+            parts = [(m.group(2) or "").strip()]
+            # A pure-comment suppression may continue on following // lines
+            # (until the suppressed code line or another suppression).
+            if _COMMENT_LINE_RE.match(line):
+                for nxt in raw_lines[i + 1:]:
+                    if not _COMMENT_LINE_RE.match(nxt) or ALLOW_RE.search(nxt):
+                        break
+                    parts.append(nxt.lstrip()[2:].strip())
+            reason = " ".join(p for p in parts if p) or "(MISSING REASON)"
+            reason = reason.replace("|", "\\|")
+            rows.append((f"{rel}:{i + 1}", m.group(1), reason))
+    rows.sort()
+    print("| location | rule | reason |", file=out)
+    print("| --- | --- | --- |", file=out)
+    for loc, rule, reason in rows:
+        print(f"| {loc} | {rule} | {reason} |", file=out)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic output format (default: text)")
+    parser.add_argument("--lock", default=None,
+                        help="schema lock path (default: <root>/"
+                             f"{schema.LOCK_RELPATH})")
+    parser.add_argument("--write-lock", action="store_true",
+                        help="regenerate the schema lock from the tree and "
+                             "exit")
+    parser.add_argument("--schema-gate-only", action="store_true",
+                        help="run only the snapshot-schema gate")
+    parser.add_argument("--list-suppressions", action="store_true",
+                        help="print the GG_LINT_ALLOW inventory as a "
+                             "markdown table and exit")
+    parser.add_argument("files", nargs="*",
+                        help="analyze only these files (taint rules only; "
+                             "the schema gate needs the whole tree)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    lock_path = args.lock or os.path.join(root, *schema.LOCK_RELPATH.split("/"))
+
+    if args.list_suppressions:
+        return list_suppressions(root, sys.stdout)
+
+    if args.files:
+        targets = resolve_targets(root, args.files)
+    else:
+        targets = list(iter_tree(root, dirs=GRAPH_DIRS))
+    file_texts = _read_files(targets)
+    if file_texts is None:
+        return 2
+
+    if args.write_lock:
+        schema.write_lock(root, lock_path, file_texts)
+        rel = os.path.relpath(lock_path, root).replace(os.sep, "/")
+        print(f"gg-analyze: wrote {rel}", file=sys.stderr)
+        return 0
+
+    diags: list = []
+    if not args.schema_gate_only:
+        graph = callgraph.CallGraph.build(file_texts)
+        callgraph.run_all(graph, diags)
+    if not args.files:  # the gate is meaningless on a partial file list
+        schema.check(root, lock_path, file_texts, diags)
+
+    return emit(finalize(diags), "gg-analyze", args.format,
+                sys.stdout, sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

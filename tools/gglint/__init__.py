@@ -1,0 +1,16 @@
+"""gglint: GreenGPU's static-analysis library.
+
+Shared by the two command-line front ends:
+
+  tools/greengpu_lint.py   intraprocedural rules (single body / single line)
+  tools/gg_analyze.py      interprocedural call-graph rules + the snapshot
+                           wire-schema drift gate
+
+Modules:
+  scanner          comment/string/raw-string-aware C++ token scanning,
+                   function-definition and call-site extraction
+  diagnostics      Diagnostic, GG_LINT_ALLOW suppressions, text/JSON output
+  intraprocedural  the classic greengpu-lint rule set
+  callgraph        project call graph + transitive taint rules
+  schema           snapshot field-write fingerprints + schema lock gate
+"""

@@ -1,0 +1,431 @@
+"""Interprocedural call-graph analysis: transitive taint rules.
+
+greengpu-lint's body-scan rules see only the annotated function's own
+lines, so a one-line helper hides an allocation (or a wall-clock read, or
+a blocking wait) from them.  This module builds a project call graph from
+the shared token scanner — every function definition in the scanned file
+set, every call site and bare function reference (address-taken /
+passed-by-name function pointers) inside each body — and propagates taint
+backwards from source sites:
+
+  hot-alloc-transitive      GG_HOT / GG_HOT_BATCH functions must not reach
+                            an allocation site through ANY call chain (for
+                            GG_HOT_BATCH: chains starting inside a loop
+                            body; the prologue may allocate).  Allocation
+                            sites already suppressed with a reasoned
+                            GG_LINT_ALLOW(hot-alloc|batch-loop-alloc) are
+                            amortized by declaration and do not taint.
+
+  nondet-transitive         Functions defined in report/serialization/
+                            campaign translation units must not reach a
+                            wall-clock or unseeded-RNG source through any
+                            call chain.  Unlike allocations, a *suppressed*
+                            nondeterminism source still taints: the local
+                            suppression says "this helper may read the
+                            clock for its own purpose", not "report paths
+                            may depend on it".
+
+  blocking-sync-transitive  GG_PIPELINE_STAGE callbacks must not reach
+                            synchronize()/device_synchronize() through
+                            helpers (direct calls are the intraprocedural
+                            pipeline-blocking-sync rule's job).
+
+Call resolution is by basename and deliberately conservative: a call to an
+overloaded name taints if ANY definition with that basename taints.
+Diagnostics carry the full chain (`pump -> submit -> grow`) and the source
+site, and are suppressed at the root call site with
+`GG_LINT_ALLOW(<rule>): <reason>`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from gglint.diagnostics import Diagnostic, SuppressionTable
+from gglint.intraprocedural import (ALLOC_PATTERNS, NONDET_PATTERNS,
+                                    PIPELINE_SYNC_RE, REPORT_PATH_RE)
+from gglint.scanner import (call_sites, declared_types, extract_functions,
+                            line_of, loop_spans, marker_spans,
+                            strip_comments_and_strings)
+
+
+def _class_of(d) -> str:
+    """Enclosing class of a definition, or "" for a free function.  The
+    scanner does not track which scope components are classes, so this
+    leans on the repo's naming convention: classes are CamelCase,
+    namespaces lowercase (gg, sim, common, ...)."""
+    parts = d.qualname.split("::")
+    if len(parts) >= 2 and parts[-2][:1].isupper():
+        return parts[-2]
+    return ""
+
+
+@dataclass
+class SourceSite:
+    """A directly-tainting line inside a function body."""
+    what: str      # human description ("operator new", "getenv() read", ...)
+    relpath: str
+    line: int
+
+
+@dataclass
+class _File:
+    relpath: str
+    code: str
+    code_lines: list
+    suppressions: SuppressionTable
+
+
+class CallGraph:
+    """Function definitions + call edges over a fixed file set."""
+
+    def __init__(self):
+        self.files: list = []
+        self.defs: list = []            # FunctionDef, in scan order
+        self.by_basename: dict = {}     # basename -> [def index]
+        self.edges: dict = {}           # def index -> [CallSite]
+        self.decl_types: dict = {}      # identifier -> set of type basenames
+        self._file_of_def: dict = {}    # def index -> _File
+
+    @classmethod
+    def build(cls, file_texts) -> "CallGraph":
+        """`file_texts` is an iterable of (relpath, raw_text), already
+        filtered to the files under analysis (deterministic order)."""
+        g = cls()
+        for relpath, raw in file_texts:
+            code = strip_comments_and_strings(raw)
+            f = _File(relpath, code, code.splitlines(),
+                      SuppressionTable(raw.splitlines()))
+            g.files.append(f)
+            for ident, types in declared_types(code).items():
+                g.decl_types.setdefault(ident, set()).update(types)
+            for d in extract_functions(code, relpath):
+                idx = len(g.defs)
+                g.defs.append(d)
+                g.by_basename.setdefault(d.name, []).append(idx)
+                g._file_of_def[idx] = f
+        known = frozenset(g.by_basename)
+        for idx, d in enumerate(g.defs):
+            f = g._file_of_def[idx]
+            g.edges[idx] = call_sites(f.code, d.scan_start, d.scan_end, known)
+        return g
+
+    def resolve(self, site, caller_class=None) -> list:
+        """Candidate def indices for a call site.  Basename match is the
+        base rule (overloads stay conservative: all same-named defs are
+        candidates), refined three ways, mirroring C++ name lookup:
+
+          * a qualified call (`sim::foo(...)`) keeps only defs whose
+            qualified name ends with the written path;
+          * a member call whose receiver identifier has a mined declared
+            type (`sampler_.sample()` with `GpuUtilSampler sampler_;` in
+            view) keeps only defs of those classes — and resolves to
+            NOTHING when no scanned class matches, because the method then
+            belongs to a type outside the graph (std::, __m128d, ...);
+          * a receiver-less call binds by lookup order: inside a member
+            function, the caller's own class wins if it has such a member
+            (a member name hides outer names), else free functions; a
+            known-free caller has no implicit `this`, so only free
+            functions are candidates.  `caller_class=None` means the
+            caller is unknown — stay fully conservative.
+        """
+        cands = self.by_basename.get(site.callee, [])
+        if not cands:
+            return []
+        if "::" in site.as_written:
+            suffix = site.as_written.split("::")
+            matched = [i for i in cands
+                       if self.defs[i].qualname.split("::")[-len(suffix):]
+                       == suffix]
+            return matched or list(cands)
+        if site.recv and site.recv != "this":
+            types = self.decl_types.get(site.recv)
+            if types:
+                return [i for i in cands
+                        if _class_of(self.defs[i]) in types]
+            return list(cands)
+        if caller_class is None:
+            return list(cands)
+        free = [i for i in cands if not _class_of(self.defs[i])]
+        if caller_class:
+            member = [i for i in cands
+                      if _class_of(self.defs[i]) == caller_class]
+            if member:
+                return member
+        return free or list(cands)
+
+    def enclosing_def(self, f: _File, pos: int):
+        """Innermost FunctionDef of file `f` whose span contains `pos`."""
+        best = None
+        for idx, d in enumerate(self.defs):
+            if self._file_of_def[idx] is not f:
+                continue
+            if d.scan_start <= pos <= d.scan_end:
+                if best is None or d.scan_start > self.defs[best].scan_start:
+                    best = idx
+        return best
+
+    def file_of(self, idx: int) -> _File:
+        return self._file_of_def[idx]
+
+    def file_named(self, relpath: str):
+        for f in self.files:
+            if f.relpath == relpath:
+                return f
+        return None
+
+    # -- taint -------------------------------------------------------------
+
+    def direct_sources(self, source_fn) -> dict:
+        """def index -> SourceSite for every function whose own body
+        contains a source line (per `source_fn(file, line_text, line_no)`)."""
+        out = {}
+        for idx, d in enumerate(self.defs):
+            f = self._file_of_def[idx]
+            start = line_of(f.code, d.scan_start)
+            for ln in range(start, d.end_line + 1):
+                text = f.code_lines[ln - 1] if ln - 1 < len(f.code_lines) else ""
+                site = source_fn(f, text, ln)
+                if site is not None:
+                    out[idx] = site
+                    break
+        return out
+
+    def reachers(self, direct: dict) -> set:
+        """Def indices that can reach a directly-tainted def through call
+        edges (reverse BFS; excludes the direct set itself unless a direct
+        def also calls another)."""
+        callers: dict = {}
+        for idx, sites in self.edges.items():
+            cls = _class_of(self.defs[idx])
+            for s in sites:
+                for callee_idx in self.resolve(s, cls):
+                    if callee_idx != idx:
+                        callers.setdefault(callee_idx, set()).add(idx)
+        seen = set(direct)
+        queue = deque(direct)
+        reach = set()
+        while queue:
+            cur = queue.popleft()
+            for caller in callers.get(cur, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    reach.add(caller)
+                    queue.append(caller)
+        return reach
+
+    def chain_from(self, start_idx: int, direct: dict, reach: set) -> list:
+        """Shortest deterministic call chain (list of def indices) from
+        `start_idx` to a directly-tainted def; [] if none."""
+        if start_idx in direct:
+            return [start_idx]
+        parent = {start_idx: None}
+        queue = deque([start_idx])
+        goal = None
+        while queue and goal is None:
+            cur = queue.popleft()
+            nexts = []
+            cls = _class_of(self.defs[cur])
+            for s in self.edges[cur]:
+                for callee_idx in self.resolve(s, cls):
+                    if callee_idx == cur or callee_idx in parent:
+                        continue
+                    if callee_idx in direct or callee_idx in reach:
+                        nexts.append(callee_idx)
+            d = self.defs
+            nexts.sort(key=lambda i: (d[i].relpath, d[i].sig_line, d[i].qualname))
+            for nxt in nexts:
+                parent[nxt] = cur
+                if nxt in direct:
+                    goal = nxt
+                    break
+                queue.append(nxt)
+        if goal is None:
+            return []
+        chain = []
+        cur = goal
+        while cur is not None:
+            chain.append(cur)
+            cur = parent[cur]
+        chain.reverse()
+        return chain
+
+
+# --------------------------------------------------------------------------
+# Source predicates
+# --------------------------------------------------------------------------
+
+_ALLOC_ALLOW_RULES = ("hot-alloc", "batch-loop-alloc", "hot-alloc-transitive")
+
+
+def alloc_source(f: _File, text: str, ln: int):
+    for pattern, what in ALLOC_PATTERNS:
+        if pattern.search(text):
+            for rule in _ALLOC_ALLOW_RULES:
+                hit = f.suppressions.probe(ln, rule)
+                if hit is not None and hit[0] == "allowed":
+                    return None  # amortized by declaration; does not taint
+            return SourceSite(what, f.relpath, ln)
+    return None
+
+
+def nondet_source(f: _File, text: str, ln: int):
+    under_src = f.relpath.startswith("src/") or "/" not in f.relpath
+    for pattern, src_only, _ in NONDET_PATTERNS:
+        if src_only and not under_src:
+            continue
+        if pattern.search(text):
+            # Suppressions deliberately do NOT clear nondet taint — see the
+            # module docstring.
+            what = pattern.pattern.split("|")[0].strip("\\b(").replace("\\s*", "")
+            return SourceSite(f"nondeterminism source ({what})", f.relpath, ln)
+    return None
+
+
+def sync_source(f: _File, text: str, ln: int):
+    if PIPELINE_SYNC_RE.search(text):
+        return SourceSite("blocking synchronize()", f.relpath, ln)
+    return None
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+def _chain_text(graph: CallGraph, first_name: str, chain: list) -> str:
+    names = [first_name] + [graph.defs[i].qualname for i in chain]
+    return " -> ".join(names)
+
+
+def _report(diags, f: _File, line: int, rule: str, message: str) -> None:
+    hit = f.suppressions.probe(line, rule)
+    if hit is not None:
+        kind, payload = hit
+        if kind == "allowed":
+            return
+        diags.append(Diagnostic(
+            f.relpath, payload, "bare-suppression",
+            f"GG_LINT_ALLOW({rule}) needs a reason after ':'"))
+        return
+    diags.append(Diagnostic(f.relpath, line, rule, message))
+
+
+def _span_call_sites(graph: CallGraph, f: _File, spans) -> list:
+    known = frozenset(graph.by_basename)
+    sites = []
+    for start, end in spans:
+        sites.extend(call_sites(f.code, start, end, known))
+    return sites
+
+
+def _transitive_rule(graph: CallGraph, diags: list, rule: str, roots,
+                     direct: dict, reach: set, describe) -> None:
+    """`roots` yields (file, display_name, call_site_spans).  For every
+    call site in a root's spans whose resolved target taints, report the
+    chain at the call-site line."""
+    for f, display, spans in roots:
+        reported = set()
+        root_def = graph.enclosing_def(f, spans[0][0]) if spans else None
+        root_class = (_class_of(graph.defs[root_def])
+                      if root_def is not None else None)
+        for site in _span_call_sites(graph, f, spans):
+            targets = [i for i in graph.resolve(site, root_class)
+                       if i in direct or i in reach]
+            if not targets:
+                continue
+            d = graph.defs
+            targets.sort(key=lambda i: (d[i].relpath, d[i].sig_line, d[i].qualname))
+            chain = []
+            for t in targets:
+                chain = graph.chain_from(t, direct, reach)
+                if chain:
+                    break
+            if not chain:
+                continue
+            dedupe = (display, site.callee)
+            if dedupe in reported:
+                continue
+            reported.add(dedupe)
+            src = direct[chain[-1]]
+            _report(diags, f, site.line, rule,
+                    describe(display, _chain_text(graph, display, chain), src,
+                             site))
+    return None
+
+
+def hot_alloc_transitive(graph: CallGraph, diags: list) -> None:
+    direct = graph.direct_sources(alloc_source)
+    reach = graph.reachers(direct)
+
+    def roots():
+        for f in graph.files:
+            for name, open_idx, close_idx in marker_spans(f.code, "GG_HOT"):
+                yield f, name, [(open_idx, close_idx)]
+            for name, open_idx, close_idx in marker_spans(f.code, "GG_HOT_BATCH"):
+                spans = loop_spans(f.code, open_idx, close_idx)
+                if spans:
+                    yield f, name, spans
+
+    def describe(display, chain, src, site):
+        return (f"GG_HOT path '{display}' transitively allocates: {chain} "
+                f"({src.what} at {src.relpath}:{src.line}) — hot paths must "
+                "be allocation-free through every call chain "
+                "(see src/common/annotations.h)")
+
+    _transitive_rule(graph, diags, "hot-alloc-transitive", roots(),
+                     direct, reach, describe)
+
+
+def nondet_transitive(graph: CallGraph, diags: list) -> None:
+    direct = graph.direct_sources(nondet_source)
+    reach = graph.reachers(direct)
+
+    def roots():
+        for f in graph.files:
+            if not REPORT_PATH_RE.search(f.relpath) and \
+                    "recovery" not in f.relpath:
+                continue
+            for idx, d in enumerate(graph.defs):
+                if graph.file_of(idx) is f:
+                    yield f, d.qualname, [(d.scan_start, d.scan_end)]
+
+    def describe(display, chain, src, site):
+        return (f"report/serialization entry point '{display}' transitively "
+                f"reaches a nondeterminism source: {chain} ({src.what} at "
+                f"{src.relpath}:{src.line}) — one seed must produce one "
+                "report; route time through sim::EventQueue::now() and "
+                "randomness through src/common/rng.h")
+
+    _transitive_rule(graph, diags, "nondet-transitive", roots(),
+                     direct, reach, describe)
+
+
+def blocking_sync_transitive(graph: CallGraph, diags: list) -> None:
+    direct = graph.direct_sources(sync_source)
+    reach = graph.reachers(direct)
+
+    def roots():
+        for f in graph.files:
+            for name, open_idx, close_idx in marker_spans(f.code,
+                                                          "GG_PIPELINE_STAGE"):
+                if name == "<unknown>":  # lambda stage: name it by location
+                    name = (f"<stage at {f.relpath}:"
+                            f"{line_of(f.code, open_idx)}>")
+                yield f, name, [(open_idx, close_idx)]
+
+    def describe(display, chain, src, site):
+        return (f"GG_PIPELINE_STAGE callback '{display}' transitively "
+                f"reaches a blocking wait: {chain} ({src.what} at "
+                f"{src.relpath}:{src.line}) — a stage callback that waits "
+                "serializes (or deadlocks) its own pipeline; order with "
+                "events and completion callbacks")
+
+    _transitive_rule(graph, diags, "blocking-sync-transitive", roots(),
+                     direct, reach, describe)
+
+
+def run_all(graph: CallGraph, diags: list) -> None:
+    hot_alloc_transitive(graph, diags)
+    nondet_transitive(graph, diags)
+    blocking_sync_transitive(graph, diags)

@@ -1,0 +1,112 @@
+"""Diagnostics, suppressions and output formatting shared by greengpu-lint
+and gg-analyze.
+
+A diagnostic renders as `path:line: error: [rule] message` in text mode, or
+as one object in a stable-key-order JSON document in `--format json` mode
+(so CI can diff violation counts across runs instead of string-matching
+stderr).  Suppression is the one project-wide mechanism: a violating line
+is accepted when it, or the `//` comment block directly above it, carries
+`GG_LINT_ALLOW(<rule>): <non-empty reason>`; a reasonless suppression is
+itself a diagnostic (bare-suppression).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+
+ALLOW_RE = re.compile(r"GG_LINT_ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+
+
+class Diagnostic:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: error: [{self.rule}] {self.message}"
+
+
+def collect_suppressions(raw_lines) -> dict:
+    """line number -> {rule: reason-or-None} from GG_LINT_ALLOW comments."""
+    allows = {}
+    for ln, line in enumerate(raw_lines, 1):
+        m = ALLOW_RE.search(line)
+        if m:
+            allows.setdefault(ln, {})[m.group(1)] = m.group(2)
+    return allows
+
+
+class SuppressionTable:
+    """Per-file suppression lookup with the lint's probing discipline: a
+    suppression covers the line it sits on, or a violation directly below
+    the (possibly multi-line) `//` comment block it starts."""
+
+    def __init__(self, raw_lines):
+        self.raw_lines = raw_lines
+        self.allows = collect_suppressions(raw_lines)
+
+    def probe(self, line: int, rule: str):
+        """Returns ("allowed", reason), ("bare", probe_line) or None."""
+        probes = [line]
+        probe = line - 1
+        while probe >= 1 and self.raw_lines[probe - 1].lstrip().startswith("//"):
+            probes.append(probe)
+            probe -= 1
+        for p in probes:
+            rules = self.allows.get(p, {})
+            if rule in rules:
+                if rules[rule]:
+                    return ("allowed", rules[rule])
+                return ("bare", p)
+        return None
+
+
+def finalize(diags) -> list:
+    """Sort by (path, line, rule, message) and drop exact duplicates — the
+    order every golden file in tests/tools/expected/ encodes."""
+    diags.sort(key=lambda d: (d.path, d.line, d.rule, d.message))
+    seen = set()
+    out = []
+    for d in diags:
+        key = (d.path, d.line, d.rule, d.message)
+        if key not in seen:
+            seen.add(key)
+            out.append(d)
+    return out
+
+
+def emit(diags, tool: str, fmt: str, out, err) -> int:
+    """Print finalized diagnostics in `fmt` ('text' or 'json'); returns the
+    process exit status (1 when anything was reported).  A downstream pipe
+    closing early (`... | head`) is not an error worth a traceback."""
+    try:
+        return _emit(diags, tool, fmt, out, err)
+    except BrokenPipeError:
+        return 1 if diags else 0
+
+
+def _emit(diags, tool: str, fmt: str, out, err) -> int:
+    if fmt == "json":
+        rule_counts = {}
+        for d in diags:
+            rule_counts[d.rule] = rule_counts.get(d.rule, 0) + 1
+        doc = {
+            "count": len(diags),
+            "diagnostics": [
+                {"line": d.line, "message": d.message, "path": d.path,
+                 "rule": d.rule}
+                for d in diags
+            ],
+            "rule_counts": dict(sorted(rule_counts.items())),
+            "tool": tool,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+    else:
+        for d in diags:
+            print(d.render(), file=out)
+        if diags:
+            print(f"{tool}: {len(diags)} violation(s)", file=err)
+    return 1 if diags else 0

@@ -1,0 +1,493 @@
+"""Token-level C++ scanning shared by greengpu-lint and gg-analyze.
+
+Not a parser: a line-preserving comment/string stripper plus brace-matched
+span extraction, good enough to find annotated function bodies, function
+definitions and call sites without dragging in a real C++ front end.  The
+one place the approximation is load-bearing — raw string literals, whose
+contents may contain `new`, `malloc(`, quotes and braces — is handled
+exactly (delimiter-matched), so fixture text inside `R"(...)"` can never
+masquerade as code.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    so line numbers survive.  Raw string literals (`R"delim(...)delim"`, with
+    optional u8/u/U/L encoding prefix) are matched by delimiter, so embedded
+    quotes, parens and braces inside them cannot desynchronize the scan."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                if _is_raw_string_start(text, i):
+                    i = _blank_raw_string(text, i, out)
+                    continue
+                mode = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                # Digit separators (1'000'000) are not char literals.
+                prev = text[i - 1] if i > 0 else ""
+                if prev.isdigit() and nxt.isdigit():
+                    out.append(" ")
+                    i += 1
+                    continue
+                mode = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif mode == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "code"
+            out.append(c if c == "\n" else " ")
+        elif mode == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                mode = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def _is_raw_string_start(text: str, quote: int) -> bool:
+    """True when the '"' at `quote` opens a raw string literal: R" with an
+    optional u8/u/U/L prefix, not preceded by an identifier character."""
+    j = quote - 1
+    if j < 0 or text[j] != "R":
+        return False
+    k = j - 1
+    if k >= 0 and text[k] == "8" and k - 1 >= 0 and text[k - 1] == "u":
+        k -= 2
+    elif k >= 0 and text[k] in "uUL":
+        k -= 1
+    return k < 0 or not (text[k].isalnum() or text[k] == "_")
+
+
+def _blank_raw_string(text: str, quote: int, out: list) -> int:
+    """Blank a raw string starting at the '"' (delimiter-matched), append
+    the blanks (newlines preserved) to `out`, return the resume index."""
+    open_paren = text.find("(", quote + 1)
+    if open_paren < 0 or open_paren - quote > 18:  # delimiter is <= 16 chars
+        out.append(" ")
+        return quote + 1  # malformed; treat as ordinary quote
+    delim = text[quote + 1 : open_paren]
+    closer = ")" + delim + '"'
+    end = text.find(closer, open_paren + 1)
+    end = len(text) if end < 0 else end + len(closer)
+    for ch in text[quote:end]:
+        out.append(ch if ch == "\n" else " ")
+    return end
+
+
+def match_brace(code: str, open_idx: int) -> int:
+    """Index of the '}' matching the '{' at open_idx (comment/string-stripped
+    text).  Falls back to end-of-text on imbalance."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def match_paren(code: str, open_idx: int) -> int:
+    """Index of the ')' matching the '(' at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def line_of(code: str, idx: int) -> int:
+    return code.count("\n", 0, idx) + 1
+
+
+# Identifiers that look like function calls but are control flow / operators.
+CPP_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "new",
+    "delete", "else", "do", "case", "throw", "alignof", "alignas",
+    "decltype", "static_assert", "constexpr", "consteval", "constinit",
+    "noexcept", "typeid", "requires", "co_await", "co_return", "co_yield",
+    "and", "or", "not", "defined", "assert", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "operator",
+})
+
+QUALNAME_RE = re.compile(r"[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*")
+_CALL_RE = re.compile(r"([A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(")
+_SCOPE_HEAD_RE = re.compile(
+    r"(?:class|struct|namespace)\s+(?:\[\[[^\]]*\]\]\s*)?"
+    r"(?:GG_\w+\s+)?([A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*)\s*(?:final\s*)?"
+    r"(?::[^;{]*)?$")
+
+
+@dataclass
+class FunctionDef:
+    """One function definition found by the token scanner."""
+    name: str            # basename: last :: component as written
+    qualname: str        # scope-qualified (enclosing namespaces/classes)
+    relpath: str
+    params: str          # raw text between the signature's parens
+    sig_line: int        # line of the name token
+    start_line: int      # line of the opening brace
+    end_line: int        # line of the closing brace
+    scan_start: int = 0  # char index: params close paren (covers ctor inits)
+    scan_end: int = 0    # char index: closing brace
+    marker: str = ""     # GG_HOT / GG_HOT_BATCH when the definition carries one
+
+    @property
+    def key(self) -> str:
+        return f"{self.relpath}:{self.sig_line}:{self.qualname}"
+
+
+@dataclass
+class CallSite:
+    callee: str      # basename of the called (or referenced) function
+    as_written: str  # qualified text as it appears at the site
+    line: int
+    kind: str        # "call" | "ref" (address-taken / passed by name)
+    recv: str = ""   # receiver identifier for `x.f()` / `x->f()`, else ""
+
+
+def named_scopes(code: str) -> list:
+    """(open_idx, close_idx, name) for every class/struct/namespace brace,
+    used to qualify inline member-function definitions."""
+    scopes = []
+    for m in re.finditer(r"\{", code):
+        # The head is the text since the previous ; { } at this nesting.
+        start = max(code.rfind(";", 0, m.start()), code.rfind("{", 0, m.start()),
+                    code.rfind("}", 0, m.start())) + 1
+        head = code[start:m.start()].strip()
+        sm = _SCOPE_HEAD_RE.search(head)
+        if sm:
+            scopes.append((m.start(), match_brace(code, m.start()),
+                           re.sub(r"\s+", "", sm.group(1))))
+    return scopes
+
+
+def extract_functions(code: str, relpath: str) -> list:
+    """Find function definitions: qualified-name '(' params ')' [trailing
+    tokens] '{' body '}'.  Handles const/noexcept/override/ref-qualifiers,
+    trailing return types and constructor initializer lists (including
+    brace member-inits).  Lambdas are not separate definitions — their
+    bodies belong to the enclosing function's span, which is exactly what
+    call-site scanning wants."""
+    defs = []
+    scopes = named_scopes(code)
+    taken = []  # body spans already claimed, to skip calls inside them
+
+    for m in _CALL_RE.finditer(code):
+        name_start = m.start(1)
+        qual = re.sub(r"\s+", "", m.group(1))
+        base = qual.rsplit("::", 1)[-1].lstrip("~")
+        if base in CPP_KEYWORDS or qual.split("::", 1)[0] == "std":
+            continue
+        if any(s <= name_start < e for s, e in taken):
+            continue  # a call inside an already-extracted body
+        open_paren = m.end() - 1
+        close_paren = match_paren(code, open_paren)
+        body_open = _find_body_brace(code, close_paren + 1)
+        if body_open < 0:
+            continue
+        # Not a definition if the name sits in an expression context.
+        p = name_start - 1
+        while p >= 0 and code[p] in " \t\n":
+            p -= 1
+        if p >= 0 and (code[p] in "=,(!|+-/%?.<" or
+                       (code[p] == ">" and p >= 1 and code[p - 1] == "-")):
+            continue
+        prev_word = _word_before(code, p)
+        if prev_word in ("return", "co_return", "co_yield", "case", "throw",
+                         "new"):
+            continue
+        body_close = match_brace(code, body_open)
+        taken.append((body_open, body_close))
+        enclosing = [name for (s, e, name) in scopes if s < name_start < e]
+        qualname = "::".join(_merge_scopes(enclosing, qual))
+        defs.append(FunctionDef(
+            name=base, qualname=qualname, relpath=relpath,
+            params=code[open_paren + 1:close_paren],
+            sig_line=line_of(code, name_start),
+            start_line=line_of(code, body_open),
+            end_line=line_of(code, body_close),
+            scan_start=close_paren + 1, scan_end=body_close))
+    return defs
+
+
+def _merge_scopes(enclosing: list, qual: str) -> list:
+    """`Foo::bar` defined at namespace scope already names its class; avoid
+    doubling a segment that the qualified name repeats."""
+    first = qual.split("::", 1)[0]
+    for i, s in enumerate(enclosing):
+        if s.split("::")[-1] == first:
+            return enclosing[:i] + [qual]
+    return enclosing + [qual]
+
+
+def _word_before(code: str, p: int) -> str:
+    end = p + 1
+    while p >= 0 and (code[p].isalnum() or code[p] == "_"):
+        p -= 1
+    return code[p + 1:end]
+
+
+def _find_body_brace(code: str, idx: int) -> int:
+    """From just after the params' ')', consume tokens a definition may
+    carry (const, noexcept(...), override, final, ref-qualifiers, trailing
+    return type, ctor initializer list, [[attributes]]) and return the index
+    of the body '{', or -1 if this is not a definition."""
+    n = len(code)
+    i = idx
+    while i < n:
+        c = code[i]
+        if c in " \t\n":
+            i += 1
+            continue
+        if c == "{":
+            return i
+        if c in ";=,)":
+            return -1
+        if c == "&":
+            i += 1
+            continue
+        if code.startswith("[[", i):
+            close = code.find("]]", i)
+            if close < 0:
+                return -1
+            i = close + 2
+            continue
+        if c == ":":
+            return _skip_ctor_inits(code, i + 1)
+        if c == "-" and i + 1 < n and code[i + 1] == ">":
+            # Trailing return type: consume until '{' or ';' at depth 0.
+            i += 2
+            depth = 0
+            while i < n:
+                ch = code[i]
+                if ch in "(<[":
+                    depth += 1
+                elif ch in ")>]":
+                    depth -= 1
+                elif ch == "{" and depth <= 0:
+                    return i
+                elif ch == ";" and depth <= 0:
+                    return -1
+                i += 1
+            return -1
+        m = re.match(r"(?:const|noexcept|override|final|mutable|throw|"
+                     r"volatile|try|requires|GG_\w+)\b", code[i:])
+        if m:
+            i += m.end()
+            if i < n:
+                j = i
+                while j < n and code[j] in " \t\n":
+                    j += 1
+                if j < n and code[j] == "(":
+                    i = match_paren(code, j) + 1
+            continue
+        return -1
+    return -1
+
+
+def _skip_ctor_inits(code: str, i: int) -> int:
+    """Consume a constructor initializer list starting after ':'.  A '{'
+    directly preceded by an identifier char or '>' is a member brace-init
+    (matched and skipped); any other '{' is the body."""
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "(":
+            i = match_paren(code, i) + 1
+            continue
+        if c == "{":
+            p = i - 1
+            while p >= 0 and code[p] in " \t\n":
+                p -= 1
+            if p >= 0 and (code[p].isalnum() or code[p] in "_>"):
+                i = match_brace(code, i) + 1
+                continue
+            return i
+        if c == ";":
+            return -1
+        i += 1
+    return -1
+
+
+def call_sites(code: str, start: int, end: int, known: frozenset = None) -> list:
+    """Call sites (and, when `known` basenames are given, bare function
+    references — address-taken or passed by name) inside code[start:end].
+
+    Direct calls `name(` are always reported; bare references are reported
+    only for names in `known` and only in address-of position (`&name`, the
+    way function pointers are formed) — looser contexts like `(name` or
+    `= name` would alias every local variable that happens to share a
+    function's name (`value`, `sample`, `b`...) into call edges."""
+    sites = []
+    span = code[start:end]
+    called_spans = []
+    for m in _CALL_RE.finditer(span):
+        qual = re.sub(r"\s+", "", m.group(1))
+        base = qual.rsplit("::", 1)[-1].lstrip("~")
+        if base in CPP_KEYWORDS:
+            continue
+        called_spans.append((m.start(1), m.end(1)))
+        sites.append(CallSite(callee=base, as_written=qual,
+                              line=line_of(code, start + m.start(1)),
+                              kind="call",
+                              recv=_receiver_of(span, m.start(1))))
+    if known:
+        for m in re.finditer(r"[A-Za-z_]\w*", span):
+            if m.group(0) not in known:
+                continue
+            if any(s <= m.start() < e for s, e in called_spans):
+                continue
+            after = span[m.end():m.end() + 2].lstrip()
+            if after.startswith("(") or after.startswith("::"):
+                continue
+            p = m.start() - 1
+            while p >= 0 and span[p] in " \t\n":
+                p -= 1
+            if p < 0 or span[p] != "&":
+                continue
+            if p >= 1 and span[p - 1] == "&":
+                continue  # rvalue ref / logical-and, not address-of
+            sites.append(CallSite(callee=m.group(0), as_written=m.group(0),
+                                  line=line_of(code, start + m.start()),
+                                  kind="ref"))
+    sites.sort(key=lambda s: (s.line, s.callee))
+    return sites
+
+
+def _receiver_of(span: str, name_start: int) -> str:
+    """The identifier before `.` or `->` at a call site (`x.f()` -> "x"),
+    or "" when the call has no simple receiver (free call, chained call on
+    a temporary, qualified call)."""
+    p = name_start - 1
+    while p >= 0 and span[p] in " \t\n":
+        p -= 1
+    if p >= 0 and span[p] == ".":
+        q = p - 1
+    elif p >= 1 and span[p] == ">" and span[p - 1] == "-":
+        q = p - 2
+    else:
+        return ""
+    while q >= 0 and span[q] in " \t\n":
+        q -= 1
+    end = q + 1
+    while q >= 0 and (span[q].isalnum() or span[q] == "_"):
+        q -= 1
+    recv = span[q + 1:end]
+    return recv if recv and not recv[0].isdigit() else ""
+
+
+# Declarations (`Type name;`, `const Ns::Type& name = ...`, `Type name(...)`)
+# mined to bind member-call receivers to their classes.  The skip set keeps
+# `return foo;`-style text from minting fake types.
+_DECL_RE = re.compile(
+    r"\b([A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*)\s*(?:<[^;<>(){}]*>)?\s*"
+    r"[&*]?\s+([A-Za-z_]\w*)\s*[;={(]")
+_DECL_SKIP = CPP_KEYWORDS | frozenset({
+    "auto", "const", "static", "inline", "extern", "using", "typedef",
+    "typename", "template", "struct", "class", "enum", "union", "namespace",
+    "public", "private", "protected", "virtual", "friend", "explicit",
+    "unsigned", "signed", "long", "short", "int", "double", "float", "bool",
+    "char", "void", "goto", "break", "continue", "volatile", "mutable",
+    "register", "thread_local",
+})
+
+
+def declared_types(code: str) -> dict:
+    """identifier -> set of declared type basenames, mined from declaration-
+    shaped text.  Deliberately over-approximate (an identifier reused with
+    different types unions them); used only to RESTRICT member-call
+    resolution, never to invent edges."""
+    out: dict = {}
+    for m in _DECL_RE.finditer(code):
+        type_txt = re.sub(r"\s+", "", m.group(1))
+        type_base = type_txt.rsplit("::", 1)[-1]
+        if type_base in _DECL_SKIP or m.group(2) in _DECL_SKIP:
+            continue
+        out.setdefault(m.group(2), set()).add(type_base)
+    return out
+
+
+def marker_spans(code: str, marker: str) -> list:
+    """(display_name, body_open_idx, body_close_idx) for each `marker`
+    annotation (GG_HOT, GG_HOT_BATCH, GG_PIPELINE_STAGE): the first '{'
+    after the marker, brace-matched.  The marker's own #define is skipped."""
+    spans = []
+    for m in re.finditer(r"\b" + marker + r"\b", code):
+        line_start = code.rfind("\n", 0, m.start()) + 1
+        if code[line_start:m.start()].lstrip().startswith("#"):
+            continue
+        open_idx = code.find("{", m.end())
+        if open_idx < 0:
+            continue
+        sig = code[m.end():open_idx]
+        names = re.findall(r"([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(", sig)
+        name = names[0] if names else "<unknown>"
+        spans.append((name, open_idx, match_brace(code, open_idx)))
+    return spans
+
+
+def loop_spans(code: str, start: int, end: int) -> list:
+    """Char spans of brace-delimited for/while bodies inside [start, end)."""
+    spans = []
+    for lm in re.finditer(r"\b(?:for|while)\s*\(", code[start:end]):
+        i = start + lm.end() - 1
+        close = match_paren(code, i)
+        body_open = code.find("{", close)
+        if body_open < 0 or body_open > end:
+            continue
+        if code[close + 1:body_open].strip():
+            continue  # single-statement loop or do-while tail
+        spans.append((body_open, match_brace(code, body_open)))
+    return spans

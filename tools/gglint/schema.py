@@ -1,0 +1,256 @@
+"""Snapshot wire-schema fingerprints and the schema-drift gate.
+
+The GGSN frame carries a single schema version (`kSnapshotVersion`,
+src/common/snapshot.h) for every snapshottable type in the tree, but
+nothing ties that number to the actual field-write sequences scattered
+across save()/load() participants — PR 8 added copy-engine fields to
+three types and the version bump was only remembered in review.  This
+module closes the loop mechanically:
+
+  * every function taking a `SnapshotWriter&` or `SnapshotReader&`
+    parameter is a schema participant; its ordered field operations
+    (u8/b/u32/u64/f64/str/f64_vec on the writer/reader variable, plus
+    `call <fn>` for helpers the variable is threaded through) are its
+    serialized shape;
+  * the canonical text of all participants is committed as
+    docs/snapshot_schema.lock, keyed by the kSnapshotVersion it was
+    generated under and stamped with a nameless shape fingerprint
+    (SHA-256 over sorted kind+op sequences — argument names and file
+    locations excluded, so renames and moves do not change it);
+  * the gate compares the tree against the lock:
+
+      lock text == current text                      pass
+      text drifted, shape identical                  schema-lock-stale
+                                                     (regenerate; NO
+                                                     version bump needed)
+      shape changed, version NOT bumped              schema-drift  <- the bug
+      shape changed, version bumped                  schema-lock-stale
+                                                     (regenerate)
+
+Known limitation: two adjacent fields of the same type swapping places
+changes the lock text but not the nameless fingerprint, so it reports as
+stale-lock rather than drift; and renaming a helper that state is
+threaded through changes `call:<name>` in the fingerprint even though
+the bytes are identical — regenerating after a bump clears it either
+way.  Both trades keep the fingerprint free of names that churn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from dataclasses import dataclass
+
+from gglint.diagnostics import Diagnostic
+from gglint.scanner import (CPP_KEYWORDS, _CALL_RE, extract_functions,
+                            line_of, match_paren, strip_comments_and_strings)
+
+LOCK_RELPATH = "docs/snapshot_schema.lock"
+SNAPSHOT_HEADER = "src/common/snapshot.h"
+
+_PARAM_RE = re.compile(r"\bSnapshot(Writer|Reader)\s*&\s*(\w+)\b")
+_VERSION_RE = re.compile(r"\bkSnapshotVersion\s*=\s*(\d+)")
+_TYPED_OPS = frozenset({"u8", "b", "u32", "u64", "f64", "str", "f64_vec"})
+
+_LOCK_HEADER = """\
+# GreenGPU snapshot wire-schema lock — machine-written, do not edit.
+# Regenerate:  python3 tools/gg_analyze.py --write-lock
+#
+# One block per SnapshotWriter/SnapshotReader participant, listing its
+# ordered field operations.  `shape` fingerprints the nameless layout; when
+# it changes, bump kSnapshotVersion (src/common/snapshot.h) FIRST, then
+# regenerate.  gg-analyze fails CI when the shape drifts under an unbumped
+# version (schema-drift) or when this file is out of date (schema-lock-stale).
+"""
+
+
+@dataclass
+class SchemaEntry:
+    relpath: str
+    qualname: str        # display-qualified (leading gg:: stripped)
+    kind: str            # "writer" | "reader"
+    ops: list            # [(op, label)] — typed op + arg label, or ("call", fn)
+    order: int           # encounter order, for stable duplicate suffixes
+    key: str = ""
+
+    def shape_item(self) -> str:
+        toks = [f"call:{label}" if op == "call" else op
+                for op, label in self.ops]
+        return self.kind + "|" + ";".join(toks)
+
+
+def _display_qualname(qualname: str) -> str:
+    return qualname[4:] if qualname.startswith("gg::") else qualname
+
+
+def _ops_for(code: str, start: int, end: int, var: str) -> list:
+    """Ordered field operations on `var` inside code[start:end]."""
+    ops = []
+    var_word = re.compile(r"\b" + re.escape(var) + r"\b")
+    span = code[start:end]
+    for m in _CALL_RE.finditer(span):
+        qual = re.sub(r"\s+", "", m.group(1))
+        base = qual.rsplit("::", 1)[-1].lstrip("~")
+        if base in CPP_KEYWORDS:
+            continue
+        open_paren = start + m.end() - 1
+        close_paren = match_paren(code, open_paren)
+        args = code[open_paren + 1:close_paren]
+        # Receiver of the call, if it is `<ident>.` or `<ident>->`.
+        p = start + m.start(1) - 1
+        while p >= 0 and code[p] in " \t\n":
+            p -= 1
+        q = None
+        if p >= 0 and code[p] == ".":
+            q = p - 1
+        elif p >= 1 and code[p] == ">" and code[p - 1] == "-":
+            q = p - 2
+        recv = None
+        if q is not None:
+            while q >= 0 and code[q] in " \t\n":
+                q -= 1
+            w_end = q + 1
+            while q >= 0 and (code[q].isalnum() or code[q] == "_"):
+                q -= 1
+            recv = code[q + 1:w_end]
+        if recv == var:
+            if base in _TYPED_OPS:
+                label = re.sub(r"\s+", " ", args).strip()
+                ops.append((base, label))
+            # payload()/frame()/expect_done()/remaining() are framing, not
+            # layout — not recorded.
+        elif var_word.search(args):
+            ops.append(("call", base))
+    return ops
+
+
+def build_entries(file_texts) -> list:
+    """SchemaEntry per (participant function, writer/reader parameter), in
+    deterministic lock order, duplicate keys suffixed ` (2)`, ` (3)`, ..."""
+    entries = []
+    order = 0
+    for relpath, raw in file_texts:
+        code = strip_comments_and_strings(raw)
+        for d in extract_functions(code, relpath):
+            for m in _PARAM_RE.finditer(d.params):
+                kind = m.group(1).lower()
+                var = m.group(2)
+                entries.append(SchemaEntry(
+                    relpath=relpath,
+                    qualname=_display_qualname(d.qualname),
+                    kind=kind,
+                    ops=_ops_for(code, d.scan_start, d.scan_end, var),
+                    order=order))
+                order += 1
+    entries.sort(key=lambda e: (e.relpath, e.qualname, e.kind, e.order))
+    counts: dict = {}
+    for e in entries:
+        base_key = f"{e.relpath} :: {e.qualname} #{e.kind}"
+        n = counts.get(base_key, 0) + 1
+        counts[base_key] = n
+        e.key = base_key if n == 1 else f"{base_key} ({n})"
+    return entries
+
+
+def shape_fingerprint(entries) -> str:
+    items = sorted(e.shape_item() for e in entries)
+    return hashlib.sha256("\n".join(items).encode("utf-8")).hexdigest()
+
+
+def render_lock(entries, version: int) -> str:
+    lines = [_LOCK_HEADER,
+             f"version {version}",
+             f"shape {shape_fingerprint(entries)}",
+             ""]
+    for e in entries:
+        lines.append(f"[{e.key}]")
+        for op, label in e.ops:
+            lines.append(f"  {op} {label}".rstrip())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def current_version(root: str):
+    """kSnapshotVersion and its line number in src/common/snapshot.h, or
+    (None, 0) when the header is absent (bare fixture trees)."""
+    path = os.path.join(root, SNAPSHOT_HEADER)
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except OSError:
+        return None, 0
+    m = _VERSION_RE.search(raw)
+    if not m:
+        return None, 0
+    return int(m.group(1)), raw.count("\n", 0, m.start()) + 1
+
+
+def _lock_field(lock_text: str, field: str):
+    m = re.search(r"^" + field + r"\s+(\S+)$", lock_text, re.MULTILINE)
+    return m.group(1) if m else None
+
+
+def check(root: str, lock_path: str, file_texts, diags: list) -> None:
+    """The gate.  Appends schema-drift / schema-lock-stale diagnostics."""
+    entries = build_entries(file_texts)
+    version, version_line = current_version(root)
+    version = 0 if version is None else version
+    current_text = render_lock(entries, version)
+
+    lock_rel = os.path.relpath(lock_path, root).replace(os.sep, "/")
+    try:
+        with open(lock_path, encoding="utf-8") as f:
+            lock_text = f.read()
+    except OSError:
+        diags.append(Diagnostic(
+            lock_rel, 1, "schema-lock-stale",
+            "snapshot schema lock is missing — generate it with "
+            "`python3 tools/gg_analyze.py --write-lock` and commit it"))
+        return
+
+    if lock_text == current_text:
+        return
+
+    lock_version = _lock_field(lock_text, "version")
+    lock_shape = _lock_field(lock_text, "shape")
+    cur_shape = shape_fingerprint(entries)
+
+    if lock_shape == cur_shape:
+        if lock_version is not None and lock_version != str(version):
+            diags.append(Diagnostic(
+                lock_rel, 1, "schema-lock-stale",
+                f"lock was generated under kSnapshotVersion {lock_version} "
+                f"but the header now says {version} (shape unchanged) — "
+                "regenerate with `python3 tools/gg_analyze.py --write-lock`"))
+        else:
+            diags.append(Diagnostic(
+                lock_rel, 1, "schema-lock-stale",
+                "snapshot schema lock text is out of date (cosmetic drift: "
+                "names, labels or locations changed; the serialized shape is "
+                "identical) — regenerate with `python3 tools/gg_analyze.py "
+                "--write-lock`; no kSnapshotVersion bump needed"))
+        return
+
+    if lock_version == str(version):
+        diags.append(Diagnostic(
+            SNAPSHOT_HEADER, max(version_line, 1), "schema-drift",
+            f"serialized snapshot shape changed but kSnapshotVersion is "
+            f"still {version} — an old snapshot would pass the version check "
+            "and misload; bump kSnapshotVersion here, then regenerate the "
+            "lock with `python3 tools/gg_analyze.py --write-lock`"))
+    else:
+        diags.append(Diagnostic(
+            lock_rel, 1, "schema-lock-stale",
+            f"kSnapshotVersion moved from {lock_version} to {version} and "
+            "the serialized shape changed with it — regenerate the lock "
+            "with `python3 tools/gg_analyze.py --write-lock`"))
+
+
+def write_lock(root: str, lock_path: str, file_texts) -> str:
+    entries = build_entries(file_texts)
+    version, _ = current_version(root)
+    text = render_lock(entries, 0 if version is None else version)
+    with open(lock_path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return text

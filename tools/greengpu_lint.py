@@ -28,46 +28,34 @@ hot path (PR 2/3).  The compiler cannot enforce either, so this lint does:
                     engine's lockstep steppers and SoA kernels) may allocate
                     in their setup prologue but not inside any loop: a loop
                     body there runs once per cell per iteration, so a single
-                    allocation multiplies by the whole campaign.  Flags the
-                    hot-alloc allocation patterns, restricted to
-                    brace-delimited for/while bodies inside GG_HOT_BATCH
-                    functions.
+                    allocation multiplies by the whole campaign.
 
-  hot-registry      The functions listed in REQUIRED_HOT below must carry
-                    the GG_HOT (or GG_HOT_BATCH) annotation, so the
-                    allocation guarantees cannot rot by deleting a marker.
-                    (Tree scans only — skipped when explicit files are
-                    given.)
+  hot-registry      The functions listed in REQUIRED_HOT (tools/gglint/
+                    intraprocedural.py) must carry the GG_HOT (or
+                    GG_HOT_BATCH) annotation, so the allocation guarantees
+                    cannot rot by deleting a marker.  (Tree scans only —
+                    skipped when explicit files are given, unless
+                    --with-registry forces it, which is what lint.sh
+                    --changed does.)
 
   pipeline-blocking-sync
-                    Stage callbacks annotated GG_PIPELINE_STAGE (completion
-                    lambdas of memcpy_*_async / launch stages in pipeline
-                    workloads) must not call synchronize() or
-                    device_synchronize(): a blocking wait inside a stage
-                    serializes the very pipeline the stage belongs to, and a
-                    wait on the stage's own stream deadlocks the scheduler's
-                    issue loop.  Ordering belongs to events
+                    Stage callbacks annotated GG_PIPELINE_STAGE must not
+                    call synchronize() or device_synchronize(): a blocking
+                    wait inside a stage serializes the very pipeline the
+                    stage belongs to.  Ordering belongs to events
                     (stream_wait_event) and completion callbacks.
 
   checkpoint-write  Snapshot/checkpoint state must reach disk through
-                    SnapshotWriter::write_atomic (write `<path>.tmp`, flush,
-                    rename — src/common/snapshot.h), the only write path
-                    that cannot leave a torn file behind a crash.  A plain
-                    ofstream constructed in checkpoint infrastructure (file
-                    name mentions snapshot/checkpoint/recovery/journal) or
-                    near checkpoint path tokens is flagged; deliberately
-                    non-atomic writers (the helper itself, the CRC-framed
-                    append-only journal, corruption tests) carry reasoned
-                    suppressions.
+                    SnapshotWriter::write_atomic (src/common/snapshot.h),
+                    the only write path that cannot leave a torn file
+                    behind a crash.
 
-  service-growth    The service layer (src/service/) runs forever under
-                    adversarial load, so every container-growth call
-                    (push_back/emplace/push/insert) there must either go
-                    through common::BoundedQueue or carry a
-                    GG_BOUNDED(<bound>) annotation naming why the growth
-                    is bounded — an unbounded queue is how a daemon turns
-                    overload into an OOM kill.  A bare GG_BOUNDED() with
-                    no reason is itself a diagnostic.
+  service-growth    Container growth in src/service/ must go through
+                    common::BoundedQueue or carry a reasoned
+                    GG_BOUNDED(<bound>) annotation.
+
+The rule logic lives in the shared tools/gglint/ package; gg-analyze
+(tools/gg_analyze.py) builds its interprocedural rules on the same scanner.
 
 Suppression: a violating line is accepted when it, or the line directly
 above it, carries `// GG_LINT_ALLOW(<rule>): <reason>` with a non-empty
@@ -75,574 +63,48 @@ reason.  A suppression without a reason is itself a diagnostic
 (bare-suppression).
 
 Output: `path:line: error: [rule] message`, sorted by path then line; exit
-status 1 if anything was reported, 0 on a clean tree.
+status 1 if anything was reported, 0 on a clean tree.  `--format json`
+emits the same diagnostics as one stable-key-order JSON document (count,
+diagnostics, per-rule counts), so CI can diff violation counts across runs.
 
 Usage:
-    greengpu_lint.py [--root DIR]            # scan the tree (default: cwd)
-    greengpu_lint.py [--root DIR] FILE...    # scan specific files (fixture
-                                             # mode; hot-registry skipped)
+    greengpu_lint.py [--root DIR] [--format text|json]   # scan the tree
+    greengpu_lint.py [--root DIR] FILE...                # specific files
+                                  [--with-registry]      # registry anyway
 """
 
 from __future__ import annotations
 
 import argparse
 import os
-import re
 import sys
 
-# --------------------------------------------------------------------------
-# Configuration
-# --------------------------------------------------------------------------
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-SCAN_DIRS = ("src", "tools", "bench", "examples", "tests")
-EXTS = (".h", ".hpp", ".cpp", ".cc")
-EXCLUDE_PARTS = ("tests/tools/fixtures",)  # lint's own violation corpus
-
-# nondeterminism: (regex, only_under_src, message)
-NONDET_PATTERNS = [
-    (re.compile(r"std::random_device"), False,
-     "std::random_device is a nondeterministic seed source; use a seeded "
-     "generator from src/common/rng.h"),
-    (re.compile(r"\b(?:std::)?s?rand\s*\("), False,
-     "rand()/srand() draw from hidden global state; use a seeded generator "
-     "from src/common/rng.h"),
-    (re.compile(r"\bsystem_clock\b|\bhigh_resolution_clock\b"), False,
-     "wall-clock reads make runs irreproducible; simulated time comes from "
-     "sim::EventQueue::now()"),
-    (re.compile(r"\bsteady_clock\b"), True,
-     "steady_clock is sanctioned for wall-time measurement in tools/ and "
-     "bench/ only; inside src/ all time must come from sim::EventQueue::now()"),
-    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bclock\s*\(\s*\)"), False,
-     "OS clock reads make runs irreproducible; simulated time comes from "
-     "sim::EventQueue::now()"),
-    (re.compile(r"(?:::|\bstd::)time\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), False,
-     "time() is a wall-clock read; simulated time comes from "
-     "sim::EventQueue::now()"),
-    (re.compile(r"\bgetenv\s*\("), False,
-     "environment reads make runs host-dependent; thread configuration "
-     "through src/common/flags.h"),
-]
-
-# unordered containers are banned outright in these translation units: they
-# produce the repo's externally-visible bytes (CSV/JSON reports, traces,
-# telemetry snapshots), where unspecified iteration order breaks the
-# byte-identity contract.
-REPORT_PATH_RE = re.compile(
-    r"(src/common/(csv|json)\.(h|cpp)"
-    r"|src/greengpu/(campaign|telemetry)\.(h|cpp)"
-    r"|src/sim/trace\.(h|cpp)"
-    r"|report|serial)")
-
-UNORDERED_DECL_RE = re.compile(
-    r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<")
-# declared variable name after the closing template bracket, e.g.
-# `std::unordered_map<K, V> index_;` or `unordered_set<int> seen{...};`
-UNORDERED_VAR_RE = re.compile(
-    r"\b(?:std::)?unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*&?\s*"
-    r"(\w+)\s*(?:[;={(,)]|$)")
-
-ALLOC_PATTERNS = [
-    (re.compile(r"\bnew\b"), "operator new"),
-    (re.compile(r"\b(?:malloc|calloc|realloc|strdup)\s*\("), "C allocation"),
-    (re.compile(r"\bmake_(?:unique|shared)\b"), "make_unique/make_shared"),
-    (re.compile(r"\.(?:push_back|emplace_back|emplace|insert|resize|reserve)\s*\("),
-     "container growth"),
-    (re.compile(r"\bstd::to_string\b|\bstd::(?:o|i)?stringstream\b|"
-                r"\bstd::string\s*[({]"), "string construction"),
-    (re.compile(r"\bstd::function\s*<"), "std::function construction"),
-    (re.compile(r"\bstd::vector\s*<[^;]*?>\s+\w+\s*[({]"), "local vector"),
-]
-
-# hot-registry: (repo-relative file, definition regex, display name).
-# These are the functions whose allocation-freedom the benchmarks and the
-# PR 3 equivalence suite rely on; each must carry GG_HOT on its definition
-# line or the line above.
-REQUIRED_HOT = [
-    ("src/greengpu/weight_table.cpp",
-     re.compile(r"PairIndex\s+WeightTable::update_fused\s*\("),
-     "WeightTable::update_fused"),
-    ("src/greengpu/weight_table.cpp",
-     re.compile(r"PairIndex\s+FixedWeightTable::update_fused\s*\("),
-     "FixedWeightTable::update_fused"),
-    ("src/greengpu/wma_scaler.cpp",
-     re.compile(r"ScalerDecision\s+GpuFrequencyScaler::step_fast\s*\("),
-     "GpuFrequencyScaler::step_fast"),
-    ("src/sim/event_queue.cpp",
-     re.compile(r"EventHandle\s+EventQueue::schedule_at\s*\("),
-     "EventQueue::schedule_at"),
-    ("src/sim/event_queue.cpp",
-     re.compile(r"bool\s+EventQueue::step\s*\("),
-     "EventQueue::step"),
-    ("src/sim/event_queue.h",
-     re.compile(r"std::uint32_t\s+acquire\s*\("),
-     "EventSlab::acquire"),
-    ("src/greengpu/telemetry.h",
-     re.compile(r"void\s+push\s*\("),
-     "DecisionRecorder::push"),
-    # Batch campaign engine (PR 7): the lockstep stepper and the SoA finalize
-    # kernels carry GG_HOT_BATCH, which puts their loop bodies under the
-    # batch-loop-alloc rule.
-    ("src/greengpu/batch_engine.cpp",
-     re.compile(r"void\s+step_lockstep\s*\("),
-     "step_lockstep"),
-    ("src/sim/soa.h",
-     re.compile(r"void\s+batch_saving_vs_baseline\s*\("),
-     "batch_saving_vs_baseline"),
-    ("src/sim/soa.h",
-     re.compile(r"void\s+batch_rel_delta\s*\("),
-     "batch_rel_delta"),
-    # Async stream machinery (PR 8): the per-stream issue loop runs once per
-    # queued op per completion event — the pipeline's hot path.
-    ("src/cudalite/stream_scheduler.cpp",
-     re.compile(r"void\s+StreamScheduler::pump\s*\("),
-     "StreamScheduler::pump"),
-]
-
-# pipeline-blocking-sync: blocking waits banned inside GG_PIPELINE_STAGE
-# callback bodies (brace-matched from the first '{' after the marker).
-PIPELINE_SYNC_RE = re.compile(r"\b(?:device_synchronize|synchronize)\s*\(")
-
-# checkpoint-write: an ofstream construction counts as a checkpoint write
-# when the file itself is checkpoint infrastructure, or when the raw lines
-# just above (strings and comments included — that is where path literals
-# like ".ggsn" live) mention checkpoint tokens.  GG_LINT_ALLOW lines are
-# not evidence, or suppression comments would self-trigger the rule.
-CKPT_OFSTREAM_RE = re.compile(r"\b(?:std::)?ofstream\b")
-CKPT_FILE_RE = re.compile(r"(snapshot|checkpoint|recovery|journal|ckpt)",
-                          re.IGNORECASE)
-CKPT_TOKEN_RE = re.compile(r"ckpt|checkpoint|snapshot|journal|\.ggsn",
-                           re.IGNORECASE)
-CKPT_WINDOW = 4  # raw lines above the construction scanned for evidence
-
-ALLOW_RE = re.compile(r"GG_LINT_ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
-
-# service-growth: applies to the always-on service layer (and, like the
-# checkpoint-write filename heuristic, to any file named after it, which is
-# how the fixture corpus exercises the rule).
-SERVICE_PATH_RE = re.compile(r"(^|/)src/service/|service[^/]*$")
-SERVICE_GROWTH_RE = re.compile(
-    r"\.\s*(?:push_back|emplace_back|emplace|push|insert)\s*\(")
-BOUNDED_RE = re.compile(r"GG_BOUNDED\(([^)]*)\)")
-
-# --------------------------------------------------------------------------
-# Mechanics
-# --------------------------------------------------------------------------
-
-
-class Diagnostic:
-    __slots__ = ("path", "line", "rule", "message")
-
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: error: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line structure
-    so line numbers survive.  Good enough for token scans; not a parser."""
-    out = []
-    i, n = 0, len(text)
-    mode = "code"  # code | line | block | str | chr
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if mode == "code":
-            if c == "/" and nxt == "/":
-                mode = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                mode = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                mode = "str"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                mode = "chr"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif mode == "line":
-            if c == "\n":
-                mode = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif mode == "block":
-            if c == "*" and nxt == "/":
-                mode = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif mode == "str":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                mode = "code"
-            out.append(c if c == "\n" else " ")
-        elif mode == "chr":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == "'":
-                mode = "code"
-            out.append(c if c == "\n" else " ")
-        i += 1
-    return "".join(out)
-
-
-def collect_suppressions(raw_lines):
-    """line number -> {rule: reason-or-None} from GG_LINT_ALLOW comments."""
-    allows = {}
-    for ln, line in enumerate(raw_lines, 1):
-        m = ALLOW_RE.search(line)
-        if m:
-            allows.setdefault(ln, {})[m.group(1)] = m.group(2)
-    return allows
-
-
-class FileLinter:
-    def __init__(self, relpath: str, raw: str):
-        self.relpath = relpath
-        self.raw_lines = raw.splitlines()
-        self.code = strip_comments_and_strings(raw)
-        self.code_lines = self.code.splitlines()
-        self.allows = collect_suppressions(self.raw_lines)
-        self.diags: list[Diagnostic] = []
-
-    def report(self, line: int, rule: str, message: str) -> None:
-        # A suppression covers the line it sits on, or a violation directly
-        # below the (possibly multi-line) comment block it starts.
-        probes = [line]
-        probe = line - 1
-        while probe >= 1 and self.raw_lines[probe - 1].lstrip().startswith("//"):
-            probes.append(probe)
-            probe -= 1
-        for p in probes:
-            rules = self.allows.get(p, {})
-            if rule in rules:
-                if rules[rule]:
-                    return  # suppressed with a reason
-                self.diags.append(Diagnostic(
-                    self.relpath, p, "bare-suppression",
-                    f"GG_LINT_ALLOW({rule}) needs a reason after ':'"))
-                return
-        self.diags.append(Diagnostic(self.relpath, line, rule, message))
-
-    # -- nondeterminism ----------------------------------------------------
-    def check_nondeterminism(self) -> None:
-        under_src = self.relpath.startswith("src/")
-        for ln, line in enumerate(self.code_lines, 1):
-            for pattern, src_only, message in NONDET_PATTERNS:
-                if src_only and not under_src:
-                    continue
-                if pattern.search(line):
-                    self.report(ln, "nondeterminism", message)
-
-    # -- unordered-iter ----------------------------------------------------
-    def check_unordered(self) -> None:
-        in_report_path = REPORT_PATH_RE.search(self.relpath) is not None
-        unordered_vars = set()
-        for ln, line in enumerate(self.code_lines, 1):
-            if in_report_path and UNORDERED_DECL_RE.search(line):
-                self.report(
-                    ln, "unordered-iter",
-                    "unordered containers are banned in report/serialization "
-                    "paths (iteration order is unspecified); use std::map or "
-                    "a sorted vector")
-            for m in UNORDERED_VAR_RE.finditer(line):
-                unordered_vars.add(m.group(1))
-        if not unordered_vars:
-            return
-        names = "|".join(re.escape(v) for v in sorted(unordered_vars))
-        range_for = re.compile(
-            r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(" + names + r")\b")
-        for ln, line in enumerate(self.code_lines, 1):
-            m = range_for.search(line)
-            if m:
-                self.report(
-                    ln, "unordered-iter",
-                    f"range-for over unordered container '{m.group(1)}' has "
-                    "unspecified order; iterate sorted keys or switch to an "
-                    "ordered container")
-
-    # -- hot-alloc ---------------------------------------------------------
-    def _hot_spans(self):
-        """Yield (name, body_start_line, body_end_line) for each GG_HOT
-        function.  Body = first '{' after the marker, brace-matched."""
-        text = self.code
-        for m in re.finditer(r"\bGG_HOT\b", text):
-            line_start = text.rfind("\n", 0, m.start()) + 1
-            if text[line_start:m.start()].lstrip().startswith("#"):
-                continue  # the macro's own #define, not an annotation
-            open_idx = text.find("{", m.end())
-            if open_idx < 0:
-                continue
-            sig = text[m.end():open_idx]
-            name_m = re.findall(r"([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(", sig)
-            name = name_m[0] if name_m else "<unknown>"
-            depth = 0
-            end_idx = open_idx
-            for i in range(open_idx, len(text)):
-                if text[i] == "{":
-                    depth += 1
-                elif text[i] == "}":
-                    depth -= 1
-                    if depth == 0:
-                        end_idx = i
-                        break
-            start_line = text.count("\n", 0, open_idx) + 1
-            end_line = text.count("\n", 0, end_idx) + 1
-            yield name, start_line, end_line
-
-    def check_hot_alloc(self) -> None:
-        for name, start, end in self._hot_spans():
-            for ln in range(start, end + 1):
-                line = self.code_lines[ln - 1] if ln - 1 < len(self.code_lines) else ""
-                for pattern, what in ALLOC_PATTERNS:
-                    if pattern.search(line):
-                        self.report(
-                            ln, "hot-alloc",
-                            f"{what} in GG_HOT function '{name}' — hot paths "
-                            "must be allocation-free (see "
-                            "src/common/annotations.h)")
-
-    # -- batch-loop-alloc --------------------------------------------------
-    def _match_brace(self, open_idx: int) -> int:
-        """Index of the '}' matching the '{' at open_idx in self.code."""
-        depth = 0
-        for i in range(open_idx, len(self.code)):
-            if self.code[i] == "{":
-                depth += 1
-            elif self.code[i] == "}":
-                depth -= 1
-                if depth == 0:
-                    return i
-        return len(self.code) - 1
-
-    def check_batch_loop_alloc(self) -> None:
-        """GG_HOT_BATCH steppers may allocate in their prologue (gather
-        buffers, pointer tables) but never inside a loop — loop bodies run
-        once per cell per iteration.  Note GG_HOT's \\bGG_HOT\\b word
-        boundary does not match inside GG_HOT_BATCH (underscore is a word
-        character), so the two rules never double-report a function."""
-        text = self.code
-        for m in re.finditer(r"\bGG_HOT_BATCH\b", text):
-            line_start = text.rfind("\n", 0, m.start()) + 1
-            if text[line_start:m.start()].lstrip().startswith("#"):
-                continue  # the macro's own #define, not an annotation
-            open_idx = text.find("{", m.end())
-            if open_idx < 0:
-                continue
-            sig = text[m.end():open_idx]
-            name_m = re.findall(r"([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(", sig)
-            name = name_m[0] if name_m else "<unknown>"
-            body_end = self._match_brace(open_idx)
-            loop_lines: set[int] = set()
-            for lm in re.finditer(r"\b(?:for|while)\s*\(", text[open_idx:body_end]):
-                # Match the loop header's parens, then require an immediate
-                # '{' — single-statement and do-while tails are skipped
-                # rather than mis-spanned.
-                i = open_idx + lm.end() - 1
-                pdepth = 0
-                while i < body_end:
-                    if text[i] == "(":
-                        pdepth += 1
-                    elif text[i] == ")":
-                        pdepth -= 1
-                        if pdepth == 0:
-                            break
-                    i += 1
-                body_open = text.find("{", i)
-                if body_open < 0 or body_open > body_end:
-                    continue
-                if text[i + 1:body_open].strip():
-                    continue
-                body_close = self._match_brace(body_open)
-                first = text.count("\n", 0, body_open) + 1
-                last = text.count("\n", 0, body_close) + 1
-                loop_lines.update(range(first, last + 1))
-            for ln in sorted(loop_lines):
-                line = self.code_lines[ln - 1] if ln - 1 < len(self.code_lines) else ""
-                for pattern, what in ALLOC_PATTERNS:
-                    if pattern.search(line):
-                        self.report(
-                            ln, "batch-loop-alloc",
-                            f"{what} inside a loop of GG_HOT_BATCH function "
-                            f"'{name}' — the batch stepper runs this once per "
-                            "cell per iteration; hoist the allocation into "
-                            "the prologue (see src/common/annotations.h)")
-
-    # -- pipeline-blocking-sync --------------------------------------------
-    def check_pipeline_blocking_sync(self) -> None:
-        """Stage callbacks marked GG_PIPELINE_STAGE run inside the stream
-        machinery; a blocking wait there serializes (or deadlocks) the
-        pipeline.  Body = first '{' after the marker, brace-matched."""
-        text = self.code
-        for m in re.finditer(r"\bGG_PIPELINE_STAGE\b", text):
-            line_start = text.rfind("\n", 0, m.start()) + 1
-            if text[line_start:m.start()].lstrip().startswith("#"):
-                continue  # the macro's own #define, not an annotation
-            open_idx = text.find("{", m.end())
-            if open_idx < 0:
-                continue
-            start = text.count("\n", 0, open_idx) + 1
-            end = text.count("\n", 0, self._match_brace(open_idx)) + 1
-            for ln in range(start, end + 1):
-                line = self.code_lines[ln - 1] if ln - 1 < len(self.code_lines) else ""
-                if PIPELINE_SYNC_RE.search(line):
-                    self.report(
-                        ln, "pipeline-blocking-sync",
-                        "blocking synchronize()/device_synchronize() inside a "
-                        "GG_PIPELINE_STAGE callback serializes the pipeline "
-                        "the stage belongs to (and a wait on the stage's own "
-                        "stream deadlocks the issue loop); order with events "
-                        "(stream_wait_event) and completion callbacks "
-                        "(see src/common/annotations.h)")
-
-    # -- checkpoint-write --------------------------------------------------
-    def check_checkpoint_write(self) -> None:
-        fname = self.relpath.rsplit("/", 1)[-1]
-        infra_file = CKPT_FILE_RE.search(fname) is not None
-        for ln, line in enumerate(self.code_lines, 1):
-            if not CKPT_OFSTREAM_RE.search(line):
-                continue
-            evidence = infra_file
-            if not evidence:
-                lo = max(0, ln - 1 - CKPT_WINDOW)
-                for raw in self.raw_lines[lo:ln]:
-                    if "GG_LINT_ALLOW" in raw:
-                        continue
-                    if CKPT_TOKEN_RE.search(raw):
-                        evidence = True
-                        break
-            if evidence:
-                self.report(
-                    ln, "checkpoint-write",
-                    "direct ofstream to a checkpoint/snapshot path is not "
-                    "crash-safe (a kill mid-write leaves a torn file); route "
-                    "it through SnapshotWriter::write_atomic "
-                    "(src/common/snapshot.h)")
-
-    # -- service-growth ----------------------------------------------------
-    def check_service_growth(self) -> None:
-        if not SERVICE_PATH_RE.search(self.relpath):
-            return
-        for ln, line in enumerate(self.code_lines, 1):
-            if not SERVICE_GROWTH_RE.search(line):
-                continue
-            annotation = None
-            for probe in (ln, ln - 1):
-                if probe < 1:
-                    continue
-                m = BOUNDED_RE.search(self.raw_lines[probe - 1])
-                if m:
-                    annotation = m
-                    break
-            if annotation is not None:
-                if annotation.group(1).strip():
-                    continue  # bounded, with a stated reason
-                self.diags.append(Diagnostic(
-                    self.relpath, ln, "service-growth",
-                    "GG_BOUNDED() needs a reason naming the bound (e.g. "
-                    "GG_BOUNDED(capacity enforced by BoundedQueue))"))
-                continue
-            self.report(
-                ln, "service-growth",
-                "unbounded container growth in the service layer — route it "
-                "through common::BoundedQueue or annotate the site "
-                "GG_BOUNDED(<why the growth is bounded>) "
-                "(src/common/annotations.h)")
-
-    def run(self) -> list[Diagnostic]:
-        self.check_nondeterminism()
-        self.check_unordered()
-        self.check_hot_alloc()
-        self.check_batch_loop_alloc()
-        self.check_pipeline_blocking_sync()
-        self.check_checkpoint_write()
-        self.check_service_growth()
-        return self.diags
-
-
-def check_registry(root: str) -> list[Diagnostic]:
-    diags = []
-    for relpath, pattern, display in REQUIRED_HOT:
-        path = os.path.join(root, relpath)
-        try:
-            with open(path, encoding="utf-8") as f:
-                raw = f.read()
-        except OSError:
-            diags.append(Diagnostic(
-                relpath, 1, "hot-registry",
-                f"registry function '{display}' expected here but the file "
-                "is missing — update REQUIRED_HOT in tools/greengpu_lint.py"))
-            continue
-        lines = strip_comments_and_strings(raw).splitlines()
-        found = False
-        for ln, line in enumerate(lines, 1):
-            if pattern.search(line):
-                found = True
-                prev = lines[ln - 2] if ln >= 2 else ""
-                if "GG_HOT" not in line and "GG_HOT" not in prev:
-                    diags.append(Diagnostic(
-                        relpath, ln, "hot-registry",
-                        f"'{display}' is in the hot registry but its "
-                        "definition is missing the GG_HOT annotation"))
-                break
-        if not found:
-            diags.append(Diagnostic(
-                relpath, 1, "hot-registry",
-                f"registry function '{display}' not found — if it moved or "
-                "was renamed, update REQUIRED_HOT in tools/greengpu_lint.py"))
-    return diags
-
-
-def iter_tree(root: str):
-    for top in SCAN_DIRS:
-        base = os.path.join(root, top)
-        for dirpath, dirnames, filenames in os.walk(base):
-            dirnames.sort()
-            for fname in sorted(filenames):
-                path = os.path.join(dirpath, fname)
-                rel = os.path.relpath(path, root).replace(os.sep, "/")
-                if not rel.endswith(EXTS):
-                    continue
-                if any(part in rel for part in EXCLUDE_PARTS):
-                    continue
-                yield path, rel
+from gglint.diagnostics import emit, finalize
+from gglint.intraprocedural import (FileLinter, check_registry, iter_tree,
+                                    resolve_targets)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic output format (default: text)")
+    parser.add_argument("--with-registry", action="store_true",
+                        help="run the hot-registry tree check even when "
+                             "explicit files are given (lint.sh --changed)")
     parser.add_argument("files", nargs="*",
                         help="specific files to lint (skips hot-registry)")
     args = parser.parse_args(argv)
 
     root = os.path.abspath(args.root)
-    diags: list[Diagnostic] = []
+    diags: list = []
 
     if args.files:
-        targets = []
-        for f in args.files:
-            path = os.path.abspath(f)
-            rel = os.path.relpath(path, root).replace(os.sep, "/")
-            if rel.startswith(".."):
-                rel = os.path.basename(path)  # outside root: bare name
-            targets.append((path, rel))
+        targets = resolve_targets(root, args.files)
+        if args.with_registry:
+            diags.extend(check_registry(root))
     else:
         targets = list(iter_tree(root))
         diags.extend(check_registry(root))
@@ -656,17 +118,8 @@ def main(argv=None) -> int:
             return 2
         diags.extend(FileLinter(rel, raw).run())
 
-    diags.sort(key=lambda d: (d.path, d.line, d.rule, d.message))
-    seen = set()
-    diags = [d for d in diags
-             if (key := (d.path, d.line, d.rule, d.message)) not in seen
-             and not seen.add(key)]
-    for d in diags:
-        print(d.render())
-    if diags:
-        print(f"greengpu-lint: {len(diags)} violation(s)", file=sys.stderr)
-        return 1
-    return 0
+    return emit(finalize(diags), "greengpu-lint", args.format,
+                sys.stdout, sys.stderr)
 
 
 if __name__ == "__main__":

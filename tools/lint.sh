@@ -1,20 +1,76 @@
 #!/usr/bin/env bash
 # Single local entry point for the static-analysis layer (what the CI lint
-# job runs).  Always runs greengpu-lint; runs clang-format and clang-tidy
-# when the tools are installed, and says so when they are not, so a box
-# without LLVM still gets the project-invariant checks.
+# job runs).  Always runs greengpu-lint and gg-analyze (pure python3); runs
+# clang-format and clang-tidy when the tools are installed, and says so when
+# they are not, so a box without LLVM still gets the project-invariant
+# checks.
 #
-# Usage: tools/lint.sh [build-dir]
+# Usage: tools/lint.sh [--changed] [build-dir]
 #   build-dir (default: build) must contain compile_commands.json for the
 #   clang-tidy pass (the top-level CMakeLists exports it unconditionally).
+#
+#   --changed restricts the per-file passes (greengpu-lint file rules,
+#   clang-format, clang-tidy) to files that differ from the merge-base with
+#   origin/main (falling back to main, then HEAD~1).  The whole-tree rules
+#   cannot be scoped that way and always see the full tree: hot-registry
+#   (a deleted annotation changes no surviving line), gg-analyze's
+#   call-graph taint rules (an edit to a leaf callee indicts unchanged
+#   roots), and the snapshot-schema gate (the lock spans every participant).
 set -u
 
 cd "$(dirname "$0")/.."
+CHANGED_MODE=0
+if [ "${1:-}" = "--changed" ]; then
+  CHANGED_MODE=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
 STATUS=0
 
+# In --changed mode, collect tracked C++ files that differ from the base.
+CHANGED_FILES=()
+if [ "$CHANGED_MODE" = 1 ]; then
+  BASE=""
+  for ref in origin/main main HEAD~1; do
+    if BASE=$(git merge-base "$ref" HEAD 2>/dev/null); then
+      break
+    fi
+    BASE=""
+  done
+  if [ -z "$BASE" ]; then
+    echo "lint.sh --changed: no base ref found, falling back to full run"
+    CHANGED_MODE=0
+  else
+    while IFS= read -r f; do
+      case "$f" in
+        tests/tools/fixtures/*) continue ;;
+        *.cpp|*.h|*.hpp|*.cu|*.cuh) [ -f "$f" ] && CHANGED_FILES+=("$f") ;;
+      esac
+    done < <(git diff --name-only "$BASE" HEAD; git diff --name-only HEAD)
+    echo "== changed mode: ${#CHANGED_FILES[@]} C++ file(s) vs $(git rev-parse --short "$BASE") =="
+  fi
+fi
+
 echo "== greengpu-lint =="
-if ! python3 tools/greengpu_lint.py --root .; then
+if [ "$CHANGED_MODE" = 1 ]; then
+  if [ "${#CHANGED_FILES[@]}" = 0 ]; then
+    # No file-scoped work, but the tree-wide registry rule still runs.
+    LINT_ARGS=()
+  else
+    LINT_ARGS=("${CHANGED_FILES[@]}" --with-registry)
+  fi
+else
+  LINT_ARGS=()
+fi
+if ! python3 tools/greengpu_lint.py --root . "${LINT_ARGS[@]}"; then
+  STATUS=1
+else
+  echo "clean"
+fi
+
+echo "== gg-analyze (call graph + snapshot-schema gate) =="
+# Always whole-tree: taint chains and the schema lock cross file boundaries.
+if ! python3 tools/gg_analyze.py --root .; then
   STATUS=1
 else
   echo "clean"
@@ -22,11 +78,18 @@ fi
 
 echo "== clang-format (check only) =="
 if command -v clang-format >/dev/null 2>&1; then
-  # shellcheck disable=SC2046
-  if ! clang-format --dry-run --Werror \
-      $(git ls-files 'src/**/*.h' 'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' \
-                     'bench/*.h' 'examples/*.cpp' 'tests/**/*.cpp' \
-        | grep -v tests/tools/fixtures); then
+  if [ "$CHANGED_MODE" = 1 ]; then
+    FMT_FILES=("${CHANGED_FILES[@]}")
+  else
+    # shellcheck disable=SC2207
+    FMT_FILES=($(git ls-files 'src/**/*.h' 'src/**/*.cpp' 'tools/*.cpp' \
+                              'bench/*.cpp' 'bench/*.h' 'examples/*.cpp' \
+                              'tests/**/*.cpp' \
+                 | grep -v tests/tools/fixtures))
+  fi
+  if [ "${#FMT_FILES[@]}" = 0 ]; then
+    echo "no files to check"
+  elif ! clang-format --dry-run --Werror "${FMT_FILES[@]}"; then
     STATUS=1
   else
     echo "clean"
@@ -41,9 +104,18 @@ if command -v clang-tidy >/dev/null 2>&1; then
     echo "no $BUILD_DIR/compile_commands.json: configure with cmake first"
     STATUS=1
   else
-    # shellcheck disable=SC2046
-    if ! clang-tidy -p "$BUILD_DIR" --quiet \
-        $(git ls-files 'src/**/*.cpp'); then
+    if [ "$CHANGED_MODE" = 1 ]; then
+      TIDY_FILES=()
+      for f in "${CHANGED_FILES[@]}"; do
+        case "$f" in src/*.cpp|src/*/*.cpp|src/*/*/*.cpp) TIDY_FILES+=("$f") ;; esac
+      done
+    else
+      # shellcheck disable=SC2207
+      TIDY_FILES=($(git ls-files 'src/**/*.cpp'))
+    fi
+    if [ "${#TIDY_FILES[@]}" = 0 ]; then
+      echo "no files to check"
+    elif ! clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_FILES[@]}"; then
       STATUS=1
     else
       echo "clean"
