@@ -40,6 +40,17 @@
 // events (`stream_wait_event`) and completion callbacks instead.  The macro
 // itself expands to nothing; it exists for the lint and the reader.
 //
+// `GG_NONBLOCK_IO` marks a function as a sanctioned raw-socket I/O helper:
+// a routine whose contract is "never blocks the daemon" — it operates on
+// O_NONBLOCK descriptors (or is a client-side helper outside the daemon
+// loop), retries EINTR a bounded number of times, treats EAGAIN as "come
+// back next poll tick", and converts EPIPE/ECONNRESET into an orderly
+// close instead of a crash.  The lint's socket-blocking-write rule flags
+// every raw ::read/::write/::send/::recv in src/service/ that appears
+// *outside* a GG_NONBLOCK_IO-annotated body: a bare blocking write is how
+// one stalled WATCH subscriber wedges the whole daemon.  The macro expands
+// to nothing; it exists for the lint and the reader.
+//
 // `GG_BOUNDED(reason)` marks a container-growth site in src/service/ as
 // deliberately bounded: the lint's service-growth rule flags every
 // push_back/emplace/push in the service layer's hot paths, because an
@@ -60,3 +71,5 @@
 #define GG_BOUNDED(reason)
 
 #define GG_PIPELINE_STAGE
+
+#define GG_NONBLOCK_IO

@@ -38,7 +38,9 @@ inline constexpr std::uint32_t kSnapshotMagic = 0x4E534747u;
 /// Bumped whenever the serialized layout of any snapshottable type changes.
 /// v2: per-GPU copy-engine state in Platform::save, copy sampler in
 /// NvmlDevice, overlap/copy-busy fields in IterationRecord + ScalerDecision.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3: controller-telemetry counters (scaler_decisions, division_moves) in
+/// the service journal's OutcomeRecord.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of `size` bytes.
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);

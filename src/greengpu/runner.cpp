@@ -271,6 +271,7 @@ void ExperimentEngine::step_iteration() {
     feedback.overlap_time = rec.overlap_time;
     const DivisionDecision decision = divider_->update(feedback);
     rec.division_action = decision.action;
+    if (decision.action != DivisionAction::kHold) ++result_.division_moves;
     ratio_ = decision.ratio;
     if (divider_->converged() &&
         result_.convergence_iteration == static_cast<std::size_t>(-1)) {

@@ -101,6 +101,8 @@ struct ExperimentResult {
   std::size_t iteration_count{0};
   std::uint64_t scaler_decision_count{0};
   std::uint64_t governor_decision_count{0};
+  /// Iterations whose division decision actually moved the ratio (!= hold).
+  std::uint64_t division_moves{0};
   std::size_t fault_event_count{0};
   std::uint64_t gpu_frequency_transitions{0};
   /// Retained fault-event log (empty without an injector; truncated per

@@ -79,9 +79,18 @@ ServiceCore::ServiceCore(ServiceConfig config, std::string journal_path,
     : config_(std::move(config)),
       journal_(std::move(journal_path), config_.fingerprint(), /*fresh=*/!resume),
       admission_(config_.queue_capacity, config_.default_cost_estimate),
-      breaker_(config_.devices, config_.breaker) {
+      breaker_(config_.devices, config_.breaker),
+      feed_(config_),
+      hub_(config_.telemetry) {
   config_.validate();
   if (resume) resume_from_journal();
+}
+
+void ServiceCore::publish_record(const ServiceRecord& record) {
+  ++journal_records_;
+  scratch_events_.clear();
+  feed_.on_record(record, scratch_events_);
+  for (const std::string& payload : scratch_events_) hub_.publish(payload);
 }
 
 void ServiceCore::resume_from_journal() {
@@ -91,6 +100,18 @@ void ServiceCore::resume_from_journal() {
   // counters.  Requests re-enter the queue in seq order, which is exactly
   // the priority-then-FIFO order they would drain in anyway.
   const auto records = ServiceJournal::read(journal_.path(), config_.fingerprint());
+  // The telemetry stream is a pure function of the journal, so replaying the
+  // records through the (fresh) feed lands its replica breaker and the hub's
+  // stream position exactly where the dying daemon left them — a WATCH FROM
+  // issued after resume continues the old stream byte-identically.
+  std::uint64_t seeded = 0;
+  for (const auto& record : records) {
+    scratch_events_.clear();
+    feed_.on_record(record, scratch_events_);
+    seeded += scratch_events_.size();
+  }
+  hub_.seed(seeded);
+  journal_records_ = records.size();
   std::map<std::uint64_t, Request> pending;
   // The last start record without a matching outcome is the claim the dying
   // daemon never finished; it must run first, not re-enter the queue.
@@ -204,7 +225,12 @@ std::string ServiceCore::handle_line(const std::string& line) {
         << " queued=" << admission_.depth()
         << " inflight=" << (inflight_ ? 1 : 0) << " vtime=" << vtime_.get()
         << " paused=" << (paused_ ? 1 : 0)
-        << " draining=" << (draining_ ? 1 : 0);
+        << " draining=" << (draining_ ? 1 : 0)
+        << " journal_records=" << journal_records_
+        << " telemetry_seq=" << hub_.published()
+        << " subscribers=" << hub_.subscriber_count()
+        << " telemetry_dropped=" << hub_.dropped_total()
+        << " telemetry_evicted=" << hub_.evicted_total();
     return out.str();
   }
   if (verb == "HEALTH") {
@@ -213,7 +239,15 @@ std::string ServiceCore::handle_line(const std::string& line) {
       out += " device" + std::to_string(d) + "=" +
              CircuitBreaker::to_string(breaker_.state(d));
     }
+    // Progress sequence numbers: smoke tests poll these instead of sleeping.
+    out += " journal_records=" + std::to_string(journal_records_) +
+           " telemetry_seq=" + std::to_string(hub_.published());
     return out;
+  }
+  if (verb == "WATCH") {
+    // WATCH only means something on a connection the transport can flip to
+    // a one-way stream; the request/reply path cannot, so refuse here.
+    return "400 watch requires a streaming connection";
   }
   if (verb == "PAUSE") {
     paused_ = true;
@@ -265,28 +299,90 @@ std::string ServiceCore::handle_submit(const std::vector<std::string>& tokens) {
   request.vtime_admit = vtime_;
 
   auto decision = admission_.offer(request, inflight_cost(), draining_);
+  ServiceRecord rec;
   if (!decision.admitted) {
     ++stats_.shed;
     states_[request.seq] = "shed:" + decision.reason;
-    journal_.shed({request.seq, request.workload, request.policy,
-                   request.priority, decision.reason});
+    rec.kind = RecordKind::kShed;
+    rec.shed = {request.seq, request.workload, request.policy,
+                request.priority, decision.reason};
+    journal_.shed(rec.shed);
+    publish_record(rec);
     return "503 shed seq=" + std::to_string(request.seq) +
            " reason=" + decision.reason;
   }
   if (decision.evicted) {
     ++stats_.evicted;
     states_[decision.evicted->seq] = "evicted";
-    journal_.shed({decision.evicted->seq, decision.evicted->workload,
-                   decision.evicted->policy, decision.evicted->priority,
-                   "evicted"});
+    rec.kind = RecordKind::kShed;
+    rec.shed = {decision.evicted->seq, decision.evicted->workload,
+                decision.evicted->policy, decision.evicted->priority,
+                "evicted"};
+    journal_.shed(rec.shed);
+    publish_record(rec);
   }
   ++stats_.admitted;
   states_[request.seq] = "queued";
   journal_.admit(request);
+  rec.kind = RecordKind::kAdmit;
+  rec.admit = request;
+  publish_record(rec);
   // Admission is journaled but the client reply is not yet sent: a daemon
   // killed here still owns the request after --resume.
   common::killpoint(common::KillPoint::kServicePostAdmit);
   return "202 accepted seq=" + std::to_string(request.seq);
+}
+
+std::uint64_t ServiceCore::watch(const std::string& line, std::string& reply) {
+  const auto tokens = tokenize(line);
+  std::uint64_t from = hub_.published() + 1;  // live tail by default
+  bool resume_cursor = false;
+  if (tokens.size() == 3 && tokens[1] == "FROM") {
+    try {
+      from = std::stoull(tokens[2]);
+    } catch (const std::exception&) {
+      reply = "400 bad cursor " + tokens[2];
+      return 0;
+    }
+    if (from == 0) {
+      reply = "400 bad cursor 0 (event seqs start at 1)";
+      return 0;
+    }
+    resume_cursor = true;
+  } else if (tokens.size() != 1) {
+    reply = "400 usage: WATCH [FROM <seq>]";
+    return 0;
+  }
+  if (from > hub_.published() + 1) {
+    reply = "400 cursor " + std::to_string(from) + " beyond stream (last=" +
+            std::to_string(hub_.published()) + ")";
+    return 0;
+  }
+  std::vector<std::string> backlog;
+  if (resume_cursor && from <= hub_.published()) {
+    // Regenerate [from, now] from the journal.  The caller holds the core
+    // lock, so the journal cannot grow between this read and subscribe() —
+    // the backlog and the live ring splice gaplessly.
+    const auto records =
+        ServiceJournal::read(journal_.path(), config_.fingerprint());
+    std::vector<std::string> events = telemetry_events(config_, records);
+    if (events.size() != hub_.published()) {
+      reply = "500 telemetry desync journal=" + std::to_string(events.size()) +
+              " live=" + std::to_string(hub_.published());
+      return 0;
+    }
+    backlog.assign(std::make_move_iterator(events.begin() + (from - 1)),
+                   std::make_move_iterator(events.end()));
+  }
+  const std::uint64_t id = hub_.subscribe(from, std::move(backlog));
+  if (id == 0) {
+    reply = "503 watchers-full max=" +
+            std::to_string(config_.telemetry.max_subscribers);
+    return 0;
+  }
+  reply = "200 watching from=" + std::to_string(from) +
+          " last=" + std::to_string(hub_.published());
+  return id;
 }
 
 Seconds ServiceCore::inflight_cost() const {
@@ -310,7 +406,11 @@ std::optional<ServiceCore::Job> ServiceCore::take_next() {
   job.vtime_before = vtime_;
   states_[job.request.seq] = "running";
   inflight_ = job;
-  journal_.start({job.request.seq, job.device, job.vtime_before.get()});
+  ServiceRecord rec;
+  rec.kind = RecordKind::kStart;
+  rec.start = {job.request.seq, job.device, job.vtime_before.get()};
+  journal_.start(rec.start);
+  publish_record(rec);
   return job;
 }
 
@@ -349,6 +449,8 @@ OutcomeRecord ServiceCore::run_job(const ServiceConfig& config,
     out.verified = result.verified;
     out.fault_events = result.fault_event_count;
     out.watchdog_trips = result.watchdog_trips;
+    out.scaler_decisions = result.scaler_decision_count;
+    out.division_moves = result.division_moves;
     out.vtime_after = vtime_before.get() + out.exec_time;
   } catch (const greengpu::ExperimentAborted&) {
     // DNF: the platform killed the run (un-hardened policy under faults).
@@ -373,6 +475,10 @@ void ServiceCore::complete(const Job& job, const OutcomeRecord& outcome) {
   // identical outcome.
   common::killpoint(common::KillPoint::kServicePreResult);
   journal_.outcome(outcome);
+  ServiceRecord rec;
+  rec.kind = RecordKind::kOutcome;
+  rec.outcome = outcome;
+  publish_record(rec);
   vtime_ = Seconds{outcome.vtime_after};
   if (outcome.status == OutcomeStatus::kOk) {
     admission_.observe_cost(job.request.workload, job.request.policy,
@@ -469,6 +575,8 @@ bool ServiceCore::replay_window(const ServiceConfig& config,
       else if (replayed.verified != journaled.verified) field = "verified";
       else if (replayed.fault_events != journaled.fault_events) field = "fault_events";
       else if (replayed.watchdog_trips != journaled.watchdog_trips) field = "watchdog_trips";
+      else if (replayed.scaler_decisions != journaled.scaler_decisions) field = "scaler_decisions";
+      else if (replayed.division_moves != journaled.division_moves) field = "division_moves";
       else if (replayed.deadline != journaled.deadline) field = "deadline";
       else if (replayed.vtime_after != journaled.vtime_after) field = "vtime_after";
       if (field != nullptr) {
@@ -480,6 +588,32 @@ bool ServiceCore::replay_window(const ServiceConfig& config,
     }
     out += render(record);
     out += '\n';
+  }
+  return true;
+}
+
+bool ServiceCore::events_window(const ServiceConfig& config,
+                                const std::string& journal_path,
+                                std::uint64_t from_seq, std::string& out,
+                                std::string& error) {
+  out.clear();
+  error.clear();
+  std::vector<ServiceRecord> records;
+  try {
+    records = ServiceJournal::read(journal_path, config.fingerprint());
+  } catch (const common::SnapshotError& e) {
+    error = e.what();
+    return false;
+  }
+  const std::vector<std::string> events = telemetry_events(config, records);
+  if (from_seq == 0) from_seq = 1;
+  if (from_seq > events.size() + 1) {
+    error = "cursor " + std::to_string(from_seq) + " beyond stream (last=" +
+            std::to_string(events.size()) + ")";
+    return false;
+  }
+  for (std::uint64_t seq = from_seq; seq <= events.size(); ++seq) {
+    out += "EVENT " + std::to_string(seq) + " " + events[seq - 1] + "\n";
   }
   return true;
 }

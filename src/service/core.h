@@ -24,6 +24,7 @@
 //
 //   SUBMIT <workload> <policy> [priority=N] [deadline=S] [iters=N]
 //   STATUS <seq> | STATS | HEALTH | PAUSE | RESUME | DRAIN | PING
+//   WATCH [FROM <seq>]   (streaming connections only — see watch())
 #pragma once
 
 #include <cstdint>
@@ -35,6 +36,7 @@
 #include "src/service/admission.h"
 #include "src/service/breaker.h"
 #include "src/service/journal.h"
+#include "src/service/telemetry.h"
 #include "src/service/types.h"
 
 namespace gg::service {
@@ -93,6 +95,29 @@ class ServiceCore {
   /// Crashes survived by the caller's supervision (reported by STATS).
   void note_restart() { ++stats_.restarts; }
 
+  // -- Streaming telemetry (WATCH) -------------------------------------------
+
+  /// Open a WATCH subscription from a raw request line ("WATCH" for a live
+  /// tail, "WATCH FROM <seq>" to resume from event seq).  A resume cursor is
+  /// honoured by regenerating [seq, now] from the journal — the continuation
+  /// is byte-identical to what an uninterrupted subscriber would have seen.
+  /// Returns the subscriber id (> 0) with `reply` set to the success line,
+  /// or 0 with `reply` set to the refusal (400 bad/beyond cursor, 503 full).
+  [[nodiscard]] std::uint64_t watch(const std::string& line, std::string& reply);
+  void unwatch(std::uint64_t id) { hub_.unsubscribe(id); }
+  [[nodiscard]] std::optional<std::string> next_frame(std::uint64_t id) {
+    return hub_.next_frame(id);
+  }
+  void telemetry_progress(std::uint64_t id, bool progressed) {
+    hub_.note_progress(id, progressed);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> telemetry_tick() {
+    return hub_.tick();
+  }
+  [[nodiscard]] const TelemetryHub& telemetry() const { return hub_; }
+  /// Journal records appended or resumed so far (STATS/HEALTH progress seq).
+  [[nodiscard]] std::uint64_t journal_records() const { return journal_records_; }
+
   // -- State queries ---------------------------------------------------------
 
   [[nodiscard]] bool paused() const { return paused_; }
@@ -123,15 +148,37 @@ class ServiceCore {
                                           std::size_t lo, std::size_t hi,
                                           std::string& out, std::string& error);
 
+  /// Regenerate the telemetry stream from the journal, one "EVENT <seq>
+  /// <payload>" line per event starting at `from_seq` (1-based).  This is
+  /// the offline twin of WATCH FROM — the chaos harness byte-compares a
+  /// resumed live stream against this output.  On a bad journal or a cursor
+  /// beyond the stream, `error` says why and false is returned.
+  [[nodiscard]] static bool events_window(const ServiceConfig& config,
+                                          const std::string& journal_path,
+                                          std::uint64_t from_seq,
+                                          std::string& out, std::string& error);
+
  private:
   [[nodiscard]] std::string handle_submit(const std::vector<std::string>& tokens);
   [[nodiscard]] Seconds inflight_cost() const;
   void resume_from_journal();
+  /// Fold one just-journaled record into the telemetry feed and broadcast
+  /// the derived events.  Called after every journal append, so the live
+  /// stream is the same pure function of the journal the offline
+  /// generators compute.
+  void publish_record(const ServiceRecord& record);
 
   ServiceConfig config_;
   ServiceJournal journal_;
   AdmissionController admission_;
   CircuitBreaker breaker_;
+  TelemetryFeed feed_;
+  TelemetryHub hub_;
+  /// Journal records appended (or replayed at resume) through this core.
+  std::uint64_t journal_records_{0};
+  /// Scratch for publish_record (cleared per call; bounded by the two-
+  /// payloads-per-record feed contract).
+  std::vector<std::string> scratch_events_;
   ServiceStats stats_;
   /// Virtual service time: simulated seconds of completed (ok) work.
   Seconds vtime_{0.0};

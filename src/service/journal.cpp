@@ -10,8 +10,10 @@ namespace gg::service {
 namespace {
 
 /// "GGSL" — service log; distinct from the campaign journal's "GGJL".
+/// v2 added the controller-telemetry counters (scaler_decisions,
+/// division_moves) to outcome records for the WATCH stream.
 constexpr common::Journal::Format kServiceFormat{/*magic=*/0x4C534747u,
-                                                 /*version=*/1};
+                                                 /*version=*/2};
 
 void save_admit(common::SnapshotWriter& w, const Request& r) {
   w.u64(r.seq);
@@ -67,6 +69,8 @@ void save_outcome(common::SnapshotWriter& w, const OutcomeRecord& o) {
   w.b(o.verified);
   w.u64(o.fault_events);
   w.u64(o.watchdog_trips);
+  w.u64(o.scaler_decisions);
+  w.u64(o.division_moves);
   w.u8(static_cast<std::uint8_t>(o.deadline));
   w.f64(o.vtime_after);
 }
@@ -82,6 +86,8 @@ OutcomeRecord load_outcome(common::SnapshotReader& r) {
   out.verified = r.b();
   out.fault_events = r.u64();
   out.watchdog_trips = r.u64();
+  out.scaler_decisions = r.u64();
+  out.division_moves = r.u64();
   out.deadline = static_cast<DeadlineVerdict>(r.u8());
   out.vtime_after = r.f64();
   r.expect_done();
@@ -149,13 +155,16 @@ std::string render(const ServiceRecord& record) {
       std::snprintf(buf, sizeof buf,
                     "outcome seq=%llu device=%llu status=%s exec=%.6f "
                     "gpu_j=%.6f cpu_j=%.6f verified=%d faults=%llu "
-                    "watchdog=%llu deadline=%s vtime=%.6f",
+                    "watchdog=%llu scaler=%llu moves=%llu deadline=%s "
+                    "vtime=%.6f",
                     static_cast<unsigned long long>(o.seq),
                     static_cast<unsigned long long>(o.device),
                     o.status == OutcomeStatus::kOk ? "ok" : "failed", o.exec_time,
                     o.gpu_energy, o.cpu_energy, o.verified ? 1 : 0,
                     static_cast<unsigned long long>(o.fault_events),
                     static_cast<unsigned long long>(o.watchdog_trips),
+                    static_cast<unsigned long long>(o.scaler_decisions),
+                    static_cast<unsigned long long>(o.division_moves),
                     deadline_word(o.deadline), o.vtime_after);
       break;
     }

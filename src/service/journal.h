@@ -71,6 +71,11 @@ struct OutcomeRecord {
   bool verified{false};
   std::uint64_t fault_events{0};
   std::uint64_t watchdog_trips{0};
+  /// Controller telemetry (PR-3 DecisionRecorder counters): frequency-scaler
+  /// decisions taken and division moves (ratio changes) during the run.
+  /// Journaled so the WATCH stream can be regenerated from the journal alone.
+  std::uint64_t scaler_decisions{0};
+  std::uint64_t division_moves{0};
   DeadlineVerdict deadline{DeadlineVerdict::kNone};
   /// Virtual service time after this outcome (== vtime before + exec_time
   /// for ok outcomes; failed outcomes do not advance it).

@@ -1,24 +1,73 @@
 // Line-oriented AF_UNIX server and client for greengpud.
 //
-// Deliberately minimal transport: one connection is one or more newline-
-// terminated request lines, each answered with one newline-terminated reply
-// line.  All protocol meaning lives in ServiceCore::handle_line — this layer
-// only moves bytes, so every service behaviour is testable without a socket
-// and the daemon shell stays a thin loop.
+// Deliberately minimal transport: one connection carries newline-terminated
+// request lines, each answered with one newline-terminated reply line — or,
+// after a successful WATCH, a one-way stream of telemetry frames.  All
+// protocol meaning lives in ServiceCore::handle_line and the telemetry hub;
+// this layer only moves bytes, so every service behaviour is testable
+// without a socket and the daemon shell stays a thin loop.
+//
+// The server is a single-threaded poll() multiplexer over non-blocking
+// descriptors.  Nothing in it can block the daemon: writes that would block
+// are buffered (bounded) and retried next tick, reads drain whatever is
+// available, EINTR is retried a bounded number of times, and EPIPE or
+// ECONNRESET on a streaming connection evicts that subscriber instead of
+// killing the process.  Every raw socket syscall is concentrated in the
+// GG_NONBLOCK_IO-annotated helpers in the .cpp — greengpu-lint's
+// socket-blocking-write rule flags any raw ::read/::write/::send/::recv in
+// src/service/ outside such a helper.
 //
 // serve() polls with a short timeout and re-checks `stop` between waits, so
 // a signal handler flipping the atomic stops the server within one tick
-// without async-signal-unsafe work in the handler.
+// without async-signal-unsafe work in the handler.  Each poll round is also
+// one telemetry tick (StreamHooks::tick), which is what paces heartbeats
+// and the slow-consumer stall budget.
+//
+// Chaos: point set_fault_injector() at a sim::SocketFaultInjector and every
+// transport syscall first consults the injector — short reads and writes,
+// simulated EINTR, mid-frame disconnects, stalled peers and EPIPE are then
+// exercised deterministically from a seed (see tools/service_chaos.sh).
 #pragma once
 
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
+
+namespace gg::sim {
+class SocketFaultInjector;
+}  // namespace gg::sim
 
 namespace gg::service {
 
 /// Handle one request line (no newline), return one reply line (no newline).
 using LineHandler = std::function<std::string(const std::string&)>;
+
+/// Bridge from the transport to the telemetry hub.  The daemon fills these
+/// with lambdas that take the core lock; tests may leave them empty, in
+/// which case WATCH lines fall through to the ordinary LineHandler (which
+/// answers 400).  All callbacks are invoked from the serve() thread only.
+struct StreamHooks {
+  /// Open a stream for a WATCH request line.  Returns the subscriber id
+  /// (> 0) and sets `reply` to the success reply line, or returns 0 with
+  /// `reply` set to the refusal line (400/503).
+  std::function<std::uint64_t(const std::string& line, std::string& reply)>
+      subscribe;
+  /// Drop a subscriber (idempotent; disconnect and eviction both land here).
+  std::function<void(std::uint64_t id)> unsubscribe;
+  /// Next frame for a subscriber, without trailing newline; nullopt when it
+  /// has nothing to send this tick.
+  std::function<std::optional<std::string>(std::uint64_t id)> next_frame;
+  /// Transport verdict for one tick: `progressed` is false when frames were
+  /// pending but the peer accepted no bytes (a stall).
+  std::function<void(std::uint64_t id, bool progressed)> note_progress;
+  /// One poll tick; returns the ids of subscribers evicted for exhausting
+  /// the stall budget (the server closes their connections).
+  std::function<std::vector<std::uint64_t>()> tick;
+};
 
 /// Listening Unix-domain socket bound to `path` (any stale socket file is
 /// replaced).  Throws std::runtime_error naming the path on bind failure.
@@ -29,23 +78,46 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
+  /// Route every transport syscall through `injector` (nullptr disarms).
+  /// The injector must outlive serve(); the server does not own it.
+  void set_fault_injector(sim::SocketFaultInjector* injector) {
+    faults_ = injector;
+  }
+
   /// Accept connections and feed each received line through `handler` until
-  /// `stop` becomes true.  Connections are served one at a time — the
-  /// handler is never called concurrently.
+  /// `stop` becomes true.  Single-threaded: the handler and every hook run
+  /// on the calling thread, never concurrently.
   void serve(const LineHandler& handler, const std::atomic<bool>& stop);
+
+  /// As above, with streaming: a line recognised as WATCH is offered to
+  /// `hooks.subscribe`, and on success the connection flips to a one-way
+  /// telemetry stream fed from `hooks.next_frame` with per-tick stall
+  /// accounting and eviction.
+  void serve(const LineHandler& handler, const StreamHooks& hooks,
+             const std::atomic<bool>& stop);
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   std::string path_;
   int listen_fd_{-1};
+  sim::SocketFaultInjector* faults_{nullptr};
 };
 
 /// Client side: send each line of `lines` (newline-separated) over one
 /// connection to the socket at `path`, collecting one reply line per request
-/// line.  Throws std::runtime_error naming the path if the daemon is not
-/// there.
+/// line.  Retries EINTR (bounded) and partial writes; throws
+/// std::runtime_error naming the path if the daemon is not there.
 [[nodiscard]] std::string socket_request(const std::string& path,
                                          const std::string& lines);
+
+/// Streaming client: connect to `path`, send `request` (one line), then
+/// deliver every newline-terminated frame — including the initial reply
+/// line — to `on_frame` until the peer closes, `on_frame` returns false, or
+/// no bytes arrive for `idle_timeout_ms`.  Returns the number of frames
+/// delivered.  Throws std::runtime_error if the daemon is not there.
+std::size_t socket_watch(const std::string& path, const std::string& request,
+                         int idle_timeout_ms,
+                         const std::function<bool(const std::string&)>& on_frame);
 
 }  // namespace gg::service

@@ -6,6 +6,22 @@
 
 namespace gg::service {
 
+void TelemetryConfig::validate() const {
+  if (ring_capacity == 0) {
+    throw std::invalid_argument("TelemetryConfig: ring_capacity must be >= 1");
+  }
+  if (max_subscribers == 0) {
+    throw std::invalid_argument("TelemetryConfig: max_subscribers must be >= 1");
+  }
+  if (heartbeat_ticks == 0) {
+    throw std::invalid_argument("TelemetryConfig: heartbeat_ticks must be >= 1");
+  }
+  if (stall_budget_ticks == 0) {
+    throw std::invalid_argument(
+        "TelemetryConfig: stall_budget_ticks must be >= 1");
+  }
+}
+
 void BreakerConfig::validate() const {
   if (failure_threshold < 1) {
     throw std::invalid_argument(
@@ -43,6 +59,7 @@ void ServiceConfig::validate() const {
   breaker.validate();
   faults.validate();
   backoff.validate();
+  telemetry.validate();
 }
 
 std::uint64_t ServiceConfig::fingerprint() const {

@@ -56,6 +56,28 @@ struct Request {
   Seconds vtime_admit{0.0};
 };
 
+/// Streaming-telemetry (WATCH) knobs.  All host-side: none of these affect
+/// admission decisions or results, so they are excluded from the journal
+/// fingerprint — a daemon may resume a journal under a different streaming
+/// configuration.  Ticks are socket-server poll ticks (~50 ms wall each in
+/// the daemon, manual in tests), not simulated time: the stream paces
+/// against real subscribers, but nothing it carries depends on the pacing.
+struct TelemetryConfig {
+  /// Per-subscriber pending-frame ring capacity.  Overflow drops the oldest
+  /// undelivered event and accounts it in the next DROPPED frame.
+  std::size_t ring_capacity{256};
+  /// Subscriber-table bound; WATCH beyond it is refused with 503.
+  std::size_t max_subscribers{16};
+  /// Ticks with nothing delivered before a HEARTBEAT frame is emitted.
+  std::uint64_t heartbeat_ticks{40};
+  /// Consecutive ticks a subscriber may sit with pending frames and an
+  /// unwritable socket before it is evicted.
+  std::uint64_t stall_budget_ticks{400};
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
 /// Per-device circuit-breaker thresholds.
 struct BreakerConfig {
   /// Consecutive failed requests on one device before it is quarantined.
@@ -92,6 +114,8 @@ struct ServiceConfig {
   /// Executor crash supervision: restart budget and backoff schedule.
   int max_restarts{8};
   common::BackoffConfig backoff{};
+  /// WATCH streaming knobs (host-side; not fingerprinted).
+  TelemetryConfig telemetry{};
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;

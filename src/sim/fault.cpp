@@ -9,11 +9,19 @@ namespace gg::sim {
 
 namespace {
 
-void check_rate(double rate, const char* field) {
+void check_rate_in(const char* type, double rate, const char* field) {
   if (!(rate >= 0.0 && rate <= 1.0)) {
-    throw std::invalid_argument(std::string("FaultConfig: ") + field +
+    throw std::invalid_argument(std::string(type) + ": " + field +
                                 " must be in [0, 1], got " + std::to_string(rate));
   }
+}
+
+void check_rate(double rate, const char* field) {
+  check_rate_in("FaultConfig", rate, field);
+}
+
+void check_sock_rate(double rate, const char* field) {
+  check_rate_in("SocketFaultConfig", rate, field);
 }
 
 }  // namespace
@@ -105,6 +113,7 @@ std::string to_string(FaultChannel channel) {
     case FaultChannel::kHostTask: return "host-task";
     case FaultChannel::kThermal: return "thermal";
     case FaultChannel::kHarness: return "harness";
+    case FaultChannel::kSocket: return "socket";
   }
   return "unknown";
 }
@@ -128,8 +137,167 @@ std::string to_string(FaultOutcome outcome) {
     case FaultOutcome::kForcedCompletion: return "forced-completion";
     case FaultOutcome::kWatchdogTrip: return "watchdog-trip";
     case FaultOutcome::kActuationFallback: return "actuation-fallback";
+    case FaultOutcome::kSockShortWrite: return "sock-short-write";
+    case FaultOutcome::kSockEintr: return "sock-eintr";
+    case FaultOutcome::kSockEpipe: return "sock-epipe";
+    case FaultOutcome::kSockShortRead: return "sock-short-read";
+    case FaultOutcome::kSockDisconnect: return "sock-disconnect";
+    case FaultOutcome::kSockStall: return "sock-stall";
   }
   return "unknown";
+}
+
+bool SocketFaultConfig::any_faults() const {
+  return short_write_rate > 0.0 || eintr_rate > 0.0 || epipe_rate > 0.0 ||
+         short_read_rate > 0.0 || disconnect_rate > 0.0 || stall_rate > 0.0;
+}
+
+void SocketFaultConfig::validate() const {
+  check_sock_rate(short_write_rate, "short_write_rate");
+  check_sock_rate(eintr_rate, "eintr_rate");
+  check_sock_rate(epipe_rate, "epipe_rate");
+  check_sock_rate(short_read_rate, "short_read_rate");
+  check_sock_rate(disconnect_rate, "disconnect_rate");
+  check_sock_rate(stall_rate, "stall_rate");
+  if (short_write_rate + eintr_rate + epipe_rate + stall_rate > 1.0) {
+    throw std::invalid_argument(
+        "SocketFaultConfig: write-side rates (short_write+eintr+epipe+stall) "
+        "must sum to at most 1");
+  }
+  if (short_read_rate + eintr_rate + disconnect_rate > 1.0) {
+    throw std::invalid_argument(
+        "SocketFaultConfig: read-side rates (short_read+eintr+disconnect) "
+        "must sum to at most 1");
+  }
+}
+
+SocketFaultConfig SocketFaultConfig::uniform(double rate, std::uint64_t seed) {
+  check_sock_rate(rate, "uniform rate");
+  SocketFaultConfig c;
+  c.seed = seed;
+  // The write draw partitions across four channels, the read draw across
+  // three (sharing eintr_rate), so rate/4 keeps both direction sums <= rate.
+  c.short_write_rate = rate / 4.0;
+  c.eintr_rate = rate / 4.0;
+  c.epipe_rate = rate / 4.0;
+  c.stall_rate = rate / 4.0;
+  c.short_read_rate = rate / 4.0;
+  c.disconnect_rate = rate / 4.0;
+  return c;
+}
+
+SocketFaultConfig SocketFaultConfig::from_flags(const Flags& flags) {
+  SocketFaultConfig cfg;
+  const auto seed = static_cast<std::uint64_t>(
+      flags.get_int("socket-fault-seed", static_cast<long long>(cfg.seed)));
+  if (flags.has("socket-fault-rate")) {
+    cfg = uniform(flags.get_double("socket-fault-rate", 0.0), seed);
+  }
+  cfg.seed = seed;
+  cfg.short_write_rate =
+      flags.get_double("socket-fault-short-write", cfg.short_write_rate);
+  cfg.eintr_rate = flags.get_double("socket-fault-eintr", cfg.eintr_rate);
+  cfg.epipe_rate = flags.get_double("socket-fault-epipe", cfg.epipe_rate);
+  cfg.short_read_rate =
+      flags.get_double("socket-fault-short-read", cfg.short_read_rate);
+  cfg.disconnect_rate =
+      flags.get_double("socket-fault-disconnect", cfg.disconnect_rate);
+  cfg.stall_rate = flags.get_double("socket-fault-stall", cfg.stall_rate);
+  cfg.validate();
+  return cfg;
+}
+
+std::string to_string(SocketFault fault) {
+  switch (fault) {
+    case SocketFault::kNone: return "none";
+    case SocketFault::kShortWrite: return "short-write";
+    case SocketFault::kEintr: return "eintr";
+    case SocketFault::kEpipe: return "epipe";
+    case SocketFault::kShortRead: return "short-read";
+    case SocketFault::kDisconnect: return "disconnect";
+    case SocketFault::kStall: return "stall";
+  }
+  return "unknown";
+}
+
+SocketFaultInjector::SocketFaultInjector(SocketFaultConfig config)
+    : config_(config) {
+  config_.validate();
+  Rng master(config_.seed);
+  write_rng_ = master.fork();
+  read_rng_ = master.fork();
+}
+
+void SocketFaultInjector::bump(SocketFault fault) {
+  ++counts_[static_cast<std::size_t>(fault)];
+}
+
+SocketFault SocketFaultInjector::draw_write(std::size_t size,
+                                            std::size_t& allowed) {
+  allowed = size;
+  if (!config_.any_faults()) return SocketFault::kNone;
+  const double r = write_rng_.uniform();
+  double band = config_.short_write_rate;
+  if (r < band && size > 1) {
+    // At least one byte goes through: a short write is progress, not a stall.
+    allowed = 1 + static_cast<std::size_t>(
+                      write_rng_.uniform_int(static_cast<std::uint64_t>(size - 1)));
+    bump(SocketFault::kShortWrite);
+    return SocketFault::kShortWrite;
+  }
+  band = config_.short_write_rate + config_.eintr_rate;
+  if (r < band) {
+    bump(SocketFault::kEintr);
+    return SocketFault::kEintr;
+  }
+  band += config_.epipe_rate;
+  if (r < band) {
+    bump(SocketFault::kEpipe);
+    return SocketFault::kEpipe;
+  }
+  band += config_.stall_rate;
+  if (r < band) {
+    bump(SocketFault::kStall);
+    return SocketFault::kStall;
+  }
+  bump(SocketFault::kNone);
+  return SocketFault::kNone;
+}
+
+SocketFault SocketFaultInjector::draw_read(std::size_t size,
+                                           std::size_t& allowed) {
+  allowed = size;
+  if (!config_.any_faults()) return SocketFault::kNone;
+  const double r = read_rng_.uniform();
+  double band = config_.short_read_rate;
+  if (r < band && size > 1) {
+    allowed = 1 + static_cast<std::size_t>(
+                      read_rng_.uniform_int(static_cast<std::uint64_t>(size - 1)));
+    bump(SocketFault::kShortRead);
+    return SocketFault::kShortRead;
+  }
+  band = config_.short_read_rate + config_.eintr_rate;
+  if (r < band) {
+    bump(SocketFault::kEintr);
+    return SocketFault::kEintr;
+  }
+  band += config_.disconnect_rate;
+  if (r < band) {
+    bump(SocketFault::kDisconnect);
+    return SocketFault::kDisconnect;
+  }
+  bump(SocketFault::kNone);
+  return SocketFault::kNone;
+}
+
+std::uint64_t SocketFaultInjector::count(SocketFault fault) const {
+  return counts_[static_cast<std::size_t>(fault)];
+}
+
+std::uint64_t SocketFaultInjector::injected() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) total += counts_[i];
+  return total;
 }
 
 FaultInjector::FaultInjector(EventQueue& queue, FaultConfig config)

@@ -21,6 +21,7 @@
 // strict no-op; experiments that do not install one are untouched.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -88,6 +89,7 @@ enum class FaultChannel : std::uint8_t {
   kHostTask,
   kThermal,
   kHarness,  ///< retry / reroute / watchdog bookkeeping by hardened layers
+  kSocket,   ///< service transport (greengpud's Unix socket)
 };
 
 /// What actually happened.
@@ -111,6 +113,13 @@ enum class FaultOutcome : std::uint8_t {
   kForcedCompletion,
   kWatchdogTrip,
   kActuationFallback,
+  // Socket-family faults (drawn by SocketFaultInjector on the transport).
+  kSockShortWrite,
+  kSockEintr,
+  kSockEpipe,
+  kSockShortRead,
+  kSockDisconnect,
+  kSockStall,
 };
 
 [[nodiscard]] std::string to_string(FaultChannel channel);
@@ -203,6 +212,90 @@ class FaultInjector {
   std::vector<GpuSlot> gpus_;
   std::vector<FaultEvent> events_;
   bool started_{false};
+};
+
+// --------------------------------------------------------------------------
+// Socket-fault family (the service transport's chaos source)
+// --------------------------------------------------------------------------
+
+/// Per-syscall fault probabilities for the greengpud socket layer.  Unlike
+/// FaultConfig these faults live on the *host* side of the simulation
+/// boundary — they perturb how bytes move, never what the bytes say — so
+/// they are deliberately excluded from ServiceConfig::fingerprint() and a
+/// journal written under chaos resumes cleanly without it.
+///
+/// The write draw partitions one uniform sample across short-write / EINTR /
+/// EPIPE / stall; the read draw across short-read / EINTR / disconnect, so
+/// the per-direction rates must each sum to at most 1.
+struct SocketFaultConfig {
+  std::uint64_t seed{0x5EED50C7ULL};
+
+  double short_write_rate{0.0};  ///< write accepts only part of the buffer
+  double eintr_rate{0.0};        ///< read/write interrupted by a signal
+  double epipe_rate{0.0};        ///< write finds the peer already gone
+  double short_read_rate{0.0};   ///< read returns a truncated chunk
+  double disconnect_rate{0.0};   ///< peer vanishes mid-frame on the read side
+  double stall_rate{0.0};        ///< peer's receive window closes (EAGAIN)
+
+  /// True when any channel can ever fire.
+  [[nodiscard]] bool any_faults() const;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+
+  /// Convenience: spread `rate` across every channel so each *direction*
+  /// faults with total probability <= rate per syscall.
+  [[nodiscard]] static SocketFaultConfig uniform(double rate,
+                                                 std::uint64_t seed = 0x5EED50C7ULL);
+
+  /// Parse the --socket-fault-* flag family (greengpud and the chaos
+  /// harness): --socket-fault-seed, --socket-fault-rate (uniform shorthand),
+  /// per-channel overrides.  Calls validate().
+  [[nodiscard]] static SocketFaultConfig from_flags(const Flags& flags);
+};
+
+/// Fault drawn for one socket syscall.
+enum class SocketFault : std::uint8_t {
+  kNone,
+  kShortWrite,
+  kEintr,
+  kEpipe,
+  kShortRead,
+  kDisconnect,
+  kStall,
+};
+
+[[nodiscard]] std::string to_string(SocketFault fault);
+
+/// Seeded fault source for the service socket layer.  Standalone (no
+/// EventQueue: the transport has no simulated time) but deterministic: the
+/// draw sequence is a pure function of (seed, syscall order), and separate
+/// read/write streams keep the two directions independent.
+class SocketFaultInjector {
+ public:
+  explicit SocketFaultInjector(SocketFaultConfig config);
+
+  [[nodiscard]] const SocketFaultConfig& config() const { return config_; }
+
+  /// One draw for a write of `size` bytes.  On kShortWrite, `allowed` is
+  /// truncated to the injected partial length; otherwise it is `size`.
+  [[nodiscard]] SocketFault draw_write(std::size_t size, std::size_t& allowed);
+
+  /// One draw for a read of up to `size` bytes (same contract).
+  [[nodiscard]] SocketFault draw_read(std::size_t size, std::size_t& allowed);
+
+  /// Times `fault` has been drawn (kNone counts clean syscalls).
+  [[nodiscard]] std::uint64_t count(SocketFault fault) const;
+  /// Total injected faults (every draw except kNone).
+  [[nodiscard]] std::uint64_t injected() const;
+
+ private:
+  void bump(SocketFault fault);
+
+  SocketFaultConfig config_;
+  Rng write_rng_;
+  Rng read_rng_;
+  std::array<std::uint64_t, 7> counts_{};
 };
 
 }  // namespace gg::sim

@@ -101,6 +101,52 @@ TEST(CircuitBreaker, AllOpenForceProbesTheLongestQuarantined) {
   EXPECT_EQ(b.state(1), CircuitBreaker::State::kHalfOpen);
 }
 
+TEST(CircuitBreaker, HalfOpenProbeSurvivesRacingCompletions) {
+  // A probe is a single in-flight request, but the daemon keeps executing:
+  // completions on healthy devices land *between* the probe's dispatch
+  // (acquire) and its outcome.  Those racing completions must neither
+  // disturb the half-open state nor trick acquire() into dispatching a
+  // second probe at the same device.
+  CircuitBreaker b(3, config(2, 2));
+  b.on_result(0, false);
+  b.on_result(0, false);  // device 0 quarantined, opened_at = 2
+  b.on_result(1, true);
+  b.on_result(1, true);  // completions = 4: probe due
+  ASSERT_EQ(b.acquire(), 0u);
+  ASSERT_EQ(b.state(0), CircuitBreaker::State::kHalfOpen);
+  // The race: two healthy completions arrive while the probe is in flight.
+  EXPECT_EQ(b.on_result(1, true), CircuitBreaker::Event::kNone);
+  EXPECT_EQ(b.on_result(2, true), CircuitBreaker::Event::kNone);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kHalfOpen)
+      << "racing completions must not resolve the probe";
+  // completions = 6, cursor 6 % 3 = 0 points at the half-open device —
+  // rotation steps past it instead of double-probing.
+  EXPECT_EQ(b.acquire(), 1u);
+  // The probe outcome finally lands and resolves the quarantine.
+  EXPECT_EQ(b.on_result(0, true), CircuitBreaker::Event::kClosed);
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, RacedProbeFailureCountsTheRacingCompletions) {
+  CircuitBreaker b(3, config(2, 2));
+  b.on_result(0, false);
+  b.on_result(0, false);  // opened_at = 2
+  b.on_result(1, true);
+  b.on_result(1, true);  // probe due at 4
+  ASSERT_EQ(b.acquire(), 0u);
+  b.on_result(1, true);
+  b.on_result(2, true);  // racing completions: 6
+  // The probe fails after the race: re-quarantined with the clock restarted
+  // from *now* (7), so the raced completions do not shorten the next wait.
+  EXPECT_EQ(b.on_result(0, false), CircuitBreaker::Event::kReopened);
+  EXPECT_EQ(b.acquire(), 1u) << "7 < 7 + 2: not probe-ready";
+  b.on_result(1, true);
+  EXPECT_EQ(b.acquire(), 2u) << "8 < 7 + 2: still waiting";
+  b.on_result(2, true);  // completions = 9
+  EXPECT_EQ(b.acquire(), 0u) << "second probe due at 9";
+  EXPECT_EQ(b.state(0), CircuitBreaker::State::kHalfOpen);
+}
+
 TEST(CircuitBreaker, ReplayingOutcomesRebuildsIdenticalState) {
   // The resume property the daemon relies on: state is a pure function of
   // the outcome sequence, so feeding the same (device, ok) stream into a

@@ -51,6 +51,8 @@ OutcomeRecord sample_outcome() {
   o.verified = true;
   o.fault_events = 2;
   o.watchdog_trips = 1;
+  o.scaler_decisions = 5;
+  o.division_moves = 3;
   o.deadline = DeadlineVerdict::kMet;
   o.vtime_after = 4.75;
   return o;
@@ -96,6 +98,8 @@ TEST_F(ServiceJournalTest, RoundTripsAllRecordKinds) {
   EXPECT_TRUE(o.verified);
   EXPECT_EQ(o.fault_events, 2u);
   EXPECT_EQ(o.watchdog_trips, 1u);
+  EXPECT_EQ(o.scaler_decisions, 5u);
+  EXPECT_EQ(o.division_moves, 3u);
   EXPECT_EQ(o.deadline, DeadlineVerdict::kMet);
   EXPECT_DOUBLE_EQ(o.vtime_after, 4.75);
 }
@@ -127,8 +131,8 @@ TEST_F(ServiceJournalTest, RenderIsByteStable) {
   outcome.outcome = sample_outcome();
   EXPECT_EQ(render(outcome),
             "outcome seq=7 device=1 status=ok exec=3.500000 gpu_j=10.000000 "
-            "cpu_j=4.000000 verified=1 faults=2 watchdog=1 deadline=met "
-            "vtime=4.750000");
+            "cpu_j=4.000000 verified=1 faults=2 watchdog=1 scaler=5 moves=3 "
+            "deadline=met vtime=4.750000");
 
   outcome.outcome.status = OutcomeStatus::kFailed;
   outcome.outcome.deadline = DeadlineVerdict::kViolated;

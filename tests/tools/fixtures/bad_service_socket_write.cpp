@@ -1,0 +1,34 @@
+// Lint fixture: raw socket syscalls in the service layer must live inside
+// GG_NONBLOCK_IO-annotated helper bodies.  The file name marks this as
+// service code; a bare ::write/::read/::send/::recv outside an annotated
+// body fires, the annotated helper is sanctioned, and qualified names like
+// ServiceJournal::read() never match the global-scope syscall form.
+#include <cstddef>
+
+using ssize_t = long;
+extern "C" ssize_t write(int, const void*, std::size_t);
+extern "C" ssize_t read(int, void*, std::size_t);
+extern "C" ssize_t send(int, const void*, std::size_t, int);
+
+#define GG_NONBLOCK_IO
+
+struct ServiceJournal {
+  static int read(const char* path);
+};
+
+void reply_blocking(int fd, const char* data, std::size_t size) {
+  (void)::write(fd, data, size);  // violation: blocks the poll thread
+}
+
+void drain_blocking(int fd, char* buf, std::size_t size) {
+  (void)::read(fd, buf, size);     // violation
+  (void)::send(fd, buf, size, 0);  // violation
+}
+
+GG_NONBLOCK_IO ssize_t write_some(int fd, const char* data, std::size_t size) {
+  return ::write(fd, data, size);  // sanctioned: annotated helper body
+}
+
+int load_journal() {
+  return ServiceJournal::read("gg.journal");  // qualified name, not a syscall
+}

@@ -20,7 +20,8 @@ import sys
 
 FIXTURES = ["bad_nondeterminism", "bad_report_unordered", "bad_hot_alloc",
             "bad_batch_alloc", "bad_pipeline_sync", "bad_checkpoint_write",
-            "bad_service_growth", "clean", "clean_scanner_edges"]
+            "bad_service_growth", "bad_service_socket_write", "clean",
+            "clean_scanner_edges"]
 
 
 def run_lint(root, args):

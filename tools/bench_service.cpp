@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -29,6 +30,7 @@
 #include "src/common/flags.h"
 #include "src/common/json.h"
 #include "src/service/core.h"
+#include "src/service/telemetry.h"
 
 namespace {
 
@@ -132,6 +134,76 @@ int main(int argc, char** argv) {
   std::printf("  %.2f completions/s over %zu executed requests\n",
               completions_per_sec, kDrain);
 
+  // Streaming fan-out: publish a realistic event payload through a
+  // TelemetryHub at increasing subscriber counts, draining every ring as a
+  // healthy consumer would.  Measures the WATCH hot path (assign seq, copy
+  // into each ring, format the frame) without socket noise.
+  constexpr std::size_t kEvents = 20000;
+  const std::string payload =
+      "outcome seq=42 device=1 status=ok exec=0.031250 gpu_j=1.234567 "
+      "cpu_j=0.765432 verified=1 faults=0 watchdog=0 scaler=12 moves=3 "
+      "deadline=met vtime=12.345678";
+  const std::size_t fan_counts[] = {1, 4, 16};
+  double fan_events_per_sec[3] = {0.0, 0.0, 0.0};
+  for (std::size_t f = 0; f < 3; ++f) {
+    const std::size_t subs = fan_counts[f];
+    service::TelemetryConfig tcfg;
+    tcfg.ring_capacity = 256;
+    tcfg.max_subscribers = subs;
+    service::TelemetryHub hub(tcfg);
+    std::vector<std::uint64_t> ids;
+    // GG_BOUNDED(one id per benchmark subscriber, fixed fan-out counts)
+    for (std::size_t s = 0; s < subs; ++s) ids.push_back(hub.subscribe(1, {}));
+    std::size_t delivered = 0;
+    const auto fan_start = Clock::now();
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      hub.publish(payload);
+      if (i % 128 == 127) {
+        for (const std::uint64_t id : ids) {
+          while (hub.next_frame(id).has_value()) ++delivered;
+        }
+      }
+    }
+    for (const std::uint64_t id : ids) {
+      while (hub.next_frame(id).has_value()) ++delivered;
+    }
+    const double fan_s =
+        std::chrono::duration<double>(Clock::now() - fan_start).count();
+    fan_events_per_sec[f] = static_cast<double>(kEvents) / fan_s;
+    if (delivered != kEvents * subs || hub.dropped_total() != 0) {
+      std::fprintf(stderr, "fan-out accounting broke: delivered=%zu dropped=%llu\n",
+                   delivered,
+                   static_cast<unsigned long long>(hub.dropped_total()));
+      return 1;
+    }
+    std::printf("  %zu subscriber(s): %.0f events/s published (%zu delivered)\n",
+                subs, fan_events_per_sec[f], delivered);
+  }
+
+  // Slow-consumer backpressure: one subscriber never drains against a small
+  // ring.  The accounting invariant — every published event is either
+  // delivered or explicitly DROPPED-accounted — is the record's correctness
+  // flag; the drop rate goes in the record for trend-watching.
+  service::TelemetryConfig slow_cfg;
+  slow_cfg.ring_capacity = 64;
+  service::TelemetryHub slow_hub(slow_cfg);
+  const std::uint64_t slow_id = slow_hub.subscribe(1, {});
+  for (std::size_t i = 0; i < kEvents; ++i) slow_hub.publish(payload);
+  std::uint64_t slow_delivered = 0;
+  while (const auto frame = slow_hub.next_frame(slow_id)) {
+    if (frame->rfind("EVENT ", 0) == 0) ++slow_delivered;
+  }
+  const bool accounting_exact =
+      slow_delivered + slow_hub.dropped_total() == slow_hub.published();
+  const double drop_rate = static_cast<double>(slow_hub.dropped_total()) /
+                           static_cast<double>(slow_hub.published());
+  std::printf("  slow consumer: %llu delivered + %llu dropped of %llu "
+              "(accounting %s)\n",
+              static_cast<unsigned long long>(slow_delivered),
+              static_cast<unsigned long long>(slow_hub.dropped_total()),
+              static_cast<unsigned long long>(slow_hub.published()),
+              accounting_exact ? "exact" : "BROKEN");
+
   std::ostringstream service_json;
   {
     JsonWriter w(service_json);
@@ -142,6 +214,15 @@ int main(int argc, char** argv) {
     w.kv("admission_latency_p99_us", p99);
     w.kv("drained_requests", static_cast<double>(kDrain));
     w.kv("completions_per_sec", completions_per_sec);
+    w.kv("watch_events", static_cast<double>(kEvents));
+    w.kv("watch_events_per_sec_subs1", fan_events_per_sec[0]);
+    w.kv("watch_events_per_sec_subs4", fan_events_per_sec[1]);
+    w.kv("watch_events_per_sec_subs16", fan_events_per_sec[2]);
+    w.kv("watch_min_events_per_sec",
+         std::min({fan_events_per_sec[0], fan_events_per_sec[1],
+                   fan_events_per_sec[2]}));
+    w.kv("slow_consumer_drop_rate", drop_rate);
+    w.kv("drop_accounting_exact", accounting_exact);
     w.end_object();
   }
   write_out(out_file, service_json.str());

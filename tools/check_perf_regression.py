@@ -61,6 +61,9 @@ INVARIANT_FLAGS = [
     ("pipeline", "identical_reports_across_jobs"),
     ("pipeline", "identical_reports_across_engines"),
     ("pipeline", "identical_reports_after_resume"),
+    # Streaming telemetry: every event a slow consumer loses must be
+    # accounted by DROPPED framing — delivered + dropped == published.
+    ("service", "drop_accounting_exact"),
 ]
 
 # Scaler fast path vs reference, same host by construction.  Wall-clock
@@ -77,6 +80,12 @@ BATCH_SPEEDUP_FLOOR = 5.0
 # stream depth, overlap efficiency 0.57 / 0.50.
 PIPELINE_SPEEDUP_FLOOR = 1.3   # worst workload's makespan speedup
 PIPELINE_OVERLAP_FLOOR = 0.3   # worst workload's overlapped/copy-busy ratio
+# Telemetry fan-out floor, events/sec at the WORST measured subscriber count
+# (16).  The hub hot path is a seq assignment plus one string copy per ring,
+# measured in the millions/sec on the reference container; 50k/s is two
+# orders of magnitude of headroom for slow CI hosts while still catching an
+# accidental O(subscribers^2) or per-publish allocation storm.
+STREAM_EVENTS_FLOOR = 50_000.0
 
 
 def get(record, section, key):
@@ -163,6 +172,17 @@ def main():
     else:
         print(f"[OK]   pipelined schedules {pipe_speedup:.2f}x faster than sync "
               f"(floor {PIPELINE_SPEEDUP_FLOOR:.1f}x, simulated)")
+
+    stream_rate = get(current, "service", "watch_min_events_per_sec")
+    if not isinstance(stream_rate, (int, float)) or isinstance(stream_rate, bool):
+        failures.append("service.watch_min_events_per_sec: missing from current record")
+    elif stream_rate < STREAM_EVENTS_FLOOR:
+        failures.append(
+            f"service.watch_min_events_per_sec: {stream_rate:.0f}/s < "
+            f"{STREAM_EVENTS_FLOOR:.0f}/s floor")
+    else:
+        print(f"[OK]   telemetry fan-out {stream_rate:.0f} events/s at the worst "
+              f"subscriber count (floor {STREAM_EVENTS_FLOOR:.0f}/s)")
 
     overlap = get(current, "pipeline", "min_overlap_efficiency")
     if not isinstance(overlap, (int, float)) or isinstance(overlap, bool):

@@ -149,6 +149,14 @@ SERVICE_GROWTH_RE = re.compile(
     r"\.\s*(?:push_back|emplace_back|emplace|push|insert)\s*\(")
 BOUNDED_RE = re.compile(r"GG_BOUNDED\(([^)]*)\)")
 
+# socket-blocking-write: raw socket syscalls in the service layer are only
+# sanctioned inside GG_NONBLOCK_IO-annotated helper bodies, whose contract
+# (bounded EINTR retry, EAGAIN deferral, EPIPE -> orderly close) is what
+# keeps one stalled WATCH subscriber from wedging the daemon.  The negative
+# lookbehind keeps qualified names (ServiceJournal::read) from matching the
+# global-scope syscall form (::read).
+SOCKET_SYSCALL_RE = re.compile(r"(?<![\w>])::\s*(read|write|send|recv)\s*\(")
+
 # --------------------------------------------------------------------------
 # Mechanics
 # --------------------------------------------------------------------------
@@ -325,6 +333,31 @@ class FileLinter:
                 "GG_BOUNDED(<why the growth is bounded>) "
                 "(src/common/annotations.h)")
 
+    # -- socket-blocking-write ---------------------------------------------
+    def check_socket_write(self) -> None:
+        """Raw ::read/::write/::send/::recv in the service layer must live
+        inside a GG_NONBLOCK_IO-annotated helper body (first '{' after the
+        marker, brace-matched) — anywhere else it is presumed to block the
+        daemon's single poll thread."""
+        if not SERVICE_PATH_RE.search(self.relpath):
+            return
+        sanctioned: set = set()
+        for _, open_idx, close_idx in marker_spans(self.code, "GG_NONBLOCK_IO"):
+            first = self.code.count("\n", 0, open_idx) + 1
+            last = self.code.count("\n", 0, close_idx) + 1
+            sanctioned.update(range(first, last + 1))
+        for ln, line in enumerate(self.code_lines, 1):
+            m = SOCKET_SYSCALL_RE.search(line)
+            if not m or ln in sanctioned:
+                continue
+            self.report(
+                ln, "socket-blocking-write",
+                f"raw ::{m.group(1)}() in the service layer outside a "
+                "GG_NONBLOCK_IO helper — a blocking socket call lets one "
+                "slow peer wedge the daemon's poll loop; route the byte "
+                "through the annotated non-blocking helpers "
+                "(src/common/annotations.h)")
+
     def run(self) -> list:
         self.check_nondeterminism()
         self.check_unordered()
@@ -333,6 +366,7 @@ class FileLinter:
         self.check_pipeline_blocking_sync()
         self.check_checkpoint_write()
         self.check_service_growth()
+        self.check_socket_write()
         return self.diags
 
 

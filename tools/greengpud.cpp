@@ -15,6 +15,8 @@
 //
 //   client
 //     greengpud --client --socket /tmp/gg.sock   (request lines on stdin)
+//     greengpud --client --socket /tmp/gg.sock --watch [--from N]
+//       [--idle-timeout-ms T]   (stream telemetry frames to stdout)
 //
 //   replay
 //     greengpud --replay /tmp/gg.journal --window 3:7 [service flags]
@@ -22,6 +24,19 @@
 //     recorded (seed, device) and verifies them against the journal; prints
 //     the window's report lines (byte-identical to the live report's) on
 //     success, a divergence diagnosis on failure.
+//
+//   events
+//     greengpud --events /tmp/gg.journal [--from N] [service flags]
+//     Regenerates the telemetry stream from the journal — the offline twin
+//     of `--watch`: the EVENT lines are byte-identical to what a live
+//     subscriber (or a WATCH FROM resume) received for the same records.
+//
+// Chaos: --socket-fault-rate R (and the --socket-fault-* per-channel
+// family) arms a deterministic sim::SocketFaultInjector on the server's
+// transport — short reads/writes, EINTR, EPIPE, mid-frame disconnects and
+// stalled peers are then drawn from a seeded stream, never from luck.
+// SIGPIPE is ignored daemon-wide: a vanished peer surfaces as EPIPE on its
+// own connection (slow-consumer eviction), never as process death.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -76,6 +91,14 @@ gg::service::ServiceConfig config_from_flags(const gg::Flags& flags) {
   config.backoff.initial =
       gg::Seconds{flags.get_double("backoff-initial-s", 0.01)};
   config.backoff.max = gg::Seconds{flags.get_double("backoff-max-s", 0.1)};
+  config.telemetry.ring_capacity =
+      static_cast<std::size_t>(flags.get_int("telemetry-ring", 256));
+  config.telemetry.max_subscribers =
+      static_cast<std::size_t>(flags.get_int("telemetry-max-subs", 16));
+  config.telemetry.heartbeat_ticks =
+      static_cast<std::uint64_t>(flags.get_int("heartbeat-ticks", 40));
+  config.telemetry.stall_budget_ticks =
+      static_cast<std::uint64_t>(flags.get_int("stall-ticks", 400));
   config.validate();
   return config;
 }
@@ -86,6 +109,41 @@ int run_client(const std::string& socket_path) {
   while (std::fgets(buf, sizeof buf, stdin) != nullptr) lines += buf;
   if (lines.empty()) return 0;
   std::fputs(gg::service::socket_request(socket_path, lines).c_str(), stdout);
+  return 0;
+}
+
+int run_watch(const std::string& socket_path, std::uint64_t from,
+              int idle_timeout_ms) {
+  const std::string request =
+      from == 0 ? "WATCH" : "WATCH FROM " + std::to_string(from);
+  bool first = true;
+  bool refused = false;
+  const std::size_t frames = gg::service::socket_watch(
+      socket_path, request, idle_timeout_ms,
+      [&](const std::string& frame) {
+        std::fputs(frame.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+        // The first frame is the handshake reply; a non-2xx means refused.
+        if (first) {
+          first = false;
+          refused = frame.empty() || frame[0] != '2';
+        }
+        return !refused;
+      });
+  return refused || frames == 0 ? 1 : 0;
+}
+
+int run_events(const gg::service::ServiceConfig& config,
+               const std::string& journal_path, std::uint64_t from) {
+  std::string out;
+  std::string error;
+  if (!gg::service::ServiceCore::events_window(config, journal_path, from, out,
+                                               error)) {
+    std::fprintf(stderr, "events failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::fputs(out.c_str(), stdout);
   return 0;
 }
 
@@ -159,7 +217,8 @@ void executor_loop(gg::service::ServiceCore& core, std::mutex& mu,
 
 int run_server(const gg::service::ServiceConfig& config,
                const std::string& socket_path, const std::string& journal_path,
-               const std::string& report_path, bool resume) {
+               const std::string& report_path, bool resume,
+               const gg::sim::SocketFaultConfig& socket_faults) {
   gg::service::ServiceCore core(config, journal_path, resume);
   std::mutex mu;
 
@@ -167,6 +226,36 @@ int run_server(const gg::service::ServiceConfig& config,
   std::signal(SIGINT, on_signal);
 
   gg::service::SocketServer server(socket_path);
+  std::optional<gg::sim::SocketFaultInjector> injector;
+  if (socket_faults.any_faults()) {
+    injector.emplace(socket_faults);
+    server.set_fault_injector(&*injector);
+  }
+
+  // The transport-to-telemetry bridge: every hook takes the core lock, so
+  // stream state mutates in the same critical sections as the protocol.
+  gg::service::StreamHooks hooks;
+  hooks.subscribe = [&](const std::string& line, std::string& reply) {
+    std::lock_guard<std::mutex> lock(mu);
+    return core.watch(line, reply);
+  };
+  hooks.unsubscribe = [&](std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    core.unwatch(id);
+  };
+  hooks.next_frame = [&](std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return core.next_frame(id);
+  };
+  hooks.note_progress = [&](std::uint64_t id, bool progressed) {
+    std::lock_guard<std::mutex> lock(mu);
+    core.telemetry_progress(id, progressed);
+  };
+  hooks.tick = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return core.telemetry_tick();
+  };
+
   std::thread executor([&] { executor_loop(core, mu, config); });
 
   server.serve(
@@ -174,7 +263,7 @@ int run_server(const gg::service::ServiceConfig& config,
         std::lock_guard<std::mutex> lock(mu);
         return core.handle_line(line);
       },
-      g_shutdown);
+      hooks, g_shutdown);
 
   // Graceful drain: the socket stopped admitting; let the executor finish
   // everything queued and in flight, then derive the report from the journal.
@@ -194,13 +283,24 @@ int run_server(const gg::service::ServiceConfig& config,
 
 int main(int argc, char** argv) {
   try {
+    // Daemon-wide: a peer that vanishes mid-write must surface as EPIPE on
+    // its own connection (handled as slow-consumer eviction), never as a
+    // process-killing signal.
+    std::signal(SIGPIPE, SIG_IGN);
+
     gg::Flags flags(argc, argv);
     const bool client = flags.get_bool("client", false);
+    const bool watch = flags.get_bool("watch", false);
     const std::string replay = flags.get_string("replay", "");
+    const std::string events = flags.get_string("events", "");
     const std::string socket_path = flags.get_string("socket", "");
     const std::string journal_path = flags.get_string("journal", "");
     const std::string report_path = flags.get_string("report", "");
     const std::string window = flags.get_string("window", "");
+    const std::uint64_t from =
+        static_cast<std::uint64_t>(flags.get_int("from", 0));
+    const int idle_timeout_ms =
+        static_cast<int>(flags.get_int("idle-timeout-ms", 10000));
     const bool resume = flags.get_bool("resume", false);
 
     // --crash-at <point>:<nth>[:shots] arms a kill-point in exit mode: the
@@ -214,18 +314,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--client needs --socket\n");
         return 2;
       }
+      if (watch) return run_watch(socket_path, from, idle_timeout_ms);
       return run_client(socket_path);
     }
 
     const gg::service::ServiceConfig config = config_from_flags(flags);
+    const gg::sim::SocketFaultConfig socket_faults =
+        gg::sim::SocketFaultConfig::from_flags(flags);
     flags.reject_unknown();
 
     if (!replay.empty()) return run_replay(config, replay, window);
+    if (!events.empty()) return run_events(config, events, from);
 
     if (socket_path.empty() || journal_path.empty()) {
       std::fprintf(stderr, "usage: greengpud --socket <path> --journal <path> "
                            "[--report <path>] [--resume] | --client --socket "
-                           "<path> | --replay <journal> --window <lo>:<hi>\n");
+                           "<path> [--watch [--from N]] | --replay <journal> "
+                           "--window <lo>:<hi> | --events <journal> [--from N]\n");
       return 2;
     }
     if (!crash_at.empty()) {
@@ -245,7 +350,8 @@ int main(int argc, char** argv) {
       gg::common::arm_kill_point(gg::common::kill_point_from_string(point_name),
                                  nth, gg::common::CrashMode::kExit, shots);
     }
-    return run_server(config, socket_path, journal_path, report_path, resume);
+    return run_server(config, socket_path, journal_path, report_path, resume,
+                      socket_faults);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -61,6 +61,24 @@ submit_batch() {
   printf '%s\n' "$BATCH" | "$BIN" --client --socket "$SOCK" || true
 }
 
+stats_field() { # $1=field; value from a STATS round trip (empty if daemon gone)
+  printf 'STATS\n' | "$BIN" --client --socket "$SOCK" 2>/dev/null |
+    tr ' ' '\n' | sed -n "s/^$1=//p"
+}
+
+# Progress is asserted, never slept for: poll the STATS journal/telemetry
+# seqs until the daemon has provably journaled at least $2 records.
+wait_journal_records() { # $1=field $2=minimum
+  local field="$1" min="$2" value=0
+  for _ in $(seq 1 200); do
+    value=$(stats_field "$field")
+    [ -n "$value" ] && [ "$value" -ge "$min" ] && return 0
+    sleep 0.05
+  done
+  echo "$field stuck at '$value', want >= $min" >&2
+  exit 1
+}
+
 graceful_stop() { # SIGTERM: stop admitting, finish everything, write report
   kill -TERM "$DPID"
   local rc=0
@@ -88,6 +106,10 @@ check_case() { # $1=name $2=crash-arg ("sigkill" for the raw kill) $3=extra flag
   if [ "$crash" = "sigkill" ]; then
     start_daemon "$journal" "$report" $extra
     submit_batch
+    # Let the executor provably reach mid-batch (admissions journaled plus
+    # at least one claimed outcome) so the raw kill always lands on a
+    # journal with work both behind and ahead of it.
+    wait_journal_records journal_records 6
     kill -9 "$DPID"
     wait "$DPID" || true
   else
@@ -121,6 +143,27 @@ check_case pre-result "service-pre-result:1" ""
 check_case post-admit "service-post-admit:4" ""
 check_case sigkill "sigkill" ""
 check_case faulted-pre-result "service-pre-result:3" "$FAULT_FLAGS"
+
+# -- streaming telemetry ------------------------------------------------------
+# A live watcher tails a full batch; progress is asserted through the STATS
+# telemetry seq (4 jobs x admit/start/outcome = 12 events), and the watcher's
+# EVENT transcript must be byte-identical to the offline `--events`
+# regeneration of the journal.
+start_daemon "$DIR/watch.journal" "$DIR/watch.report"
+"$BIN" --client --socket "$SOCK" --watch --idle-timeout-ms 1200 \
+  > "$DIR/watch.out" 2>/dev/null &
+WPID=$!
+wait_journal_records subscribers 1
+submit_batch
+wait_journal_records journal_records 12
+wait_journal_records telemetry_seq 12
+graceful_stop
+wait "$WPID" || true
+head -n 1 "$DIR/watch.out" | grep -q '^200 watching from=1 last=0'
+grep '^EVENT ' "$DIR/watch.out" > "$DIR/watch-events.out"
+"$BIN" --events "$DIR/watch.journal" --devices 2 --seed 7 > "$DIR/events.out"
+cmp "$DIR/events.out" "$DIR/watch-events.out"
+echo "OK: live WATCH stream is byte-identical to --events regeneration"
 
 # -- offline replay ----------------------------------------------------------
 records=$(wc -l < "$DIR/golden-.report")
